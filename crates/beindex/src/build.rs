@@ -1,0 +1,376 @@
+//! Index construction — Algorithms 3 and 6 of the paper.
+//!
+//! One pass of priority-obeyed wedge enumeration (identical to the
+//! counting pass of the `butterfly` crate) discovers every maximal
+//! priority-obeyed bloom: for a start vertex `u`, all wedges `(u, v, w)`
+//! with `p(v) < p(u)`, `p(w) < p(u)` sharing the same end `w` belong to the
+//! bloom anchored by `(u, w)`; the bloom exists when at least two wedges
+//! share the end (`count_wedge(w) > 1`, Algorithm 3 line 10).
+
+use bigraph::{BipartiteGraph, VertexId};
+
+use crate::index::BeIndex;
+
+impl BeIndex {
+    /// Builds the full BE-Index of `g` (Algorithm 3).
+    ///
+    /// Runs in `O(Σ_{(u,v)∈E} min{d(u), d(v)})` time and space.
+    pub fn build(g: &BipartiteGraph) -> BeIndex {
+        build_inner(g, None)
+    }
+
+    /// Builds the *compressed* BE-Index of `g` (Algorithm 6), used by
+    /// BiT-PC on candidate subgraphs that still contain edges whose
+    /// bitruss numbers were assigned in earlier iterations.
+    ///
+    /// `assigned[e]` marks those edges (indexed by `g`'s edge ids). They
+    /// are not inserted into `L(I)` — they receive no links and will never
+    /// have their supports updated — but every wedge they participate in
+    /// still counts towards its bloom's `k`, so the supports derived for
+    /// unassigned edges are exactly their supports in `g` (which includes
+    /// the butterflies shared with assigned edges).
+    pub fn build_compressed(g: &BipartiteGraph, assigned: &[bool]) -> BeIndex {
+        assert_eq!(assigned.len(), g.num_edges() as usize);
+        build_inner(g, Some(assigned))
+    }
+}
+
+fn build_inner(g: &BipartiteGraph, assigned: Option<&[bool]>) -> BeIndex {
+    let n = g.num_vertices() as usize;
+    let m = g.num_edges() as usize;
+    let is_assigned = |e: u32| assigned.is_some_and(|a| a[e as usize]);
+
+    // Scratch, reset per start vertex via `touched`.
+    let mut count = vec![0u32; n]; // count_wedge
+    let mut stored = vec![0u32; n]; // wedges that will be materialized
+    let mut cursor = vec![0u32; n]; // fill position per end vertex
+    let mut touched: Vec<u32> = Vec::new();
+    let mut wedges_local: Vec<(u32, u32, u32)> = Vec::new(); // (w, e_uv, e_vw)
+
+    let mut wedge_e1: Vec<u32> = Vec::new();
+    let mut wedge_e2: Vec<u32> = Vec::new();
+    let mut wedge_bloom: Vec<u32> = Vec::new();
+    let mut bloom_start: Vec<u32> = vec![0];
+    let mut bloom_k: Vec<u32> = Vec::new();
+    let mut bloom_anchor: Vec<(u32, u32)> = Vec::new();
+    let mut link_count = vec![0u32; m];
+
+    for u in g.vertices() {
+        let pu = g.priority(u);
+        touched.clear();
+        wedges_local.clear();
+
+        let vs = g.pri_neighbor_slice(u);
+        let ves = g.pri_neighbor_edge_slice(u);
+        for (&v, &e_uv) in vs.iter().zip(ves) {
+            if g.priority(VertexId(v)) >= pu {
+                break;
+            }
+            let ws = g.pri_neighbor_slice(VertexId(v));
+            let wes = g.pri_neighbor_edge_slice(VertexId(v));
+            for (&w, &e_vw) in ws.iter().zip(wes) {
+                if g.priority(VertexId(w)) >= pu {
+                    break;
+                }
+                if count[w as usize] == 0 {
+                    touched.push(w);
+                }
+                count[w as usize] += 1;
+                // A wedge is stored unless both member edges are assigned
+                // (then it only contributes to the bloom's k — a "ghost").
+                if !(is_assigned(e_uv) && is_assigned(e_vw)) {
+                    stored[w as usize] += 1;
+                }
+                wedges_local.push((w, e_uv, e_vw));
+            }
+        }
+
+        // Allocate one bloom per end vertex with count_wedge > 1 that has
+        // at least one stored wedge.
+        for &w in &touched {
+            let c = count[w as usize];
+            let s = stored[w as usize];
+            if c > 1 && s > 0 {
+                let base = wedge_e1.len() as u32;
+                cursor[w as usize] = base;
+                let new_len = wedge_e1.len() + s as usize;
+                wedge_e1.resize(new_len, u32::MAX);
+                wedge_e2.resize(new_len, u32::MAX);
+                wedge_bloom.resize(new_len, bloom_k.len() as u32);
+                bloom_start.push(new_len as u32);
+                bloom_k.push(c);
+                bloom_anchor.push((u.0, w));
+            }
+        }
+
+        // Place stored wedges and tally link counts.
+        for &(w, e_uv, e_vw) in &wedges_local {
+            let c = count[w as usize];
+            if c > 1 && !(is_assigned(e_uv) && is_assigned(e_vw)) {
+                let pos = cursor[w as usize] as usize;
+                cursor[w as usize] += 1;
+                wedge_e1[pos] = e_uv;
+                wedge_e2[pos] = e_vw;
+                if !is_assigned(e_uv) {
+                    link_count[e_uv as usize] += 1;
+                }
+                if !is_assigned(e_vw) {
+                    link_count[e_vw as usize] += 1;
+                }
+            }
+        }
+
+        for &w in &touched {
+            count[w as usize] = 0;
+            stored[w as usize] = 0;
+        }
+    }
+
+    // Per-edge link CSR.
+    let mut link_start = vec![0u32; m + 1];
+    for e in 0..m {
+        link_start[e + 1] = link_start[e] + link_count[e];
+    }
+    let mut fill = link_start[..m].to_vec();
+    let mut link_wedge = vec![0u32; *link_start.last().unwrap_or(&0) as usize];
+    for w in 0..wedge_e1.len() {
+        for e in [wedge_e1[w], wedge_e2[w]] {
+            if !is_assigned(e) {
+                link_wedge[fill[e as usize] as usize] = w as u32;
+                fill[e as usize] += 1;
+            }
+        }
+    }
+
+    let in_index: Vec<bool> = match assigned {
+        Some(a) => a.iter().map(|&x| !x).collect(),
+        None => vec![true; m],
+    };
+    let wedge_alive = vec![true; wedge_e1.len()];
+
+    BeIndex {
+        num_edges: m as u32,
+        wedge_e1,
+        wedge_e2,
+        wedge_bloom,
+        wedge_alive,
+        bloom_start,
+        bloom_k,
+        bloom_anchor,
+        link_start,
+        link_wedge,
+        in_index,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::BloomId;
+    use bigraph::{EdgeId, GraphBuilder};
+
+    /// The 9-edge graph of Figure 4(a)/Figure 6: edge ids (sorted order)
+    /// e0=(u0,v0), e1=(u0,v1), e2=(u1,v0), e3=(u1,v1), e4=(u2,v0),
+    /// e5=(u2,v1), e6=(u2,v2), e7=(u3,v1), e8=(u3,v2).
+    fn fig6_graph() -> BipartiteGraph {
+        GraphBuilder::new()
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (3, 1),
+                (3, 2),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fig6_structure_matches_paper() {
+        let g = fig6_graph();
+        let idx = BeIndex::build(&g);
+        idx.validate(&g).unwrap();
+
+        // Exactly the two blooms of Figure 6: B0* (k=3, onB=3) over
+        // e0..e5, and B1* (k=2, onB=1) over e5..e8.
+        assert_eq!(idx.num_blooms(), 2);
+        assert_eq!(idx.bloom_k(BloomId(0)), 3);
+        assert_eq!(idx.bloom_butterflies(BloomId(0)), 3);
+        assert_eq!(idx.bloom_k(BloomId(1)), 2);
+        assert_eq!(idx.bloom_butterflies(BloomId(1)), 1);
+        assert_eq!(idx.total_butterflies(), 4);
+
+        // Both anchors are dominated by v1 (global id 1), the
+        // highest-priority vertex.
+        assert_eq!(idx.bloom_anchor(BloomId(0)), (1, 0)); // (v1, v0)
+        assert_eq!(idx.bloom_anchor(BloomId(1)), (1, 2)); // (v1, v2)
+
+        // Twin edges exactly as drawn in Figure 6.
+        let twin_of = |e: u32| -> Vec<(u32, u32)> {
+            idx.links(EdgeId(e))
+                .iter()
+                .map(|&w| {
+                    let wid = crate::WedgeId(w);
+                    (
+                        idx.wedge_bloom(wid).0,
+                        idx.wedge_twin(wid, EdgeId(e)).0,
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(twin_of(0), vec![(0, 1)]);
+        assert_eq!(twin_of(1), vec![(0, 0)]);
+        assert_eq!(twin_of(2), vec![(0, 3)]);
+        assert_eq!(twin_of(3), vec![(0, 2)]);
+        assert_eq!(twin_of(4), vec![(0, 5)]);
+        assert_eq!(twin_of(6), vec![(1, 5)]);
+        assert_eq!(twin_of(7), vec![(1, 8)]);
+        assert_eq!(twin_of(8), vec![(1, 7)]);
+        // e5 sits in both blooms: twin e4 in B0*, twin e6 in B1*.
+        let mut e5 = twin_of(5);
+        e5.sort_unstable();
+        assert_eq!(e5, vec![(0, 4), (1, 6)]);
+
+        // Supports as printed in Figure 6: 2 2 2 2 2 3 1 1 1.
+        assert_eq!(
+            idx.derive_supports(),
+            vec![2, 2, 2, 2, 2, 3, 1, 1, 1]
+        );
+    }
+
+    #[test]
+    fn derived_supports_match_counting_everywhere() {
+        // A less regular graph: two overlapping bicliques plus pendants.
+        let mut b = GraphBuilder::new();
+        for u in 0..4 {
+            for v in 0..3 {
+                b.push_edge(u, v);
+            }
+        }
+        for u in 2..6 {
+            for v in 2..5 {
+                b.push_edge(u, v);
+            }
+        }
+        b.push_edge(0, 6);
+        b.push_edge(5, 0);
+        let g = b.build().unwrap();
+        let idx = BeIndex::build(&g);
+        idx.validate(&g).unwrap();
+        let counts = butterfly::count_per_edge(&g);
+        assert_eq!(idx.derive_supports(), counts.per_edge);
+        assert_eq!(idx.total_butterflies(), counts.total);
+    }
+
+    #[test]
+    fn every_butterfly_in_exactly_one_bloom() {
+        let g = fig6_graph();
+        let idx = BeIndex::build(&g);
+        // Σ_B C(k_B, 2) counts each butterfly once (Lemma 3); with the
+        // enumerated total they must agree.
+        let enumerated = butterfly::enumerate_butterflies(&g).len() as u64;
+        assert_eq!(idx.total_butterflies(), enumerated);
+    }
+
+    #[test]
+    fn compressed_build_skips_assigned_edges() {
+        let g = fig6_graph();
+        // Assign e6, e7, e8 (the 1-bitruss fringe).
+        let mut assigned = vec![false; 9];
+        for e in [6, 7, 8] {
+            assigned[e] = true;
+        }
+        let idx = BeIndex::build_compressed(&g, &assigned);
+        idx.validate(&g).unwrap();
+
+        // Assigned edges are not in L(I).
+        assert!(!idx.in_index(EdgeId(6)));
+        assert!(idx.links(EdgeId(6)).is_empty());
+        assert!(idx.in_index(EdgeId(0)));
+
+        // But the blooms they supported are preserved: B1* still has k=2,
+        // so sup(e5) still counts the butterfly shared with e6..e8.
+        let supp = idx.derive_supports();
+        assert_eq!(supp[5], 3);
+        assert_eq!(supp[0], 2);
+        assert_eq!(supp[6], 0); // assigned ⇒ no derived support
+    }
+
+    #[test]
+    fn compressed_with_fully_assigned_bloom_stores_no_wedges_for_it() {
+        let g = fig6_graph();
+        // Assign every edge of B1* = {e5, e6, e7, e8}: its wedges are all
+        // ghosts, so no bloom needs to be materialized for it.
+        let mut assigned = vec![false; 9];
+        for e in [5, 6, 7, 8] {
+            assigned[e] = true;
+        }
+        let idx = BeIndex::build_compressed(&g, &assigned);
+        idx.validate(&g).unwrap();
+        assert_eq!(idx.num_blooms(), 1); // only B0* remains materialized
+        assert_eq!(idx.bloom_k(BloomId(0)), 3);
+        let supp = idx.derive_supports();
+        assert_eq!(&supp[0..5], &[2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn compressed_mixed_wedge_links_only_unassigned_side() {
+        let g = fig6_graph();
+        let mut assigned = vec![false; 9];
+        assigned[6] = true; // e6 assigned; its wedge partner e5 is not
+        let idx = BeIndex::build_compressed(&g, &assigned);
+        idx.validate(&g).unwrap();
+        // e5 keeps a link to B1* whose twin is the assigned e6.
+        let mut found = false;
+        for &w in idx.links(EdgeId(5)) {
+            let wid = crate::WedgeId(w);
+            if idx.wedge_bloom(wid) == BloomId(1) {
+                assert_eq!(idx.wedge_twin(wid, EdgeId(5)), EdgeId(6));
+                found = true;
+            }
+        }
+        assert!(found);
+        assert!(idx.links(EdgeId(6)).is_empty());
+    }
+
+    #[test]
+    fn empty_and_butterfly_free_graphs() {
+        let g = GraphBuilder::new().build().unwrap();
+        let idx = BeIndex::build(&g);
+        assert_eq!(idx.num_blooms(), 0);
+        assert_eq!(idx.total_butterflies(), 0);
+
+        let star = {
+            let mut b = GraphBuilder::new();
+            for v in 0..20 {
+                b.push_edge(0, v);
+            }
+            b.build().unwrap()
+        };
+        let idx = BeIndex::build(&star);
+        idx.validate(&star).unwrap();
+        assert_eq!(idx.num_blooms(), 0);
+        assert!(idx.derive_supports().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn index_size_bound() {
+        // Stored wedges never exceed Σ min{d(u), d(v)} (Lemma 6).
+        let mut b = GraphBuilder::new();
+        for u in 0..20 {
+            for v in 0..20 {
+                if (u * 7 + v * 3) % 4 != 0 {
+                    b.push_edge(u, v);
+                }
+            }
+        }
+        let g = b.build().unwrap();
+        let idx = BeIndex::build(&g);
+        idx.validate(&g).unwrap();
+        assert!((idx.num_wedges() as u64) <= g.sum_min_degree());
+    }
+}

@@ -1,0 +1,317 @@
+//! BE-Index storage and accessors.
+
+use bigraph::EdgeId;
+
+/// Identifier of a maximal priority-obeyed bloom within a [`BeIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BloomId(pub u32);
+
+/// Identifier of a priority-obeyed wedge within a [`BeIndex`].
+///
+/// A wedge `(u, v, w)` pairs the two edges `(u,v)` and `(v,w)`; the two
+/// edges of one wedge are each other's *twin* (Definition 9) in the bloom
+/// the wedge belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WedgeId(pub u32);
+
+impl BloomId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl WedgeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The Bloom-Edge index.
+///
+/// Built by [`BeIndex::build`] (Algorithm 3) or
+/// [`BeIndex::build_compressed`] (Algorithm 6); mutated during peeling via
+/// [`BeIndex::remove_edge`] (Algorithm 2) or the finer-grained primitives
+/// used by the batch algorithms ([`BeIndex::kill_wedge`],
+/// [`BeIndex::sub_bloom_k`], [`BeIndex::remove_edge_links`]).
+#[derive(Debug, Clone)]
+pub struct BeIndex {
+    /// Edge count of the underlying graph (`link_start.len() == m + 1`).
+    pub(crate) num_edges: u32,
+    /// First member edge of each wedge.
+    pub(crate) wedge_e1: Vec<u32>,
+    /// Second member edge of each wedge.
+    pub(crate) wedge_e2: Vec<u32>,
+    /// Owning bloom of each wedge.
+    pub(crate) wedge_bloom: Vec<u32>,
+    /// Liveness of each wedge; a wedge dies when either member edge is
+    /// removed from the index.
+    pub(crate) wedge_alive: Vec<bool>,
+    /// Wedge ranges per bloom (wedges are grouped by bloom), length `B+1`.
+    pub(crate) bloom_start: Vec<u32>,
+    /// Current bloom number `k` of each bloom: the number of wedges it
+    /// still holds, *including* ghost wedges of assigned edges in a
+    /// compressed index. `onB = k(k−1)/2`.
+    pub(crate) bloom_k: Vec<u32>,
+    /// Dominant-pair anchors `(hi, lo)` of each bloom — global vertex ids
+    /// with `p(hi) > p(lo)`. Kept for validation and diagnostics; excluded
+    /// from [`BeIndex::memory_bytes`] because the algorithms never read it.
+    pub(crate) bloom_anchor: Vec<(u32, u32)>,
+    /// CSR offsets of per-edge link lists, length `m+1`.
+    pub(crate) link_start: Vec<u32>,
+    /// Wedge ids of per-edge links (each wedge appears in the lists of
+    /// both member edges unless that edge is assigned in a compressed
+    /// build).
+    pub(crate) link_wedge: Vec<u32>,
+    /// Whether each edge is still present in `L(I)`.
+    pub(crate) in_index: Vec<bool>,
+}
+
+impl BeIndex {
+    /// Number of maximal priority-obeyed blooms.
+    #[inline]
+    pub fn num_blooms(&self) -> u32 {
+        self.bloom_k.len() as u32
+    }
+
+    /// Number of stored wedges (ghost wedges of a compressed build are
+    /// folded into `bloom_k` and not stored).
+    #[inline]
+    pub fn num_wedges(&self) -> u32 {
+        self.wedge_e1.len() as u32
+    }
+
+    /// Edge count of the underlying graph.
+    #[inline]
+    pub fn num_edges(&self) -> u32 {
+        self.num_edges
+    }
+
+    /// Current bloom number `k` (wedge count) of a bloom.
+    #[inline]
+    pub fn bloom_k(&self, b: BloomId) -> u32 {
+        self.bloom_k[b.index()]
+    }
+
+    /// Current butterfly count `onB = C(k, 2)` of a bloom.
+    #[inline]
+    pub fn bloom_butterflies(&self, b: BloomId) -> u64 {
+        let k = self.bloom_k[b.index()] as u64;
+        k * k.saturating_sub(1) / 2
+    }
+
+    /// Dominant-pair anchor `(hi, lo)` of a bloom (global vertex ids,
+    /// `p(hi) > p(lo)`).
+    #[inline]
+    pub fn bloom_anchor(&self, b: BloomId) -> (u32, u32) {
+        self.bloom_anchor[b.index()]
+    }
+
+    /// Decreases a bloom's wedge count by `delta` (batch removal).
+    #[inline]
+    pub fn sub_bloom_k(&mut self, b: BloomId, delta: u32) {
+        let k = &mut self.bloom_k[b.index()];
+        *k = k.saturating_sub(delta);
+    }
+
+    /// The stored wedge ids of a bloom (alive and dead).
+    #[inline]
+    pub fn bloom_wedges(&self, b: BloomId) -> impl Iterator<Item = WedgeId> {
+        (self.bloom_start[b.index()]..self.bloom_start[b.index() + 1]).map(WedgeId)
+    }
+
+    /// The two member edges of a wedge.
+    #[inline]
+    pub fn wedge_members(&self, w: WedgeId) -> (EdgeId, EdgeId) {
+        (
+            EdgeId(self.wedge_e1[w.index()]),
+            EdgeId(self.wedge_e2[w.index()]),
+        )
+    }
+
+    /// The twin of `e` within wedge `w` — the wedge's other member edge.
+    #[inline]
+    pub fn wedge_twin(&self, w: WedgeId, e: EdgeId) -> EdgeId {
+        let (a, b) = self.wedge_members(w);
+        debug_assert!(a == e || b == e);
+        if a == e {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// Owning bloom of a wedge.
+    #[inline]
+    pub fn wedge_bloom(&self, w: WedgeId) -> BloomId {
+        BloomId(self.wedge_bloom[w.index()])
+    }
+
+    /// Whether a wedge is still alive.
+    #[inline]
+    pub fn wedge_alive(&self, w: WedgeId) -> bool {
+        self.wedge_alive[w.index()]
+    }
+
+    /// Marks a wedge dead. Does not touch `bloom_k`; callers decrement it
+    /// per Algorithm 2 / Algorithm 5 semantics.
+    #[inline]
+    pub fn kill_wedge(&mut self, w: WedgeId) {
+        self.wedge_alive[w.index()] = false;
+    }
+
+    /// Wedge ids linked to edge `e` (`N_I(e)` plus tombstones; callers
+    /// skip dead wedges).
+    #[inline]
+    pub fn links(&self, e: EdgeId) -> &[u32] {
+        &self.link_wedge[self.link_start[e.index()] as usize..self.link_start[e.index() + 1] as usize]
+    }
+
+    /// Whether `e` is still present in `L(I)` (unassigned edges of the
+    /// underlying graph start present; assigned edges of a compressed
+    /// build start absent).
+    #[inline]
+    pub fn in_index(&self, e: EdgeId) -> bool {
+        self.in_index[e.index()]
+    }
+
+    /// Removes `e` from `L(I)`; its remaining links become tombstones.
+    #[inline]
+    pub fn remove_edge_links(&mut self, e: EdgeId) {
+        self.in_index[e.index()] = false;
+    }
+
+    /// Butterfly supports implied by the index:
+    /// `sup(e) = Σ_{B ∋ e} (k_B − 1)` over the live blooms linked to `e`
+    /// (Lemma 2). On a freshly built index this equals the counting pass
+    /// on the same graph; edges absent from the index get support 0.
+    pub fn derive_supports(&self) -> Vec<u64> {
+        let mut supp = vec![0u64; self.num_edges as usize];
+        for e in 0..self.num_edges {
+            if !self.in_index[e as usize] {
+                continue;
+            }
+            let mut s = 0u64;
+            for &w in self.links(EdgeId(e)) {
+                if self.wedge_alive[w as usize] {
+                    s += (self.bloom_k[self.wedge_bloom[w as usize] as usize] as u64) - 1;
+                }
+            }
+            supp[e as usize] = s;
+        }
+        supp
+    }
+
+    /// Total number of butterflies tracked by the index:
+    /// `Σ_B C(k_B, 2)`.
+    pub fn total_butterflies(&self) -> u64 {
+        (0..self.num_blooms())
+            .map(|b| self.bloom_butterflies(BloomId(b)))
+            .sum()
+    }
+
+    /// Heap footprint in bytes of the structures the algorithms use
+    /// (wedges, blooms, links, presence bitmap). Matches what Figure 11 of
+    /// the paper measures; the diagnostic `bloom_anchor` array is excluded.
+    pub fn memory_bytes(&self) -> usize {
+        self.wedge_e1.len() * 4
+            + self.wedge_e2.len() * 4
+            + self.wedge_bloom.len() * 4
+            + self.wedge_alive.len()
+            + self.bloom_start.len() * 4
+            + self.bloom_k.len() * 4
+            + self.link_start.len() * 4
+            + self.link_wedge.len() * 4
+            + self.in_index.len()
+    }
+
+    /// Exhaustive structural validation, used by tests and debug builds:
+    ///
+    /// * wedge/bloom/link cross-references are in range and consistent;
+    /// * each stored wedge's edges share the wedge's middle vertex and end
+    ///   at the bloom's anchor pair;
+    /// * each live edge's links reference distinct blooms (Lemma 4: one
+    ///   twin per bloom);
+    /// * every bloom's stored wedge count does not exceed `bloom_k`.
+    ///
+    /// `graph` must be the graph the index was built from.
+    pub fn validate(&self, graph: &bigraph::BipartiteGraph) -> Result<(), String> {
+        let nw = self.num_wedges() as usize;
+        if self.wedge_e2.len() != nw || self.wedge_bloom.len() != nw || self.wedge_alive.len() != nw
+        {
+            return Err("wedge arrays length mismatch".into());
+        }
+        if self.bloom_start.len() != self.bloom_k.len() + 1 {
+            return Err("bloom_start length mismatch".into());
+        }
+        if *self.bloom_start.last().unwrap_or(&0) as usize != nw {
+            return Err("bloom_start does not cover wedges".into());
+        }
+        for b in 0..self.num_blooms() {
+            let b = BloomId(b);
+            let stored = self.bloom_wedges(b).count() as u32;
+            if stored > self.bloom_k(b) {
+                return Err(format!(
+                    "bloom {b:?}: stored wedges {stored} exceed k {}",
+                    self.bloom_k(b)
+                ));
+            }
+            let (hi, lo) = self.bloom_anchor(b);
+            let (phi, plo) = (
+                graph.priority(bigraph::VertexId(hi)),
+                graph.priority(bigraph::VertexId(lo)),
+            );
+            if phi <= plo {
+                return Err(format!("bloom {b:?}: anchor priorities not ordered"));
+            }
+            for w in self.bloom_wedges(b) {
+                if self.wedge_bloom(w) != b {
+                    return Err(format!("wedge {w:?} bloom backref mismatch"));
+                }
+                let (e1, e2) = self.wedge_members(w);
+                let (u1, v1) = graph.edge(e1);
+                let (u2, v2) = graph.edge(e2);
+                // The two edges must share the middle vertex, and their
+                // outer endpoints must be the anchor pair.
+                let (mid, ends) = if u1 == u2 {
+                    (u1, (v1, v2))
+                } else if v1 == v2 {
+                    (v1, (u1, u2))
+                } else {
+                    return Err(format!("wedge {w:?} edges share no vertex"));
+                };
+                let anchor_set = [hi, lo];
+                if !anchor_set.contains(&ends.0 .0) || !anchor_set.contains(&ends.1 .0) {
+                    return Err(format!("wedge {w:?} does not span the anchor pair"));
+                }
+                if graph.priority(mid) >= phi {
+                    return Err(format!("wedge {w:?} middle priority not below anchor"));
+                }
+            }
+        }
+        for e in 0..self.num_edges {
+            let e = EdgeId(e);
+            let mut blooms: Vec<u32> = self
+                .links(e)
+                .iter()
+                .map(|&w| self.wedge_bloom[w as usize])
+                .collect();
+            blooms.sort_unstable();
+            let before = blooms.len();
+            blooms.dedup();
+            if blooms.len() != before {
+                return Err(format!("edge {e:?} linked twice to one bloom"));
+            }
+            for &w in self.links(e) {
+                let (a, b) = self.wedge_members(WedgeId(w));
+                if a != e && b != e {
+                    return Err(format!("edge {e:?} linked to foreign wedge"));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,28 @@
+//! The **BE-Index** (Bloom-Edge index) of the ICDE'20 bitruss paper.
+//!
+//! The index compresses all butterflies of a bipartite graph into *maximal
+//! priority-obeyed blooms* (Definition 8): maximal `(2,k)`-bicliques whose
+//! highest-priority vertex lies in the two-vertex (dominant) layer. Every
+//! butterfly is contained in exactly one such bloom (Lemma 3), a `k`-bloom
+//! holds `C(k,2)` butterflies (Lemma 1), and each of its `2k` edges is
+//! supported by `k − 1` of them (Lemma 2).
+//!
+//! Storage is flat arenas rather than the paper's abstract bipartite
+//! "index graph": a global wedge array grouped by bloom, per-edge link
+//! lists in CSR form, and an alive-wedge count per bloom from which
+//! `onB = k(k−1)/2` is derived exactly (no float root needed).
+//!
+//! * [`BeIndex::build`] — Algorithm 3 (IndexConstruction).
+//! * [`BeIndex::build_compressed`] — Algorithm 6
+//!   (CompressedIndexConstruction): assigned edges keep the blooms they
+//!   support alive but receive no links and are never updated.
+//! * [`BeIndex::remove_edge`] — Algorithm 2 (RemoveEdge).
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod index;
+pub mod removal;
+
+pub use index::{BeIndex, BloomId, WedgeId};
+pub use removal::UpdateSink;

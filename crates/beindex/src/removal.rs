@@ -1,0 +1,224 @@
+//! The edge-removal operation (Algorithm 2 of the paper).
+
+use bigraph::EdgeId;
+
+use crate::index::{BeIndex, WedgeId};
+
+/// Receiver of support-update notifications, used by the decomposition
+/// algorithms to keep their peeling queues in sync and to count
+/// butterfly-support updates (Figures 7, 10 and 14 of the paper plot
+/// exactly this quantity).
+pub trait UpdateSink {
+    /// Called once for every support write to `e`; `old > new` always.
+    fn on_support_update(&mut self, e: EdgeId, old: u64, new: u64);
+}
+
+/// A no-op sink for callers that do not need instrumentation.
+impl UpdateSink for () {
+    #[inline]
+    fn on_support_update(&mut self, _: EdgeId, _: u64, _: u64) {}
+}
+
+/// Counts updates without attribution.
+impl UpdateSink for u64 {
+    #[inline]
+    fn on_support_update(&mut self, _: EdgeId, _: u64, _: u64) {
+        *self += 1;
+    }
+}
+
+impl BeIndex {
+    /// Performs the edge-removal operation `r(e)` of Definition 6 using
+    /// the index (Algorithm 2).
+    ///
+    /// For every live bloom `B ∋ e` with bloom number `k`:
+    /// the twin `twin(B, e)` loses the `k−1` butterflies it shared with
+    /// `e` inside `B` and its link to `B`; every other live edge of `B`
+    /// loses exactly 1 (the butterfly formed by its wedge and `e`'s
+    /// wedge); `onB` drops to `C(k−1, 2)`. Finally `e` leaves `L(I)`.
+    ///
+    /// Supports are only decreased while above `floor` and are clamped at
+    /// `floor` — the `max(MBS, ·)` rule of Algorithm 5, equivalent to
+    /// Algorithm 2's `if sup(e') > sup(e)` guard when `floor = sup(e)`
+    /// (the bottom-up peel level).
+    ///
+    /// Runs in `O(sup(e))` amortized time (Lemma 5).
+    pub fn remove_edge<S: UpdateSink>(
+        &mut self,
+        e: EdgeId,
+        supp: &mut [u64],
+        floor: u64,
+        sink: &mut S,
+    ) {
+        let links = self.link_start[e.index()] as usize..self.link_start[e.index() + 1] as usize;
+        for li in links {
+            let w0 = WedgeId(self.link_wedge[li]);
+            if !self.wedge_alive(w0) {
+                continue; // the twin was removed earlier
+            }
+            let b = self.wedge_bloom(w0);
+            let k = self.bloom_k(b) as u64;
+            debug_assert!(k >= 1, "live wedge in an empty bloom");
+            let twin = self.wedge_twin(w0, e);
+
+            // The wedge (e, twin) dies with e; the twin loses its link to
+            // B and the k−1 butterflies it shared with e inside B. A bloom
+            // down to a single wedge holds no butterflies, so k == 1 means
+            // there is nothing left to subtract.
+            self.kill_wedge(w0);
+            self.sub_bloom_k(b, 1);
+            if k >= 2 && self.in_index(twin) && supp[twin.index()] > floor {
+                let old = supp[twin.index()];
+                supp[twin.index()] = floor.max(old.saturating_sub(k - 1));
+                sink.on_support_update(twin, old, supp[twin.index()]);
+            }
+
+            // Every other live edge of B loses the butterfly formed by
+            // its wedge and e's wedge.
+            let range =
+                self.bloom_start[b.index()] as usize..self.bloom_start[b.index() + 1] as usize;
+            for w in range {
+                if !self.wedge_alive[w] {
+                    continue;
+                }
+                for other in [self.wedge_e1[w], self.wedge_e2[w]] {
+                    let other = EdgeId(other);
+                    if self.in_index(other) && supp[other.index()] > floor {
+                        let old = supp[other.index()];
+                        supp[other.index()] = old - 1;
+                        sink.on_support_update(other, old, old - 1);
+                    }
+                }
+            }
+        }
+        self.remove_edge_links(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::{BipartiteGraph, GraphBuilder};
+
+    fn fig6_graph() -> BipartiteGraph {
+        GraphBuilder::new()
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (3, 1),
+                (3, 2),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    /// Example 2 of the paper: removing e6 updates only e5 (3 → 2); e7 and
+    /// e8 stay at 1 because their supports equal sup(e6).
+    #[test]
+    fn example2_remove_e6() {
+        let g = fig6_graph();
+        let mut idx = BeIndex::build(&g);
+        let mut supp = idx.derive_supports();
+        assert_eq!(supp, vec![2, 2, 2, 2, 2, 3, 1, 1, 1]);
+
+        let mut updated: Vec<u32> = Vec::new();
+        struct Rec<'a>(&'a mut Vec<u32>);
+        impl UpdateSink for Rec<'_> {
+            fn on_support_update(&mut self, e: EdgeId, old: u64, new: u64) {
+                assert!(old > new);
+                self.0.push(e.0);
+            }
+        }
+        let e6 = EdgeId(6);
+        let floor = supp[6];
+        idx.remove_edge(e6, &mut supp, floor, &mut Rec(&mut updated));
+
+        assert_eq!(supp, vec![2, 2, 2, 2, 2, 2, 1, 1, 1]);
+        assert_eq!(updated, vec![5]);
+        assert!(!idx.in_index(e6));
+        // B1* lost one wedge.
+        assert_eq!(idx.bloom_k(crate::BloomId(1)), 1);
+        assert_eq!(idx.bloom_butterflies(crate::BloomId(1)), 0);
+    }
+
+    /// After removing an edge, re-deriving supports from the index must
+    /// match a fresh count on the graph without that edge.
+    #[test]
+    fn removal_matches_recount() {
+        let g = fig6_graph();
+        for victim in 0..g.num_edges() {
+            let mut idx = BeIndex::build(&g);
+            let mut supp = idx.derive_supports();
+            // floor = 0 disables clamping so the raw supports are exact.
+            idx.remove_edge(EdgeId(victim), &mut supp, 0, &mut ());
+
+            let rest = bigraph::edge_subgraph(&g, |e| e.0 != victim);
+            let recount = butterfly::count_per_edge(&rest.graph);
+            for (new_e, &old_e) in rest.new_to_old.iter().enumerate() {
+                assert_eq!(
+                    supp[old_e.index()],
+                    recount.per_edge[new_e],
+                    "victim {victim}, edge {old_e:?}"
+                );
+            }
+        }
+    }
+
+    /// Sequentially removing every edge in arbitrary order keeps derived
+    /// supports consistent and ends with an empty index.
+    #[test]
+    fn full_teardown() {
+        let g = fig6_graph();
+        let mut idx = BeIndex::build(&g);
+        let mut supp = idx.derive_supports();
+        let order = [4u32, 0, 8, 5, 2, 7, 1, 6, 3];
+        for (step, &victim) in order.iter().enumerate() {
+            idx.remove_edge(EdgeId(victim), &mut supp, 0, &mut ());
+            let removed: Vec<u32> = order[..=step].to_vec();
+            let rest = bigraph::edge_subgraph(&g, |e| !removed.contains(&e.0));
+            let recount = butterfly::count_per_edge(&rest.graph);
+            for (new_e, &old_e) in rest.new_to_old.iter().enumerate() {
+                assert_eq!(supp[old_e.index()], recount.per_edge[new_e]);
+            }
+        }
+        for b in 0..idx.num_blooms() {
+            assert_eq!(idx.bloom_butterflies(crate::BloomId(b)), 0);
+        }
+    }
+
+    /// The floor clamp: removing at the current peel level never drives
+    /// another support below that level.
+    #[test]
+    fn floor_clamps_supports() {
+        // K_{2,5}: every edge has support 4; one bloom with k=5.
+        let mut b = GraphBuilder::new();
+        for v in 0..5 {
+            b.push_edge(0, v);
+            b.push_edge(1, v);
+        }
+        let g = b.build().unwrap();
+        let mut idx = BeIndex::build(&g);
+        let mut supp = idx.derive_supports();
+        assert!(supp.iter().all(|&s| s == 4));
+        // Peel level 4: remove one edge; its twin would drop to 0 raw but
+        // is clamped at 4.
+        idx.remove_edge(EdgeId(0), &mut supp, 4, &mut ());
+        assert!(supp.iter().all(|&s| s == 4));
+    }
+
+    /// Update counting via the `u64` sink.
+    #[test]
+    fn update_counter_sink() {
+        let g = fig6_graph();
+        let mut idx = BeIndex::build(&g);
+        let mut supp = idx.derive_supports();
+        let mut updates = 0u64;
+        idx.remove_edge(EdgeId(6), &mut supp, 1, &mut updates);
+        assert_eq!(updates, 1); // only e5 is updated (Example 2)
+    }
+}

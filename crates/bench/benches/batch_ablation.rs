@@ -1,0 +1,23 @@
+//! Figure 13 counterpart: ablation of the two batch-based optimizations
+//! (BU → BU+ → BU++).
+
+use bitruss_core::{decompose, Algorithm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::dataset_by_name;
+
+fn bench_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_ablation");
+    group.sample_size(10);
+    for name in ["Marvel", "Github"] {
+        let g = dataset_by_name(name).expect("registry").generate();
+        for alg in [Algorithm::Bu, Algorithm::BuPlus, Algorithm::BuPlusPlus] {
+            group.bench_with_input(BenchmarkId::new(alg.name(), name), &g, |b, g| {
+                b.iter(|| decompose(g, alg))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batching);
+criterion_main!(benches);

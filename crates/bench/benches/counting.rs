@@ -1,0 +1,42 @@
+//! Butterfly-counting micro-benchmarks: the counting phase shared by
+//! every decomposition algorithm (paper §VI deploys the counting of
+//! ref.\[8\] everywhere).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::dataset_by_name;
+
+fn bench_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting");
+    for name in ["Condmat", "Marvel", "DBPedia", "Github"] {
+        let g = dataset_by_name(name).expect("registry").generate();
+        group.throughput(Throughput::Elements(g.num_edges() as u64));
+        group.bench_with_input(BenchmarkId::new("per_edge", name), &g, |b, g| {
+            b.iter(|| butterfly::count_per_edge(g))
+        });
+        group.bench_with_input(BenchmarkId::new("total_only", name), &g, |b, g| {
+            b.iter(|| butterfly::count_total(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_counting_vs_naive(c: &mut Criterion) {
+    // Tiny graph where the brute-force oracle is feasible, to show the
+    // asymptotic gap.
+    let g = datagen::random::uniform(60, 60, 700, 3);
+    let mut group = c.benchmark_group("counting_vs_naive");
+    group.bench_function("priority_based", |b| {
+        b.iter(|| butterfly::count_per_edge(&g))
+    });
+    group.bench_function("naive_enumeration", |b| {
+        b.iter(|| butterfly::count_naive(&g))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_counting, bench_counting_vs_naive
+}
+criterion_main!(benches);

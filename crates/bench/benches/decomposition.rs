@@ -1,0 +1,42 @@
+//! End-to-end decomposition benchmarks — the Criterion counterpart of
+//! Figure 9, on the small/medium registry tiers.
+
+use bitruss_core::{decompose, Algorithm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::dataset_by_name;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomposition");
+    group.sample_size(10);
+    for name in ["Condmat", "Marvel", "DBPedia"] {
+        let g = dataset_by_name(name).expect("registry").generate();
+        for alg in [
+            Algorithm::BsIntersection,
+            Algorithm::Bu,
+            Algorithm::BuPlusPlus,
+            Algorithm::pc_default(),
+        ] {
+            group.bench_with_input(BenchmarkId::new(alg.name(), name), &g, |b, g| {
+                b.iter(|| decompose(g, alg))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_bs_strategies(c: &mut Criterion) {
+    // The two combination-based peeling strategies of refs. [5] and [9].
+    let g = dataset_by_name("Condmat").expect("registry").generate();
+    let mut group = c.benchmark_group("bs_strategies");
+    group.sample_size(10);
+    group.bench_function("intersection[5]", |b| {
+        b.iter(|| decompose(&g, Algorithm::BsIntersection))
+    });
+    group.bench_function("pair_enumeration[9]", |b| {
+        b.iter(|| decompose(&g, Algorithm::BsPairEnumeration))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_bs_strategies);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! BE-Index construction benchmarks (Algorithm 3 and the compressed
+//! Algorithm 6) — §IV of the paper bounds both by
+//! `O(Σ min{d(u), d(v)})`.
+
+use beindex::BeIndex;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::dataset_by_name;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_construction");
+    for name in ["Condmat", "Marvel", "DBPedia", "Github"] {
+        let g = dataset_by_name(name).expect("registry").generate();
+        group.throughput(Throughput::Elements(g.sum_min_degree()));
+        group.bench_with_input(BenchmarkId::new("full", name), &g, |b, g| {
+            b.iter(|| BeIndex::build(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_compressed(c: &mut Criterion) {
+    // Compressed construction with half the edges assigned: the BiT-PC
+    // mid-run regime.
+    let mut group = c.benchmark_group("index_construction_compressed");
+    for name in ["Marvel", "Github"] {
+        let g = dataset_by_name(name).expect("registry").generate();
+        let counts = butterfly::count_per_edge(&g);
+        let mut sorted = counts.per_edge.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let assigned: Vec<bool> = counts.per_edge.iter().map(|&s| s >= median).collect();
+        group.bench_with_input(
+            BenchmarkId::new("half_assigned", name),
+            &(&g, &assigned),
+            |b, (g, assigned)| b.iter(|| BeIndex::build_compressed(g, assigned)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_build, bench_build_compressed
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Extension ablation: sequential vs multi-threaded butterfly counting
+//! (the paper cites parallel butterfly computations as related work).
+
+use butterfly::{count_per_edge, count_per_edge_parallel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::dataset_by_name;
+
+fn bench_parallel(c: &mut Criterion) {
+    let g = dataset_by_name("Github").expect("registry").generate();
+    let mut group = c.benchmark_group("parallel_counting");
+    group.sample_size(15);
+    group.bench_function("sequential", |b| b.iter(|| count_per_edge(&g)));
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &t| b.iter(|| count_per_edge_parallel(&g, t)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Micro-benchmarks of the peeling primitives: the edge-removal operation
+//! (Algorithm 2) and the bucket queue that orders the peel.
+
+use beindex::BeIndex;
+use bigraph::EdgeId;
+use bitruss_core::BucketQueue;
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::dataset_by_name;
+
+fn bench_remove_edge(c: &mut Criterion) {
+    let g = dataset_by_name("Marvel").expect("registry").generate();
+    let counts = butterfly::count_per_edge(&g);
+    c.bench_function("remove_edge_full_teardown", |b| {
+        b.iter_batched(
+            || (BeIndex::build(&g), counts.per_edge.clone()),
+            |(mut idx, mut supp)| {
+                for e in 0..g.num_edges() {
+                    idx.remove_edge(EdgeId(e), &mut supp, 0, &mut ());
+                }
+                idx
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_bucket_queue(c: &mut Criterion) {
+    let g = dataset_by_name("Marvel").expect("registry").generate();
+    let counts = butterfly::count_per_edge(&g);
+    c.bench_function("bucket_queue_build_drain", |b| {
+        b.iter(|| {
+            let mut q = BucketQueue::new(&counts.per_edge, |_| true);
+            let mut n = 0u32;
+            while q.pop_min(&counts.per_edge).is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_remove_edge, bench_bucket_queue
+}
+criterion_main!(benches);

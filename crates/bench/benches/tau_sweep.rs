@@ -1,0 +1,20 @@
+//! Figure 14 counterpart: BiT-PC across the compression parameter τ.
+
+use bitruss_core::bit_pc;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::dataset_by_name;
+
+fn bench_tau(c: &mut Criterion) {
+    let g = dataset_by_name("Marvel").expect("registry").generate();
+    let mut group = c.benchmark_group("tau_sweep");
+    group.sample_size(10);
+    for tau in [0.02, 0.05, 0.1, 0.2, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(tau), &tau, |b, &tau| {
+            b.iter(|| bit_pc(&g, tau))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tau);
+criterion_main!(benches);

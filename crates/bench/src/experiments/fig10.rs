@@ -1,0 +1,35 @@
+//! Figure 10 analogue: total number of butterfly-support updates of
+//! BiT-BU, BiT-BU++ and BiT-PC on the drill-down datasets.
+
+use std::io::{self, Write};
+
+use bitruss_core::{decompose, Algorithm};
+
+use crate::fmt::{count, Table};
+use crate::{drilldown, Opts};
+
+/// Prints the total-update comparison.
+pub fn run(out: &mut dyn Write, opts: &Opts) -> io::Result<()> {
+    writeln!(
+        out,
+        "== Figure 10 analogue: total number of butterfly support updates =="
+    )?;
+    let mut table = Table::new(&["Dataset", "BU", "BU++", "PC", "PC saves"]);
+    for d in drilldown(opts) {
+        let g = d.generate();
+        let (dec_bu, m_bu) = decompose(&g, Algorithm::Bu);
+        let (dec_pp, m_pp) = decompose(&g, Algorithm::BuPlusPlus);
+        let (dec_pc, m_pc) = decompose(&g, Algorithm::pc_default());
+        assert_eq!(dec_bu, dec_pp);
+        assert_eq!(dec_bu, dec_pc);
+        let save = 100.0 * (1.0 - m_pc.support_updates as f64 / m_bu.support_updates.max(1) as f64);
+        table.row(&[
+            d.name.to_string(),
+            count(m_bu.support_updates),
+            count(m_pp.support_updates),
+            count(m_pc.support_updates),
+            format!("{save:.1}%"),
+        ]);
+    }
+    write!(out, "{}", table.render())
+}

@@ -1,0 +1,28 @@
+//! Figure 11 analogue: size of the online indexes — the full BE-Index of
+//! BiT-BU/BiT-BU++ versus the peak compressed index of BiT-PC.
+
+use std::io::{self, Write};
+
+use bitruss_core::{decompose, Algorithm};
+
+use crate::fmt::{mb, Table};
+use crate::{drilldown, Opts};
+
+/// Prints the index-size comparison.
+pub fn run(out: &mut dyn Write, opts: &Opts) -> io::Result<()> {
+    writeln!(out, "== Figure 11 analogue: size of online indexes ==")?;
+    let mut table = Table::new(&["Dataset", "BU", "BU++", "PC (peak)"]);
+    for d in drilldown(opts) {
+        let g = d.generate();
+        let (_, m_bu) = decompose(&g, Algorithm::Bu);
+        let (_, m_pp) = decompose(&g, Algorithm::BuPlusPlus);
+        let (_, m_pc) = decompose(&g, Algorithm::pc_default());
+        table.row(&[
+            d.name.to_string(),
+            mb(m_bu.peak_index_bytes),
+            mb(m_pp.peak_index_bytes),
+            mb(m_pc.peak_index_bytes),
+        ]);
+    }
+    write!(out, "{}", table.render())
+}

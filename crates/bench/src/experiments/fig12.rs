@@ -1,0 +1,46 @@
+//! Figure 12 analogue: scalability — wall time of BiT-BU, BiT-BU++ and
+//! BiT-PC on vertex-induced samples of 20–100 % of each drill-down
+//! dataset.
+
+use std::io::{self, Write};
+
+use bigraph::sample_vertices_percent;
+use bitruss_core::{decompose, Algorithm};
+
+use crate::fmt::{dur, Table};
+use crate::{drilldown, Opts};
+
+/// Prints the scalability sweep.
+pub fn run(out: &mut dyn Write, opts: &Opts) -> io::Result<()> {
+    writeln!(
+        out,
+        "== Figure 12 analogue: effect of graph size (vertex sampling) =="
+    )?;
+    let percents: &[u32] = if opts.quick {
+        &[50, 100]
+    } else {
+        &[20, 40, 60, 80, 100]
+    };
+    for d in drilldown(opts) {
+        writeln!(out, "-- {} --", d.name)?;
+        let g = d.generate();
+        let mut table = Table::new(&["percent", "|E|", "BU", "BU++", "PC"]);
+        for &p in percents {
+            let sample = sample_vertices_percent(&g, p, d.seed ^ 0x5A11);
+            let (dec_bu, m_bu) = decompose(&sample, Algorithm::Bu);
+            let (dec_pp, m_pp) = decompose(&sample, Algorithm::BuPlusPlus);
+            let (dec_pc, m_pc) = decompose(&sample, Algorithm::pc_default());
+            assert_eq!(dec_bu, dec_pp);
+            assert_eq!(dec_bu, dec_pc);
+            table.row(&[
+                format!("{p}%"),
+                crate::fmt::count(sample.num_edges() as u64),
+                dur(m_bu.total_time()),
+                dur(m_pp.total_time()),
+                dur(m_pc.total_time()),
+            ]);
+        }
+        write!(out, "{}", table.render())?;
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Figure 13 analogue: ablation of the batch-based optimizations —
+//! BiT-BU vs BiT-BU+ (batch edges) vs BiT-BU++ (batch edges + blooms).
+
+use std::io::{self, Write};
+
+use bitruss_core::{decompose, Algorithm};
+
+use crate::fmt::{count, dur, Table};
+use crate::{drilldown, Opts};
+
+/// Prints the batch-optimization ablation.
+pub fn run(out: &mut dyn Write, opts: &Opts) -> io::Result<()> {
+    writeln!(
+        out,
+        "== Figure 13 analogue: effect of the batch-based optimizations =="
+    )?;
+    let mut table = Table::new(&[
+        "Dataset",
+        "BU",
+        "BU+",
+        "BU++",
+        "BU# (ext)",
+        "BU updates",
+        "BU+ updates",
+        "BU++ updates",
+        "BU# updates",
+    ]);
+    for d in drilldown(opts) {
+        let g = d.generate();
+        let (dec_bu, m_bu) = decompose(&g, Algorithm::Bu);
+        let (dec_plus, m_plus) = decompose(&g, Algorithm::BuPlus);
+        let (dec_pp, m_pp) = decompose(&g, Algorithm::BuPlusPlus);
+        let (dec_h, m_h) = decompose(&g, Algorithm::BuHybrid);
+        assert_eq!(dec_bu, dec_plus);
+        assert_eq!(dec_bu, dec_pp);
+        assert_eq!(dec_bu, dec_h);
+        table.row(&[
+            d.name.to_string(),
+            dur(m_bu.total_time()),
+            dur(m_plus.total_time()),
+            dur(m_pp.total_time()),
+            dur(m_h.total_time()),
+            count(m_bu.support_updates),
+            count(m_plus.support_updates),
+            count(m_pp.support_updates),
+            count(m_h.support_updates),
+        ]);
+    }
+    write!(out, "{}", table.render())
+}

@@ -1,0 +1,47 @@
+//! Figure 14 analogue: effect of the compression parameter τ on BiT-PC —
+//! (a) wall time and (b) number of support updates.
+
+use std::io::{self, Write};
+
+use bitruss_core::bit_pc;
+
+use crate::fmt::{count, dur, Table};
+use crate::{drilldown, Opts};
+
+/// Prints the τ sweep.
+pub fn run(out: &mut dyn Write, opts: &Opts) -> io::Result<()> {
+    writeln!(out, "== Figure 14 analogue: effect of τ on BiT-PC ==")?;
+    let taus: &[f64] = if opts.quick {
+        &[0.1, 1.0]
+    } else {
+        &[0.02, 0.05, 0.1, 0.2, 1.0]
+    };
+    let tau_labels: Vec<String> = taus.iter().map(|t| format!("τ={t}")).collect();
+
+    writeln!(out, "-- (a) time cost --")?;
+    let mut header = vec!["Dataset".to_string()];
+    header.extend(tau_labels.clone());
+    let mut time_table = Table::new(&header.clone());
+    let mut upd_table = Table::new(&header);
+
+    for d in drilldown(opts) {
+        let g = d.generate();
+        let mut time_cells = vec![d.name.to_string()];
+        let mut upd_cells = vec![d.name.to_string()];
+        let mut reference = None;
+        for &tau in taus {
+            let (dec, m) = bit_pc(&g, tau);
+            match &reference {
+                Some(r) => assert_eq!(&dec, r, "τ={tau} disagrees on {}", d.name),
+                None => reference = Some(dec),
+            }
+            time_cells.push(dur(m.total_time()));
+            upd_cells.push(format!("{} ({}it)", count(m.support_updates), m.iterations));
+        }
+        time_table.row(&time_cells);
+        upd_table.row(&upd_cells);
+    }
+    write!(out, "{}", time_table.render())?;
+    writeln!(out, "-- (b) number of updates (iterations) --")?;
+    write!(out, "{}", upd_table.render())
+}

@@ -1,0 +1,41 @@
+//! Figure 5 analogue: counting vs peeling time of BiT-BS — the evidence
+//! that the peeling phase dominates and is worth indexing.
+
+use std::io::{self, Write};
+
+use bitruss_core::{bit_bs, PeelStrategy};
+
+use crate::estimate::{bs_peel_cost, BS_BUDGET};
+use crate::fmt::{dur, Table};
+use crate::{drilldown, Opts};
+
+/// Prints the BiT-BS phase split on the drill-down datasets.
+pub fn run(out: &mut dyn Write, opts: &Opts) -> io::Result<()> {
+    writeln!(
+        out,
+        "== Figure 5 analogue: time cost of BiT-BS (counting vs peeling) =="
+    )?;
+    let mut table = Table::new(&["Dataset", "counting", "peeling", "peel/count"]);
+    for d in drilldown(opts) {
+        let g = d.generate();
+        let est = bs_peel_cost(&g);
+        if est > BS_BUDGET && !opts.full {
+            table.row(&[
+                d.name.to_string(),
+                "-".into(),
+                format!("INF (predicted {est:.1e} ops)"),
+                "-".into(),
+            ]);
+            continue;
+        }
+        let (_, m) = bit_bs(&g, PeelStrategy::Intersection);
+        let ratio = m.peeling_time.as_secs_f64() / m.counting_time.as_secs_f64().max(1e-9);
+        table.row(&[
+            d.name.to_string(),
+            dur(m.counting_time),
+            dur(m.peeling_time),
+            format!("{ratio:.1}x"),
+        ]);
+    }
+    write!(out, "{}", table.render())
+}

@@ -1,0 +1,47 @@
+//! Figure 9 analogue: wall time of BiT-BS, BiT-BU, BiT-BU++ and BiT-PC on
+//! every dataset — the headline comparison. BiT-BS runs whose predicted
+//! peeling cost exceeds the budget are reported as `INF`, mirroring the
+//! paper's 30-hour timeout on Wiki-it and Wiki-fr.
+
+use std::io::{self, Write};
+
+use bitruss_core::{decompose, Algorithm};
+
+use crate::estimate::{bs_peel_cost, BS_BUDGET};
+use crate::fmt::{dur, Table};
+use crate::{selected_datasets, Opts};
+
+/// Prints the timing table for the Figure 9 line-up.
+pub fn run(out: &mut dyn Write, opts: &Opts) -> io::Result<()> {
+    writeln!(
+        out,
+        "== Figure 9 analogue: performance on different datasets =="
+    )?;
+    let lineup = Algorithm::figure9_lineup();
+    let mut header: Vec<String> = vec!["Dataset".into()];
+    header.extend(lineup.iter().map(|a| a.name().to_string()));
+    let mut table = Table::new(&header);
+
+    for d in selected_datasets(opts) {
+        let g = d.generate();
+        let mut cells = vec![d.name.to_string()];
+        let mut reference = None;
+        for &alg in &lineup {
+            if matches!(alg, Algorithm::BsIntersection | Algorithm::BsPairEnumeration)
+                && !opts.full
+                && bs_peel_cost(&g) > BS_BUDGET
+            {
+                cells.push("INF".into());
+                continue;
+            }
+            let (dec, m) = decompose(&g, alg);
+            match &reference {
+                Some(r) => assert_eq!(&dec, r, "{} disagrees on {}", alg.name(), d.name),
+                None => reference = Some(dec),
+            }
+            cells.push(dur(m.total_time()));
+        }
+        table.row(&cells);
+    }
+    write!(out, "{}", table.render())
+}

@@ -1,0 +1,48 @@
+//! One module per table/figure of the paper's evaluation (§VI).
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig5;
+pub mod fig7;
+pub mod fig9;
+pub mod table2;
+
+use std::io::{self, Write};
+
+use crate::Opts;
+
+/// All experiment ids in paper order, plus the extension ablation.
+pub const ALL: &[&str] = &[
+    "table2", "fig5", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation",
+];
+
+/// Runs one experiment by id (or `all`).
+pub fn run(id: &str, out: &mut dyn Write, opts: &Opts) -> io::Result<()> {
+    match id {
+        "table2" => table2::run(out, opts),
+        "fig5" => fig5::run(out, opts),
+        "fig7" => fig7::run(out, opts),
+        "fig9" => fig9::run(out, opts),
+        "fig10" => fig10::run(out, opts),
+        "fig11" => fig11::run(out, opts),
+        "fig12" => fig12::run(out, opts),
+        "fig13" => fig13::run(out, opts),
+        "fig14" => fig14::run(out, opts),
+        "ablation" => ablation::run(out, opts),
+        "all" => {
+            for id in ALL {
+                run(id, out, opts)?;
+                writeln!(out)?;
+            }
+            Ok(())
+        }
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("unknown experiment {other:?}; known: {ALL:?} or \"all\""),
+        )),
+    }
+}

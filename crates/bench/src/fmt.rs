@@ -1,0 +1,137 @@
+//! Plain-text table formatting for experiment output.
+
+use std::time::Duration;
+
+/// Formats a duration like the paper's seconds axis: `12.3ms`, `4.56s`,
+/// `2m03s`.
+pub fn dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 0.001 {
+        format!("{:.0}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{}m{:02}s", (s as u64) / 60, (s as u64) % 60)
+    }
+}
+
+/// Formats a count with thousands separators.
+pub fn count(n: u64) -> String {
+    let raw = n.to_string();
+    let mut out = String::with_capacity(raw.len() + raw.len() / 3);
+    for (i, c) in raw.chars().enumerate() {
+        if i > 0 && (raw.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats bytes as MB with two decimals (Figure 11's axis).
+pub fn mb(bytes: usize) -> String {
+    format!("{:.2}MB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// A minimal fixed-width table writer.
+pub struct Table {
+    widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a header row.
+    pub fn new<S: Into<String> + Clone>(header: &[S]) -> Table {
+        let header: Vec<String> = header.iter().cloned().map(Into::into).collect();
+        Table {
+            widths: header.iter().map(|h| h.len()).collect(),
+            rows: vec![header],
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String> + Clone>(&mut self, cells: &[S]) {
+        let cells: Vec<String> = cells.iter().cloned().map(Into::into).collect();
+        assert_eq!(cells.len(), self.widths.len(), "row arity mismatch");
+        for (w, c) in self.widths.iter_mut().zip(&cells) {
+            *w = (*w).max(c.len());
+        }
+        self.rows.push(cells);
+    }
+
+    /// Renders the table: first column left-aligned, the rest right.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (ri, row) in self.rows.iter().enumerate() {
+            for (ci, cell) in row.iter().enumerate() {
+                if ci > 0 {
+                    out.push_str("  ");
+                }
+                if ci == 0 {
+                    out.push_str(&format!("{:<width$}", cell, width = self.widths[ci]));
+                } else {
+                    out.push_str(&format!("{:>width$}", cell, width = self.widths[ci]));
+                }
+            }
+            out.push('\n');
+            if ri == 0 {
+                let total: usize =
+                    self.widths.iter().sum::<usize>() + 2 * (self.widths.len() - 1);
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations() {
+        assert_eq!(dur(Duration::from_micros(250)), "250µs");
+        assert_eq!(dur(Duration::from_millis(42)), "42.0ms");
+        assert_eq!(dur(Duration::from_secs_f64(3.25)), "3.25s");
+        assert_eq!(dur(Duration::from_secs(150)), "2m30s");
+    }
+
+    #[test]
+    fn counts() {
+        assert_eq!(count(7), "7");
+        assert_eq!(count(1234), "1,234");
+        assert_eq!(count(1_234_567), "1,234,567");
+        assert_eq!(count(0), "0");
+        assert_eq!(count(1_000), "1,000");
+    }
+
+    #[test]
+    fn megabytes() {
+        assert_eq!(mb(0), "0.00MB");
+        assert_eq!(mb(1024 * 1024), "1.00MB");
+        assert_eq!(mb(1024 * 1024 * 5 / 2), "2.50MB");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["long-name-here", "1"]);
+        t.row(&["x", "123456"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].ends_with("     1"));
+        assert!(lines[3].ends_with("123456"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Experiment runner: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p bitruss-bench -- all
+//! cargo run --release -p bitruss-bench -- fig9 fig10 --quick
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use bitruss_bench::{experiments, Opts};
+
+fn main() -> ExitCode {
+    let mut opts = Opts::default();
+    let mut ids: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--full" => opts.full = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--quick] [--full] <id>...\n\
+                     ids: {} or all\n\
+                     --quick  restrict to small datasets (smoke test)\n\
+                     --full   run BiT-BS even when predicted to exceed the budget",
+                    experiments::ALL.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other:?}");
+                return ExitCode::FAILURE;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.push("all".to_string());
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for id in &ids {
+        if let Err(e) = experiments::run(id, &mut out, &opts) {
+            eprintln!("experiment {id} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        let _ = writeln!(out);
+    }
+    ExitCode::SUCCESS
+}

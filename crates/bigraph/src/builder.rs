@@ -1,0 +1,335 @@
+//! Deduplicating, validating graph construction.
+
+use crate::error::{Error, Result};
+use crate::graph::BipartiteGraph;
+
+/// How vertex priorities (Definition 7 of the paper) are assigned.
+///
+/// The paper orders by `(degree, id)`, which is what makes the number of
+/// priority-obeyed wedges — and hence counting time and BE-Index size —
+/// `O(Σ min{d(u), d(v)})` (Lemma 6). Any total order is *correct* (every
+/// butterfly still lands in exactly one bloom), so [`PriorityMode::IdOnly`]
+/// exists as an ablation knob to measure what the degree ordering buys.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PriorityMode {
+    /// Definition 7: higher degree ⇒ higher priority, ties by id.
+    #[default]
+    DegreeThenId,
+    /// Ablation: priority = vertex id, ignoring degrees.
+    IdOnly,
+}
+
+/// Builder assembling a [`BipartiteGraph`] from `(upper, lower)` edge pairs
+/// given in layer-local indices (both 0-based).
+///
+/// Duplicate edges are removed, layer sizes may be declared explicitly (to
+/// include isolated vertices) or inferred from the largest index seen.
+///
+/// ```
+/// use bigraph::GraphBuilder;
+/// let g = GraphBuilder::new()
+///     .add_edge(0, 0)
+///     .add_edge(0, 1)
+///     .add_edge(1, 0)
+///     .add_edge(1, 1)
+///     .build()
+///     .unwrap();
+/// assert_eq!(g.num_edges(), 4);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    edges: Vec<(u32, u32)>,
+    declared_upper: Option<u32>,
+    declared_lower: Option<u32>,
+    priority_mode: PriorityMode,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares the number of upper-layer vertices (allows isolated ones).
+    pub fn with_upper(mut self, n: u32) -> Self {
+        self.declared_upper = Some(n);
+        self
+    }
+
+    /// Declares the number of lower-layer vertices (allows isolated ones).
+    pub fn with_lower(mut self, n: u32) -> Self {
+        self.declared_lower = Some(n);
+        self
+    }
+
+    /// Selects the vertex-priority order; see [`PriorityMode`].
+    pub fn with_priority_mode(mut self, mode: PriorityMode) -> Self {
+        self.priority_mode = mode;
+        self
+    }
+
+    /// Pre-allocates capacity for `n` edges.
+    pub fn with_edge_capacity(mut self, n: usize) -> Self {
+        self.edges.reserve(n);
+        self
+    }
+
+    /// Adds one edge between upper-layer vertex `u` and lower-layer vertex
+    /// `v` (layer-local indices).
+    pub fn add_edge(mut self, u: u32, v: u32) -> Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds many edges at once.
+    pub fn add_edges<I: IntoIterator<Item = (u32, u32)>>(mut self, it: I) -> Self {
+        self.edges.extend(it);
+        self
+    }
+
+    /// Adds one edge in-place (non-consuming variant for loops).
+    pub fn push_edge(&mut self, u: u32, v: u32) {
+        self.edges.push((u, v));
+    }
+
+    /// Number of (possibly duplicated) edges currently staged.
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Validates, deduplicates and assembles the final CSR graph.
+    pub fn build(self) -> Result<BipartiteGraph> {
+        let mut edges = self.edges;
+
+        let seen_upper = edges.iter().map(|&(u, _)| u + 1).max().unwrap_or(0);
+        let seen_lower = edges.iter().map(|&(_, v)| v + 1).max().unwrap_or(0);
+        let num_upper = self.declared_upper.unwrap_or(seen_upper);
+        let num_lower = self.declared_lower.unwrap_or(seen_lower);
+        if seen_upper > num_upper {
+            return Err(Error::VertexOutOfRange {
+                index: seen_upper - 1,
+                layer_size: num_upper,
+                upper: true,
+            });
+        }
+        if seen_lower > num_lower {
+            return Err(Error::VertexOutOfRange {
+                index: seen_lower - 1,
+                layer_size: num_lower,
+                upper: false,
+            });
+        }
+        let n = (num_upper as u64) + (num_lower as u64);
+        if n > u32::MAX as u64 {
+            return Err(Error::TooLarge(format!("{n} vertices")));
+        }
+
+        edges.sort_unstable();
+        edges.dedup();
+        if edges.len() > u32::MAX as usize {
+            return Err(Error::TooLarge(format!("{} edges", edges.len())));
+        }
+
+        Ok(assemble(num_upper, num_lower, &edges, self.priority_mode))
+    }
+}
+
+/// Assembles the CSR arrays. `edges` must be sorted and deduplicated,
+/// given as `(upper_local, lower_local)`.
+fn assemble(
+    num_upper: u32,
+    num_lower: u32,
+    edges: &[(u32, u32)],
+    mode: PriorityMode,
+) -> BipartiteGraph {
+    let n = (num_upper + num_lower) as usize;
+    let m = edges.len();
+
+    let mut edge_upper = Vec::with_capacity(m);
+    let mut edge_lower = Vec::with_capacity(m);
+    for &(u, v) in edges {
+        edge_upper.push(num_lower + u);
+        edge_lower.push(v);
+    }
+
+    // Degree pass.
+    let mut offsets = vec![0usize; n + 1];
+    for i in 0..m {
+        offsets[edge_upper[i] as usize + 1] += 1;
+        offsets[edge_lower[i] as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+
+    // Fill pass: neighbours of lower vertices arrive in (upper) id order
+    // because `edges` is sorted by upper first; neighbours of upper vertices
+    // arrive in lower-id order because within one upper vertex the pairs are
+    // sorted by lower id. Both sides therefore come out id-sorted.
+    let total = 2 * m;
+    let mut nbr_by_id = vec![0u32; total];
+    let mut edge_by_id = vec![0u32; total];
+    let mut cursor = offsets.clone();
+    for (i, (&u, &v)) in edge_upper.iter().zip(edge_lower.iter()).enumerate() {
+        let cu = cursor[u as usize];
+        nbr_by_id[cu] = v;
+        edge_by_id[cu] = i as u32;
+        cursor[u as usize] += 1;
+        let cv = cursor[v as usize];
+        nbr_by_id[cv] = u;
+        edge_by_id[cv] = i as u32;
+        cursor[v as usize] += 1;
+    }
+
+    // Priority ranks (Definition 7, or the ablation order).
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    match mode {
+        PriorityMode::DegreeThenId => order.sort_unstable_by_key(|&v| {
+            (
+                (offsets[v as usize + 1] - offsets[v as usize]) as u32,
+                v,
+            )
+        }),
+        PriorityMode::IdOnly => {}
+    }
+    let mut priority = vec![0u32; n];
+    for (rank, &v) in order.iter().enumerate() {
+        priority[v as usize] = rank as u32;
+    }
+
+    // Priority-sorted adjacency: copy and sort each list by priority key.
+    let mut nbr_by_pri = nbr_by_id.clone();
+    let mut edge_by_pri = edge_by_id.clone();
+    let mut scratch: Vec<(u32, u32)> = Vec::new();
+    for v in 0..n {
+        let range = offsets[v]..offsets[v + 1];
+        if range.len() <= 1 {
+            continue;
+        }
+        scratch.clear();
+        scratch.extend(
+            nbr_by_pri[range.clone()]
+                .iter()
+                .zip(&edge_by_pri[range.clone()])
+                .map(|(&nb, &e)| (nb, e)),
+        );
+        scratch.sort_unstable_by_key(|&(nb, _)| priority[nb as usize]);
+        for (k, &(nb, e)) in scratch.iter().enumerate() {
+            nbr_by_pri[range.start + k] = nb;
+            edge_by_pri[range.start + k] = e;
+        }
+    }
+
+    BipartiteGraph {
+        num_upper,
+        num_lower,
+        edge_upper,
+        edge_lower,
+        offsets,
+        nbr_by_id,
+        edge_by_id,
+        nbr_by_pri,
+        edge_by_pri,
+        priority,
+    }
+}
+
+/// Builds a graph directly from already layer-local, possibly unsorted,
+/// possibly duplicated edge pairs. Convenience used by generators.
+pub(crate) fn from_pairs(
+    num_upper: u32,
+    num_lower: u32,
+    edges: Vec<(u32, u32)>,
+) -> Result<BipartiteGraph> {
+    GraphBuilder {
+        edges,
+        declared_upper: Some(num_upper),
+        declared_lower: Some(num_lower),
+        priority_mode: PriorityMode::default(),
+    }
+    .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_sort() {
+        let g = GraphBuilder::new()
+            .add_edges([(1, 1), (0, 0), (1, 1), (0, 1), (0, 0)])
+            .build()
+            .unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge_pairs(), vec![(0, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn declared_sizes_allow_isolated_vertices() {
+        let g = GraphBuilder::new()
+            .with_upper(10)
+            .with_lower(7)
+            .add_edge(0, 0)
+            .build()
+            .unwrap();
+        assert_eq!(g.num_upper(), 10);
+        assert_eq!(g.num_lower(), 7);
+        assert_eq!(g.degree(g.upper(9)), 0);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = GraphBuilder::new()
+            .with_upper(2)
+            .add_edge(5, 0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::VertexOutOfRange { upper: true, .. }));
+        let err = GraphBuilder::new()
+            .with_lower(1)
+            .add_edge(0, 3)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::VertexOutOfRange { upper: false, .. }));
+    }
+
+    #[test]
+    fn id_only_priority_is_the_identity_order() {
+        let g = GraphBuilder::new()
+            .with_priority_mode(PriorityMode::IdOnly)
+            .add_edges([(0, 0), (0, 1), (1, 0), (2, 0)])
+            .build()
+            .unwrap();
+        for v in g.vertices() {
+            assert_eq!(g.priority(v), v.0);
+        }
+        // Priority-sorted adjacency degenerates to id-sorted.
+        for v in g.vertices() {
+            let by_id: Vec<_> = g.neighbors(v).collect();
+            let by_pri: Vec<_> = g.neighbors_by_priority(v).collect();
+            assert_eq!(by_id, by_pri);
+        }
+    }
+
+    #[test]
+    fn csr_is_consistent() {
+        let g = GraphBuilder::new()
+            .add_edges([(0, 0), (0, 1), (1, 0), (2, 2), (1, 2)])
+            .build()
+            .unwrap();
+        // Every edge appears in exactly two adjacency lists.
+        let mut appearance = vec![0u32; g.num_edges() as usize];
+        for v in g.vertices() {
+            for (n, e) in g.neighbors(v) {
+                let (u, l) = g.edge(e);
+                assert!(u == v || l == v);
+                assert!(u == n || l == n);
+                appearance[e.index()] += 1;
+            }
+        }
+        assert!(appearance.iter().all(|&c| c == 2));
+        // Degree sums to 2m.
+        let total: u32 = g.vertices().map(|v| g.degree(v)).sum();
+        assert_eq!(total, 2 * g.num_edges());
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared across the substrate.
+
+use std::fmt;
+
+/// Errors produced while building, loading or transforming bipartite graphs.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O failure while reading or writing an edge list.
+    Io(std::io::Error),
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Explanation of what was expected.
+        message: String,
+    },
+    /// An edge referenced a vertex outside the declared layer size.
+    VertexOutOfRange {
+        /// The offending layer-local vertex index.
+        index: u32,
+        /// Size of the layer it was addressed in.
+        layer_size: u32,
+        /// `true` if the vertex was addressed in the upper layer.
+        upper: bool,
+    },
+    /// The graph would exceed the `u32` id space.
+    TooLarge(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            Error::VertexOutOfRange {
+                index,
+                layer_size,
+                upper,
+            } => {
+                let layer = if *upper { "upper" } else { "lower" };
+                write!(
+                    f,
+                    "{layer}-layer vertex {index} out of range (layer size {layer_size})"
+                )
+            }
+            Error::TooLarge(what) => write!(f, "graph too large: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience result alias for substrate operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert_eq!(e.to_string(), "parse error on line 3: bad token");
+
+        let e = Error::VertexOutOfRange {
+            index: 9,
+            layer_size: 5,
+            upper: true,
+        };
+        assert!(e.to_string().contains("upper-layer vertex 9"));
+        let e = Error::VertexOutOfRange {
+            index: 2,
+            layer_size: 1,
+            upper: false,
+        };
+        assert!(e.to_string().contains("lower-layer vertex 2"));
+
+        let e = Error::TooLarge("5000000000 vertices".into());
+        assert!(e.to_string().starts_with("graph too large"));
+
+        let io = Error::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().contains("i/o error"));
+        use std::error::Error as _;
+        assert!(io.source().is_some());
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,426 @@
+//! The immutable CSR bipartite graph.
+
+use std::fmt;
+
+/// Identifier of a vertex in the unified id space.
+///
+/// Lower-layer vertices occupy ids `0..num_lower`, upper-layer vertices
+/// occupy `num_lower..num_lower + num_upper`. This reproduces the paper's
+/// convention that `u.id > v.id` for every `u ∈ U(G)`, `v ∈ L(G)`, which the
+/// priority order (Definition 7) relies on for tie-breaking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VertexId(pub u32);
+
+/// Identifier of an edge; dense in `0..num_edges`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EdgeId(pub u32);
+
+impl VertexId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An immutable bipartite graph in CSR form.
+///
+/// Every adjacency list is stored twice:
+///
+/// * sorted ascending by neighbour **vertex id** — used for merge
+///   intersections (the BiT-BS baseline) and `O(log d)` edge lookup;
+/// * sorted ascending by neighbour **priority** — used by the
+///   priority-obeyed wedge enumeration, where scans stop as soon as a
+///   neighbour's priority reaches the start vertex's priority.
+///
+/// Construct through [`crate::GraphBuilder`].
+#[derive(Clone)]
+pub struct BipartiteGraph {
+    pub(crate) num_upper: u32,
+    pub(crate) num_lower: u32,
+    /// Global id of the upper endpoint of each edge.
+    pub(crate) edge_upper: Vec<u32>,
+    /// Global id of the lower endpoint of each edge.
+    pub(crate) edge_lower: Vec<u32>,
+    /// CSR offsets over all vertices, length `n + 1`.
+    pub(crate) offsets: Vec<usize>,
+    /// Neighbours sorted by vertex id.
+    pub(crate) nbr_by_id: Vec<u32>,
+    /// Edge ids parallel to `nbr_by_id`.
+    pub(crate) edge_by_id: Vec<u32>,
+    /// Neighbours sorted by priority (ascending).
+    pub(crate) nbr_by_pri: Vec<u32>,
+    /// Edge ids parallel to `nbr_by_pri`.
+    pub(crate) edge_by_pri: Vec<u32>,
+    /// Priority rank of each vertex: `priority[v] ∈ [0, n)`, higher is
+    /// higher priority. `p(u) > p(v)` iff `(d(u), u.id) > (d(v), v.id)`.
+    pub(crate) priority: Vec<u32>,
+}
+
+impl BipartiteGraph {
+    /// Number of upper-layer vertices (`|U(G)|`).
+    #[inline]
+    pub fn num_upper(&self) -> u32 {
+        self.num_upper
+    }
+
+    /// Number of lower-layer vertices (`|L(G)|`).
+    #[inline]
+    pub fn num_lower(&self) -> u32 {
+        self.num_lower
+    }
+
+    /// Total number of vertices (`|V(G)|`).
+    #[inline]
+    pub fn num_vertices(&self) -> u32 {
+        self.num_upper + self.num_lower
+    }
+
+    /// Number of edges (`|E(G)|`).
+    #[inline]
+    pub fn num_edges(&self) -> u32 {
+        self.edge_upper.len() as u32
+    }
+
+    /// `true` if the graph has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edge_upper.is_empty()
+    }
+
+    /// Whether a vertex lies in the upper layer.
+    #[inline]
+    pub fn is_upper(&self, v: VertexId) -> bool {
+        v.0 >= self.num_lower
+    }
+
+    /// Whether a vertex lies in the lower layer.
+    #[inline]
+    pub fn is_lower(&self, v: VertexId) -> bool {
+        v.0 < self.num_lower
+    }
+
+    /// Global id of the `i`-th upper-layer vertex.
+    #[inline]
+    pub fn upper(&self, i: u32) -> VertexId {
+        debug_assert!(i < self.num_upper);
+        VertexId(self.num_lower + i)
+    }
+
+    /// Global id of the `i`-th lower-layer vertex.
+    #[inline]
+    pub fn lower(&self, i: u32) -> VertexId {
+        debug_assert!(i < self.num_lower);
+        VertexId(i)
+    }
+
+    /// Layer-local index of a vertex (its position within its own layer).
+    #[inline]
+    pub fn layer_index(&self, v: VertexId) -> u32 {
+        if self.is_upper(v) {
+            v.0 - self.num_lower
+        } else {
+            v.0
+        }
+    }
+
+    /// Iterator over all vertices (lower layer first).
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.num_vertices()).map(VertexId)
+    }
+
+    /// Iterator over upper-layer vertices.
+    pub fn upper_vertices(&self) -> impl Iterator<Item = VertexId> {
+        let lo = self.num_lower;
+        (lo..lo + self.num_upper).map(VertexId)
+    }
+
+    /// Iterator over lower-layer vertices.
+    pub fn lower_vertices(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.num_lower).map(VertexId)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.num_edges()).map(EdgeId)
+    }
+
+    /// Endpoints of an edge as `(upper, lower)` global vertex ids.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> (VertexId, VertexId) {
+        (
+            VertexId(self.edge_upper[e.index()]),
+            VertexId(self.edge_lower[e.index()]),
+        )
+    }
+
+    /// Degree of a vertex.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as u32
+    }
+
+    /// Priority rank of a vertex (Definition 7): in `[0, n)`, higher value
+    /// means higher priority.
+    #[inline]
+    pub fn priority(&self, v: VertexId) -> u32 {
+        self.priority[v.index()]
+    }
+
+    /// Neighbours of `v` with their edge ids, sorted ascending by
+    /// neighbour vertex id.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        let range = self.offsets[v.index()]..self.offsets[v.index() + 1];
+        self.nbr_by_id[range.clone()]
+            .iter()
+            .zip(&self.edge_by_id[range])
+            .map(|(&n, &e)| (VertexId(n), EdgeId(e)))
+    }
+
+    /// Neighbours of `v` with their edge ids, sorted ascending by
+    /// neighbour priority.
+    #[inline]
+    pub fn neighbors_by_priority(
+        &self,
+        v: VertexId,
+    ) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        let range = self.offsets[v.index()]..self.offsets[v.index() + 1];
+        self.nbr_by_pri[range.clone()]
+            .iter()
+            .zip(&self.edge_by_pri[range])
+            .map(|(&n, &e)| (VertexId(n), EdgeId(e)))
+    }
+
+    /// Raw id-sorted neighbour slice of `v` (global ids). Hot-loop access.
+    #[inline]
+    pub fn neighbor_slice(&self, v: VertexId) -> &[u32] {
+        &self.nbr_by_id[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Raw id-sorted edge-id slice parallel to [`Self::neighbor_slice`].
+    #[inline]
+    pub fn neighbor_edge_slice(&self, v: VertexId) -> &[u32] {
+        &self.edge_by_id[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Raw priority-sorted neighbour slice of `v` (global ids).
+    #[inline]
+    pub fn pri_neighbor_slice(&self, v: VertexId) -> &[u32] {
+        &self.nbr_by_pri[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Raw priority-sorted edge-id slice parallel to
+    /// [`Self::pri_neighbor_slice`].
+    #[inline]
+    pub fn pri_neighbor_edge_slice(&self, v: VertexId) -> &[u32] {
+        &self.edge_by_pri[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// The edge connecting `a` and `b`, if it exists. The two vertices may
+    /// be given in either order but must lie in different layers.
+    pub fn edge_between(&self, a: VertexId, b: VertexId) -> Option<EdgeId> {
+        if self.is_upper(a) == self.is_upper(b) {
+            return None;
+        }
+        // Search the smaller adjacency list.
+        let (from, to) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let nbrs = self.neighbor_slice(from);
+        let pos = nbrs.binary_search(&to.0).ok()?;
+        Some(EdgeId(
+            self.edge_by_id[self.offsets[from.index()] + pos],
+        ))
+    }
+
+    /// `true` if the graph contains the edge `(a, b)`.
+    #[inline]
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        self.edge_between(a, b).is_some()
+    }
+
+    /// Maximum degree over all vertices.
+    pub fn max_degree(&self) -> u32 {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// `Σ_{(u,v) ∈ E} min{d(u), d(v)}` — the paper's bound on counting time
+    /// and BE-Index size.
+    pub fn sum_min_degree(&self) -> u64 {
+        self.edges()
+            .map(|e| {
+                let (u, v) = self.edge(e);
+                self.degree(u).min(self.degree(v)) as u64
+            })
+            .sum()
+    }
+
+    /// All edges as `(upper_layer_index, lower_layer_index)` pairs, useful
+    /// for round-trip tests and serialization.
+    pub fn edge_pairs(&self) -> Vec<(u32, u32)> {
+        (0..self.num_edges())
+            .map(|i| {
+                let e = EdgeId(i);
+                let (u, v) = self.edge(e);
+                (self.layer_index(u), self.layer_index(v))
+            })
+            .collect()
+    }
+
+    /// Approximate heap footprint of the graph structure in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.edge_upper.len() * 8
+            + self.offsets.len() * 8
+            + self.nbr_by_id.len() * 16
+            + self.priority.len() * 4
+    }
+}
+
+impl fmt::Debug for BipartiteGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BipartiteGraph")
+            .field("num_upper", &self.num_upper)
+            .field("num_lower", &self.num_lower)
+            .field("num_edges", &self.num_edges())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    #[test]
+    fn ids_and_layers() {
+        // Figure 4(a) of the paper: 4 upper (u0..u3), 5 lower (v0..v4).
+        let g = GraphBuilder::new()
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (3, 1),
+                (3, 2),
+                (2, 3),
+                (3, 4),
+            ])
+            .build()
+            .unwrap();
+        assert_eq!(g.num_upper(), 4);
+        assert_eq!(g.num_lower(), 5);
+        assert_eq!(g.num_edges(), 11);
+        // Upper ids strictly greater than lower ids.
+        for u in g.upper_vertices() {
+            for v in g.lower_vertices() {
+                assert!(u.0 > v.0);
+            }
+        }
+        let u2 = g.upper(2);
+        assert!(g.is_upper(u2));
+        assert_eq!(g.layer_index(u2), 2);
+        assert_eq!(g.degree(u2), 4);
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let g = GraphBuilder::new()
+            .add_edges([(0, 0), (0, 1), (1, 1)])
+            .build()
+            .unwrap();
+        let u0 = g.upper(0);
+        let u1 = g.upper(1);
+        let v0 = g.lower(0);
+        let v1 = g.lower(1);
+        assert!(g.has_edge(u0, v0));
+        assert!(g.has_edge(v0, u0));
+        assert!(!g.has_edge(u1, v0));
+        // Same-layer queries are never edges.
+        assert!(!g.has_edge(u0, u1));
+        assert!(!g.has_edge(v0, v1));
+        let e = g.edge_between(u0, v1).unwrap();
+        assert_eq!(g.edge(e), (u0, v1));
+    }
+
+    #[test]
+    fn priority_respects_degree_then_id() {
+        // d(v0)=2, d(v1)=1, d(u0)=2, d(u1)=1.
+        let g = GraphBuilder::new()
+            .add_edges([(0, 0), (0, 1), (1, 0)])
+            .build()
+            .unwrap();
+        let u0 = g.upper(0);
+        let u1 = g.upper(1);
+        let v0 = g.lower(0);
+        let v1 = g.lower(1);
+        // Degrees dominate.
+        assert!(g.priority(u0) > g.priority(u1));
+        assert!(g.priority(v0) > g.priority(v1));
+        // Ties broken by global id: u0 (id 2+0=2) vs v0 (id 0), both deg 2.
+        assert!(g.priority(u0) > g.priority(v0));
+        assert!(g.priority(u1) > g.priority(v1));
+        // Priorities are a permutation of 0..n.
+        let mut ps: Vec<u32> = g.vertices().map(|v| g.priority(v)).collect();
+        ps.sort_unstable();
+        assert_eq!(ps, (0..g.num_vertices()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn adjacency_orders() {
+        let g = GraphBuilder::new()
+            .add_edges([(0, 0), (0, 1), (0, 2), (1, 0), (2, 0)])
+            .build()
+            .unwrap();
+        for v in g.vertices() {
+            let by_id: Vec<u32> = g.neighbors(v).map(|(n, _)| n.0).collect();
+            let mut sorted = by_id.clone();
+            sorted.sort_unstable();
+            assert_eq!(by_id, sorted, "id order for {v:?}");
+
+            let by_pri: Vec<u32> = g
+                .neighbors_by_priority(v)
+                .map(|(n, _)| g.priority(n))
+                .collect();
+            let mut sorted = by_pri.clone();
+            sorted.sort_unstable();
+            assert_eq!(by_pri, sorted, "priority order for {v:?}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_empty());
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.sum_min_degree(), 0);
+    }
+}

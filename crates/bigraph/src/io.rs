@@ -1,0 +1,196 @@
+//! Plain-text edge-list I/O.
+//!
+//! The accepted format matches KONECT-style bipartite edge lists: one edge
+//! per line as two whitespace-separated integers `upper lower`, with `%` or
+//! `#` comment lines. Indices may start at 0 or 1; 1-based files are the
+//! KONECT default, so [`read_edge_list`] takes the base explicitly.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::error::{Error, Result};
+use crate::graph::BipartiteGraph;
+
+/// Index base of an edge-list file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexBase {
+    /// Vertices are numbered from 0.
+    Zero,
+    /// Vertices are numbered from 1 (KONECT default).
+    One,
+}
+
+impl IndexBase {
+    #[inline]
+    fn rebase(self, raw: u32, line: usize) -> Result<u32> {
+        match self {
+            IndexBase::Zero => Ok(raw),
+            IndexBase::One => raw.checked_sub(1).ok_or(Error::Parse {
+                line,
+                message: "vertex index 0 in a 1-based file".into(),
+            }),
+        }
+    }
+}
+
+/// Reads a bipartite edge list from any reader.
+///
+/// If the first comment line is a size header of the form written by
+/// [`write_edge_list`] (`% bipartite edge list: U upper, L lower, …`), the
+/// declared layer sizes are honoured, so trailing isolated vertices
+/// survive a round trip.
+pub fn read_edge_list<R: Read>(reader: R, base: IndexBase) -> Result<BipartiteGraph> {
+    let reader = BufReader::new(reader);
+    let mut builder = GraphBuilder::new();
+    let mut line_buf = String::new();
+    let mut reader = reader;
+    let mut line_no = 0usize;
+    loop {
+        line_buf.clear();
+        if reader.read_line(&mut line_buf)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = line_buf.trim();
+        if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+            if line_no == 1 {
+                if let Some((upper, lower)) = parse_size_header(line) {
+                    builder = builder.with_upper(upper).with_lower(lower);
+                }
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, line_no: usize| -> Result<u32> {
+            let tok = tok.ok_or(Error::Parse {
+                line: line_no,
+                message: "expected two vertex indices".into(),
+            })?;
+            tok.parse::<u32>().map_err(|_| Error::Parse {
+                line: line_no,
+                message: format!("invalid vertex index {tok:?}"),
+            })
+        };
+        let u = parse(it.next(), line_no)?;
+        let v = parse(it.next(), line_no)?;
+        // Extra columns (timestamps/weights in KONECT) are ignored.
+        builder.push_edge(base.rebase(u, line_no)?, base.rebase(v, line_no)?);
+    }
+    builder.build()
+}
+
+/// Reads a bipartite edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P, base: IndexBase) -> Result<BipartiteGraph> {
+    read_edge_list(File::open(path)?, base)
+}
+
+/// Parses the `% bipartite edge list: U upper, L lower, …` size header.
+fn parse_size_header(line: &str) -> Option<(u32, u32)> {
+    let rest = line.strip_prefix("% bipartite edge list:")?;
+    let mut it = rest.split(',').map(str::trim);
+    let upper = it.next()?.strip_suffix(" upper")?.parse().ok()?;
+    let lower = it.next()?.strip_suffix(" lower")?.parse().ok()?;
+    Some((upper, lower))
+}
+
+/// Writes the graph as a 0-based edge list (one `upper lower` pair per
+/// line) preceded by a `%` header recording the layer sizes.
+pub fn write_edge_list<W: Write>(g: &BipartiteGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "% bipartite edge list: {} upper, {} lower, {} edges (0-based)",
+        g.num_upper(),
+        g.num_lower(),
+        g.num_edges()
+    )?;
+    for e in g.edges() {
+        let (u, v) = g.edge(e);
+        writeln!(w, "{} {}", g.layer_index(u), g.layer_index(v))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the graph to a file path; see [`write_edge_list`].
+pub fn write_edge_list_file<P: AsRef<Path>>(g: &BipartiteGraph, path: P) -> Result<()> {
+    write_edge_list(g, File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "% a comment\n# another\n\n0 0\n0 1\n1 0 999\n";
+        let g = read_edge_list(text.as_bytes(), IndexBase::Zero).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge_pairs(), vec![(0, 0), (0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn one_based_rebase() {
+        let text = "1 1\n1 2\n2 1\n";
+        let g = read_edge_list(text.as_bytes(), IndexBase::One).unwrap();
+        assert_eq!(g.edge_pairs(), vec![(0, 0), (0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn zero_in_one_based_file_is_an_error() {
+        let err = read_edge_list("0 1\n".as_bytes(), IndexBase::One).unwrap_err();
+        assert!(matches!(err, Error::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let err = read_edge_list("0 0\nnot numbers\n".as_bytes(), IndexBase::Zero).unwrap_err();
+        match err {
+            Error::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = read_edge_list("0\n".as_bytes(), IndexBase::Zero).unwrap_err();
+        assert!(matches!(err, Error::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = crate::GraphBuilder::new()
+            .add_edges([(0, 0), (0, 2), (1, 1), (3, 0)])
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(buf.as_slice(), IndexBase::Zero).unwrap();
+        assert_eq!(g.edge_pairs(), h.edge_pairs());
+        assert_eq!(g.num_upper(), h.num_upper());
+    }
+
+    #[test]
+    fn round_trip_preserves_isolated_vertices() {
+        // Trailing isolated vertices survive via the size header.
+        let g = crate::GraphBuilder::new()
+            .with_upper(9)
+            .with_lower(11)
+            .add_edge(0, 0)
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(buf.as_slice(), IndexBase::Zero).unwrap();
+        assert_eq!(h.num_upper(), 9);
+        assert_eq!(h.num_lower(), 11);
+    }
+
+    #[test]
+    fn size_header_parsing() {
+        assert_eq!(
+            parse_size_header("% bipartite edge list: 4 upper, 7 lower, 9 edges (0-based)"),
+            Some((4, 7))
+        );
+        assert_eq!(parse_size_header("% some other comment"), None);
+        assert_eq!(parse_size_header("# not our header"), None);
+    }
+}

@@ -1,0 +1,38 @@
+//! Bipartite-graph substrate for the bitruss decomposition suite.
+//!
+//! This crate provides the storage layer every other crate builds on:
+//!
+//! * [`BipartiteGraph`] — an immutable CSR representation with two vertex
+//!   layers, where every adjacency list is available both sorted by vertex id
+//!   (for merge intersections and edge lookup) and sorted by *vertex
+//!   priority* (for the priority-obeyed wedge enumeration at the heart of
+//!   butterfly counting and BE-Index construction).
+//! * [`GraphBuilder`] — deduplicating, validating construction from edge
+//!   lists.
+//! * Priorities per Definition 7 of the paper: `p(u) > p(v)` iff
+//!   `d(u) > d(v)`, ties broken by vertex id (upper-layer ids are always
+//!   larger than lower-layer ids, as the paper assumes).
+//! * Subgraph extraction by edge mask (for the candidate graphs `G≥ε` of
+//!   BiT-PC) and by vertex sampling (for the scalability experiments).
+//! * Plain-text edge-list I/O compatible with KONECT-style files.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod error;
+pub mod graph;
+pub mod io;
+pub mod kcore;
+pub mod sampling;
+pub mod stats;
+pub mod subgraph;
+pub mod union_find;
+
+pub use builder::{GraphBuilder, PriorityMode};
+pub use error::{Error, Result};
+pub use graph::{BipartiteGraph, EdgeId, VertexId};
+pub use kcore::{alpha_beta_core, butterfly_core_mask};
+pub use sampling::{sample_vertices_percent, SplitMix64};
+pub use stats::GraphStats;
+pub use subgraph::{edge_subgraph, vertex_induced_subgraph, EdgeSubgraph};
+pub use union_find::UnionFind;

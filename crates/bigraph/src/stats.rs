@@ -1,0 +1,114 @@
+//! Summary statistics used by the dataset table (Table II) and for sanity
+//! checks on generated workloads.
+
+use crate::graph::BipartiteGraph;
+
+/// Degree and size statistics of a bipartite graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// `|U(G)|`.
+    pub num_upper: u32,
+    /// `|L(G)|`.
+    pub num_lower: u32,
+    /// `|E(G)|`.
+    pub num_edges: u32,
+    /// Maximum degree in the upper layer.
+    pub max_degree_upper: u32,
+    /// Maximum degree in the lower layer.
+    pub max_degree_lower: u32,
+    /// Mean degree of upper-layer vertices.
+    pub avg_degree_upper: f64,
+    /// Mean degree of lower-layer vertices.
+    pub avg_degree_lower: f64,
+    /// `Σ min{d(u), d(v)}` over edges — the counting/index bound.
+    pub sum_min_degree: u64,
+}
+
+impl GraphStats {
+    /// Computes the statistics for a graph.
+    pub fn of(g: &BipartiteGraph) -> Self {
+        let max_degree_upper = g.upper_vertices().map(|v| g.degree(v)).max().unwrap_or(0);
+        let max_degree_lower = g.lower_vertices().map(|v| g.degree(v)).max().unwrap_or(0);
+        let m = g.num_edges() as f64;
+        Self {
+            num_upper: g.num_upper(),
+            num_lower: g.num_lower(),
+            num_edges: g.num_edges(),
+            max_degree_upper,
+            max_degree_lower,
+            avg_degree_upper: if g.num_upper() == 0 {
+                0.0
+            } else {
+                m / g.num_upper() as f64
+            },
+            avg_degree_lower: if g.num_lower() == 0 {
+                0.0
+            } else {
+                m / g.num_lower() as f64
+            },
+            sum_min_degree: g.sum_min_degree(),
+        }
+    }
+}
+
+/// Degree histogram of one layer: `histogram[d]` = number of vertices with
+/// degree `d`.
+pub fn degree_histogram(g: &BipartiteGraph, upper: bool) -> Vec<u32> {
+    let degrees: Vec<u32> = if upper {
+        g.upper_vertices().map(|v| g.degree(v)).collect()
+    } else {
+        g.lower_vertices().map(|v| g.degree(v)).collect()
+    };
+    let max = degrees.iter().copied().max().unwrap_or(0) as usize;
+    let mut hist = vec![0u32; max + 1];
+    for d in degrees {
+        hist[d as usize] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_of_fig4() {
+        let g = GraphBuilder::new()
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (3, 1),
+                (3, 2),
+                (2, 3),
+                (3, 4),
+            ])
+            .build()
+            .unwrap();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.num_upper, 4);
+        assert_eq!(s.num_lower, 5);
+        assert_eq!(s.num_edges, 11);
+        assert_eq!(s.max_degree_upper, 4); // u2
+        assert_eq!(s.max_degree_lower, 4); // v1
+        assert!((s.avg_degree_upper - 11.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_sums_to_layer_size() {
+        let g = GraphBuilder::new()
+            .add_edges([(0, 0), (1, 0), (2, 0), (2, 1)])
+            .build()
+            .unwrap();
+        let hu = degree_histogram(&g, true);
+        assert_eq!(hu.iter().sum::<u32>(), g.num_upper());
+        let hl = degree_histogram(&g, false);
+        assert_eq!(hl.iter().sum::<u32>(), g.num_lower());
+        assert_eq!(hl[3], 1); // v0 has degree 3
+    }
+}

@@ -1,0 +1,156 @@
+//! Subgraph extraction: edge-filtered subgraphs (the candidate graphs
+//! `G≥ε` of BiT-PC) and vertex-induced subgraphs (scalability sampling).
+
+use crate::builder;
+use crate::graph::{BipartiteGraph, EdgeId};
+
+/// An edge-filtered subgraph together with the mapping from its edge ids
+/// back to the parent graph's edge ids.
+#[derive(Debug, Clone)]
+pub struct EdgeSubgraph {
+    /// The extracted graph. Vertex layers and ids are unchanged from the
+    /// parent; only the edge set (and hence degrees/priorities) differs.
+    pub graph: BipartiteGraph,
+    /// `new_to_old[new_edge] = old_edge` in the parent graph.
+    pub new_to_old: Vec<EdgeId>,
+}
+
+/// Extracts the subgraph containing exactly the edges for which `keep`
+/// returns `true`. Vertices are not relabelled, so ids remain comparable
+/// with the parent graph; degrees and priorities are recomputed for the
+/// reduced edge set.
+pub fn edge_subgraph<F: FnMut(EdgeId) -> bool>(
+    g: &BipartiteGraph,
+    mut keep: F,
+) -> EdgeSubgraph {
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut new_to_old: Vec<EdgeId> = Vec::new();
+    for e in g.edges() {
+        if keep(e) {
+            let (u, v) = g.edge(e);
+            pairs.push((g.layer_index(u), g.layer_index(v)));
+            new_to_old.push(e);
+        }
+    }
+    // Parent edges are sorted/deduplicated, so the filtered list is too and
+    // `new_to_old` stays aligned with the rebuilt edge order.
+    let graph = builder::from_pairs(g.num_upper(), g.num_lower(), pairs)
+        .expect("subgraph of a valid graph is valid");
+    debug_assert_eq!(graph.num_edges() as usize, new_to_old.len());
+    EdgeSubgraph { graph, new_to_old }
+}
+
+/// Extracts the subgraph induced by the vertices for which the masks are
+/// `true` (`keep_upper[i]` addresses upper-layer index `i`, `keep_lower[j]`
+/// lower-layer index `j`). Kept vertices are relabelled compactly in each
+/// layer, preserving relative order.
+pub fn vertex_induced_subgraph(
+    g: &BipartiteGraph,
+    keep_upper: &[bool],
+    keep_lower: &[bool],
+) -> BipartiteGraph {
+    assert_eq!(keep_upper.len(), g.num_upper() as usize);
+    assert_eq!(keep_lower.len(), g.num_lower() as usize);
+
+    let relabel = |mask: &[bool]| -> (Vec<u32>, u32) {
+        let mut map = vec![u32::MAX; mask.len()];
+        let mut next = 0u32;
+        for (i, &k) in mask.iter().enumerate() {
+            if k {
+                map[i] = next;
+                next += 1;
+            }
+        }
+        (map, next)
+    };
+    let (upper_map, n_upper) = relabel(keep_upper);
+    let (lower_map, n_lower) = relabel(keep_lower);
+
+    let mut pairs = Vec::new();
+    for e in g.edges() {
+        let (u, v) = g.edge(e);
+        let (ui, vi) = (g.layer_index(u) as usize, g.layer_index(v) as usize);
+        if keep_upper[ui] && keep_lower[vi] {
+            pairs.push((upper_map[ui], lower_map[vi]));
+        }
+    }
+    builder::from_pairs(n_upper, n_lower, pairs).expect("induced subgraph of a valid graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn fig4_graph() -> BipartiteGraph {
+        GraphBuilder::new()
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (3, 1),
+                (3, 2),
+                (2, 3),
+                (3, 4),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn edge_subgraph_filters_and_maps() {
+        let g = fig4_graph();
+        let sub = edge_subgraph(&g, |e| e.0 % 2 == 0);
+        assert_eq!(sub.graph.num_edges(), 6);
+        assert_eq!(sub.graph.num_upper(), g.num_upper());
+        assert_eq!(sub.graph.num_lower(), g.num_lower());
+        for (new, &old) in sub.new_to_old.iter().enumerate() {
+            let (nu, nv) = sub.graph.edge(EdgeId(new as u32));
+            let (ou, ov) = g.edge(old);
+            assert_eq!(sub.graph.layer_index(nu), g.layer_index(ou));
+            assert_eq!(sub.graph.layer_index(nv), g.layer_index(ov));
+        }
+    }
+
+    #[test]
+    fn edge_subgraph_keep_all_is_identity() {
+        let g = fig4_graph();
+        let sub = edge_subgraph(&g, |_| true);
+        assert_eq!(sub.graph.edge_pairs(), g.edge_pairs());
+    }
+
+    #[test]
+    fn edge_subgraph_keep_none_is_empty() {
+        let g = fig4_graph();
+        let sub = edge_subgraph(&g, |_| false);
+        assert_eq!(sub.graph.num_edges(), 0);
+        assert_eq!(sub.graph.num_vertices(), g.num_vertices());
+    }
+
+    #[test]
+    fn vertex_induced_relabels_compactly() {
+        let g = fig4_graph();
+        // Keep u0,u1 and v0,v1 — the 2-bitruss block of Figure 4.
+        let keep_u = vec![true, true, false, false];
+        let keep_v = vec![true, true, false, false, false];
+        let h = vertex_induced_subgraph(&g, &keep_u, &keep_v);
+        assert_eq!(h.num_upper(), 2);
+        assert_eq!(h.num_lower(), 2);
+        assert_eq!(h.num_edges(), 4);
+        assert_eq!(h.edge_pairs(), vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn vertex_induced_drops_dangling_edges() {
+        let g = fig4_graph();
+        let keep_u = vec![true, false, false, false];
+        let keep_v = vec![false, true, false, false, false];
+        let h = vertex_induced_subgraph(&g, &keep_u, &keep_v);
+        assert_eq!(h.num_edges(), 1); // only (u0, v1) survives
+        assert_eq!(h.edge_pairs(), vec![(0, 0)]);
+    }
+}

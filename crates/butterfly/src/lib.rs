@@ -1,0 +1,24 @@
+//! Butterfly ((2,2)-biclique) counting for bipartite graphs.
+//!
+//! The workhorse is [`count_per_edge`], the vertex-priority counting
+//! algorithm of Wang et al. (VLDB 2019, ref.\[8\] of the paper): it
+//! enumerates every *priority-obeyed wedge* `(u, v, w)` — `p(v) < p(u)` and
+//! `p(w) < p(u)` — in `O(Σ_{(u,v)∈E} min{d(u), d(v)})` time. Wedges sharing
+//! a start/end pair `(u, w)` form a maximal priority-obeyed bloom; a bloom
+//! with `c` wedges holds `C(c,2)` butterflies and contributes `c − 1` to the
+//! support of each of its edges (Lemmas 1–3 of the paper).
+//!
+//! [`naive`] provides brute-force oracles used throughout the test suites,
+//! and [`parallel`] a multi-threaded variant of the same counting.
+
+#![warn(missing_docs)]
+
+pub mod naive;
+pub mod parallel;
+pub mod support;
+pub mod vertex;
+
+pub use naive::{count_naive, enumerate_butterflies, Butterfly};
+pub use parallel::count_per_edge_parallel;
+pub use support::{count_per_edge, count_total, ButterflyCounts};
+pub use vertex::count_per_vertex;

@@ -1,0 +1,161 @@
+//! The decomposition algorithms of the paper and a uniform entry point.
+
+pub mod batch;
+pub mod bs;
+pub mod bu;
+pub mod pc;
+
+pub use batch::{bit_bu_hybrid, bit_bu_plus, bit_bu_plus_opts, bit_bu_pp, bit_bu_pp_opts};
+pub use bs::{bit_bs, PeelStrategy};
+pub use bu::{bit_bu, bit_bu_opts};
+pub use pc::{bit_pc, bit_pc_opts, kmax_bound, DEFAULT_TAU};
+
+use bigraph::BipartiteGraph;
+
+use crate::decomposition::Decomposition;
+use crate::metrics::Metrics;
+
+/// Algorithm selector for [`decompose`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// BiT-BS with the intersection peeling of ref.\[5\] (Algorithm 1).
+    BsIntersection,
+    /// BiT-BS with the pair-enumeration peeling of ref.\[9\].
+    BsPairEnumeration,
+    /// BiT-BU (Algorithm 4).
+    Bu,
+    /// BiT-BU+ — batch edge processing only.
+    BuPlus,
+    /// BiT-BU++ (Algorithm 5) — both batch optimizations.
+    BuPlusPlus,
+    /// BiT-BU# (extension): one bloom traversal per batch (as BU++) with
+    /// writes aggregated per affected edge (as BU+).
+    BuHybrid,
+    /// BiT-PC (Algorithm 7) with compression parameter τ.
+    Pc {
+        /// Compression parameter in `(0, 1]`; see [`DEFAULT_TAU`].
+        tau: f64,
+    },
+}
+
+impl Algorithm {
+    /// BiT-PC with the paper's default τ.
+    pub fn pc_default() -> Algorithm {
+        Algorithm::Pc { tau: DEFAULT_TAU }
+    }
+
+    /// Short display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::BsIntersection => "BS",
+            Algorithm::BsPairEnumeration => "BS-pair",
+            Algorithm::Bu => "BU",
+            Algorithm::BuPlus => "BU+",
+            Algorithm::BuPlusPlus => "BU++",
+            Algorithm::BuHybrid => "BU#",
+            Algorithm::Pc { .. } => "PC",
+        }
+    }
+
+    /// The four algorithms compared in Figure 9, in plot order.
+    pub fn figure9_lineup() -> Vec<Algorithm> {
+        vec![
+            Algorithm::BsIntersection,
+            Algorithm::Bu,
+            Algorithm::BuPlusPlus,
+            Algorithm::pc_default(),
+        ]
+    }
+}
+
+/// Runs bitruss decomposition with the selected algorithm. All algorithms
+/// return identical φ arrays; they differ in how the peeling work is
+/// organized, which the returned [`Metrics`] quantify.
+pub fn decompose(g: &BipartiteGraph, algorithm: Algorithm) -> (Decomposition, Metrics) {
+    match algorithm {
+        Algorithm::BsIntersection => bit_bs(g, PeelStrategy::Intersection),
+        Algorithm::BsPairEnumeration => bit_bs(g, PeelStrategy::PairEnumeration),
+        Algorithm::Bu => bit_bu(g),
+        Algorithm::BuPlus => bit_bu_plus(g),
+        Algorithm::BuPlusPlus => bit_bu_pp(g),
+        Algorithm::BuHybrid => batch::bit_bu_hybrid(g),
+        Algorithm::Pc { tau } => bit_pc(g, tau),
+    }
+}
+
+/// [`decompose`] with an update histogram bucketed by the given bounds on
+/// original supports (Figure 7 instrumentation). Not supported for the
+/// BiT-BS variants, which fall back to plain runs.
+pub fn decompose_with_histogram(
+    g: &BipartiteGraph,
+    algorithm: Algorithm,
+    bounds: &[u64],
+) -> (Decomposition, Metrics) {
+    match algorithm {
+        Algorithm::Bu => bu::bit_bu_opts(g, Some(bounds)),
+        Algorithm::BuPlus => batch::bit_bu_plus_opts(g, Some(bounds)),
+        Algorithm::BuPlusPlus => batch::bit_bu_pp_opts(g, Some(bounds)),
+        Algorithm::Pc { tau } => pc::bit_pc_opts(g, tau, Some(bounds)),
+        other => decompose(g, other),
+    }
+}
+
+/// [`decompose`] with (2,2)-core pre-pruning (extension): every butterfly
+/// lies inside the (2,2)-core, so edges outside it have `φ = 0` and can
+/// be dropped before counting and peeling. On butterfly-sparse graphs
+/// this shrinks the working graph substantially at `O(n + m)` cost.
+pub fn decompose_pruned(g: &BipartiteGraph, algorithm: Algorithm) -> (Decomposition, Metrics) {
+    let core = bigraph::alpha_beta_core(g, 2, 2);
+    let (sub_dec, metrics) = decompose(&core.graph, algorithm);
+    let mut phi = vec![0u64; g.num_edges() as usize];
+    for (i, &old) in core.new_to_old.iter().enumerate() {
+        phi[old.index()] = sub_dec.phi[i];
+    }
+    (Decomposition::new(phi), metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::reference_decomposition;
+
+    #[test]
+    fn core_pruning_preserves_phi() {
+        for seed in 0..5 {
+            let g = datagen::powerlaw::chung_lu(60, 60, 500, 2.2, 2.2, seed);
+            let (plain, _) = decompose(&g, Algorithm::BuPlusPlus);
+            for alg in [Algorithm::Bu, Algorithm::BuPlusPlus, Algorithm::Pc { tau: 0.2 }] {
+                let (pruned, _) = decompose_pruned(&g, alg);
+                assert_eq!(plain, pruned, "seed {seed} {}", alg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn every_algorithm_agrees_via_the_dispatcher() {
+        let g = datagen::random::uniform(12, 12, 55, 99);
+        let expect = reference_decomposition(&g);
+        for alg in [
+            Algorithm::BsIntersection,
+            Algorithm::BsPairEnumeration,
+            Algorithm::Bu,
+            Algorithm::BuPlus,
+            Algorithm::BuPlusPlus,
+            Algorithm::BuHybrid,
+            Algorithm::pc_default(),
+            Algorithm::Pc { tau: 1.0 },
+        ] {
+            let (d, _) = decompose(&g, alg);
+            assert_eq!(d, expect, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn names_and_lineup() {
+        assert_eq!(Algorithm::Bu.name(), "BU");
+        assert_eq!(Algorithm::pc_default().name(), "PC");
+        let lineup = Algorithm::figure9_lineup();
+        assert_eq!(lineup.len(), 4);
+        assert_eq!(lineup[0].name(), "BS");
+    }
+}

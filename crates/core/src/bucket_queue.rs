@@ -1,0 +1,316 @@
+//! Intrusive bucket queue for bottom-up peeling.
+//!
+//! Edges are kept in doubly-linked lists, one per support value, so a
+//! support decrease relocates an edge in `O(1)` without allocating — the
+//! peeling loop performs `O(onG)` updates and must not grow memory per
+//! update. Because every update is clamped at the current peel level
+//! (`max(MBS, ·)` of Algorithm 5), the minimum level is monotonically
+//! non-decreasing and the scan pointer `cur` only ever moves forward;
+//! total scan cost is `O(max_support)` over the whole peel.
+
+use bigraph::EdgeId;
+
+const NONE: u32 = u32::MAX;
+
+/// Bucket queue over edges keyed by butterfly support.
+#[derive(Debug, Clone)]
+pub struct BucketQueue {
+    /// `head[s]` = first edge with support `s`, or `NONE`.
+    head: Vec<u32>,
+    /// Intrusive links per edge.
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    /// Whether each edge is currently enqueued.
+    enqueued: Vec<bool>,
+    /// Scan pointer: no non-empty bucket exists below `cur`.
+    cur: usize,
+    len: usize,
+}
+
+impl BucketQueue {
+    /// Builds a queue containing every edge `e` with `active(e)`, keyed by
+    /// `supp[e]`.
+    pub fn new<F: Fn(EdgeId) -> bool>(supp: &[u64], active: F) -> Self {
+        let max_supp = supp
+            .iter()
+            .enumerate()
+            .filter(|&(e, _)| active(EdgeId(e as u32)))
+            .map(|(_, &s)| s)
+            .max()
+            .unwrap_or(0) as usize;
+        let mut q = BucketQueue {
+            head: vec![NONE; max_supp + 1],
+            next: vec![NONE; supp.len()],
+            prev: vec![NONE; supp.len()],
+            enqueued: vec![false; supp.len()],
+            cur: 0,
+            len: 0,
+        };
+        // Insert in reverse so each bucket lists edges in ascending id
+        // order — keeps peeling order deterministic and intuitive.
+        for e in (0..supp.len()).rev() {
+            if active(EdgeId(e as u32)) {
+                q.insert_front(e, supp[e] as usize);
+            }
+        }
+        q
+    }
+
+    fn insert_front(&mut self, e: usize, bucket: usize) {
+        debug_assert!(!self.enqueued[e]);
+        let old_head = self.head[bucket];
+        self.next[e] = old_head;
+        self.prev[e] = NONE;
+        if old_head != NONE {
+            self.prev[old_head as usize] = e as u32;
+        }
+        self.head[bucket] = e as u32;
+        self.enqueued[e] = true;
+        self.len += 1;
+    }
+
+    fn unlink(&mut self, e: usize, bucket: usize) {
+        debug_assert!(self.enqueued[e]);
+        let (p, n) = (self.prev[e], self.next[e]);
+        if p == NONE {
+            debug_assert_eq!(self.head[bucket], e as u32);
+            self.head[bucket] = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n != NONE {
+            self.prev[n as usize] = p;
+        }
+        self.enqueued[e] = false;
+        self.len -= 1;
+    }
+
+    /// Number of enqueued edges.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no edges remain.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `e` is currently enqueued.
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.enqueued[e.index()]
+    }
+
+    /// Current minimum support level without popping (advances the scan
+    /// pointer past empty buckets).
+    pub fn peek_min(&mut self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.head[self.cur] == NONE {
+            self.cur += 1;
+        }
+        Some(self.cur as u64)
+    }
+
+    /// Pops one edge with the minimum support. Returns `(level, edge)`.
+    ///
+    /// `supp` must be the same array the queue was built from and kept in
+    /// sync via [`BucketQueue::decrease`].
+    pub fn pop_min(&mut self, supp: &[u64]) -> Option<(u64, EdgeId)> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.head[self.cur] == NONE {
+            self.cur += 1;
+        }
+        let e = self.head[self.cur] as usize;
+        debug_assert_eq!(supp[e] as usize, self.cur);
+        self.unlink(e, self.cur);
+        Some((self.cur as u64, EdgeId(e as u32)))
+    }
+
+    /// Pops *all* edges currently at the minimum support level — the batch
+    /// `S` of Algorithm 5. Edges that later fall to this level (clamped at
+    /// MBS) form subsequent batches at the same level.
+    pub fn pop_level(&mut self, supp: &[u64], out: &mut Vec<EdgeId>) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.head[self.cur] == NONE {
+            self.cur += 1;
+        }
+        out.clear();
+        while self.head[self.cur] != NONE {
+            let e = self.head[self.cur] as usize;
+            debug_assert_eq!(supp[e] as usize, self.cur);
+            self.unlink(e, self.cur);
+            out.push(EdgeId(e as u32));
+        }
+        Some(self.cur as u64)
+    }
+
+    /// Moves `e` from bucket `old` to bucket `new` after a support
+    /// decrease (`new < old`, `new ≥` current level).
+    pub fn decrease(&mut self, e: EdgeId, old: u64, new: u64) {
+        debug_assert!(new < old);
+        debug_assert!(
+            new as usize >= self.cur,
+            "support clamped below the current peel level"
+        );
+        self.unlink(e.index(), old as usize);
+        self.insert_front(e.index(), new as usize);
+    }
+
+    /// Removes `e` (currently at support `s`) without popping it.
+    pub fn remove(&mut self, e: EdgeId, s: u64) {
+        self.unlink(e.index(), s as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[EdgeId]) -> Vec<u32> {
+        v.iter().map(|e| e.0).collect()
+    }
+
+    #[test]
+    fn pops_in_nondecreasing_order() {
+        let supp = vec![3u64, 1, 4, 1, 5, 9, 2, 6];
+        let mut q = BucketQueue::new(&supp, |_| true);
+        let mut seen = Vec::new();
+        while let Some((lvl, e)) = q.pop_min(&supp) {
+            assert_eq!(lvl, supp[e.index()]);
+            seen.push(lvl);
+        }
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(seen, sorted);
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn pop_level_drains_one_bucket() {
+        let supp = vec![2u64, 1, 1, 2, 1];
+        let mut q = BucketQueue::new(&supp, |_| true);
+        let mut batch = Vec::new();
+        let lvl = q.pop_level(&supp, &mut batch).unwrap();
+        assert_eq!(lvl, 1);
+        assert_eq!(ids(&batch), vec![1, 2, 4]);
+        let lvl = q.pop_level(&supp, &mut batch).unwrap();
+        assert_eq!(lvl, 2);
+        assert_eq!(ids(&batch), vec![0, 3]);
+        assert!(q.pop_level(&supp, &mut batch).is_none());
+    }
+
+    #[test]
+    fn decrease_relocates() {
+        let mut supp = vec![5u64, 5, 5];
+        let mut q = BucketQueue::new(&supp, |_| true);
+        supp[1] = 2;
+        q.decrease(EdgeId(1), 5, 2);
+        let (lvl, e) = q.pop_min(&supp).unwrap();
+        assert_eq!((lvl, e.0), (2, 1));
+        let (lvl, _) = q.pop_min(&supp).unwrap();
+        assert_eq!(lvl, 5);
+    }
+
+    #[test]
+    fn edges_falling_to_current_level_join_next_batch() {
+        let mut supp = vec![1u64, 3, 3];
+        let mut q = BucketQueue::new(&supp, |_| true);
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_level(&supp, &mut batch), Some(1));
+        assert_eq!(ids(&batch), vec![0]);
+        // Edge 1 drops to the clamped level 1 during the batch.
+        supp[1] = 1;
+        q.decrease(EdgeId(1), 3, 1);
+        assert_eq!(q.pop_level(&supp, &mut batch), Some(1));
+        assert_eq!(ids(&batch), vec![1]);
+        assert_eq!(q.pop_level(&supp, &mut batch), Some(3));
+        assert_eq!(ids(&batch), vec![2]);
+    }
+
+    #[test]
+    fn inactive_edges_are_skipped() {
+        let supp = vec![1u64, 2, 3];
+        let mut q = BucketQueue::new(&supp, |e| e.0 != 1);
+        assert_eq!(q.len(), 2);
+        assert!(!q.contains(EdgeId(1)));
+        let mut popped = Vec::new();
+        while let Some((_, e)) = q.pop_min(&supp) {
+            popped.push(e.0);
+        }
+        assert_eq!(popped, vec![0, 2]);
+    }
+
+    #[test]
+    fn remove_unlinks() {
+        let supp = vec![4u64, 4, 4];
+        let mut q = BucketQueue::new(&supp, |_| true);
+        q.remove(EdgeId(1), 4);
+        assert_eq!(q.len(), 2);
+        let mut batch = Vec::new();
+        q.pop_level(&supp, &mut batch).unwrap();
+        assert_eq!(ids(&batch), vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_queue() {
+        let supp: Vec<u64> = vec![];
+        let mut q = BucketQueue::new(&supp, |_| true);
+        assert!(q.is_empty());
+        assert!(q.pop_min(&supp).is_none());
+    }
+
+    /// Model-based check: a randomized interleaving of clamped decreases
+    /// and pops must match a naive "scan for minimum" model.
+    #[test]
+    fn randomized_against_naive_model() {
+        let mut rng_state = 0xDEADBEEFu64;
+        let mut rng = move || {
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            rng_state >> 33
+        };
+        for _trial in 0..50 {
+            let n = (rng() % 40 + 1) as usize;
+            let mut supp: Vec<u64> = (0..n).map(|_| rng() % 30).collect();
+            let mut q = BucketQueue::new(&supp, |_| true);
+            let mut alive: Vec<bool> = vec![true; n];
+            let mut level = 0u64;
+            while !q.is_empty() {
+                // Random clamped decreases before each pop.
+                for _ in 0..rng() % 4 {
+                    let e = (rng() as usize) % n;
+                    if alive[e] && supp[e] > level {
+                        let old = supp[e];
+                        let new = level.max(old - (rng() % (old - level) + 1).min(old - level));
+                        if new < old {
+                            supp[e] = new;
+                            q.decrease(EdgeId(e as u32), old, new);
+                        }
+                    }
+                }
+                // Model: minimum support among alive edges, FIFO-free
+                // (any argmin acceptable — compare levels, not ids).
+                let model_min = supp
+                    .iter()
+                    .zip(&alive)
+                    .filter(|&(_, &a)| a)
+                    .map(|(&s, _)| s)
+                    .min()
+                    .unwrap();
+                let (lvl, e) = q.pop_min(&supp).unwrap();
+                assert_eq!(lvl, model_min);
+                assert_eq!(supp[e.index()], lvl);
+                assert!(alive[e.index()]);
+                alive[e.index()] = false;
+                level = lvl;
+            }
+            assert!(alive.iter().all(|&a| !a));
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The decomposition result and its query API.
+
+use std::collections::BTreeMap;
+
+use bigraph::{edge_subgraph, BipartiteGraph, EdgeId, EdgeSubgraph, UnionFind, VertexId};
+
+/// The bitruss numbers `φ(e)` of every edge of a graph — the output of
+/// bitruss decomposition (Problem Statement, §II of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Decomposition {
+    /// `phi[e]` = bitruss number of edge `e`.
+    pub phi: Vec<u64>,
+}
+
+impl Decomposition {
+    /// Creates a decomposition from a φ array.
+    pub fn new(phi: Vec<u64>) -> Self {
+        Self { phi }
+    }
+
+    /// Bitruss number of one edge.
+    #[inline]
+    pub fn bitruss_number(&self, e: EdgeId) -> u64 {
+        self.phi[e.index()]
+    }
+
+    /// The largest bitruss number in the graph (`φ_max`, the last column
+    /// of Table II). 0 for an edgeless graph.
+    pub fn max_bitruss(&self) -> u64 {
+        self.phi.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Edge ids of the k-bitruss `H_k = {e : φ(e) ≥ k}` (Definition 4 via
+    /// the hierarchy property).
+    pub fn k_bitruss_edges(&self, k: u64) -> Vec<EdgeId> {
+        self.phi
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p >= k)
+            .map(|(e, _)| EdgeId(e as u32))
+            .collect()
+    }
+
+    /// The k-bitruss as a subgraph of `g` (with an edge mapping back to
+    /// `g`'s edge ids).
+    pub fn k_bitruss_subgraph(&self, g: &BipartiteGraph, k: u64) -> EdgeSubgraph {
+        assert_eq!(self.phi.len(), g.num_edges() as usize);
+        edge_subgraph(g, |e| self.phi[e.index()] >= k)
+    }
+
+    /// Number of edges per bitruss number, ascending by `k`.
+    pub fn level_sizes(&self) -> BTreeMap<u64, usize> {
+        let mut sizes = BTreeMap::new();
+        for &p in &self.phi {
+            *sizes.entry(p).or_insert(0usize) += 1;
+        }
+        sizes
+    }
+
+    /// The distinct bitruss numbers present, ascending.
+    pub fn levels(&self) -> Vec<u64> {
+        self.level_sizes().into_keys().collect()
+    }
+
+    /// Connected communities of the k-bitruss: groups of vertices joined
+    /// by edges with `φ ≥ k`, each with its member vertices (both layers,
+    /// global ids) and edges. This is the community-extraction primitive
+    /// behind the paper's fraud-detection / research-group / recommender
+    /// applications (§I).
+    pub fn communities(&self, g: &BipartiteGraph, k: u64) -> Vec<Community> {
+        assert_eq!(self.phi.len(), g.num_edges() as usize);
+        let n = g.num_vertices();
+        let mut uf = UnionFind::new(n as usize);
+        for e in g.edges() {
+            if self.phi[e.index()] >= k {
+                let (u, v) = g.edge(e);
+                uf.union(u.0, v.0);
+            }
+        }
+        // Group edges by component root.
+        let mut by_root: BTreeMap<u32, Community> = BTreeMap::new();
+        for e in g.edges() {
+            if self.phi[e.index()] >= k {
+                let (u, v) = g.edge(e);
+                let root = uf.find(u.0);
+                let c = by_root.entry(root).or_default();
+                c.edges.push(e);
+                c.vertices.push(u);
+                c.vertices.push(v);
+            }
+        }
+        let mut communities: Vec<Community> = by_root.into_values().collect();
+        for c in &mut communities {
+            c.vertices.sort_unstable();
+            c.vertices.dedup();
+        }
+        // Largest first: the most interesting community leads.
+        communities.sort_by_key(|c| std::cmp::Reverse(c.edges.len()));
+        communities
+    }
+}
+
+/// One connected component of a k-bitruss.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Community {
+    /// Member vertices (global ids, both layers), sorted.
+    pub vertices: Vec<VertexId>,
+    /// Member edges.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Community {
+    /// Member vertices of the upper layer.
+    pub fn upper_members<'a>(&'a self, g: &'a BipartiteGraph) -> impl Iterator<Item = VertexId> + 'a {
+        self.vertices.iter().copied().filter(|&v| g.is_upper(v))
+    }
+
+    /// Member vertices of the lower layer.
+    pub fn lower_members<'a>(&'a self, g: &'a BipartiteGraph) -> impl Iterator<Item = VertexId> + 'a {
+        self.vertices.iter().copied().filter(|&v| g.is_lower(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::GraphBuilder;
+
+    /// Figure 1/4 fixture with known bitruss numbers 2,2,2,2,2,2,1,1,1,0,0.
+    fn fig1() -> (BipartiteGraph, Decomposition) {
+        let g = GraphBuilder::new()
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (2, 3),
+                (3, 1),
+                (3, 2),
+                (3, 4),
+            ])
+            .build()
+            .unwrap();
+        // Edge order after sort: (0,0),(0,1),(1,0),(1,1),(2,0),(2,1),
+        // (2,2),(2,3),(3,1),(3,2),(3,4)
+        let phi = vec![2, 2, 2, 2, 2, 2, 1, 0, 1, 1, 0];
+        (g, Decomposition::new(phi))
+    }
+
+    #[test]
+    fn k_bitruss_edges_and_levels() {
+        let (g, d) = fig1();
+        assert_eq!(d.max_bitruss(), 2);
+        assert_eq!(d.k_bitruss_edges(2).len(), 6);
+        assert_eq!(d.k_bitruss_edges(1).len(), 9);
+        assert_eq!(d.k_bitruss_edges(0).len(), 11);
+        assert_eq!(d.levels(), vec![0, 1, 2]);
+        let sizes = d.level_sizes();
+        assert_eq!(sizes[&2], 6);
+        assert_eq!(sizes[&1], 3);
+        assert_eq!(sizes[&0], 2);
+        let h2 = d.k_bitruss_subgraph(&g, 2);
+        assert_eq!(h2.graph.num_edges(), 6);
+    }
+
+    #[test]
+    fn communities_of_the_two_bitruss() {
+        let (g, d) = fig1();
+        let comms = d.communities(&g, 2);
+        assert_eq!(comms.len(), 1);
+        let c = &comms[0];
+        assert_eq!(c.edges.len(), 6);
+        // {u0,u1,u2} × {v0,v1}.
+        let uppers: Vec<u32> = c.upper_members(&g).map(|v| g.layer_index(v)).collect();
+        let lowers: Vec<u32> = c.lower_members(&g).map(|v| g.layer_index(v)).collect();
+        assert_eq!(uppers, vec![0, 1, 2]);
+        assert_eq!(lowers, vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_bitruss_spans_all_edges() {
+        let (g, d) = fig1();
+        let comms = d.communities(&g, 0);
+        assert_eq!(comms.iter().map(|c| c.edges.len()).sum::<usize>(), 11);
+    }
+
+    #[test]
+    fn empty_decomposition() {
+        let d = Decomposition::new(vec![]);
+        assert_eq!(d.max_bitruss(), 0);
+        assert!(d.levels().is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Direct k-bitruss extraction (Definition 4) without a full
+//! decomposition.
+//!
+//! When only one cohesion level matters — "give me the 100-bitruss" — the
+//! bottom-up peel can stop as soon as the minimum surviving support
+//! reaches `k`, skipping the entire upper hierarchy. The same BE-Index
+//! machinery drives it, so the cost is `O(Σ min{d(u),d(v)} + onG_{<k})`
+//! where `onG_{<k}` counts only the butterflies destroyed below level
+//! `k`.
+
+use beindex::{BeIndex, UpdateSink};
+use bigraph::{edge_subgraph, BipartiteGraph, EdgeId, EdgeSubgraph};
+use butterfly::count_per_edge;
+
+use crate::bucket_queue::BucketQueue;
+
+/// Sink keeping only the peeling queue in sync (no metrics).
+struct QueueSink<'a> {
+    queue: &'a mut BucketQueue,
+}
+
+impl UpdateSink for QueueSink<'_> {
+    #[inline]
+    fn on_support_update(&mut self, e: EdgeId, old: u64, new: u64) {
+        self.queue.decrease(e, old, new);
+    }
+}
+
+/// Computes the k-bitruss `H_k` of `g` directly: the maximal subgraph in
+/// which every edge is contained in at least `k` butterflies. Returns the
+/// subgraph with its edge mapping back to `g`.
+///
+/// `k = 0` returns the whole graph.
+pub fn k_bitruss(g: &BipartiteGraph, k: u64) -> EdgeSubgraph {
+    if k == 0 {
+        return edge_subgraph(g, |_| true);
+    }
+    let counts = count_per_edge(g);
+    let mut index = BeIndex::build(g);
+    let mut supp = counts.per_edge;
+    let mut queue = BucketQueue::new(&supp, |_| true);
+
+    // Peel strictly below k; once the minimum surviving support reaches
+    // k the survivors are exactly H_k (plain BiT-BU semantics with an
+    // early stop).
+    while let Some(level) = queue.peek_min() {
+        if level >= k {
+            break;
+        }
+        let (lvl, e) = queue.pop_min(&supp).expect("peeked non-empty");
+        let mut sink = QueueSink { queue: &mut queue };
+        index.remove_edge(e, &mut supp, lvl, &mut sink);
+    }
+
+    edge_subgraph(g, |e| queue.contains(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::k_bitruss_fixpoint;
+    use bigraph::GraphBuilder;
+
+    fn check_matches_fixpoint(g: &BipartiteGraph, k: u64) {
+        let direct = k_bitruss(g, k);
+        let expect = k_bitruss_fixpoint(g, k);
+        let direct_mask = {
+            let mut mask = vec![false; g.num_edges() as usize];
+            for &e in &direct.new_to_old {
+                mask[e.index()] = true;
+            }
+            mask
+        };
+        assert_eq!(direct_mask, expect, "k = {k}");
+    }
+
+    #[test]
+    fn matches_fixpoint_on_fig1() {
+        let g = GraphBuilder::new()
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (2, 3),
+                (3, 1),
+                (3, 2),
+                (3, 4),
+            ])
+            .build()
+            .unwrap();
+        for k in 0..=4 {
+            check_matches_fixpoint(&g, k);
+        }
+    }
+
+    #[test]
+    fn matches_fixpoint_on_random_graphs() {
+        for seed in 0..6 {
+            let g = datagen::random::uniform(14, 14, 70, seed);
+            for k in [1, 2, 3, 5, 8] {
+                check_matches_fixpoint(&g, k);
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_is_identity() {
+        let g = datagen::random::uniform(10, 10, 30, 1);
+        let h = k_bitruss(&g, 0);
+        assert_eq!(h.graph.edge_pairs(), g.edge_pairs());
+    }
+
+    #[test]
+    fn huge_k_is_empty() {
+        let g = datagen::random::uniform(10, 10, 40, 2);
+        let h = k_bitruss(&g, 1_000_000);
+        assert_eq!(h.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn early_stop_matches_full_decomposition() {
+        let g = datagen::powerlaw::chung_lu(60, 60, 800, 1.9, 1.9, 7);
+        let (d, _) = crate::algo::bit_bu_pp(&g);
+        for k in [1, 5, 20, 50] {
+            let direct = k_bitruss(&g, k);
+            let via_phi = d.k_bitruss_edges(k);
+            assert_eq!(direct.new_to_old, via_phi, "k = {k}");
+        }
+    }
+}

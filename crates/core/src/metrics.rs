@@ -1,0 +1,160 @@
+//! Instrumentation shared by every decomposition algorithm.
+//!
+//! The paper's evaluation plots three internal quantities besides wall
+//! time: the number of butterfly-support updates (Figures 7, 10, 14b),
+//! the split between counting and peeling time (Figure 5), and the BE-
+//! Index size (Figure 11). [`Metrics`] collects all of them.
+
+use std::time::Duration;
+
+use bigraph::EdgeId;
+
+/// Histogram of support updates bucketed by each edge's *original*
+/// butterfly support — Figure 7's "number of updates per range of original
+/// butterfly supports", which exposes the hub-edge problem.
+#[derive(Debug, Clone)]
+pub struct UpdateHistogram {
+    /// Upper bounds of the buckets (exclusive), ascending; one final
+    /// implicit bucket catches everything above the last bound.
+    bounds: Vec<u64>,
+    /// Precomputed bucket of each edge (global edge ids).
+    bucket_of_edge: Vec<u8>,
+    /// Update counts per bucket (`bounds.len() + 1` entries).
+    counts: Vec<u64>,
+}
+
+impl UpdateHistogram {
+    /// Creates a histogram with the given bucket bounds over edges whose
+    /// original supports are `original_supports`.
+    pub fn new(bounds: Vec<u64>, original_supports: &[u64]) -> Self {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        assert!(bounds.len() < 255, "too many buckets");
+        let bucket_of_edge = original_supports
+            .iter()
+            .map(|&s| bounds.partition_point(|&b| b <= s) as u8)
+            .collect();
+        let counts = vec![0; bounds.len() + 1];
+        Self {
+            bounds,
+            bucket_of_edge,
+            counts,
+        }
+    }
+
+    /// Records one update to a (global) edge.
+    #[inline]
+    pub fn record(&mut self, e: EdgeId) {
+        self.counts[self.bucket_of_edge[e.index()] as usize] += 1;
+    }
+
+    /// The bucket bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Update counts per bucket (last bucket = above the last bound).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Human-readable labels like `"<5000"`, `"5000-9999"`, `">=20000"`.
+    pub fn labels(&self) -> Vec<String> {
+        let mut labels = Vec::with_capacity(self.counts.len());
+        for (i, &b) in self.bounds.iter().enumerate() {
+            if i == 0 {
+                labels.push(format!("<{b}"));
+            } else {
+                labels.push(format!("{}-{}", self.bounds[i - 1], b - 1));
+            }
+        }
+        labels.push(match self.bounds.last() {
+            Some(&b) => format!(">={b}"),
+            None => "all".to_string(),
+        });
+        labels
+    }
+}
+
+/// Phase timings and counters for one decomposition run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Total butterfly-support updates performed during peeling.
+    pub support_updates: u64,
+    /// Time spent counting supports (includes BiT-PC's recounts).
+    pub counting_time: Duration,
+    /// Time spent constructing BE-Indexes (zero for BiT-BS).
+    pub index_time: Duration,
+    /// Time spent peeling (removal operations and queue work).
+    pub peeling_time: Duration,
+    /// Time spent extracting candidate subgraphs (BiT-PC only).
+    pub extraction_time: Duration,
+    /// Number of ε-iterations (BiT-PC; 1 for the others).
+    pub iterations: u32,
+    /// Peak BE-Index size in bytes over the run (0 for BiT-BS).
+    pub peak_index_bytes: usize,
+    /// Optional per-original-support update histogram (Figure 7).
+    pub histogram: Option<UpdateHistogram>,
+}
+
+impl Metrics {
+    /// Total wall time across the phases.
+    pub fn total_time(&self) -> Duration {
+        self.counting_time + self.index_time + self.peeling_time + self.extraction_time
+    }
+
+    /// Enables histogram collection with the given bucket bounds over the
+    /// original supports.
+    pub fn enable_histogram(&mut self, bounds: Vec<u64>, original_supports: &[u64]) {
+        self.histogram = Some(UpdateHistogram::new(bounds, original_supports));
+    }
+
+    /// Records one support update attributed to global edge `e`.
+    #[inline]
+    pub fn record_update(&mut self, e: EdgeId) {
+        self.support_updates += 1;
+        if let Some(h) = &mut self.histogram {
+            h.record(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucketing() {
+        let orig = vec![0, 4999, 5000, 19_999, 20_000, 100_000];
+        let mut h = UpdateHistogram::new(vec![5_000, 10_000, 15_000, 20_000], &orig);
+        for (e, _) in orig.iter().enumerate() {
+            h.record(EdgeId(e as u32));
+        }
+        assert_eq!(h.counts(), &[2, 1, 0, 1, 2]);
+        assert_eq!(
+            h.labels(),
+            vec!["<5000", "5000-9999", "10000-14999", "15000-19999", ">=20000"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must ascend")]
+    fn unsorted_bounds_panic() {
+        UpdateHistogram::new(vec![10, 5], &[1, 2]);
+    }
+
+    #[test]
+    fn metrics_totals() {
+        let mut m = Metrics {
+            counting_time: Duration::from_millis(5),
+            peeling_time: Duration::from_millis(7),
+            ..Metrics::default()
+        };
+        assert_eq!(m.total_time(), Duration::from_millis(12));
+        m.enable_histogram(vec![10], &[3, 30]);
+        m.record_update(EdgeId(0));
+        m.record_update(EdgeId(1));
+        m.record_update(EdgeId(1));
+        assert_eq!(m.support_updates, 3);
+        assert_eq!(m.histogram.as_ref().unwrap().counts(), &[1, 2]);
+    }
+}

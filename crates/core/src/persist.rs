@@ -1,0 +1,138 @@
+//! Plain-text persistence of decomposition results.
+//!
+//! Decomposing a large graph takes minutes; querying its hierarchy should
+//! not require redoing it. The format is one `upper lower phi` triple per
+//! line with a size header, so files are diffable, greppable, and
+//! readable back next to the original edge list.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use bigraph::{BipartiteGraph, Error, Result};
+
+use crate::decomposition::Decomposition;
+
+/// Writes `g`'s edges with their bitruss numbers: a header line followed
+/// by one `upper lower phi` triple per line (layer-local 0-based ids, in
+/// edge-id order).
+pub fn write_decomposition<W: Write>(
+    g: &BipartiteGraph,
+    d: &Decomposition,
+    writer: W,
+) -> Result<()> {
+    assert_eq!(d.phi.len(), g.num_edges() as usize);
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "% bitruss decomposition: {} upper, {} lower, {} edges, max phi {}",
+        g.num_upper(),
+        g.num_lower(),
+        g.num_edges(),
+        d.max_bitruss()
+    )?;
+    for e in g.edges() {
+        let (u, v) = g.edge(e);
+        writeln!(
+            w,
+            "{} {} {}",
+            g.layer_index(u),
+            g.layer_index(v),
+            d.phi[e.index()]
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a file written by [`write_decomposition`] back as a graph plus
+/// its decomposition. The edge order is re-derived from the builder, so
+/// the φ values are re-attached by edge lookup rather than line order.
+pub fn read_decomposition<R: Read>(reader: R) -> Result<(BipartiteGraph, Decomposition)> {
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    let mut triples: Vec<(u32, u32, u64)> = Vec::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let mut next = |what: &str| -> Result<u64> {
+            it.next()
+                .ok_or_else(|| Error::Parse {
+                    line: line_no,
+                    message: format!("missing {what}"),
+                })?
+                .parse::<u64>()
+                .map_err(|_| Error::Parse {
+                    line: line_no,
+                    message: format!("invalid {what}"),
+                })
+        };
+        let u = next("upper index")? as u32;
+        let v = next("lower index")? as u32;
+        let phi = next("bitruss number")?;
+        triples.push((u, v, phi));
+    }
+
+    let graph = bigraph::GraphBuilder::new()
+        .add_edges(triples.iter().map(|&(u, v, _)| (u, v)))
+        .build()?;
+    let mut phi = vec![0u64; graph.num_edges() as usize];
+    for &(u, v, p) in &triples {
+        let e = graph
+            .edge_between(
+                graph.upper(u),
+                graph.lower(v),
+            )
+            .expect("edge was just inserted");
+        phi[e.index()] = p;
+    }
+    Ok((graph, Decomposition::new(phi)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{decompose, Algorithm};
+
+    #[test]
+    fn round_trip() {
+        let g = datagen::powerlaw::chung_lu(30, 30, 250, 2.0, 2.0, 5);
+        let (d, _) = decompose(&g, Algorithm::BuPlusPlus);
+        let mut buf = Vec::new();
+        write_decomposition(&g, &d, &mut buf).unwrap();
+        let (g2, d2) = read_decomposition(buf.as_slice()).unwrap();
+        assert_eq!(g.edge_pairs(), g2.edge_pairs());
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn header_and_format() {
+        let g = bigraph::GraphBuilder::new()
+            .add_edges([(0, 0), (1, 0)])
+            .build()
+            .unwrap();
+        let d = Decomposition::new(vec![3, 4]);
+        let mut buf = Vec::new();
+        write_decomposition(&g, &d, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("% bitruss decomposition: 2 upper, 1 lower, 2 edges"));
+        assert!(text.contains("0 0 3"));
+        assert!(text.contains("1 0 4"));
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(read_decomposition("0 0\n".as_bytes()).is_err()); // missing phi
+        assert!(read_decomposition("a b c\n".as_bytes()).is_err());
+        let (g, d) = read_decomposition("% empty\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        assert!(d.phi.is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Tip decomposition — the *vertex* analogue of bitruss decomposition,
+//! introduced alongside it by Sarıyüce & Pinar (the paper's ref. \[5\]).
+//!
+//! The k-tip is the maximal subgraph in which every vertex of the chosen
+//! layer is contained in at least `k` butterflies; the tip number `θ(x)`
+//! of a vertex is the largest `k` with `x` in a k-tip. Peeling removes
+//! the minimum-count vertex of the chosen layer; a key simplification
+//! over edge peeling is that butterflies between two surviving vertices
+//! of the peeled layer never change until one of them is removed (the
+//! opposite layer is never touched), so each removal only needs one
+//! wedge scan from the removed vertex.
+
+use bigraph::{BipartiteGraph, VertexId};
+use butterfly::count_per_vertex;
+
+use crate::bucket_queue::BucketQueue;
+
+/// Which layer tip decomposition peels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TipLayer {
+    /// Peel the upper layer (`U(G)`).
+    Upper,
+    /// Peel the lower layer (`L(G)`).
+    Lower,
+}
+
+/// Computes tip numbers for every vertex of the chosen layer, indexed by
+/// the vertex's layer-local index.
+pub fn tip_decomposition(g: &BipartiteGraph, layer: TipLayer) -> Vec<u64> {
+    let layer_size = match layer {
+        TipLayer::Upper => g.num_upper(),
+        TipLayer::Lower => g.num_lower(),
+    } as usize;
+    let to_global = |i: u32| match layer {
+        TipLayer::Upper => g.upper(i),
+        TipLayer::Lower => g.lower(i),
+    };
+    let n = g.num_vertices() as usize;
+
+    // Per-vertex butterfly counts restricted to the peeled layer,
+    // re-indexed to layer-local positions so the bucket queue stays
+    // compact.
+    let global_counts = count_per_vertex(g);
+    let mut counts: Vec<u64> = (0..layer_size as u32)
+        .map(|i| global_counts[to_global(i).index()])
+        .collect();
+
+    let mut queue = BucketQueue::new(&counts, |_| true);
+    let mut theta = vec![0u64; layer_size];
+    let mut removed = vec![false; layer_size];
+
+    // Scratch for the per-removal wedge scan.
+    let mut pair_count = vec![0u32; n];
+    let mut touched: Vec<u32> = Vec::new();
+
+    while let Some((level, x)) = queue.pop_min(&counts) {
+        theta[x.index()] = level;
+        removed[x.index()] = true;
+        let u = to_global(x.0);
+
+        // Count wedges u–v–w to surviving same-layer vertices w; the
+        // pair (u, w) loses C(c, 2) butterflies.
+        touched.clear();
+        for (v, _) in g.neighbors(u) {
+            for (w, _) in g.neighbors(v) {
+                if w == u {
+                    continue;
+                }
+                let w_local = g.layer_index(w) as usize;
+                if removed[w_local] {
+                    continue;
+                }
+                if pair_count[w.index()] == 0 {
+                    touched.push(w.0);
+                }
+                pair_count[w.index()] += 1;
+            }
+        }
+        for &w in &touched {
+            let c = pair_count[w as usize] as u64;
+            pair_count[w as usize] = 0;
+            if c < 2 {
+                continue;
+            }
+            let w_local = g.layer_index(VertexId(w)) as usize;
+            let lost = c * (c - 1) / 2;
+            if counts[w_local] > level {
+                let old = counts[w_local];
+                let new = level.max(old.saturating_sub(lost));
+                counts[w_local] = new;
+                queue.decrease(bigraph::EdgeId(w_local as u32), old, new);
+            }
+        }
+    }
+    theta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::{edge_subgraph, GraphBuilder};
+
+    /// Reference: recount per-vertex butterflies from scratch after every
+    /// removal.
+    fn reference_tip(g: &BipartiteGraph, layer: TipLayer) -> Vec<u64> {
+        let layer_size = match layer {
+            TipLayer::Upper => g.num_upper(),
+            TipLayer::Lower => g.num_lower(),
+        } as usize;
+        let is_peeled_layer = |v: VertexId| match layer {
+            TipLayer::Upper => g.is_upper(v),
+            TipLayer::Lower => g.is_lower(v),
+        };
+        let mut alive = vec![true; layer_size];
+        let mut theta = vec![0u64; layer_size];
+        let mut level = 0u64;
+        for _ in 0..layer_size {
+            let sub = edge_subgraph(g, |e| {
+                let (u, v) = g.edge(e);
+                let peeled = if is_peeled_layer(u) { u } else { v };
+                alive[g.layer_index(peeled) as usize]
+            });
+            // Map counts back to original layer indices. The induced
+            // subgraph keeps the same vertex ids (edge_subgraph does not
+            // relabel).
+            let counts = butterfly::count_per_vertex(&sub.graph);
+            let (min_i, &min_c) = (0..layer_size)
+                .filter(|&i| alive[i])
+                .map(|i| {
+                    let global = match layer {
+                        TipLayer::Upper => g.upper(i as u32),
+                        TipLayer::Lower => g.lower(i as u32),
+                    };
+                    (i, &counts[global.index()])
+                })
+                .min_by_key(|&(i, &c)| (c, i))
+                .expect("some vertex alive");
+            level = level.max(min_c);
+            theta[min_i] = level;
+            alive[min_i] = false;
+        }
+        theta
+    }
+
+    #[test]
+    fn complete_biclique_closed_form() {
+        // K_{4,5}: every upper vertex in 3·C(5,2)=30 butterflies, all
+        // symmetric ⇒ θ = 30 for all.
+        let mut b = GraphBuilder::new();
+        for u in 0..4 {
+            for v in 0..5 {
+                b.push_edge(u, v);
+            }
+        }
+        let g = b.build().unwrap();
+        let theta = tip_decomposition(&g, TipLayer::Upper);
+        assert_eq!(theta, vec![30; 4]);
+        // Lower side: each lower vertex is in (5−1)·C(4,2) = 24.
+        let theta = tip_decomposition(&g, TipLayer::Lower);
+        assert_eq!(theta, vec![24; 5]);
+    }
+
+    #[test]
+    fn matches_reference_on_fixture() {
+        let g = GraphBuilder::new()
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (2, 3),
+                (3, 1),
+                (3, 2),
+                (3, 4),
+            ])
+            .build()
+            .unwrap();
+        for layer in [TipLayer::Upper, TipLayer::Lower] {
+            assert_eq!(
+                tip_decomposition(&g, layer),
+                reference_tip(&g, layer),
+                "{layer:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_random_graphs() {
+        for seed in 0..8 {
+            let g = datagen::random::uniform(12, 12, 55, seed);
+            for layer in [TipLayer::Upper, TipLayer::Lower] {
+                assert_eq!(
+                    tip_decomposition(&g, layer),
+                    reference_tip(&g, layer),
+                    "seed {seed} {layer:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn star_has_zero_tips() {
+        let mut b = GraphBuilder::new();
+        for v in 0..8 {
+            b.push_edge(0, v);
+        }
+        let g = b.build().unwrap();
+        assert!(tip_decomposition(&g, TipLayer::Upper).iter().all(|&t| t == 0));
+        assert!(tip_decomposition(&g, TipLayer::Lower).iter().all(|&t| t == 0));
+    }
+
+    #[test]
+    fn tip_bounded_by_butterfly_count() {
+        let g = datagen::powerlaw::chung_lu(40, 40, 400, 2.0, 2.0, 9);
+        let counts = butterfly::count_per_vertex(&g);
+        let theta = tip_decomposition(&g, TipLayer::Upper);
+        for i in 0..g.num_upper() {
+            assert!(theta[i as usize] <= counts[g.upper(i).index()]);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Brute-force reference decomposition and validators, used to certify
+//! every fast algorithm in the suite.
+
+use bigraph::{edge_subgraph, BipartiteGraph};
+use butterfly::count_per_edge;
+
+use crate::decomposition::Decomposition;
+
+/// Textbook bottom-up peeling that recounts all supports from scratch
+/// after every single removal. Obviously correct, hopelessly slow —
+/// strictly for test-sized graphs.
+pub fn reference_decomposition(g: &BipartiteGraph) -> Decomposition {
+    let m = g.num_edges() as usize;
+    let mut alive = vec![true; m];
+    let mut phi = vec![0u64; m];
+    let mut remaining = m;
+    let mut level = 0u64;
+
+    while remaining > 0 {
+        let sub = edge_subgraph(g, |e| alive[e.index()]);
+        let counts = count_per_edge(&sub.graph);
+        // Minimum support among alive edges, smallest original edge id on
+        // ties (matches the deterministic order of the fast algorithms).
+        let (pos, &s) = counts
+            .per_edge
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &s)| (s, sub.new_to_old[i]))
+            .expect("remaining > 0");
+        level = level.max(s);
+        let victim = sub.new_to_old[pos];
+        phi[victim.index()] = level;
+        alive[victim.index()] = false;
+        remaining -= 1;
+    }
+    Decomposition::new(phi)
+}
+
+/// Computes the k-bitruss directly from Definition 4: repeatedly delete
+/// edges whose support inside the current subgraph is below `k`, until a
+/// fixpoint. Returns the alive mask over `g`'s edges.
+pub fn k_bitruss_fixpoint(g: &BipartiteGraph, k: u64) -> Vec<bool> {
+    let m = g.num_edges() as usize;
+    let mut alive = vec![true; m];
+    loop {
+        let sub = edge_subgraph(g, |e| alive[e.index()]);
+        let counts = count_per_edge(&sub.graph);
+        let mut changed = false;
+        for (i, &s) in counts.per_edge.iter().enumerate() {
+            if s < k {
+                alive[sub.new_to_old[i].index()] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            return alive;
+        }
+    }
+}
+
+/// Validates a decomposition against Definitions 4–5 directly: for every
+/// level `k` present, the edge set `{e : φ(e) ≥ k}` must equal the
+/// k-bitruss fixpoint (soundness *and* maximality).
+pub fn validate_decomposition(g: &BipartiteGraph, d: &Decomposition) -> Result<(), String> {
+    if d.phi.len() != g.num_edges() as usize {
+        return Err(format!(
+            "φ has {} entries for {} edges",
+            d.phi.len(),
+            g.num_edges()
+        ));
+    }
+    for k in d.levels() {
+        if k == 0 {
+            continue; // the 0-bitruss is the whole graph by definition
+        }
+        let expect = k_bitruss_fixpoint(g, k);
+        for e in g.edges() {
+            let claimed = d.phi[e.index()] >= k;
+            if claimed != expect[e.index()] {
+                return Err(format!(
+                    "edge {e:?}: claimed {}∈H_{k} but fixpoint says {}",
+                    claimed, expect[e.index()]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::GraphBuilder;
+
+    fn fig1() -> BipartiteGraph {
+        GraphBuilder::new()
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (2, 3),
+                (3, 1),
+                (3, 2),
+                (3, 4),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn reference_matches_paper_example() {
+        let g = fig1();
+        let d = reference_decomposition(&g);
+        // Figure 1: blue edges φ=2, yellow φ=1, gray φ=0.
+        // Sorted edge order: (0,0),(0,1),(1,0),(1,1),(2,0),(2,1),(2,2),
+        // (2,3),(3,1),(3,2),(3,4).
+        assert_eq!(d.phi, vec![2, 2, 2, 2, 2, 2, 1, 0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn reference_is_self_consistent() {
+        let g = fig1();
+        let d = reference_decomposition(&g);
+        validate_decomposition(&g, &d).unwrap();
+    }
+
+    #[test]
+    fn fixpoint_matches_figure4() {
+        // Figure 4: H_1 is everything except the two pendant edges; H_2 is
+        // the {u0,u1,u2}×{v0,v1} block.
+        let g = fig1();
+        let h1 = k_bitruss_fixpoint(&g, 1);
+        assert_eq!(h1.iter().filter(|&&a| a).count(), 9);
+        let h2 = k_bitruss_fixpoint(&g, 2);
+        assert_eq!(h2.iter().filter(|&&a| a).count(), 6);
+        let h3 = k_bitruss_fixpoint(&g, 3);
+        assert_eq!(h3.iter().filter(|&&a| a).count(), 0);
+    }
+
+    #[test]
+    fn validator_rejects_wrong_phi() {
+        let g = fig1();
+        let mut d = reference_decomposition(&g);
+        d.phi[0] = 5; // nonsense
+        assert!(validate_decomposition(&g, &d).is_err());
+    }
+
+    #[test]
+    fn complete_biclique_reference() {
+        // K_{3,3}: every edge has φ = (3-1)(3-1) = 4.
+        let mut b = GraphBuilder::new();
+        for u in 0..3 {
+            for v in 0..3 {
+                b.push_edge(u, v);
+            }
+        }
+        let g = b.build().unwrap();
+        let d = reference_decomposition(&g);
+        assert!(d.phi.iter().all(|&p| p == 4));
+        validate_decomposition(&g, &d).unwrap();
+    }
+}

@@ -1,0 +1,27 @@
+//! Synthetic bipartite workload generators and the dataset registry.
+//!
+//! The paper evaluates on 15 KONECT datasets (Table II) that cannot be
+//! redistributed here; [`registry`] provides *same-named*, laptop-scale
+//! synthetic analogues whose layer-size ratios and degree skew mirror the
+//! originals (see DESIGN.md §4 for the substitution argument). The raw
+//! generators are public so new workloads can be composed:
+//!
+//! * [`random::uniform`] — bipartite Erdős–Rényi `G(n_U, n_L, m)`;
+//! * [`powerlaw::chung_lu`] — bipartite Chung–Lu with power-law expected
+//!   degrees (the source of hub edges);
+//! * [`block::planted_blocks`] — dense bicliques planted over a background
+//!   (nested communities, fraud blocks);
+//! * [`configuration::from_degrees`] — configuration model from explicit
+//!   degree sequences.
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod configuration;
+pub mod powerlaw;
+pub mod random;
+pub mod registry;
+
+pub use registry::{all_datasets, dataset_by_name, Dataset, SizeClass};

@@ -1,0 +1,83 @@
+//! Uniform random bipartite graphs.
+
+use bigraph::{BipartiteGraph, GraphBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Bipartite Erdős–Rényi graph `G(n_upper, n_lower, m)`: `m` distinct
+/// edges drawn uniformly from the `n_upper × n_lower` grid.
+///
+/// `m` is clamped to the number of possible edges. Deterministic given
+/// `seed`.
+pub fn uniform(n_upper: u32, n_lower: u32, m: usize, seed: u64) -> BipartiteGraph {
+    let possible = (n_upper as u64) * (n_lower as u64);
+    let m = (m as u64).min(possible) as usize;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new()
+        .with_upper(n_upper)
+        .with_lower(n_lower)
+        .with_edge_capacity(m);
+
+    if possible == 0 || m == 0 {
+        return builder.build().expect("empty graph");
+    }
+
+    // Dense request: sample by per-pair inclusion to avoid rejection
+    // thrashing; sparse request: rejection sampling with a seen-set.
+    if (m as u64) * 3 > possible {
+        let mut pairs: Vec<u64> = (0..possible).collect();
+        // Partial Fisher-Yates for the first m positions.
+        for i in 0..m {
+            let j = rng.gen_range(i..possible as usize);
+            pairs.swap(i, j);
+        }
+        for &key in &pairs[..m] {
+            builder.push_edge((key / n_lower as u64) as u32, (key % n_lower as u64) as u32);
+        }
+    } else {
+        let mut seen = std::collections::HashSet::with_capacity(m * 2);
+        while seen.len() < m {
+            let u = rng.gen_range(0..n_upper);
+            let v = rng.gen_range(0..n_lower);
+            if seen.insert((u as u64) << 32 | v as u64) {
+                builder.push_edge(u, v);
+            }
+        }
+    }
+    builder.build().expect("generated edges are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count_and_determinism() {
+        let a = uniform(50, 70, 800, 3);
+        assert_eq!(a.num_edges(), 800);
+        assert_eq!(a.num_upper(), 50);
+        assert_eq!(a.num_lower(), 70);
+        let b = uniform(50, 70, 800, 3);
+        assert_eq!(a.edge_pairs(), b.edge_pairs());
+        let c = uniform(50, 70, 800, 4);
+        assert_ne!(a.edge_pairs(), c.edge_pairs());
+    }
+
+    #[test]
+    fn clamps_to_complete_graph() {
+        let g = uniform(5, 4, 1_000, 1);
+        assert_eq!(g.num_edges(), 20);
+    }
+
+    #[test]
+    fn dense_path_matches_request() {
+        let g = uniform(30, 30, 700, 9); // 700 > 900/3 → dense path
+        assert_eq!(g.num_edges(), 700);
+    }
+
+    #[test]
+    fn zero_cases() {
+        assert_eq!(uniform(0, 10, 5, 1).num_edges(), 0);
+        assert_eq!(uniform(10, 10, 0, 1).num_edges(), 0);
+    }
+}

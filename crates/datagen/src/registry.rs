@@ -1,0 +1,262 @@
+//! The dataset registry: 15 named, laptop-scale synthetic analogues of the
+//! KONECT graphs in Table II of the paper.
+//!
+//! Each entry mirrors the *shape* of its namesake — layer-size ratio,
+//! degree skew (source of hub edges), and a planted dense core (source of
+//! high bitruss numbers) — at a scale where every experiment of §VI runs
+//! in seconds rather than hours. DESIGN.md §4 documents the substitution.
+
+use bigraph::{BipartiteGraph, GraphBuilder};
+
+use crate::block::Block;
+use crate::powerlaw;
+
+/// Rough size tier, used by tests and benches to pick subsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SizeClass {
+    /// ≲ 15 k edges — used in unit tests.
+    Small,
+    /// ≲ 50 k edges — default experiment tier.
+    Medium,
+    /// ≳ 50 k edges — the "large-scale" tier where only BiT-PC-style
+    /// algorithms stay pleasant.
+    Large,
+}
+
+/// A named synthetic dataset configuration.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Name matching Table II of the paper.
+    pub name: &'static str,
+    /// Upper-layer size.
+    pub n_upper: u32,
+    /// Lower-layer size.
+    pub n_lower: u32,
+    /// Target Chung–Lu edge count (the realized count is slightly lower
+    /// after deduplication; planted block edges add on top).
+    pub target_edges: usize,
+    /// Power-law tail exponent of the upper layer.
+    pub alpha_upper: f64,
+    /// Power-law tail exponent of the lower layer.
+    pub alpha_lower: f64,
+    /// Dense blocks planted on top of the background.
+    pub blocks: Vec<Block>,
+    /// Generation seed (fixed per dataset for reproducibility).
+    pub seed: u64,
+    /// Size tier.
+    pub size: SizeClass,
+}
+
+impl Dataset {
+    /// Generates the graph for this configuration.
+    pub fn generate(&self) -> BipartiteGraph {
+        let background = powerlaw::chung_lu(
+            self.n_upper,
+            self.n_lower,
+            self.target_edges,
+            self.alpha_upper,
+            self.alpha_lower,
+            self.seed,
+        );
+        if self.blocks.is_empty() {
+            return background;
+        }
+        let planted = crate::block::planted_blocks(
+            self.n_upper,
+            self.n_lower,
+            &self.blocks,
+            0,
+            self.seed ^ 0xB10C,
+        );
+        GraphBuilder::new()
+            .with_upper(self.n_upper)
+            .with_lower(self.n_lower)
+            .add_edges(background.edge_pairs())
+            .add_edges(planted.edge_pairs())
+            .build()
+            .expect("registry edges are in range")
+    }
+}
+
+/// Builds the nested community ladder that gives a dataset its bitruss
+/// hierarchy: a loose outer community containing a tight full core
+/// (the paper's research-group motif), plus two smaller detached
+/// communities. Butterfly mass concentrates in these cores — where
+/// support ≈ φ — which is the regime in which the paper's datasets live
+/// (hub edges are added separately by the power-law background).
+fn core_ladder(n_upper: u32, n_lower: u32, scale: u32) -> Vec<Block> {
+    let su = scale.clamp(2, n_upper / 5);
+    let sl = scale.clamp(2, n_lower / 5);
+    let mut blocks = Vec::new();
+    // Outer loose community with a nested full core inside it.
+    blocks.push(Block {
+        upper_start: n_upper / 4,
+        upper_len: su,
+        lower_start: n_lower / 4,
+        lower_len: sl,
+        density: 0.8,
+    });
+    if su >= 6 && sl >= 6 {
+        blocks.push(Block::full(
+            n_upper / 4 + su / 3,
+            (2 * su) / 3,
+            n_lower / 4 + sl / 3,
+            (2 * sl) / 3,
+        ));
+    }
+    // Detached secondary community, slightly rectangular.
+    if su >= 4 && sl >= 4 {
+        blocks.push(Block {
+            upper_start: n_upper / 2,
+            upper_len: su / 2 + 1,
+            lower_start: n_lower / 2,
+            lower_len: (sl / 2 + 2).min(n_lower - n_lower / 2),
+            density: 0.95,
+        });
+    }
+    // Small tertiary community.
+    if su >= 6 && sl >= 6 {
+        blocks.push(Block::full(
+            (3 * n_upper) / 4,
+            su / 3 + 1,
+            (3 * n_lower) / 4,
+            sl / 3 + 1,
+        ));
+    }
+    blocks
+}
+
+/// All 15 datasets of Table II, in the paper's order.
+pub fn all_datasets() -> Vec<Dataset> {
+    use SizeClass::*;
+    #[allow(clippy::too_many_arguments)]
+    let d = |name: &'static str,
+             n_upper: u32,
+             n_lower: u32,
+             target_edges: usize,
+             alpha_upper: f64,
+             alpha_lower: f64,
+             core_scale: u32,
+             seed: u64,
+             size: SizeClass| {
+        Dataset {
+            name,
+            n_upper,
+            n_lower,
+            target_edges,
+            alpha_upper,
+            alpha_lower,
+            blocks: core_ladder(n_upper, n_lower, core_scale),
+            seed,
+            size,
+        }
+    };
+    vec![
+        // name            |U|     |L|      |E|      αU    αL   core seed size
+        d("Condmat", 2_300, 3_000, 8_000, 2.6, 2.6, 12, 101, Small),
+        d("Marvel", 650, 1_300, 10_000, 2.0, 2.2, 16, 102, Small),
+        d("DBPedia", 12_000, 3_700, 20_000, 2.2, 2.0, 14, 103, Medium),
+        d("Github", 3_900, 8_300, 30_000, 1.9, 2.1, 20, 104, Medium),
+        d("Twitter", 3_500, 10_600, 40_000, 1.9, 2.0, 22, 105, Medium),
+        d("D-label", 18_000, 2_800, 55_000, 1.9, 1.8, 26, 106, Large),
+        d("D-style", 14_000, 64, 30_000, 2.0, 2.2, 12, 107, Large),
+        d("Amazon", 37_000, 21_000, 35_000, 2.4, 2.4, 14, 108, Medium),
+        d("DBLP", 46_000, 16_500, 40_000, 2.7, 2.7, 12, 109, Medium),
+        d("Wiki-it", 10_600, 115, 35_000, 1.8, 2.3, 20, 110, Large),
+        d("Wiki-fr", 1_050, 14_600, 80_000, 1.8, 1.8, 28, 111, Large),
+        d("Delicious", 700, 28_000, 90_000, 1.9, 2.2, 20, 112, Large),
+        d("Live-journal", 3_200, 7_500, 100_000, 1.8, 1.9, 32, 113, Large),
+        d("Wiki-en", 3_800, 21_500, 110_000, 1.75, 2.0, 30, 114, Large),
+        d("Tracker", 9_800, 4_500, 120_000, 1.7, 1.8, 28, 115, Large),
+    ]
+}
+
+/// Looks a dataset up by its (case-insensitive) Table II name.
+pub fn dataset_by_name(name: &str) -> Option<Dataset> {
+    all_datasets()
+        .into_iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+}
+
+/// The four datasets the paper uses for its drill-down figures
+/// (Figures 10–14): Github, D-label, D-style, Wiki-it.
+pub fn drilldown_datasets() -> Vec<Dataset> {
+    ["Github", "D-label", "D-style", "Wiki-it"]
+        .iter()
+        .map(|n| dataset_by_name(n).expect("registry contains drill-down set"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_datasets_in_paper_order() {
+        let all = all_datasets();
+        assert_eq!(all.len(), 15);
+        assert_eq!(all[0].name, "Condmat");
+        assert_eq!(all[14].name, "Tracker");
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(dataset_by_name("wiki-IT").is_some());
+        assert!(dataset_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let d = dataset_by_name("Condmat").unwrap();
+        let a = d.generate();
+        let b = d.generate();
+        assert_eq!(a.edge_pairs(), b.edge_pairs());
+    }
+
+    #[test]
+    fn small_datasets_have_expected_shape() {
+        for d in all_datasets().into_iter().filter(|d| d.size == SizeClass::Small) {
+            let g = d.generate();
+            assert_eq!(g.num_upper(), d.n_upper, "{}", d.name);
+            assert_eq!(g.num_lower(), d.n_lower, "{}", d.name);
+            // Deduplication and planted blocks keep us within ±25% of the
+            // Chung-Lu target.
+            let m = g.num_edges() as usize;
+            assert!(
+                m > d.target_edges / 2 && m < d.target_edges * 2,
+                "{}: {m} edges vs target {}",
+                d.name,
+                d.target_edges
+            );
+        }
+    }
+
+    #[test]
+    fn planted_core_exists() {
+        let d = dataset_by_name("Marvel").unwrap();
+        let g = d.generate();
+        // The nested inner core (second ladder block) is a full biclique.
+        let b = d.blocks.iter().find(|b| b.density >= 1.0).unwrap();
+        for u in b.upper_start..b.upper_start + b.upper_len {
+            for v in b.lower_start..b.lower_start + b.lower_len {
+                assert!(g.has_edge(g.upper(u), g.lower(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn every_dataset_ladder_fits_its_layers() {
+        for d in all_datasets() {
+            for b in &d.blocks {
+                assert!(b.upper_start + b.upper_len <= d.n_upper, "{}", d.name);
+                assert!(b.lower_start + b.lower_len <= d.n_lower, "{}", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn drilldown_set_is_the_papers() {
+        let names: Vec<_> = drilldown_datasets().iter().map(|d| d.name).collect();
+        assert_eq!(names, vec!["Github", "D-label", "D-style", "Wiki-it"]);
+    }
+}

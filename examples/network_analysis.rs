@@ -1,0 +1,81 @@
+//! End-to-end network analysis: profile a registry dataset with every
+//! tool in the suite — degree stats, (2,2)-core pruning, butterfly
+//! counts, tip decomposition of both layers, bitruss decomposition and a
+//! direct k-bitruss query.
+//!
+//! Run with: `cargo run --release --example network_analysis [dataset]`
+
+use bitruss::graph::{alpha_beta_core, GraphStats};
+use bitruss::{decompose, k_bitruss, tip_decomposition, Algorithm, TipLayer};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Github".into());
+    let Some(dataset) = bitruss::workloads::dataset_by_name(&name) else {
+        eprintln!("unknown dataset {name:?}; see datagen::all_datasets()");
+        std::process::exit(1);
+    };
+    let g = dataset.generate();
+    let stats = GraphStats::of(&g);
+    println!("== {} ==", dataset.name);
+    println!(
+        "{} upper x {} lower, {} edges (max degree {}/{})",
+        stats.num_upper,
+        stats.num_lower,
+        stats.num_edges,
+        stats.max_degree_upper,
+        stats.max_degree_lower
+    );
+
+    // (2,2)-core: where all butterflies live.
+    let core = alpha_beta_core(&g, 2, 2);
+    println!(
+        "(2,2)-core: {} edges ({:.1}% of the graph holds 100% of the butterflies)",
+        core.graph.num_edges(),
+        100.0 * core.graph.num_edges() as f64 / g.num_edges() as f64
+    );
+
+    // Butterfly profile.
+    let counts = bitruss::count_per_edge(&g);
+    println!(
+        "butterflies: {} (max per-edge support {})",
+        counts.total,
+        counts.max_support()
+    );
+
+    // Tip numbers: which single vertices anchor the most cohesion.
+    for (layer, label) in [(TipLayer::Upper, "upper"), (TipLayer::Lower, "lower")] {
+        let theta = tip_decomposition(&g, layer);
+        let max = theta.iter().copied().max().unwrap_or(0);
+        let hubs = theta.iter().filter(|&&t| t == max).count();
+        println!("max {label}-tip number: {max} ({hubs} vertices)");
+    }
+
+    // Full bitruss decomposition with the paper's fastest algorithm.
+    let (d, m) = decompose(&g, Algorithm::Pc { tau: 0.1 });
+    println!(
+        "bitruss decomposition: φ_max = {} in {:.2}s ({} updates, {} ε-iterations)",
+        d.max_bitruss(),
+        m.total_time().as_secs_f64(),
+        m.support_updates,
+        m.iterations
+    );
+
+    // Hierarchy silhouette: edges surviving at exponentially spaced k.
+    let mut k = 1u64;
+    print!("hierarchy: ");
+    while k <= d.max_bitruss() {
+        print!("|H_{k}|={} ", d.k_bitruss_edges(k).len());
+        k *= 4;
+    }
+    println!();
+
+    // Direct query at half the maximum level — no full decomposition
+    // needed when only one level matters.
+    let target = (d.max_bitruss() / 2).max(1);
+    let h = k_bitruss(&g, target);
+    println!(
+        "direct {target}-bitruss query: {} edges (matches the decomposition: {})",
+        h.graph.num_edges(),
+        h.new_to_old.len() == d.k_bitruss_edges(target).len()
+    );
+}

@@ -1,0 +1,201 @@
+//! `bitruss-cli` — command-line front end for the bitruss suite.
+//!
+//! ```text
+//! bitruss-cli stats      <edges.txt>
+//! bitruss-cli count      <edges.txt>
+//! bitruss-cli decompose  <edges.txt> [--algorithm bs|bu|bu+|bu++|pc] [--tau T] [--output phi.txt]
+//! bitruss-cli kbitruss   <edges.txt> <k> [--output sub.txt]
+//! bitruss-cli communities <edges.txt> <k>
+//! bitruss-cli generate   <dataset-name> <edges.txt>
+//! ```
+//!
+//! Edge files are whitespace-separated `upper lower` pairs, one per line,
+//! `%`/`#` comments allowed; pass `--one-based` for KONECT-style 1-based
+//! indices.
+
+use std::process::ExitCode;
+
+use bitruss::graph::io::{read_edge_list_file, write_edge_list_file, IndexBase};
+use bitruss::graph::GraphStats;
+use bitruss::{decompose, Algorithm, BipartiteGraph};
+
+struct Args {
+    positional: Vec<String>,
+    algorithm: Algorithm,
+    tau: f64,
+    output: Option<String>,
+    base: IndexBase,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        positional: Vec::new(),
+        algorithm: Algorithm::BuPlusPlus,
+        tau: bitruss::DEFAULT_TAU,
+        output: None,
+        base: IndexBase::Zero,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut algorithm_name: Option<String> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--algorithm" | "-a" => {
+                algorithm_name = Some(it.next().ok_or("--algorithm needs a value")?);
+            }
+            "--tau" | "-t" => {
+                let v = it.next().ok_or("--tau needs a value")?;
+                args.tau = v.parse().map_err(|_| format!("bad τ {v:?}"))?;
+            }
+            "--output" | "-o" => {
+                args.output = Some(it.next().ok_or("--output needs a value")?);
+            }
+            "--one-based" => args.base = IndexBase::One,
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other => args.positional.push(other.to_string()),
+        }
+    }
+    if let Some(name) = algorithm_name {
+        args.algorithm = match name.as_str() {
+            "bs" => Algorithm::BsIntersection,
+            "bs-pair" => Algorithm::BsPairEnumeration,
+            "bu" => Algorithm::Bu,
+            "bu+" => Algorithm::BuPlus,
+            "bu++" => Algorithm::BuPlusPlus,
+            "pc" => Algorithm::Pc { tau: args.tau },
+            other => return Err(format!("unknown algorithm {other:?}")),
+        };
+    }
+    Ok(args)
+}
+
+fn load(path: &str, base: IndexBase) -> Result<BipartiteGraph, String> {
+    read_edge_list_file(path, base).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let Some(command) = args.positional.first() else {
+        return Err("usage: bitruss-cli <stats|count|decompose|kbitruss|communities|generate> …"
+            .to_string());
+    };
+    match command.as_str() {
+        "stats" => {
+            let path = args.positional.get(1).ok_or("stats needs a file")?;
+            let g = load(path, args.base)?;
+            let s = GraphStats::of(&g);
+            println!("vertices: {} upper + {} lower", s.num_upper, s.num_lower);
+            println!("edges:    {}", s.num_edges);
+            println!(
+                "max degree: {} (upper), {} (lower)",
+                s.max_degree_upper, s.max_degree_lower
+            );
+            println!(
+                "avg degree: {:.2} (upper), {:.2} (lower)",
+                s.avg_degree_upper, s.avg_degree_lower
+            );
+            println!("sum min-degree (index bound): {}", s.sum_min_degree);
+        }
+        "count" => {
+            let path = args.positional.get(1).ok_or("count needs a file")?;
+            let g = load(path, args.base)?;
+            let c = bitruss::count_per_edge(&g);
+            println!("butterflies: {}", c.total);
+            println!("max support: {}", c.max_support());
+            println!(
+                "kmax (h-index bound on φ_max): {}",
+                bitruss::decomposition::kmax_bound(&c.per_edge)
+            );
+        }
+        "decompose" => {
+            let path = args.positional.get(1).ok_or("decompose needs a file")?;
+            let g = load(path, args.base)?;
+            let (d, m) = decompose(&g, args.algorithm);
+            println!(
+                "algorithm {} finished in {:.3}s ({} support updates, {} iterations)",
+                args.algorithm.name(),
+                m.total_time().as_secs_f64(),
+                m.support_updates,
+                m.iterations
+            );
+            println!("max bitruss number: {}", d.max_bitruss());
+            for (k, n) in d.level_sizes() {
+                println!("  φ = {k}: {n} edges");
+            }
+            if let Some(out_path) = &args.output {
+                let f = std::fs::File::create(out_path)
+                    .map_err(|e| format!("creating {out_path}: {e}"))?;
+                bitruss::write_decomposition(&g, &d, f)
+                    .map_err(|e| format!("writing {out_path}: {e}"))?;
+                println!("φ written to {out_path}");
+            }
+        }
+        "kbitruss" => {
+            let path = args.positional.get(1).ok_or("kbitruss needs a file")?;
+            let k: u64 = args
+                .positional
+                .get(2)
+                .ok_or("kbitruss needs k")?
+                .parse()
+                .map_err(|_| "k must be an integer")?;
+            let g = load(path, args.base)?;
+            // Direct extraction with early stop — no full decomposition.
+            let sub = bitruss::k_bitruss(&g, k);
+            println!(
+                "{k}-bitruss: {} of {} edges",
+                sub.graph.num_edges(),
+                g.num_edges()
+            );
+            if let Some(out_path) = &args.output {
+                write_edge_list_file(&sub.graph, out_path)
+                    .map_err(|e| format!("writing {out_path}: {e}"))?;
+                println!("subgraph written to {out_path}");
+            }
+        }
+        "communities" => {
+            let path = args.positional.get(1).ok_or("communities needs a file")?;
+            let k: u64 = args
+                .positional
+                .get(2)
+                .ok_or("communities needs k")?
+                .parse()
+                .map_err(|_| "k must be an integer")?;
+            let g = load(path, args.base)?;
+            let (d, _) = decompose(&g, args.algorithm);
+            let communities = d.communities(&g, k);
+            println!("{} communities at k = {k}", communities.len());
+            for (i, c) in communities.iter().enumerate().take(20) {
+                println!(
+                    "  #{i}: {} upper + {} lower vertices, {} edges",
+                    c.upper_members(&g).count(),
+                    c.lower_members(&g).count(),
+                    c.edges.len()
+                );
+            }
+        }
+        "generate" => {
+            let name = args.positional.get(1).ok_or("generate needs a dataset")?;
+            let path = args.positional.get(2).ok_or("generate needs a file")?;
+            let d = bitruss::workloads::dataset_by_name(name)
+                .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+            let g = d.generate();
+            write_edge_list_file(&g, path).map_err(|e| format!("writing {path}: {e}"))?;
+            println!(
+                "{}: {} edges written to {path}",
+                d.name,
+                g.num_edges()
+            );
+        }
+        other => return Err(format!("unknown command {other:?}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! # bitruss — Efficient Bitruss Decomposition for Large-scale Bipartite Graphs
+//!
+//! A Rust implementation of the ICDE 2020 paper by Wang, Lin, Qin, Zhang
+//! and Zhang: the **BE-Index** (an online index compressing butterflies
+//! into maximal priority-obeyed blooms) and the decomposition algorithms
+//! **BiT-BS**, **BiT-BU**, **BiT-BU++** and **BiT-PC** built on it, plus
+//! every substrate they need — bipartite CSR graphs, butterfly counting,
+//! workload generators and the full experiment harness.
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`graph`] — bipartite graph substrate ([`graph::BipartiteGraph`],
+//!   [`graph::GraphBuilder`], subgraphs, sampling, I/O);
+//! * [`counting`] — butterfly counting ([`counting::count_per_edge`]);
+//! * [`index`] — the BE-Index ([`index::BeIndex`]);
+//! * [`decomposition`] — the algorithms and result types
+//!   ([`decompose`], [`Algorithm`], [`Decomposition`]);
+//! * [`workloads`] — synthetic generators and the Table II dataset
+//!   registry.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bitruss::{decompose, Algorithm, GraphBuilder};
+//!
+//! // The author–paper network of the paper's Figure 1.
+//! let g = GraphBuilder::new()
+//!     .add_edges([
+//!         (0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1),
+//!         (2, 2), (2, 3), (3, 1), (3, 2), (3, 4),
+//!     ])
+//!     .build()
+//!     .unwrap();
+//!
+//! let (d, metrics) = decompose(&g, Algorithm::pc_default());
+//! assert_eq!(d.max_bitruss(), 2);
+//! println!(
+//!     "φ_max = {}, {} support updates",
+//!     d.max_bitruss(),
+//!     metrics.support_updates
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+/// Bipartite graph substrate (re-export of the `bigraph` crate).
+pub mod graph {
+    pub use bigraph::*;
+}
+
+/// Butterfly counting (re-export of the `butterfly` crate).
+pub mod counting {
+    pub use butterfly::*;
+}
+
+/// The BE-Index (re-export of the `beindex` crate).
+pub mod index {
+    pub use beindex::*;
+}
+
+/// Decomposition algorithms and results (re-export of `bitruss-core`).
+pub mod decomposition {
+    pub use bitruss_core::*;
+}
+
+/// Workload generators and the dataset registry (re-export of `datagen`).
+pub mod workloads {
+    pub use datagen::*;
+}
+
+pub use bigraph::{BipartiteGraph, EdgeId, GraphBuilder, VertexId};
+pub use bitruss_core::{
+    bit_bs, bit_bu, bit_bu_hybrid, bit_bu_plus, bit_bu_pp, bit_pc, decompose, decompose_pruned,
+    k_bitruss, read_decomposition, tip_decomposition, TipLayer,
+    write_decomposition, Algorithm, Community, Decomposition, Metrics, PeelStrategy,
+    DEFAULT_TAU,
+};
+pub use butterfly::{count_per_edge, count_total, ButterflyCounts};

@@ -1,0 +1,76 @@
+//! Integration tests for the extension features: the priority-order
+//! ablation knob and decomposition persistence.
+
+use bitruss::graph::{GraphBuilder, PriorityMode};
+use bitruss::{decompose, Algorithm};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any total priority order yields the same bitruss numbers — the
+    /// BE-Index partition of butterflies into blooms changes shape, not
+    /// semantics.
+    #[test]
+    fn priority_order_does_not_change_phi(
+        nu in 3..14u32,
+        nl in 3..14u32,
+        m in 5..70usize,
+        seed in any::<u64>(),
+    ) {
+        let base = bitruss::workloads::random::uniform(nu, nl, m, seed);
+        let id_only = GraphBuilder::new()
+            .with_upper(base.num_upper())
+            .with_lower(base.num_lower())
+            .with_priority_mode(PriorityMode::IdOnly)
+            .add_edges(base.edge_pairs())
+            .build()
+            .unwrap();
+        for alg in [Algorithm::Bu, Algorithm::BuPlusPlus, Algorithm::Pc { tau: 0.2 }] {
+            let (d_deg, _) = decompose(&base, alg);
+            let (d_id, _) = decompose(&id_only, alg);
+            prop_assert_eq!(&d_deg.phi, &d_id.phi, "{}", alg.name());
+        }
+    }
+
+    /// Decomposition persistence round-trips byte-for-byte semantics.
+    #[test]
+    fn persistence_round_trip(
+        nu in 3..16u32,
+        nl in 3..16u32,
+        m in 0..90usize,
+        seed in any::<u64>(),
+    ) {
+        let g = bitruss::workloads::random::uniform(nu, nl, m, seed);
+        let (d, _) = decompose(&g, Algorithm::BuPlusPlus);
+        let mut buf = Vec::new();
+        bitruss::write_decomposition(&g, &d, &mut buf).unwrap();
+        let (g2, d2) = bitruss::read_decomposition(buf.as_slice()).unwrap();
+        prop_assert_eq!(g.edge_pairs(), g2.edge_pairs());
+        prop_assert_eq!(d, d2);
+    }
+}
+
+/// On a skewed graph the degree order produces a strictly smaller index
+/// (Lemma 6's bound is the point of Definition 7).
+#[test]
+fn degree_priority_shrinks_the_index_on_skewed_graphs() {
+    let base = bitruss::workloads::powerlaw::chung_lu(300, 300, 3_000, 1.8, 1.8, 11);
+    let id_only = GraphBuilder::new()
+        .with_upper(base.num_upper())
+        .with_lower(base.num_lower())
+        .with_priority_mode(PriorityMode::IdOnly)
+        .add_edges(base.edge_pairs())
+        .build()
+        .unwrap();
+    let idx_deg = bitruss::index::BeIndex::build(&base);
+    let idx_id = bitruss::index::BeIndex::build(&id_only);
+    assert!(
+        idx_deg.num_wedges() < idx_id.num_wedges(),
+        "degree order: {} wedges, id order: {} wedges",
+        idx_deg.num_wedges(),
+        idx_id.num_wedges()
+    );
+    // Both still satisfy Lemma 1-3 semantics.
+    assert_eq!(idx_deg.total_butterflies(), idx_id.total_butterflies());
+}

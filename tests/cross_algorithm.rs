@@ -1,0 +1,110 @@
+//! Cross-algorithm integration properties: every decomposition algorithm
+//! in the suite must produce the *identical* φ array, and that array must
+//! satisfy the defining properties of bitruss decomposition.
+
+use bitruss::decomposition::{reference_decomposition, validate_decomposition};
+use bitruss::{count_per_edge, decompose, Algorithm, BipartiteGraph, EdgeId};
+use proptest::prelude::*;
+
+/// Random bipartite graph strategy: up to `max_n`×`max_n` vertices with a
+/// variable number of edges.
+fn arb_graph(max_n: u32, max_m: usize) -> impl Strategy<Value = BipartiteGraph> {
+    (2..=max_n, 2..=max_n, 0..=max_m, any::<u64>()).prop_map(|(nu, nl, m, seed)| {
+        bitruss::workloads::random::uniform(nu, nl, m, seed)
+    })
+}
+
+/// Skewed bipartite graph strategy (hubs present).
+fn arb_skewed(max_n: u32, max_m: usize) -> impl Strategy<Value = BipartiteGraph> {
+    (4..=max_n, 4..=max_n, 8..=max_m, any::<u64>(), 15..30u32).prop_map(
+        |(nu, nl, m, seed, alpha10)| {
+            bitruss::workloads::powerlaw::chung_lu(
+                nu,
+                nl,
+                m,
+                f64::from(alpha10) / 10.0,
+                f64::from(alpha10) / 10.0,
+                seed,
+            )
+        },
+    )
+}
+
+const ALL_ALGORITHMS: &[Algorithm] = &[
+    Algorithm::BsIntersection,
+    Algorithm::BsPairEnumeration,
+    Algorithm::Bu,
+    Algorithm::BuPlus,
+    Algorithm::BuPlusPlus,
+    Algorithm::Pc { tau: 0.02 },
+    Algorithm::Pc { tau: 0.25 },
+    Algorithm::Pc { tau: 1.0 },
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_algorithms_agree_with_reference(g in arb_graph(16, 70)) {
+        let expect = reference_decomposition(&g);
+        for &alg in ALL_ALGORITHMS {
+            let (d, _) = decompose(&g, alg);
+            prop_assert_eq!(&d, &expect, "{} diverged", alg.name());
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_skewed_graphs(g in arb_skewed(40, 300)) {
+        let (expect, _) = decompose(&g, Algorithm::Bu);
+        for &alg in ALL_ALGORITHMS {
+            let (d, _) = decompose(&g, alg);
+            prop_assert_eq!(&d, &expect, "{} diverged", alg.name());
+        }
+    }
+
+    #[test]
+    fn phi_is_bounded_by_support(g in arb_graph(16, 70)) {
+        let counts = count_per_edge(&g);
+        let (d, _) = decompose(&g, Algorithm::BuPlusPlus);
+        for e in g.edges() {
+            prop_assert!(d.bitruss_number(e) <= counts.support(e));
+        }
+    }
+
+    #[test]
+    fn bitrusses_are_nested(g in arb_graph(14, 60)) {
+        let (d, _) = decompose(&g, Algorithm::BuPlusPlus);
+        let mut prev: Option<Vec<EdgeId>> = None;
+        for k in d.levels() {
+            let edges = d.k_bitruss_edges(k);
+            if let Some(p) = prev {
+                prop_assert!(edges.iter().all(|e| p.contains(e)), "H_k not nested");
+            }
+            prev = Some(edges);
+        }
+    }
+
+    #[test]
+    fn decomposition_satisfies_definitions(g in arb_graph(12, 45)) {
+        let (d, _) = decompose(&g, Algorithm::pc_default());
+        prop_assert!(validate_decomposition(&g, &d).is_ok());
+    }
+
+    #[test]
+    fn support_sum_is_four_times_butterflies(g in arb_graph(20, 120)) {
+        let counts = count_per_edge(&g);
+        let sum: u64 = counts.per_edge.iter().sum();
+        prop_assert_eq!(sum, 4 * counts.total);
+    }
+}
+
+#[test]
+fn metrics_phases_are_populated() {
+    let g = bitruss::workloads::powerlaw::chung_lu(60, 60, 600, 2.0, 2.0, 5);
+    let (_, m) = decompose(&g, Algorithm::Bu);
+    assert!(m.peak_index_bytes > 0);
+    assert_eq!(m.iterations, 1);
+    let (_, m) = decompose(&g, Algorithm::pc_default());
+    assert!(m.iterations >= 1);
+    assert!(m.total_time() >= m.peeling_time);
+}

@@ -1,0 +1,125 @@
+//! Integration tests for the extension surface: tip decomposition,
+//! (α,β)-core pruning, the BU# hybrid, direct k-bitruss queries and the
+//! per-vertex counter — exercised together through the facade.
+
+use bitruss::graph::{alpha_beta_core, butterfly_core_mask};
+use bitruss::{decompose, decompose_pruned, k_bitruss, tip_decomposition, Algorithm, TipLayer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Butterflies never leave the (2,2)-core: supports inside the core
+    /// equal supports in the full graph, and everything outside has 0.
+    #[test]
+    fn all_butterflies_live_in_the_22core(
+        nu in 3..16u32,
+        nl in 3..16u32,
+        m in 0..90usize,
+        seed in any::<u64>(),
+    ) {
+        let g = bitruss::workloads::random::uniform(nu, nl, m, seed);
+        let counts = bitruss::count_per_edge(&g);
+        let mask = butterfly_core_mask(&g);
+        let core = alpha_beta_core(&g, 2, 2);
+        let core_counts = bitruss::count_per_edge(&core.graph);
+        prop_assert_eq!(core_counts.total, counts.total);
+        for (i, &old) in core.new_to_old.iter().enumerate() {
+            prop_assert_eq!(core_counts.per_edge[i], counts.per_edge[old.index()]);
+        }
+        for e in g.edges() {
+            if !mask[e.index()] {
+                prop_assert_eq!(counts.support(e), 0);
+            }
+        }
+    }
+
+    /// Core pruning never changes φ.
+    #[test]
+    fn pruned_decomposition_matches(
+        nu in 3..14u32,
+        nl in 3..14u32,
+        m in 0..70usize,
+        seed in any::<u64>(),
+    ) {
+        let g = bitruss::workloads::random::uniform(nu, nl, m, seed);
+        let (plain, _) = decompose(&g, Algorithm::BuPlusPlus);
+        let (pruned, _) = decompose_pruned(&g, Algorithm::BuHybrid);
+        prop_assert_eq!(plain, pruned);
+    }
+
+    /// The direct k-bitruss query agrees with the full decomposition at
+    /// every level present in the graph.
+    #[test]
+    fn direct_queries_match_full_decomposition(
+        nu in 3..12u32,
+        nl in 3..12u32,
+        m in 5..60usize,
+        seed in any::<u64>(),
+    ) {
+        let g = bitruss::workloads::random::uniform(nu, nl, m, seed);
+        let (d, _) = decompose(&g, Algorithm::Bu);
+        for k in d.levels() {
+            let direct = k_bitruss(&g, k);
+            prop_assert_eq!(direct.new_to_old, d.k_bitruss_edges(k), "k = {}", k);
+        }
+    }
+
+    /// Tip numbers are monotone under the k-tip definition: the set
+    /// {x : θ(x) ≥ k} induces a subgraph where every peeled-layer vertex
+    /// is in ≥ k butterflies.
+    #[test]
+    fn tip_soundness(
+        nu in 3..12u32,
+        nl in 3..12u32,
+        m in 5..55usize,
+        seed in any::<u64>(),
+    ) {
+        let g = bitruss::workloads::random::uniform(nu, nl, m, seed);
+        let theta = tip_decomposition(&g, TipLayer::Upper);
+        for &k in theta.iter().filter(|&&t| t > 0) {
+            // Induce on upper vertices with θ ≥ k (lower layer intact).
+            let keep: Vec<bool> = theta.iter().map(|&t| t >= k).collect();
+            let sub = bitruss::graph::edge_subgraph(&g, |e| {
+                let (u, _) = g.edge(e);
+                keep[g.layer_index(u) as usize]
+            });
+            let counts = bitruss::counting::count_per_vertex(&sub.graph);
+            for i in 0..g.num_upper() {
+                if keep[i as usize] {
+                    prop_assert!(
+                        counts[g.upper(i).index()] >= k,
+                        "vertex u{} has {} < {}",
+                        i,
+                        counts[g.upper(i).index()],
+                        k
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hybrid_is_in_the_dispatcher_lineup() {
+    let g = bitruss::workloads::dataset_by_name("Condmat").unwrap().generate();
+    let (d_pp, _) = decompose(&g, Algorithm::BuPlusPlus);
+    let (d_h, m_h) = decompose(&g, Algorithm::BuHybrid);
+    assert_eq!(d_pp, d_h);
+    assert_eq!(Algorithm::BuHybrid.name(), "BU#");
+    assert!(m_h.support_updates > 0);
+}
+
+#[test]
+fn tip_and_bitruss_coexist_on_registry_data() {
+    let g = bitruss::workloads::dataset_by_name("Marvel").unwrap().generate();
+    let theta_u = tip_decomposition(&g, TipLayer::Upper);
+    let theta_l = tip_decomposition(&g, TipLayer::Lower);
+    let (d, _) = decompose(&g, Algorithm::Pc { tau: 0.1 });
+    // A vertex's tip number at least matches the best edge at it:
+    // θ(x) counts butterflies at x, which bounds any incident φ? No —
+    // but both hierarchies must be non-trivial on a core-rich graph.
+    assert!(theta_u.iter().copied().max().unwrap() > 0);
+    assert!(theta_l.iter().copied().max().unwrap() > 0);
+    assert!(d.max_bitruss() > 0);
+}

@@ -1,0 +1,176 @@
+//! Property tests of the BE-Index invariants (§IV of the paper) on random
+//! and skewed graphs.
+
+use bitruss::counting::{count_per_edge, enumerate_butterflies};
+use bitruss::index::{BeIndex, BloomId};
+use bitruss::{BipartiteGraph, EdgeId, VertexId};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = BipartiteGraph> {
+    (2..18u32, 2..18u32, 0..120usize, any::<u64>())
+        .prop_map(|(nu, nl, m, seed)| bitruss::workloads::random::uniform(nu, nl, m, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 3: every butterfly lies in exactly one maximal
+    /// priority-obeyed bloom — so Σ_B C(k_B,2) equals the enumerated
+    /// butterfly count, and each enumerated butterfly maps into a unique
+    /// bloom by its dominant pair.
+    #[test]
+    fn butterflies_partition_into_blooms(g in arb_graph()) {
+        let idx = BeIndex::build(&g);
+        prop_assert!(idx.validate(&g).is_ok());
+        let butterflies = enumerate_butterflies(&g);
+        prop_assert_eq!(idx.total_butterflies(), butterflies.len() as u64);
+
+        // Map each butterfly to its home bloom: the anchor pair is the
+        // same-layer pair containing the max-priority vertex.
+        let anchors: std::collections::HashMap<(u32, u32), u32> = (0..idx.num_blooms())
+            .map(|b| (idx.bloom_anchor(BloomId(b)), b))
+            .collect();
+        for bf in &butterflies {
+            let vertices = [bf.u1, bf.u2, bf.v1, bf.v2];
+            let top = *vertices
+                .iter()
+                .max_by_key(|&&v| g.priority(v))
+                .expect("4 vertices");
+            let (hi, lo) = if top == bf.u1 || top == bf.u2 {
+                let (a, b) = (bf.u1, bf.u2);
+                if g.priority(a) > g.priority(b) { (a, b) } else { (b, a) }
+            } else {
+                let (a, b) = (bf.v1, bf.v2);
+                if g.priority(a) > g.priority(b) { (a, b) } else { (b, a) }
+            };
+            prop_assert!(
+                anchors.contains_key(&(hi.0, lo.0)),
+                "butterfly {bf:?} has no home bloom ({hi}, {lo})"
+            );
+        }
+    }
+
+    /// Lemma 2: `sup(e) = Σ_{B∋e} (k_B − 1)` — derived supports equal the
+    /// counting pass.
+    #[test]
+    fn derived_supports_match_counting(g in arb_graph()) {
+        let idx = BeIndex::build(&g);
+        prop_assert_eq!(idx.derive_supports(), count_per_edge(&g).per_edge);
+    }
+
+    /// Lemma 6: the stored wedge count respects the
+    /// `Σ min{d(u), d(v)}` space bound.
+    #[test]
+    fn index_size_bound(g in arb_graph()) {
+        let idx = BeIndex::build(&g);
+        prop_assert!(u64::from(idx.num_wedges()) <= g.sum_min_degree());
+    }
+
+    /// Lemma 4: each edge has exactly one twin per bloom, twin pairing is
+    /// an involution, and the twin shares the non-dominant vertex.
+    #[test]
+    fn twins_are_involutive(g in arb_graph()) {
+        let idx = BeIndex::build(&g);
+        for e in g.edges() {
+            for &w in idx.links(e) {
+                let w = bitruss::index::WedgeId(w);
+                let twin = idx.wedge_twin(w, e);
+                prop_assert_ne!(twin, e);
+                prop_assert_eq!(idx.wedge_twin(w, twin), e);
+                // Twin shares the middle (non-dominant) vertex.
+                let (u1, v1) = g.edge(e);
+                let (u2, v2) = g.edge(twin);
+                prop_assert!(u1 == u2 || v1 == v2);
+            }
+        }
+    }
+
+    /// Removing every edge in a random order keeps derived supports equal
+    /// to a fresh recount of the remaining graph (Theorem 1, iterated).
+    #[test]
+    fn removal_sequence_stays_consistent(
+        g in arb_graph(),
+        seed in any::<u64>(),
+    ) {
+        let m = g.num_edges();
+        if m == 0 {
+            return Ok(());
+        }
+        let mut order: Vec<u32> = (0..m).collect();
+        // Fisher-Yates with a simple LCG for determinism.
+        let mut s = seed | 1;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+
+        let mut idx = BeIndex::build(&g);
+        let mut supp = idx.derive_supports();
+        let mut removed = vec![false; m as usize];
+        // Check at three points along the teardown to keep it fast.
+        let checkpoints = [m as usize / 3, (2 * m as usize) / 3, m as usize - 1];
+        for (step, &victim) in order.iter().enumerate() {
+            idx.remove_edge(EdgeId(victim), &mut supp, 0, &mut ());
+            removed[victim as usize] = true;
+            if checkpoints.contains(&step) {
+                let sub = bitruss::graph::edge_subgraph(&g, |e| !removed[e.index()]);
+                let recount = count_per_edge(&sub.graph);
+                for (i, &old) in sub.new_to_old.iter().enumerate() {
+                    prop_assert_eq!(supp[old.index()], recount.per_edge[i]);
+                }
+            }
+        }
+    }
+
+    /// Compressed construction (Algorithm 6): for any assigned mask, the
+    /// derived supports of unassigned edges equal their true supports in
+    /// the full graph.
+    #[test]
+    fn compressed_supports_are_exact(g in arb_graph(), mask_seed in any::<u64>()) {
+        let m = g.num_edges() as usize;
+        let mut s = mask_seed;
+        let assigned: Vec<bool> = (0..m)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (s >> 40) & 1 == 1
+            })
+            .collect();
+        let idx = BeIndex::build_compressed(&g, &assigned);
+        prop_assert!(idx.validate(&g).is_ok());
+        let derived = idx.derive_supports();
+        let truth = count_per_edge(&g).per_edge;
+        for e in 0..m {
+            if assigned[e] {
+                prop_assert_eq!(derived[e], 0, "assigned edges carry no links");
+            } else {
+                prop_assert_eq!(derived[e], truth[e], "edge {}", e);
+            }
+        }
+    }
+}
+
+/// The priority order statement of Definition 8 on a concrete graph:
+/// every bloom's anchor has higher priority than all its middle vertices.
+#[test]
+fn anchor_dominates_bloom() {
+    let g = bitruss::workloads::powerlaw::chung_lu(40, 40, 350, 1.9, 1.9, 17);
+    let idx = BeIndex::build(&g);
+    for b in 0..idx.num_blooms() {
+        let b = BloomId(b);
+        let (hi, _) = idx.bloom_anchor(b);
+        for w in idx.bloom_wedges(b) {
+            let (e1, e2) = idx.wedge_members(w);
+            for e in [e1, e2] {
+                let (u, v) = g.edge(e);
+                for vertex in [u, v] {
+                    if vertex.0 != hi {
+                        assert!(
+                            g.priority(vertex) < g.priority(VertexId(hi)),
+                            "bloom member outranks anchor"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

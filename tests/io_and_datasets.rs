@@ -1,0 +1,85 @@
+//! Integration tests spanning I/O, the dataset registry and the harness:
+//! graphs survive round trips, registry datasets decompose consistently,
+//! and the experiment harness produces its tables.
+
+use bitruss::graph::io::{read_edge_list, write_edge_list, IndexBase};
+use bitruss::graph::GraphStats;
+use bitruss::{decompose, Algorithm};
+
+#[test]
+fn io_roundtrip_preserves_decomposition() {
+    let g = bitruss::workloads::powerlaw::chung_lu(50, 60, 500, 2.0, 2.0, 31);
+    let (d_before, _) = decompose(&g, Algorithm::BuPlusPlus);
+
+    let mut buf = Vec::new();
+    write_edge_list(&g, &mut buf).unwrap();
+    let h = read_edge_list(buf.as_slice(), IndexBase::Zero).unwrap();
+    assert_eq!(g.edge_pairs(), h.edge_pairs());
+
+    let (d_after, _) = decompose(&h, Algorithm::BuPlusPlus);
+    assert_eq!(d_before, d_after);
+}
+
+#[test]
+fn malformed_inputs_fail_loudly() {
+    assert!(read_edge_list("a b\n".as_bytes(), IndexBase::Zero).is_err());
+    assert!(read_edge_list("1\n".as_bytes(), IndexBase::Zero).is_err());
+    assert!(read_edge_list("0 0\n".as_bytes(), IndexBase::One).is_err());
+    // Valid but empty: fine.
+    let g = read_edge_list("% nothing\n".as_bytes(), IndexBase::Zero).unwrap();
+    assert_eq!(g.num_edges(), 0);
+}
+
+#[test]
+fn small_registry_datasets_decompose_consistently() {
+    for d in bitruss::workloads::all_datasets()
+        .into_iter()
+        .filter(|d| d.size == bitruss::workloads::SizeClass::Small)
+    {
+        let g = d.generate();
+        let stats = GraphStats::of(&g);
+        assert!(stats.num_edges > 0, "{}", d.name);
+        let (d_bu, _) = decompose(&g, Algorithm::Bu);
+        let (d_pc, _) = decompose(&g, Algorithm::Pc { tau: 0.1 });
+        assert_eq!(d_bu, d_pc, "{}", d.name);
+        assert!(d_bu.max_bitruss() > 0, "{} has a dense core", d.name);
+    }
+}
+
+#[test]
+fn sampled_subgraphs_decompose() {
+    let d = bitruss::workloads::dataset_by_name("Condmat").unwrap();
+    let g = d.generate();
+    for pct in [20, 60, 100] {
+        let s = bitruss::graph::sample_vertices_percent(&g, pct, 7);
+        let (dec, _) = decompose(&s, Algorithm::BuPlusPlus);
+        assert_eq!(dec.phi.len(), s.num_edges() as usize);
+    }
+}
+
+#[test]
+fn harness_quick_run_produces_all_tables() {
+    let opts = bitruss_bench::Opts {
+        quick: true,
+        full: false,
+    };
+    let mut out = Vec::new();
+    for id in ["table2", "fig10", "fig13"] {
+        bitruss_bench::experiments::run(id, &mut out, &opts).unwrap();
+    }
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("Table II analogue"));
+    assert!(text.contains("Figure 10 analogue"));
+    assert!(text.contains("Figure 13 analogue"));
+    assert!(text.contains("Condmat"));
+}
+
+#[test]
+fn bs_cost_estimate_reflects_structure() {
+    let sparse = bitruss::workloads::random::uniform(200, 200, 400, 1);
+    let dense = bitruss::workloads::powerlaw::chung_lu(200, 200, 4_000, 1.8, 1.8, 1);
+    assert!(
+        bitruss_bench::estimate::bs_peel_cost(&dense)
+            > bitruss_bench::estimate::bs_peel_cost(&sparse)
+    );
+}

@@ -1,0 +1,88 @@
+//! Property tests for the paper's stated bounds and lemmas, checked on
+//! random and skewed graphs through the public API.
+
+use bitruss::decomposition::kmax_bound;
+use bitruss::{count_per_edge, decompose, Algorithm, BipartiteGraph};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = BipartiteGraph> {
+    prop_oneof![
+        (2..18u32, 2..18u32, 0..110usize, any::<u64>())
+            .prop_map(|(nu, nl, m, s)| bitruss::workloads::random::uniform(nu, nl, m, s)),
+        (4..30u32, 4..30u32, 10..220usize, any::<u64>()).prop_map(|(nu, nl, m, s)| {
+            bitruss::workloads::powerlaw::chung_lu(nu, nl, m, 1.9, 2.1, s)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 8, first bound: `onG ≤ m²`.
+    #[test]
+    fn total_butterflies_bounded_by_m_squared(g in arb_graph()) {
+        let c = count_per_edge(&g);
+        let m = g.num_edges() as u64;
+        prop_assert!(c.total <= m * m);
+    }
+
+    /// The per-edge bound inside Lemma 8's proof:
+    /// `sup(u,v) ≤ (d(u)−1)·(d(v)−1)`.
+    #[test]
+    fn support_bounded_by_degree_product(g in arb_graph()) {
+        let c = count_per_edge(&g);
+        for e in g.edges() {
+            let (u, v) = g.edge(e);
+            let bound = (g.degree(u) as u64 - 1) * (g.degree(v) as u64 - 1);
+            prop_assert!(c.support(e) <= bound, "{e:?}");
+        }
+    }
+
+    /// Algorithm 7 step 1: the h-index `kmax` really upper-bounds the
+    /// maximum bitruss number.
+    #[test]
+    fn kmax_upper_bounds_phi_max(g in arb_graph()) {
+        let c = count_per_edge(&g);
+        let (d, _) = decompose(&g, Algorithm::BuPlusPlus);
+        prop_assert!(kmax_bound(&c.per_edge) >= d.max_bitruss());
+    }
+
+    /// Lemma 6's space bound through the public index: stored wedges
+    /// never exceed `Σ min{d(u), d(v)}`.
+    #[test]
+    fn index_within_space_bound(g in arb_graph()) {
+        let idx = bitruss::index::BeIndex::build(&g);
+        prop_assert!(u64::from(idx.num_wedges()) <= g.sum_min_degree());
+    }
+
+    /// Metrics sanity across algorithms: BiT-BU performs at most 4·onG
+    /// support updates (each update destroys at least one butterfly-edge
+    /// incidence), and batching only reduces that.
+    #[test]
+    fn update_counts_within_peeling_bound(g in arb_graph()) {
+        let c = count_per_edge(&g);
+        let (_, m_bu) = decompose(&g, Algorithm::Bu);
+        let (_, m_plus) = decompose(&g, Algorithm::BuPlus);
+        prop_assert!(m_bu.support_updates <= 4 * c.total);
+        prop_assert!(m_plus.support_updates <= m_bu.support_updates);
+    }
+
+    /// The decomposition's level structure is internally consistent:
+    /// level sizes sum to m, and every level is inhabited.
+    #[test]
+    fn level_bookkeeping(g in arb_graph()) {
+        let (d, _) = decompose(&g, Algorithm::pc_default());
+        let sizes = d.level_sizes();
+        prop_assert_eq!(
+            sizes.values().sum::<usize>(),
+            g.num_edges() as usize
+        );
+        for (&k, &n) in &sizes {
+            prop_assert!(n > 0);
+            prop_assert_eq!(
+                d.k_bitruss_edges(k).len(),
+                sizes.range(k..).map(|(_, &n)| n).sum::<usize>()
+            );
+        }
+    }
+}
