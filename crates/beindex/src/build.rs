@@ -215,10 +215,7 @@ mod tests {
                 .iter()
                 .map(|&w| {
                     let wid = crate::WedgeId(w);
-                    (
-                        idx.wedge_bloom(wid).0,
-                        idx.wedge_twin(wid, EdgeId(e)).0,
-                    )
+                    (idx.wedge_bloom(wid).0, idx.wedge_twin(wid, EdgeId(e)).0)
                 })
                 .collect()
         };
@@ -236,10 +233,7 @@ mod tests {
         assert_eq!(e5, vec![(0, 4), (1, 6)]);
 
         // Supports as printed in Figure 6: 2 2 2 2 2 3 1 1 1.
-        assert_eq!(
-            idx.derive_supports(),
-            vec![2, 2, 2, 2, 2, 3, 1, 1, 1]
-        );
+        assert_eq!(idx.derive_supports(), vec![2, 2, 2, 2, 2, 3, 1, 1, 1]);
     }
 
     #[test]

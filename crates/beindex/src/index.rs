@@ -167,7 +167,8 @@ impl BeIndex {
     /// skip dead wedges).
     #[inline]
     pub fn links(&self, e: EdgeId) -> &[u32] {
-        &self.link_wedge[self.link_start[e.index()] as usize..self.link_start[e.index() + 1] as usize]
+        &self.link_wedge
+            [self.link_start[e.index()] as usize..self.link_start[e.index() + 1] as usize]
     }
 
     /// Whether `e` is still present in `L(I)` (unassigned edges of the

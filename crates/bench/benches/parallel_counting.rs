@@ -11,11 +11,9 @@ fn bench_parallel(c: &mut Criterion) {
     group.sample_size(15);
     group.bench_function("sequential", |b| b.iter(|| count_per_edge(&g)));
     for threads in [2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &threads,
-            |b, &t| b.iter(|| count_per_edge_parallel(&g, t)),
-        );
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| count_per_edge_parallel(&g, t))
+        });
     }
     group.finish();
 }

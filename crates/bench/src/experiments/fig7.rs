@@ -32,7 +32,10 @@ pub fn run(out: &mut dyn Write, opts: &Opts) -> io::Result<()> {
     let mut sorted = counts.per_edge.clone();
     sorted.sort_unstable();
     let quantile = |q: f64| sorted[((sorted.len() - 1) as f64 * q) as usize];
-    let mut bounds: Vec<u64> = [0.50, 0.75, 0.90, 0.97].iter().map(|&q| quantile(q)).collect();
+    let mut bounds: Vec<u64> = [0.50, 0.75, 0.90, 0.97]
+        .iter()
+        .map(|&q| quantile(q))
+        .collect();
     bounds.dedup();
     bounds.retain(|&b| b > 0);
     if bounds.is_empty() {

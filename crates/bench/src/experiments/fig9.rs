@@ -27,8 +27,10 @@ pub fn run(out: &mut dyn Write, opts: &Opts) -> io::Result<()> {
         let mut cells = vec![d.name.to_string()];
         let mut reference = None;
         for &alg in &lineup {
-            if matches!(alg, Algorithm::BsIntersection | Algorithm::BsPairEnumeration)
-                && !opts.full
+            if matches!(
+                alg,
+                Algorithm::BsIntersection | Algorithm::BsPairEnumeration
+            ) && !opts.full
                 && bs_peel_cost(&g) > BS_BUDGET
             {
                 cells.push("INF".into());

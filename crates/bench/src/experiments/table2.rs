@@ -16,7 +16,13 @@ pub fn run(out: &mut dyn Write, opts: &Opts) -> io::Result<()> {
         "== Table II analogue: summary of datasets (synthetic registry) =="
     )?;
     let mut table = Table::new(&[
-        "Dataset", "|E|", "|U|", "|L|", "butterflies", "max sup", "max phi",
+        "Dataset",
+        "|E|",
+        "|U|",
+        "|L|",
+        "butterflies",
+        "max sup",
+        "max phi",
     ]);
     for d in selected_datasets(opts) {
         let g = d.generate();

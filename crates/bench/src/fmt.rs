@@ -77,8 +77,7 @@ impl Table {
             }
             out.push('\n');
             if ri == 0 {
-                let total: usize =
-                    self.widths.iter().sum::<usize>() + 2 * (self.widths.len() - 1);
+                let total: usize = self.widths.iter().sum::<usize>() + 2 * (self.widths.len() - 1);
                 out.push_str(&"-".repeat(total));
                 out.push('\n');
             }

@@ -184,12 +184,8 @@ fn assemble(
     // Priority ranks (Definition 7, or the ablation order).
     let mut order: Vec<u32> = (0..n as u32).collect();
     match mode {
-        PriorityMode::DegreeThenId => order.sort_unstable_by_key(|&v| {
-            (
-                (offsets[v as usize + 1] - offsets[v as usize]) as u32,
-                v,
-            )
-        }),
+        PriorityMode::DegreeThenId => order
+            .sort_unstable_by_key(|&v| ((offsets[v as usize + 1] - offsets[v as usize]) as u32, v)),
         PriorityMode::IdOnly => {}
     }
     let mut priority = vec![0u32; n];

@@ -253,9 +253,7 @@ impl BipartiteGraph {
         };
         let nbrs = self.neighbor_slice(from);
         let pos = nbrs.binary_search(&to.0).ok()?;
-        Some(EdgeId(
-            self.edge_by_id[self.offsets[from.index()] + pos],
-        ))
+        Some(EdgeId(self.edge_by_id[self.offsets[from.index()] + pos]))
     }
 
     /// `true` if the graph contains the edge `(a, b)`.

@@ -17,8 +17,7 @@ pub fn alpha_beta_core(g: &BipartiteGraph, alpha: u32, beta: u32) -> EdgeSubgrap
     let n = g.num_vertices() as usize;
     let mut degree: Vec<u32> = g.vertices().map(|v| g.degree(v)).collect();
     let mut removed = vec![false; n];
-    let threshold =
-        |g: &BipartiteGraph, v: VertexId| if g.is_upper(v) { alpha } else { beta };
+    let threshold = |g: &BipartiteGraph, v: VertexId| if g.is_upper(v) { alpha } else { beta };
 
     let mut worklist: Vec<u32> = g
         .vertices()

@@ -19,10 +19,7 @@ pub struct EdgeSubgraph {
 /// returns `true`. Vertices are not relabelled, so ids remain comparable
 /// with the parent graph; degrees and priorities are recomputed for the
 /// reduced edge set.
-pub fn edge_subgraph<F: FnMut(EdgeId) -> bool>(
-    g: &BipartiteGraph,
-    mut keep: F,
-) -> EdgeSubgraph {
+pub fn edge_subgraph<F: FnMut(EdgeId) -> bool>(g: &BipartiteGraph, mut keep: F) -> EdgeSubgraph {
     let mut pairs: Vec<(u32, u32)> = Vec::new();
     let mut new_to_old: Vec<EdgeId> = Vec::new();
     for e in g.edges() {

@@ -3,7 +3,7 @@
 //! An extension beyond the paper (its §I cites parallel butterfly
 //! computations as related work): the priority-obeyed wedge enumeration is
 //! embarrassingly parallel over start vertices, so we shard vertices across
-//! threads (crossbeam scoped threads), give each thread its own scratch and
+//! threads (std scoped threads), give each thread its own scratch and
 //! support accumulator, and reduce at the end. The result is bit-identical
 //! to [`crate::count_per_edge`].
 
@@ -30,11 +30,10 @@ pub fn count_per_edge_parallel(g: &BipartiteGraph, threads: usize) -> ButterflyC
     // Static interleaved sharding: vertex v goes to thread v % threads.
     // High-degree vertices cluster at particular ids in many generators, so
     // interleaving balances better than contiguous chunks.
-    let mut partials: Vec<(Vec<u64>, u64)> = Vec::with_capacity(threads);
-    crossbeam::scope(|scope| {
+    let partials: Vec<(Vec<u64>, u64)> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut per_edge = vec![0u64; m];
                 let mut total = 0u64;
                 let mut count = vec![0u32; n];
@@ -81,11 +80,11 @@ pub fn count_per_edge_parallel(g: &BipartiteGraph, threads: usize) -> ButterflyC
                 (per_edge, total)
             }));
         }
-        for h in handles {
-            partials.push(h.join().expect("counting worker panicked"));
-        }
-    })
-    .expect("crossbeam scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("counting worker panicked"))
+            .collect()
+    });
 
     // Reduce.
     let mut per_edge = vec![0u64; m];
@@ -111,9 +110,13 @@ mod tests {
         let mut b = GraphBuilder::new();
         let mut state = 0x12345678u64;
         for _ in 0..12_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((state >> 33) % 700) as u32;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = ((state >> 33) % 700) as u32;
             b.push_edge(u, v);
         }

@@ -189,8 +189,7 @@ mod tests {
             }
             let g = builder.build().unwrap();
             let c = count_per_edge(&g);
-            let expect_total =
-                choose2(a as u64) * choose2(b as u64);
+            let expect_total = choose2(a as u64) * choose2(b as u64);
             assert_eq!(c.total, expect_total, "K_{{{a},{b}}} total");
             for e in g.edges() {
                 assert_eq!(c.support(e), ((a - 1) * (b - 1)) as u64);

@@ -47,17 +47,15 @@ pub fn bit_bs(g: &BipartiteGraph, strategy: PeelStrategy) -> (Decomposition, Met
     while let Some((level, e)) = queue.pop_min(&supp) {
         phi[e.index()] = level;
         removed[e.index()] = true;
-        let update = |e2: EdgeId,
-                          supp: &mut [u64],
-                          queue: &mut BucketQueue,
-                          metrics: &mut Metrics| {
-            if supp[e2.index()] > level {
-                let old = supp[e2.index()];
-                supp[e2.index()] = old - 1;
-                queue.decrease(e2, old, old - 1);
-                metrics.record_update(e2);
-            }
-        };
+        let update =
+            |e2: EdgeId, supp: &mut [u64], queue: &mut BucketQueue, metrics: &mut Metrics| {
+                if supp[e2.index()] > level {
+                    let old = supp[e2.index()];
+                    supp[e2.index()] = old - 1;
+                    queue.decrease(e2, old, old - 1);
+                    metrics.record_update(e2);
+                }
+            };
         let (u, v) = g.edge(e);
         match strategy {
             PeelStrategy::Intersection => {

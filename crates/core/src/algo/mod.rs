@@ -124,7 +124,11 @@ mod tests {
         for seed in 0..5 {
             let g = datagen::powerlaw::chung_lu(60, 60, 500, 2.2, 2.2, seed);
             let (plain, _) = decompose(&g, Algorithm::BuPlusPlus);
-            for alg in [Algorithm::Bu, Algorithm::BuPlusPlus, Algorithm::Pc { tau: 0.2 }] {
+            for alg in [
+                Algorithm::Bu,
+                Algorithm::BuPlusPlus,
+                Algorithm::Pc { tau: 0.2 },
+            ] {
                 let (pruned, _) = decompose_pruned(&g, alg);
                 assert_eq!(plain, pruned, "seed {seed} {}", alg.name());
             }

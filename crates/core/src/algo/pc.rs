@@ -227,7 +227,10 @@ mod tests {
             let g = datagen::random::uniform(12, 12, 50, seed);
             let counts = butterfly::count_per_edge(&g);
             let d = reference_decomposition(&g);
-            assert!(kmax_bound(&counts.per_edge) >= d.max_bitruss(), "seed {seed}");
+            assert!(
+                kmax_bound(&counts.per_edge) >= d.max_bitruss(),
+                "seed {seed}"
+            );
         }
     }
 
@@ -271,7 +274,9 @@ mod tests {
         // paper's datasets. PC assigns the cores in its first iterations
         // and compresses them, saving the bulk of the updates.
         use datagen::block::Block;
-        let mut b = bigraph::GraphBuilder::new().with_upper(1_500).with_lower(800);
+        let mut b = bigraph::GraphBuilder::new()
+            .with_upper(1_500)
+            .with_lower(800);
         b = b.add_edges(datagen::powerlaw::chung_lu(1_500, 800, 6_000, 2.1, 2.1, 13).edge_pairs());
         let blocks = [
             Block::full(100, 30, 100, 30),

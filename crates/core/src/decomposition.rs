@@ -112,12 +112,18 @@ pub struct Community {
 
 impl Community {
     /// Member vertices of the upper layer.
-    pub fn upper_members<'a>(&'a self, g: &'a BipartiteGraph) -> impl Iterator<Item = VertexId> + 'a {
+    pub fn upper_members<'a>(
+        &'a self,
+        g: &'a BipartiteGraph,
+    ) -> impl Iterator<Item = VertexId> + 'a {
         self.vertices.iter().copied().filter(|&v| g.is_upper(v))
     }
 
     /// Member vertices of the lower layer.
-    pub fn lower_members<'a>(&'a self, g: &'a BipartiteGraph) -> impl Iterator<Item = VertexId> + 'a {
+    pub fn lower_members<'a>(
+        &'a self,
+        g: &'a BipartiteGraph,
+    ) -> impl Iterator<Item = VertexId> + 'a {
         self.vertices.iter().copied().filter(|&v| g.is_lower(v))
     }
 }

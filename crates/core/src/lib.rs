@@ -49,9 +49,9 @@ pub mod tip;
 pub mod verify;
 
 pub use algo::{
-    bit_bs, bit_bu, bit_bu_hybrid, bit_bu_opts, bit_bu_plus, bit_bu_plus_opts, bit_bu_pp, bit_bu_pp_opts,
-    bit_pc, bit_pc_opts, decompose, decompose_pruned, decompose_with_histogram, kmax_bound, Algorithm,
-    PeelStrategy, DEFAULT_TAU,
+    bit_bs, bit_bu, bit_bu_hybrid, bit_bu_opts, bit_bu_plus, bit_bu_plus_opts, bit_bu_pp,
+    bit_bu_pp_opts, bit_pc, bit_pc_opts, decompose, decompose_pruned, decompose_with_histogram,
+    kmax_bound, Algorithm, PeelStrategy, DEFAULT_TAU,
 };
 pub use bucket_queue::BucketQueue;
 pub use decomposition::{Community, Decomposition};

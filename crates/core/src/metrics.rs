@@ -132,7 +132,13 @@ mod tests {
         assert_eq!(h.counts(), &[2, 1, 0, 1, 2]);
         assert_eq!(
             h.labels(),
-            vec!["<5000", "5000-9999", "10000-14999", "15000-19999", ">=20000"]
+            vec![
+                "<5000",
+                "5000-9999",
+                "10000-14999",
+                "15000-19999",
+                ">=20000"
+            ]
         );
     }
 

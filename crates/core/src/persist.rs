@@ -86,10 +86,7 @@ pub fn read_decomposition<R: Read>(reader: R) -> Result<(BipartiteGraph, Decompo
     let mut phi = vec![0u64; graph.num_edges() as usize];
     for &(u, v, p) in &triples {
         let e = graph
-            .edge_between(
-                graph.upper(u),
-                graph.lower(v),
-            )
+            .edge_between(graph.upper(u), graph.lower(v))
             .expect("edge was just inserted");
         phi[e.index()] = p;
     }

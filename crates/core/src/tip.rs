@@ -208,8 +208,12 @@ mod tests {
             b.push_edge(0, v);
         }
         let g = b.build().unwrap();
-        assert!(tip_decomposition(&g, TipLayer::Upper).iter().all(|&t| t == 0));
-        assert!(tip_decomposition(&g, TipLayer::Lower).iter().all(|&t| t == 0));
+        assert!(tip_decomposition(&g, TipLayer::Upper)
+            .iter()
+            .all(|&t| t == 0));
+        assert!(tip_decomposition(&g, TipLayer::Lower)
+            .iter()
+            .all(|&t| t == 0));
     }
 
     #[test]

@@ -79,7 +79,8 @@ pub fn validate_decomposition(g: &BipartiteGraph, d: &Decomposition) -> Result<(
             if claimed != expect[e.index()] {
                 return Err(format!(
                     "edge {e:?}: claimed {}∈H_{k} but fixpoint says {}",
-                    claimed, expect[e.index()]
+                    claimed,
+                    expect[e.index()]
                 ));
             }
         }

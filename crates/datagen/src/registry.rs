@@ -165,7 +165,17 @@ pub fn all_datasets() -> Vec<Dataset> {
         d("Wiki-it", 10_600, 115, 35_000, 1.8, 2.3, 20, 110, Large),
         d("Wiki-fr", 1_050, 14_600, 80_000, 1.8, 1.8, 28, 111, Large),
         d("Delicious", 700, 28_000, 90_000, 1.9, 2.2, 20, 112, Large),
-        d("Live-journal", 3_200, 7_500, 100_000, 1.8, 1.9, 32, 113, Large),
+        d(
+            "Live-journal",
+            3_200,
+            7_500,
+            100_000,
+            1.8,
+            1.9,
+            32,
+            113,
+            Large,
+        ),
         d("Wiki-en", 3_800, 21_500, 110_000, 1.75, 2.0, 30, 114, Large),
         d("Tracker", 9_800, 4_500, 120_000, 1.7, 1.8, 28, 115, Large),
     ]
@@ -215,7 +225,10 @@ mod tests {
 
     #[test]
     fn small_datasets_have_expected_shape() {
-        for d in all_datasets().into_iter().filter(|d| d.size == SizeClass::Small) {
+        for d in all_datasets()
+            .into_iter()
+            .filter(|d| d.size == SizeClass::Small)
+        {
             let g = d.generate();
             assert_eq!(g.num_upper(), d.n_upper, "{}", d.name);
             assert_eq!(g.num_lower(), d.n_lower, "{}", d.name);

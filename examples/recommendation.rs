@@ -90,7 +90,10 @@ fn main() {
 
     // The recommendations must be non-trivial and come from cluster B's
     // item range.
-    assert!(!recommendations.is_empty(), "the community fills the user's gaps");
+    assert!(
+        !recommendations.is_empty(),
+        "the community fills the user's gaps"
+    );
     assert!(recommendations.iter().all(|&i| (600..612).contains(&i)));
     println!("all recommendations lie in the user's taste cluster ✓");
 }

@@ -75,8 +75,10 @@ fn load(path: &str, base: IndexBase) -> Result<BipartiteGraph, String> {
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let Some(command) = args.positional.first() else {
-        return Err("usage: bitruss-cli <stats|count|decompose|kbitruss|communities|generate> …"
-            .to_string());
+        return Err(
+            "usage: bitruss-cli <stats|count|decompose|kbitruss|communities|generate> …"
+                .to_string(),
+        );
     };
     match command.as_str() {
         "stats" => {
@@ -179,11 +181,7 @@ fn run() -> Result<(), String> {
                 .ok_or_else(|| format!("unknown dataset {name:?}"))?;
             let g = d.generate();
             write_edge_list_file(&g, path).map_err(|e| format!("writing {path}: {e}"))?;
-            println!(
-                "{}: {} edges written to {path}",
-                d.name,
-                g.num_edges()
-            );
+            println!("{}: {} edges written to {path}", d.name, g.num_edges());
         }
         other => return Err(format!("unknown command {other:?}")),
     }

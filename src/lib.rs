@@ -71,8 +71,7 @@ pub mod workloads {
 pub use bigraph::{BipartiteGraph, EdgeId, GraphBuilder, VertexId};
 pub use bitruss_core::{
     bit_bs, bit_bu, bit_bu_hybrid, bit_bu_plus, bit_bu_pp, bit_pc, decompose, decompose_pruned,
-    k_bitruss, read_decomposition, tip_decomposition, TipLayer,
-    write_decomposition, Algorithm, Community, Decomposition, Metrics, PeelStrategy,
-    DEFAULT_TAU,
+    k_bitruss, read_decomposition, tip_decomposition, write_decomposition, Algorithm, Community,
+    Decomposition, Metrics, PeelStrategy, TipLayer, DEFAULT_TAU,
 };
 pub use butterfly::{count_per_edge, count_total, ButterflyCounts};

@@ -9,9 +9,8 @@ use proptest::prelude::*;
 /// Random bipartite graph strategy: up to `max_n`×`max_n` vertices with a
 /// variable number of edges.
 fn arb_graph(max_n: u32, max_m: usize) -> impl Strategy<Value = BipartiteGraph> {
-    (2..=max_n, 2..=max_n, 0..=max_m, any::<u64>()).prop_map(|(nu, nl, m, seed)| {
-        bitruss::workloads::random::uniform(nu, nl, m, seed)
-    })
+    (2..=max_n, 2..=max_n, 0..=max_m, any::<u64>())
+        .prop_map(|(nu, nl, m, seed)| bitruss::workloads::random::uniform(nu, nl, m, seed))
 }
 
 /// Skewed bipartite graph strategy (hubs present).

@@ -102,7 +102,9 @@ proptest! {
 
 #[test]
 fn hybrid_is_in_the_dispatcher_lineup() {
-    let g = bitruss::workloads::dataset_by_name("Condmat").unwrap().generate();
+    let g = bitruss::workloads::dataset_by_name("Condmat")
+        .unwrap()
+        .generate();
     let (d_pp, _) = decompose(&g, Algorithm::BuPlusPlus);
     let (d_h, m_h) = decompose(&g, Algorithm::BuHybrid);
     assert_eq!(d_pp, d_h);
@@ -112,7 +114,9 @@ fn hybrid_is_in_the_dispatcher_lineup() {
 
 #[test]
 fn tip_and_bitruss_coexist_on_registry_data() {
-    let g = bitruss::workloads::dataset_by_name("Marvel").unwrap().generate();
+    let g = bitruss::workloads::dataset_by_name("Marvel")
+        .unwrap()
+        .generate();
     let theta_u = tip_decomposition(&g, TipLayer::Upper);
     let theta_l = tip_decomposition(&g, TipLayer::Lower);
     let (d, _) = decompose(&g, Algorithm::Pc { tau: 0.1 });

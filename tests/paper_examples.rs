@@ -24,9 +24,7 @@ fn figure1_bitruss_numbers() {
         .build()
         .unwrap();
     let (d, _) = decompose(&g, Algorithm::BuPlusPlus);
-    let phi = |u: u32, v: u32| {
-        d.bitruss_number(g.edge_between(g.upper(u), g.lower(v)).unwrap())
-    };
+    let phi = |u: u32, v: u32| d.bitruss_number(g.edge_between(g.upper(u), g.lower(v)).unwrap());
     // Blue: (u0,v0),(u0,v1),(u1,v0),(u1,v1),(u2,v0),(u2,v1).
     for (u, v) in [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)] {
         assert_eq!(phi(u, v), 2, "blue edge (u{u},v{v})");
@@ -64,12 +62,18 @@ fn figure1_nested_groups() {
     let (d, _) = decompose(&g, Algorithm::Bu);
     let loose = d.communities(&g, 1);
     assert_eq!(loose.len(), 1);
-    let papers: Vec<u32> = loose[0].lower_members(&g).map(|v| g.layer_index(v)).collect();
+    let papers: Vec<u32> = loose[0]
+        .lower_members(&g)
+        .map(|v| g.layer_index(v))
+        .collect();
     assert_eq!(papers, vec![0, 1, 2]);
 
     let tight = d.communities(&g, 2);
     assert_eq!(tight.len(), 1);
-    let papers: Vec<u32> = tight[0].lower_members(&g).map(|v| g.layer_index(v)).collect();
+    let papers: Vec<u32> = tight[0]
+        .lower_members(&g)
+        .map(|v| g.layer_index(v))
+        .collect();
     assert_eq!(papers, vec![0, 1]);
 }
 
@@ -166,7 +170,10 @@ fn figure4_hierarchy() {
     let stats = bitruss::graph::GraphStats::of(&h2.graph);
     assert_eq!(stats.num_edges, 6);
     let (d2, _) = decompose(&h2.graph, Algorithm::Bu);
-    assert!(d2.phi.iter().all(|&p| p == 2), "H₂ is exactly the 2-bitruss");
+    assert!(
+        d2.phi.iter().all(|&p| p == 2),
+        "H₂ is exactly the 2-bitruss"
+    );
 }
 
 /// The Introduction's scale anecdote, shrunk: the decomposition of a

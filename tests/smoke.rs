@@ -1,0 +1,74 @@
+//! Fast cross-algorithm smoke test: the oracle CI leans on.
+//!
+//! Builds a handful of tiny deterministic graphs with `datagen` and asserts
+//! that all five algorithm families of the paper — BiT-BS, BiT-BU, BiT-BU+,
+//! BiT-BU++ and BiT-PC — assign the *identical* bitruss number to every
+//! edge. Unlike `cross_algorithm.rs` (hundreds of property cases) this runs
+//! in well under a second, so a broken algorithm fails CI almost instantly.
+
+use bitruss::{decompose, Algorithm, BipartiteGraph};
+
+const FIVE_ALGORITHMS: &[Algorithm] = &[
+    Algorithm::BsIntersection,
+    Algorithm::Bu,
+    Algorithm::BuPlus,
+    Algorithm::BuPlusPlus,
+    Algorithm::Pc { tau: 0.25 },
+];
+
+fn assert_all_agree(g: &BipartiteGraph, label: &str) {
+    // The first entry is the BiT-BS baseline; comparing it against itself
+    // would just double the cost of the slowest algorithm.
+    let (baseline, _) = decompose(g, FIVE_ALGORITHMS[0]);
+    for &alg in &FIVE_ALGORITHMS[1..] {
+        let (d, _) = decompose(g, alg);
+        for e in g.edges() {
+            assert_eq!(
+                d.bitruss_number(e),
+                baseline.bitruss_number(e),
+                "{} disagrees with BiT-BS on edge {:?} of {label}",
+                alg.name(),
+                e,
+            );
+        }
+    }
+}
+
+#[test]
+fn five_algorithms_agree_on_random_graphs() {
+    for seed in 0..4 {
+        let g = bitruss::workloads::random::uniform(12, 12, 55, seed);
+        assert_all_agree(&g, &format!("uniform(12, 12, 55, {seed})"));
+    }
+}
+
+#[test]
+fn five_algorithms_agree_on_skewed_graphs() {
+    for seed in 0..2 {
+        let g = bitruss::workloads::powerlaw::chung_lu(20, 20, 120, 1.9, 1.9, seed);
+        assert_all_agree(&g, &format!("chung_lu(20, 20, 120, 1.9, 1.9, {seed})"));
+    }
+}
+
+#[test]
+fn five_algorithms_agree_on_figure_1() {
+    let g = bitruss::GraphBuilder::new()
+        .add_edges([
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 1),
+            (2, 0),
+            (2, 1),
+            (2, 2),
+            (2, 3),
+            (3, 1),
+            (3, 2),
+            (3, 4),
+        ])
+        .build()
+        .unwrap();
+    assert_all_agree(&g, "Figure 1 author–paper graph");
+    let (d, _) = decompose(&g, Algorithm::BuPlusPlus);
+    assert_eq!(d.max_bitruss(), 2);
+}

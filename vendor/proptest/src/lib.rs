@@ -1,0 +1,368 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored shim implements the slice of proptest the test suites use:
+//! range and tuple strategies, [`Strategy::prop_map`], `any::<u64>()`,
+//! `prop_oneof!`, the `proptest!` macro with `#![proptest_config(..)]`,
+//! and the `prop_assert*` macros. Cases are generated deterministically —
+//! the RNG is seeded from the test name and case index — so failures
+//! reproduce exactly across runs and machines. No shrinking is performed:
+//! a failing case reports its case number and panics with the original
+//! assertion message.
+//!
+//! Swap this for the real `proptest = "1"` by deleting `vendor/proptest`
+//! and the `path` key in the workspace manifest once a registry is
+//! reachable.
+
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng as _, RngCore, SeedableRng};
+
+/// The RNG handed to strategies while generating a case.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+
+    fn generate(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u32, u64, usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns a strategy producing unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// The strategy built by [`prop_oneof!`]: picks one arm uniformly.
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from boxed arms. Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Error type for early `return Ok(())` / `Err(..)` exits from proptest
+/// bodies. The shim's `prop_assert*` macros panic instead of returning
+/// `Err`, so this only ever carries a user-constructed rejection.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Runs `body` against `config.cases` deterministically generated cases.
+///
+/// Used by the expansion of [`proptest!`]; not part of the public
+/// proptest API but harmless to expose.
+pub fn run_cases<F: FnMut(&mut TestRng)>(config: ProptestConfig, test_name: &str, mut body: F) {
+    for case in 0..config.cases {
+        // FNV-1a over the test name, mixed with the case index: stable
+        // across runs, machines and test-ordering.
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        seed = seed.wrapping_add(case as u64);
+        let mut rng = TestRng(SmallRng::seed_from_u64(seed));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(panic) = outcome {
+            eprintln!(
+                "proptest case {case}/{} of `{test_name}` failed (deterministic seed {seed:#x})",
+                config.cases
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// Defines property tests: `fn name(binding in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg($cfg) $($rest)*);
+    };
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($binding:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(config, stringify!($name), |rng| {
+                $(let $binding = $crate::Strategy::generate(&($strategy), rng);)+
+                // Wrap the body so `return Ok(())` early-exits work the way
+                // they do under real proptest.
+                #[allow(clippy::redundant_closure_call)]
+                let result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!("test case rejected: {:?}", e);
+                }
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Chooses uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// `assert!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// The glob-import surface test files pull in.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(v in (2..=9u32, 0..5usize, any::<u64>()).prop_map(|(a, b, _s)| (a, b))) {
+            prop_assert!((2..=9).contains(&v.0));
+            prop_assert!(v.1 < 5);
+        }
+
+        #[test]
+        fn multiple_bindings(a in 1..4u32, b in 10..=12usize) {
+            prop_assert!((1..4).contains(&a));
+            prop_assert!((10..=12).contains(&b));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_covers_all_arms(v in prop_oneof![Just(1u32), Just(2u32), 5..7u32]) {
+            prop_assert!(v == 1 || v == 2 || v == 5 || v == 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let mut seen = Vec::new();
+        for _ in 0..2 {
+            let mut values = Vec::new();
+            crate::run_cases(ProptestConfig::with_cases(10), "det", |rng| {
+                values.push((0..100u64).generate(rng));
+            });
+            seen.push(values);
+        }
+        assert_eq!(seen[0], seen[1]);
+    }
+}
