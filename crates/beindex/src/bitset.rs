@@ -1,0 +1,140 @@
+//! Packed `u64` bitset backing the index's per-wedge and per-edge flags.
+//!
+//! `wedge_alive` and `in_index` used to be `Vec<bool>` — one byte per
+//! flag. Packing them 64-to-a-word cuts that part of the index footprint
+//! 8× (the quantity Figure 11 of the paper measures) and keeps the whole
+//! bitmap cache-resident far longer during peeling.
+
+/// Fixed-length packed bitset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// A bitset of `len` bits, all set to `value`.
+    pub fn filled(len: usize, value: bool) -> BitSet {
+        let fill = if value { u64::MAX } else { 0 };
+        let mut set = BitSet {
+            words: vec![fill; len.div_ceil(64)],
+            len,
+        };
+        set.mask_tail();
+        set
+    }
+
+    /// A bitset of `len` bits where bit `i` is `f(i)`.
+    pub fn from_fn<F: FnMut(usize) -> bool>(len: usize, mut f: F) -> BitSet {
+        let mut set = BitSet::filled(len, false);
+        for i in 0..len {
+            if f(i) {
+                set.set(i, true);
+            }
+        }
+        set
+    }
+
+    /// Clears the unused bits of the last word so equality and popcount
+    /// are well-defined.
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the bitset has no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 != 0
+    }
+
+    /// Writes bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        debug_assert!(i < self.len);
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Heap footprint in bytes.
+    #[inline]
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_rw() {
+        let mut s = BitSet::filled(130, true);
+        assert_eq!(s.len(), 130);
+        assert_eq!(s.count_ones(), 130);
+        assert!(s.get(0) && s.get(63) && s.get(64) && s.get(129));
+        s.set(64, false);
+        assert!(!s.get(64));
+        assert_eq!(s.count_ones(), 129);
+        s.set(64, true);
+        assert_eq!(s.count_ones(), 130);
+
+        let z = BitSet::filled(7, false);
+        assert_eq!(z.count_ones(), 0);
+        assert!(!z.get(6));
+    }
+
+    #[test]
+    fn tail_bits_masked_for_equality() {
+        // A filled(..., true) set equals a from_fn(..., |_| true) set even
+        // though intermediate word states differ.
+        let a = BitSet::filled(70, true);
+        let b = BitSet::from_fn(70, |_| true);
+        assert_eq!(a, b);
+        assert_eq!(a.memory_bytes(), 16);
+    }
+
+    #[test]
+    fn from_fn_pattern() {
+        let s = BitSet::from_fn(100, |i| i % 3 == 0);
+        for i in 0..100 {
+            assert_eq!(s.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(s.count_ones(), 34);
+    }
+
+    #[test]
+    fn empty() {
+        let s = BitSet::filled(0, true);
+        assert!(s.is_empty());
+        assert_eq!(s.memory_bytes(), 0);
+        assert_eq!(s.count_ones(), 0);
+    }
+}

@@ -6,6 +6,12 @@
 //! with `p(v) < p(u)`, `p(w) < p(u)` sharing the same end `w` belong to the
 //! bloom anchored by `(u, w)`; the bloom exists when at least two wedges
 //! share the end (`count_wedge(w) > 1`, Algorithm 3 line 10).
+//!
+//! The per-start-vertex step is factored out ([`process_vertex`]) so the
+//! sequential build and the sharded parallel build
+//! ([`BeIndex::build_parallel`](crate::BeIndex::build_parallel)) run the
+//! byte-for-byte identical enumeration; they differ only in which arena
+//! each vertex's blooms and wedges land in.
 
 use bigraph::{BipartiteGraph, VertexId};
 
@@ -35,98 +41,157 @@ impl BeIndex {
     }
 }
 
-fn build_inner(g: &BipartiteGraph, assigned: Option<&[bool]>) -> BeIndex {
-    let n = g.num_vertices() as usize;
-    let m = g.num_edges() as usize;
+/// Growable arenas the construction appends blooms and wedges into — the
+/// sequential build owns one spanning every vertex; each parallel worker
+/// owns one spanning its vertex shard.
+pub(crate) struct Arena {
+    pub(crate) wedge_e1: Vec<u32>,
+    pub(crate) wedge_e2: Vec<u32>,
+    /// Bloom id of each wedge, local to this arena.
+    pub(crate) wedge_bloom: Vec<u32>,
+    /// Wedge positions per bloom, local to this arena; starts at `[0]`.
+    pub(crate) bloom_start: Vec<u32>,
+    pub(crate) bloom_k: Vec<u32>,
+    pub(crate) bloom_anchor: Vec<(u32, u32)>,
+    /// Per-edge link tallies (global edge ids; additive across arenas).
+    pub(crate) link_count: Vec<u32>,
+}
+
+impl Arena {
+    pub(crate) fn new(num_edges: usize) -> Arena {
+        Arena {
+            wedge_e1: Vec::new(),
+            wedge_e2: Vec::new(),
+            wedge_bloom: Vec::new(),
+            bloom_start: vec![0],
+            bloom_k: Vec::new(),
+            bloom_anchor: Vec::new(),
+            link_count: vec![0; num_edges],
+        }
+    }
+}
+
+/// Per-thread scratch, reset between start vertices via `touched`.
+pub(crate) struct Scratch {
+    count: Vec<u32>,  // count_wedge
+    stored: Vec<u32>, // wedges that will be materialized
+    cursor: Vec<u32>, // fill position per end vertex
+    touched: Vec<u32>,
+    wedges_local: Vec<(u32, u32, u32)>, // (w, e_uv, e_vw)
+}
+
+impl Scratch {
+    pub(crate) fn new(num_vertices: usize) -> Scratch {
+        Scratch {
+            count: vec![0; num_vertices],
+            stored: vec![0; num_vertices],
+            cursor: vec![0; num_vertices],
+            touched: Vec::new(),
+            wedges_local: Vec::new(),
+        }
+    }
+}
+
+/// Enumerates the priority-obeyed wedges starting at `u` and appends the
+/// blooms/wedges they form to `arena` (Algorithm 3 lines 4–13 for one
+/// start vertex). Deterministic: the arena layout depends only on `u` and
+/// the graph, never on which thread runs it.
+pub(crate) fn process_vertex(
+    g: &BipartiteGraph,
+    u: VertexId,
+    assigned: Option<&[bool]>,
+    scratch: &mut Scratch,
+    arena: &mut Arena,
+) {
     let is_assigned = |e: u32| assigned.is_some_and(|a| a[e as usize]);
+    let pu = g.priority(u);
+    scratch.touched.clear();
+    scratch.wedges_local.clear();
 
-    // Scratch, reset per start vertex via `touched`.
-    let mut count = vec![0u32; n]; // count_wedge
-    let mut stored = vec![0u32; n]; // wedges that will be materialized
-    let mut cursor = vec![0u32; n]; // fill position per end vertex
-    let mut touched: Vec<u32> = Vec::new();
-    let mut wedges_local: Vec<(u32, u32, u32)> = Vec::new(); // (w, e_uv, e_vw)
-
-    let mut wedge_e1: Vec<u32> = Vec::new();
-    let mut wedge_e2: Vec<u32> = Vec::new();
-    let mut wedge_bloom: Vec<u32> = Vec::new();
-    let mut bloom_start: Vec<u32> = vec![0];
-    let mut bloom_k: Vec<u32> = Vec::new();
-    let mut bloom_anchor: Vec<(u32, u32)> = Vec::new();
-    let mut link_count = vec![0u32; m];
-
-    for u in g.vertices() {
-        let pu = g.priority(u);
-        touched.clear();
-        wedges_local.clear();
-
-        let vs = g.pri_neighbor_slice(u);
-        let ves = g.pri_neighbor_edge_slice(u);
-        for (&v, &e_uv) in vs.iter().zip(ves) {
-            if g.priority(VertexId(v)) >= pu {
+    let vs = g.pri_neighbor_slice(u);
+    let ves = g.pri_neighbor_edge_slice(u);
+    for (&v, &e_uv) in vs.iter().zip(ves) {
+        if g.priority(VertexId(v)) >= pu {
+            break;
+        }
+        let ws = g.pri_neighbor_slice(VertexId(v));
+        let wes = g.pri_neighbor_edge_slice(VertexId(v));
+        for (&w, &e_vw) in ws.iter().zip(wes) {
+            if g.priority(VertexId(w)) >= pu {
                 break;
             }
-            let ws = g.pri_neighbor_slice(VertexId(v));
-            let wes = g.pri_neighbor_edge_slice(VertexId(v));
-            for (&w, &e_vw) in ws.iter().zip(wes) {
-                if g.priority(VertexId(w)) >= pu {
-                    break;
-                }
-                if count[w as usize] == 0 {
-                    touched.push(w);
-                }
-                count[w as usize] += 1;
-                // A wedge is stored unless both member edges are assigned
-                // (then it only contributes to the bloom's k — a "ghost").
-                if !(is_assigned(e_uv) && is_assigned(e_vw)) {
-                    stored[w as usize] += 1;
-                }
-                wedges_local.push((w, e_uv, e_vw));
+            if scratch.count[w as usize] == 0 {
+                scratch.touched.push(w);
             }
-        }
-
-        // Allocate one bloom per end vertex with count_wedge > 1 that has
-        // at least one stored wedge.
-        for &w in &touched {
-            let c = count[w as usize];
-            let s = stored[w as usize];
-            if c > 1 && s > 0 {
-                let base = wedge_e1.len() as u32;
-                cursor[w as usize] = base;
-                let new_len = wedge_e1.len() + s as usize;
-                wedge_e1.resize(new_len, u32::MAX);
-                wedge_e2.resize(new_len, u32::MAX);
-                wedge_bloom.resize(new_len, bloom_k.len() as u32);
-                bloom_start.push(new_len as u32);
-                bloom_k.push(c);
-                bloom_anchor.push((u.0, w));
+            scratch.count[w as usize] += 1;
+            // A wedge is stored unless both member edges are assigned
+            // (then it only contributes to the bloom's k — a "ghost").
+            if !(is_assigned(e_uv) && is_assigned(e_vw)) {
+                scratch.stored[w as usize] += 1;
             }
-        }
-
-        // Place stored wedges and tally link counts.
-        for &(w, e_uv, e_vw) in &wedges_local {
-            let c = count[w as usize];
-            if c > 1 && !(is_assigned(e_uv) && is_assigned(e_vw)) {
-                let pos = cursor[w as usize] as usize;
-                cursor[w as usize] += 1;
-                wedge_e1[pos] = e_uv;
-                wedge_e2[pos] = e_vw;
-                if !is_assigned(e_uv) {
-                    link_count[e_uv as usize] += 1;
-                }
-                if !is_assigned(e_vw) {
-                    link_count[e_vw as usize] += 1;
-                }
-            }
-        }
-
-        for &w in &touched {
-            count[w as usize] = 0;
-            stored[w as usize] = 0;
+            scratch.wedges_local.push((w, e_uv, e_vw));
         }
     }
 
-    // Per-edge link CSR.
+    // Allocate one bloom per end vertex with count_wedge > 1 that has
+    // at least one stored wedge.
+    for &w in &scratch.touched {
+        let c = scratch.count[w as usize];
+        let s = scratch.stored[w as usize];
+        if c > 1 && s > 0 {
+            let base = arena.wedge_e1.len() as u32;
+            scratch.cursor[w as usize] = base;
+            let new_len = arena.wedge_e1.len() + s as usize;
+            arena.wedge_e1.resize(new_len, u32::MAX);
+            arena.wedge_e2.resize(new_len, u32::MAX);
+            arena
+                .wedge_bloom
+                .resize(new_len, arena.bloom_k.len() as u32);
+            arena.bloom_start.push(new_len as u32);
+            arena.bloom_k.push(c);
+            arena.bloom_anchor.push((u.0, w));
+        }
+    }
+
+    // Place stored wedges and tally link counts.
+    for &(w, e_uv, e_vw) in &scratch.wedges_local {
+        let c = scratch.count[w as usize];
+        if c > 1 && !(is_assigned(e_uv) && is_assigned(e_vw)) {
+            let pos = scratch.cursor[w as usize] as usize;
+            scratch.cursor[w as usize] += 1;
+            arena.wedge_e1[pos] = e_uv;
+            arena.wedge_e2[pos] = e_vw;
+            if !is_assigned(e_uv) {
+                arena.link_count[e_uv as usize] += 1;
+            }
+            if !is_assigned(e_vw) {
+                arena.link_count[e_vw as usize] += 1;
+            }
+        }
+    }
+
+    for &w in &scratch.touched {
+        scratch.count[w as usize] = 0;
+        scratch.stored[w as usize] = 0;
+    }
+}
+
+/// Turns a fully-populated arena into a [`BeIndex`]: per-edge link CSR
+/// (ascending wedge ids, as the fill order guarantees) and the packed
+/// presence/liveness bitsets.
+pub(crate) fn finish(arena: Arena, num_edges: usize, assigned: Option<&[bool]>) -> BeIndex {
+    let m = num_edges;
+    let is_assigned = |e: u32| assigned.is_some_and(|a| a[e as usize]);
+    let Arena {
+        wedge_e1,
+        wedge_e2,
+        wedge_bloom,
+        bloom_start,
+        bloom_k,
+        bloom_anchor,
+        link_count,
+    } = arena;
+
     let mut link_start = vec![0u32; m + 1];
     for e in 0..m {
         link_start[e + 1] = link_start[e] + link_count[e];
@@ -142,11 +207,11 @@ fn build_inner(g: &BipartiteGraph, assigned: Option<&[bool]>) -> BeIndex {
         }
     }
 
-    let in_index: Vec<bool> = match assigned {
-        Some(a) => a.iter().map(|&x| !x).collect(),
-        None => vec![true; m],
+    let in_index = match assigned {
+        Some(a) => crate::bitset::BitSet::from_fn(m, |e| !a[e]),
+        None => crate::bitset::BitSet::filled(m, true),
     };
-    let wedge_alive = vec![true; wedge_e1.len()];
+    let wedge_alive = crate::bitset::BitSet::filled(wedge_e1.len(), true);
 
     BeIndex {
         num_edges: m as u32,
@@ -161,6 +226,17 @@ fn build_inner(g: &BipartiteGraph, assigned: Option<&[bool]>) -> BeIndex {
         link_wedge,
         in_index,
     }
+}
+
+fn build_inner(g: &BipartiteGraph, assigned: Option<&[bool]>) -> BeIndex {
+    let n = g.num_vertices() as usize;
+    let m = g.num_edges() as usize;
+    let mut scratch = Scratch::new(n);
+    let mut arena = Arena::new(m);
+    for u in g.vertices() {
+        process_vertex(g, u, assigned, &mut scratch, &mut arena);
+    }
+    finish(arena, m, assigned)
 }
 
 #[cfg(test)]

@@ -2,6 +2,8 @@
 
 use bigraph::EdgeId;
 
+use crate::bitset::BitSet;
+
 /// Identifier of a maximal priority-obeyed bloom within a [`BeIndex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BloomId(pub u32);
@@ -37,7 +39,7 @@ impl WedgeId {
 /// [`BeIndex::remove_edge`] (Algorithm 2) or the finer-grained primitives
 /// used by the batch algorithms ([`BeIndex::kill_wedge`],
 /// [`BeIndex::sub_bloom_k`], [`BeIndex::remove_edge_links`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BeIndex {
     /// Edge count of the underlying graph (`link_start.len() == m + 1`).
     pub(crate) num_edges: u32,
@@ -47,9 +49,9 @@ pub struct BeIndex {
     pub(crate) wedge_e2: Vec<u32>,
     /// Owning bloom of each wedge.
     pub(crate) wedge_bloom: Vec<u32>,
-    /// Liveness of each wedge; a wedge dies when either member edge is
-    /// removed from the index.
-    pub(crate) wedge_alive: Vec<bool>,
+    /// Liveness of each wedge (packed bitset); a wedge dies when either
+    /// member edge is removed from the index.
+    pub(crate) wedge_alive: BitSet,
     /// Wedge ranges per bloom (wedges are grouped by bloom), length `B+1`.
     pub(crate) bloom_start: Vec<u32>,
     /// Current bloom number `k` of each bloom: the number of wedges it
@@ -66,8 +68,8 @@ pub struct BeIndex {
     /// both member edges unless that edge is assigned in a compressed
     /// build).
     pub(crate) link_wedge: Vec<u32>,
-    /// Whether each edge is still present in `L(I)`.
-    pub(crate) in_index: Vec<bool>,
+    /// Whether each edge is still present in `L(I)` (packed bitset).
+    pub(crate) in_index: BitSet,
 }
 
 impl BeIndex {
@@ -123,6 +125,13 @@ impl BeIndex {
         (self.bloom_start[b.index()]..self.bloom_start[b.index() + 1]).map(WedgeId)
     }
 
+    /// Number of stored wedge slots of a bloom (alive and dead) — the
+    /// traversal cost of visiting it during batch processing.
+    #[inline]
+    pub fn bloom_stored_wedges(&self, b: BloomId) -> u32 {
+        self.bloom_start[b.index() + 1] - self.bloom_start[b.index()]
+    }
+
     /// The two member edges of a wedge.
     #[inline]
     pub fn wedge_members(&self, w: WedgeId) -> (EdgeId, EdgeId) {
@@ -153,14 +162,14 @@ impl BeIndex {
     /// Whether a wedge is still alive.
     #[inline]
     pub fn wedge_alive(&self, w: WedgeId) -> bool {
-        self.wedge_alive[w.index()]
+        self.wedge_alive.get(w.index())
     }
 
     /// Marks a wedge dead. Does not touch `bloom_k`; callers decrement it
     /// per Algorithm 2 / Algorithm 5 semantics.
     #[inline]
     pub fn kill_wedge(&mut self, w: WedgeId) {
-        self.wedge_alive[w.index()] = false;
+        self.wedge_alive.set(w.index(), false);
     }
 
     /// Wedge ids linked to edge `e` (`N_I(e)` plus tombstones; callers
@@ -176,13 +185,13 @@ impl BeIndex {
     /// build start absent).
     #[inline]
     pub fn in_index(&self, e: EdgeId) -> bool {
-        self.in_index[e.index()]
+        self.in_index.get(e.index())
     }
 
     /// Removes `e` from `L(I)`; its remaining links become tombstones.
     #[inline]
     pub fn remove_edge_links(&mut self, e: EdgeId) {
-        self.in_index[e.index()] = false;
+        self.in_index.set(e.index(), false);
     }
 
     /// Butterfly supports implied by the index:
@@ -192,12 +201,12 @@ impl BeIndex {
     pub fn derive_supports(&self) -> Vec<u64> {
         let mut supp = vec![0u64; self.num_edges as usize];
         for e in 0..self.num_edges {
-            if !self.in_index[e as usize] {
+            if !self.in_index.get(e as usize) {
                 continue;
             }
             let mut s = 0u64;
             for &w in self.links(EdgeId(e)) {
-                if self.wedge_alive[w as usize] {
+                if self.wedge_alive.get(w as usize) {
                     s += (self.bloom_k[self.wedge_bloom[w as usize] as usize] as u64) - 1;
                 }
             }
@@ -215,18 +224,20 @@ impl BeIndex {
     }
 
     /// Heap footprint in bytes of the structures the algorithms use
-    /// (wedges, blooms, links, presence bitmap). Matches what Figure 11 of
-    /// the paper measures; the diagnostic `bloom_anchor` array is excluded.
+    /// (wedges, blooms, links, presence bitmaps). Matches what Figure 11
+    /// of the paper measures; the diagnostic `bloom_anchor` array is
+    /// excluded. The liveness and presence flags are packed `u64` bitsets,
+    /// so they cost one *bit* per wedge/edge rather than one byte.
     pub fn memory_bytes(&self) -> usize {
         self.wedge_e1.len() * 4
             + self.wedge_e2.len() * 4
             + self.wedge_bloom.len() * 4
-            + self.wedge_alive.len()
+            + self.wedge_alive.memory_bytes()
             + self.bloom_start.len() * 4
             + self.bloom_k.len() * 4
             + self.link_start.len() * 4
             + self.link_wedge.len() * 4
-            + self.in_index.len()
+            + self.in_index.memory_bytes()
     }
 
     /// Exhaustive structural validation, used by tests and debug builds:

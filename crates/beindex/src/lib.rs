@@ -20,9 +20,12 @@
 
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod build;
 pub mod index;
+pub mod parallel;
 pub mod removal;
 
+pub use bitset::BitSet;
 pub use index::{BeIndex, BloomId, WedgeId};
 pub use removal::UpdateSink;

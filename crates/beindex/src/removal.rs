@@ -78,7 +78,7 @@ impl BeIndex {
             let range =
                 self.bloom_start[b.index()] as usize..self.bloom_start[b.index() + 1] as usize;
             for w in range {
-                if !self.wedge_alive[w] {
+                if !self.wedge_alive.get(w) {
                     continue;
                 }
                 for other in [self.wedge_e1[w], self.wedge_e2[w]] {

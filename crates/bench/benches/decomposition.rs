@@ -14,6 +14,7 @@ fn bench_algorithms(c: &mut Criterion) {
             Algorithm::BsIntersection,
             Algorithm::Bu,
             Algorithm::BuPlusPlus,
+            Algorithm::parallel_auto(),
             Algorithm::pc_default(),
         ] {
             group.bench_with_input(BenchmarkId::new(alg.name(), name), &g, |b, g| {

@@ -9,10 +9,12 @@ use bitruss_core::{decompose, Algorithm};
 
 use crate::estimate::{bs_peel_cost, BS_BUDGET};
 use crate::fmt::{dur, Table};
+use crate::json::JsonRecord;
 use crate::{selected_datasets, Opts};
 
-/// Prints the timing table for the Figure 9 line-up.
-pub fn run(out: &mut dyn Write, opts: &Opts) -> io::Result<()> {
+/// Prints the timing table for the Figure 9 line-up and records one
+/// [`JsonRecord`] per finished (algorithm, dataset) cell.
+pub fn run(out: &mut dyn Write, opts: &Opts, json: &mut Vec<JsonRecord>) -> io::Result<()> {
     writeln!(
         out,
         "== Figure 9 analogue: performance on different datasets =="
@@ -41,6 +43,7 @@ pub fn run(out: &mut dyn Write, opts: &Opts) -> io::Result<()> {
                 Some(r) => assert_eq!(&dec, r, "{} disagrees on {}", alg.name(), d.name),
                 None => reference = Some(dec),
             }
+            json.push(JsonRecord::from_metrics("fig9", alg.name(), d.name, 1, &m));
             cells.push(dur(m.total_time()));
         }
         table.row(&cells);

@@ -1,4 +1,5 @@
-//! One module per table/figure of the paper's evaluation (§VI).
+//! One module per table/figure of the paper's evaluation (§VI), plus the
+//! extension experiments (`ablation`, `parallel`).
 
 pub mod ablation;
 pub mod fig10;
@@ -9,33 +10,44 @@ pub mod fig14;
 pub mod fig5;
 pub mod fig7;
 pub mod fig9;
+pub mod parallel;
 pub mod table2;
 
 use std::io::{self, Write};
 
+use crate::json::JsonRecord;
 use crate::Opts;
 
-/// All experiment ids in paper order, plus the extension ablation.
+/// All experiment ids in paper order, plus the extension experiments.
 pub const ALL: &[&str] = &[
     "table2", "fig5", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation",
+    "parallel",
 ];
 
-/// Runs one experiment by id (or `all`).
-pub fn run(id: &str, out: &mut dyn Write, opts: &Opts) -> io::Result<()> {
+/// Runs one experiment by id (or `all`). Experiments that measure whole
+/// decomposition runs push machine-readable [`JsonRecord`]s into `json`
+/// (serialized by the runner's `--json` flag); the others only print.
+pub fn run(
+    id: &str,
+    out: &mut dyn Write,
+    opts: &Opts,
+    json: &mut Vec<JsonRecord>,
+) -> io::Result<()> {
     match id {
         "table2" => table2::run(out, opts),
         "fig5" => fig5::run(out, opts),
         "fig7" => fig7::run(out, opts),
-        "fig9" => fig9::run(out, opts),
+        "fig9" => fig9::run(out, opts, json),
         "fig10" => fig10::run(out, opts),
         "fig11" => fig11::run(out, opts),
         "fig12" => fig12::run(out, opts),
         "fig13" => fig13::run(out, opts),
         "fig14" => fig14::run(out, opts),
         "ablation" => ablation::run(out, opts),
+        "parallel" => parallel::run(out, opts, json),
         "all" => {
             for id in ALL {
-                run(id, out, opts)?;
+                run(id, out, opts, json)?;
                 writeln!(out)?;
             }
             Ok(())

@@ -1,0 +1,86 @@
+//! Parallel-engine experiment (extension beyond the paper): sequential
+//! BiT-BU++ versus BiT-BU++/P — parallel counting, parallel BE-Index
+//! construction, parallel batch bloom peeling — on one generated graph,
+//! across thread counts. The runs must produce identical decompositions
+//! (asserted); the interesting output is the per-phase wall-time split
+//! and the speedup, which the `--json` sink records for the perf
+//! trajectory.
+
+use std::io::{self, Write};
+
+use bitruss_core::{bit_bu_pp, bit_bu_pp_par, Threads};
+
+use crate::fmt::{dur, Table};
+use crate::json::JsonRecord;
+use crate::Opts;
+
+/// Thread counts to sweep: the sequential baseline, two workers, and the
+/// machine's full parallelism (deduplicated, ascending).
+fn sweep() -> Vec<usize> {
+    let auto = Threads::AUTO.resolve();
+    let mut counts = vec![1, 2, auto];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Runs the sequential-vs-parallel comparison.
+pub fn run(out: &mut dyn Write, opts: &Opts, json: &mut Vec<JsonRecord>) -> io::Result<()> {
+    writeln!(
+        out,
+        "== Parallel engine: BiT-BU++ vs BiT-BU++/P (identical output guaranteed) =="
+    )?;
+    let dataset = if opts.quick { "Marvel" } else { "Github" };
+    let d = datagen::dataset_by_name(dataset).expect("registry");
+    let g = d.generate();
+    writeln!(
+        out,
+        "graph: {} ({} + {} vertices, {} edges)",
+        d.name,
+        g.num_upper(),
+        g.num_lower(),
+        g.num_edges()
+    )?;
+
+    let mut table = Table::new(&[
+        "Engine", "threads", "counting", "index", "peeling", "total", "speedup",
+    ]);
+
+    let (seq_dec, seq_m) = bit_bu_pp(&g);
+    let seq_total = seq_m.total_time().as_secs_f64();
+    json.push(JsonRecord::from_metrics(
+        "parallel", "BU++", d.name, 1, &seq_m,
+    ));
+    table.row(&[
+        "BU++".to_string(),
+        "1".into(),
+        dur(seq_m.counting_time),
+        dur(seq_m.index_time),
+        dur(seq_m.peeling_time),
+        dur(seq_m.total_time()),
+        "1.00x".into(),
+    ]);
+
+    for t in sweep() {
+        let (dec, m) = bit_bu_pp_par(&g, Threads(t));
+        assert_eq!(
+            dec, seq_dec,
+            "BU++/P with {t} threads diverged from sequential BU++ on {}",
+            d.name
+        );
+        json.push(JsonRecord::from_metrics(
+            "parallel", "BU++/P", d.name, t, &m,
+        ));
+        let speedup = seq_total / m.total_time().as_secs_f64().max(1e-9);
+        table.row(&[
+            "BU++/P".to_string(),
+            t.to_string(),
+            dur(m.counting_time),
+            dur(m.index_time),
+            dur(m.peeling_time),
+            dur(m.total_time()),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    write!(out, "{}", table.render())
+}

@@ -1,0 +1,178 @@
+//! Machine-readable benchmark output (the `--json <path>` flag).
+//!
+//! Each experiment that measures whole decomposition runs pushes one
+//! [`JsonRecord`] per (algorithm, graph) cell into a shared sink; the
+//! runner serializes the collected records as a JSON array so future
+//! sessions can track a `BENCH_*.json` perf trajectory without scraping
+//! the human-readable tables. Serialization is hand-rolled — the
+//! workspace intentionally has no serde route — but emits strict JSON.
+
+use std::io::{self, Write};
+use std::time::Duration;
+
+use bitruss_core::Metrics;
+
+/// One measured decomposition run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonRecord {
+    /// Experiment id the record came from (e.g. `"fig9"`, `"parallel"`).
+    pub experiment: String,
+    /// Algorithm display name (`Algorithm::name`), e.g. `"BU++/P"`.
+    pub algorithm: String,
+    /// Dataset / graph name.
+    pub graph: String,
+    /// Worker threads the run was configured with (1 = sequential).
+    pub threads: usize,
+    /// Counting-phase wall time in milliseconds.
+    pub counting_ms: f64,
+    /// Index-construction wall time in milliseconds.
+    pub index_ms: f64,
+    /// Peeling wall time in milliseconds.
+    pub peeling_ms: f64,
+    /// Total wall time in milliseconds (all phases).
+    pub total_ms: f64,
+    /// Butterfly-support updates performed while peeling.
+    pub support_updates: u64,
+    /// Peak BE-Index footprint in bytes (0 for index-free algorithms).
+    pub peak_index_bytes: usize,
+}
+
+impl JsonRecord {
+    /// Builds a record from a run's [`Metrics`].
+    pub fn from_metrics(
+        experiment: &str,
+        algorithm: &str,
+        graph: &str,
+        threads: usize,
+        m: &Metrics,
+    ) -> JsonRecord {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        JsonRecord {
+            experiment: experiment.to_string(),
+            algorithm: algorithm.to_string(),
+            graph: graph.to_string(),
+            threads,
+            counting_ms: ms(m.counting_time),
+            index_ms: ms(m.index_time),
+            peeling_ms: ms(m.peeling_time),
+            total_ms: ms(m.total_time()),
+            support_updates: m.support_updates,
+            peak_index_bytes: m.peak_index_bytes,
+        }
+    }
+
+    fn write_to(&self, out: &mut dyn Write) -> io::Result<()> {
+        write!(
+            out,
+            "{{\"experiment\":{},\"algorithm\":{},\"graph\":{},\"threads\":{},\
+             \"counting_ms\":{:.3},\"index_ms\":{:.3},\"peeling_ms\":{:.3},\
+             \"total_ms\":{:.3},\"support_updates\":{},\"peak_index_bytes\":{}}}",
+            escape(&self.experiment),
+            escape(&self.algorithm),
+            escape(&self.graph),
+            self.threads,
+            self.counting_ms,
+            self.index_ms,
+            self.peeling_ms,
+            self.total_ms,
+            self.support_updates,
+            self.peak_index_bytes,
+        )
+    }
+}
+
+/// JSON string literal with the mandatory escapes.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serializes the records as a pretty-enough JSON array (one record per
+/// line) into `out`.
+pub fn write_records(out: &mut dyn Write, records: &[JsonRecord]) -> io::Result<()> {
+    writeln!(out, "[")?;
+    for (i, r) in records.iter().enumerate() {
+        write!(out, "  ")?;
+        r.write_to(out)?;
+        writeln!(out, "{}", if i + 1 < records.len() { "," } else { "" })?;
+    }
+    writeln!(out, "]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JsonRecord {
+        JsonRecord {
+            experiment: "parallel".into(),
+            algorithm: "BU++/P".into(),
+            graph: "Marvel".into(),
+            threads: 4,
+            counting_ms: 1.5,
+            index_ms: 2.25,
+            peeling_ms: 10.125,
+            total_ms: 13.875,
+            support_updates: 42,
+            peak_index_bytes: 1024,
+        }
+    }
+
+    #[test]
+    fn serializes_as_json_array() {
+        let mut buf = Vec::new();
+        write_records(&mut buf, &[sample(), sample()]).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("[\n"));
+        assert!(s.trim_end().ends_with(']'));
+        assert_eq!(s.matches("\"algorithm\":\"BU++/P\"").count(), 2);
+        assert!(s.contains("\"support_updates\":42"));
+        assert!(s.contains("\"peeling_ms\":10.125"));
+        // One comma between the two records, none after the last.
+        assert_eq!(s.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn empty_sink_is_an_empty_array() {
+        let mut buf = Vec::new();
+        write_records(&mut buf, &[]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "[\n]\n");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(escape("plain"), "\"plain\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn from_metrics_converts_durations() {
+        let m = Metrics {
+            counting_time: std::time::Duration::from_millis(10),
+            index_time: std::time::Duration::from_millis(20),
+            peeling_time: std::time::Duration::from_millis(30),
+            support_updates: 7,
+            peak_index_bytes: 99,
+            ..Metrics::default()
+        };
+        let r = JsonRecord::from_metrics("fig9", "BU++", "Condmat", 1, &m);
+        assert_eq!(r.counting_ms, 10.0);
+        assert_eq!(r.total_ms, 60.0);
+        assert_eq!(r.support_updates, 7);
+        assert_eq!(r.peak_index_bytes, 99);
+    }
+}

@@ -12,6 +12,7 @@
 pub mod estimate;
 pub mod experiments;
 pub mod fmt;
+pub mod json;
 
 use bigraph::BipartiteGraph;
 use datagen::{all_datasets, Dataset, SizeClass};

@@ -3,26 +3,38 @@
 //! ```text
 //! cargo run --release -p bitruss-bench -- all
 //! cargo run --release -p bitruss-bench -- fig9 fig10 --quick
+//! cargo run --release -p bitruss-bench -- parallel --json bench-parallel.json
 //! ```
 
 use std::io::Write;
 use std::process::ExitCode;
 
+use bitruss_bench::json::{write_records, JsonRecord};
 use bitruss_bench::{experiments, Opts};
 
 fn main() -> ExitCode {
     let mut opts = Opts::default();
     let mut ids: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => opts.quick = true,
             "--full" => opts.full = true,
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--quick] [--full] <id>...\n\
+                    "usage: experiments [--quick] [--full] [--json <path>] <id>...\n\
                      ids: {} or all\n\
-                     --quick  restrict to small datasets (smoke test)\n\
-                     --full   run BiT-BS even when predicted to exceed the budget",
+                     --quick       restrict to small datasets (smoke test)\n\
+                     --full        run BiT-BS even when predicted to exceed the budget\n\
+                     --json <path> also write machine-readable per-run records (JSON array)",
                     experiments::ALL.join(", ")
                 );
                 return ExitCode::SUCCESS;
@@ -40,12 +52,25 @@ fn main() -> ExitCode {
 
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
+    let mut records: Vec<JsonRecord> = Vec::new();
     for id in &ids {
-        if let Err(e) = experiments::run(id, &mut out, &opts) {
+        if let Err(e) = experiments::run(id, &mut out, &opts, &mut records) {
             eprintln!("experiment {id} failed: {e}");
             return ExitCode::FAILURE;
         }
         let _ = writeln!(out);
+    }
+    if let Some(path) = json_path {
+        let write = || -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&path)?;
+            write_records(&mut f, &records)?;
+            f.flush()
+        };
+        if let Err(e) = write() {
+            eprintln!("writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let _ = writeln!(out, "{} JSON records written to {path}", records.len());
     }
     ExitCode::SUCCESS
 }

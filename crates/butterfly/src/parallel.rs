@@ -4,23 +4,77 @@
 //! computations as related work): the priority-obeyed wedge enumeration is
 //! embarrassingly parallel over start vertices, so we shard vertices across
 //! threads (std scoped threads), give each thread its own scratch and
-//! support accumulator, and reduce at the end. The result is bit-identical
-//! to [`crate::count_per_edge`].
+//! support accumulator, and reduce at the end. The reduction itself is also
+//! parallel: the `m`-length accumulator is chunked across the same workers
+//! so no single thread has to merge `threads × m` partials alone. The
+//! result is bit-identical to [`crate::count_per_edge`].
 
 use bigraph::{BipartiteGraph, VertexId};
 
 use crate::support::{choose2, ButterflyCounts};
 
+/// Worker-thread configuration shared by every parallel entry point of the
+/// suite (counting, index construction, peeling): `Threads(0)` auto-detects
+/// via [`std::thread::available_parallelism`], `Threads(n)` pins exactly
+/// `n` workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Threads(pub usize);
+
+impl Threads {
+    /// Auto-detect the worker count from the hardware.
+    pub const AUTO: Threads = Threads(0);
+
+    /// Resolves the configuration to a concrete worker count (always ≥ 1).
+    pub fn resolve(self) -> usize {
+        if self.0 == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.0
+        }
+    }
+}
+
+impl From<usize> for Threads {
+    fn from(n: usize) -> Threads {
+        Threads(n)
+    }
+}
+
+/// Chunked parallel element-wise reduction: folds every `partials[j]`
+/// into `acc` (`acc[i] += partials[j][i]`), with contiguous chunks of
+/// `acc` owned by scoped workers so no thread serializes the whole merge.
+/// Every partial must be at least as long as `acc`. Shared by the
+/// counting reduction here and the link-tally reduction of the parallel
+/// BE-Index build.
+pub fn par_add_assign<T>(acc: &mut [T], partials: &[Vec<T>], threads: usize)
+where
+    T: std::ops::AddAssign + Copy + Send + Sync,
+{
+    if acc.is_empty() || partials.is_empty() {
+        return;
+    }
+    let chunk = acc.len().div_ceil(threads.max(1)).max(1);
+    std::thread::scope(|scope| {
+        for (i, acc_chunk) in acc.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                let base = i * chunk;
+                let len = acc_chunk.len();
+                for partial in partials {
+                    for (a, &p) in acc_chunk.iter_mut().zip(&partial[base..base + len]) {
+                        *a += p;
+                    }
+                }
+            });
+        }
+    });
+}
+
 /// Parallel counting across `threads` workers (clamped to at least 1).
 /// `threads == 0` selects `std::thread::available_parallelism()`.
 pub fn count_per_edge_parallel(g: &BipartiteGraph, threads: usize) -> ButterflyCounts {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    };
+    let threads = Threads(threads).resolve();
     let n = g.num_vertices() as usize;
     let m = g.num_edges() as usize;
     if threads <= 1 || n < 1024 {
@@ -30,7 +84,7 @@ pub fn count_per_edge_parallel(g: &BipartiteGraph, threads: usize) -> ButterflyC
     // Static interleaved sharding: vertex v goes to thread v % threads.
     // High-degree vertices cluster at particular ids in many generators, so
     // interleaving balances better than contiguous chunks.
-    let partials: Vec<(Vec<u64>, u64)> = std::thread::scope(|scope| {
+    let mut partials: Vec<(Vec<u64>, u64)> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             handles.push(scope.spawn(move || {
@@ -86,15 +140,13 @@ pub fn count_per_edge_parallel(g: &BipartiteGraph, threads: usize) -> ButterflyC
             .collect()
     });
 
-    // Reduce.
-    let mut per_edge = vec![0u64; m];
-    let mut total = 0u64;
-    for (partial, t) in partials {
-        total += t;
-        for (acc, p) in per_edge.iter_mut().zip(partial) {
-            *acc += p;
-        }
-    }
+    // Parallel reduction: fold the remaining partials into the first one,
+    // chunking the edge range across the same workers so the merge is not
+    // serialized on one thread.
+    let total = partials.iter().map(|&(_, t)| t).sum();
+    let mut per_edge = partials.remove(0).0;
+    let rest: Vec<Vec<u64>> = partials.into_iter().map(|(v, _)| v).collect();
+    par_add_assign(&mut per_edge, &rest, threads);
     ButterflyCounts { per_edge, total }
 }
 
@@ -134,6 +186,16 @@ mod tests {
     }
 
     #[test]
+    fn more_workers_than_edges_still_reduces_correctly() {
+        // Exercises the chunked reduction when chunks are tiny relative to
+        // the worker count.
+        let g = dense_test_graph();
+        let seq = count_per_edge(&g);
+        let par = count_per_edge_parallel(&g, 13);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
     fn single_thread_falls_back() {
         let g = GraphBuilder::new()
             .add_edges([(0, 0), (0, 1), (1, 0), (1, 1)])
@@ -149,5 +211,34 @@ mod tests {
         let seq = count_per_edge(&g);
         let par = count_per_edge_parallel(&g, 0);
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_add_assign_matches_serial_sum() {
+        let partials: Vec<Vec<u32>> = (0..5)
+            .map(|j| (0..103u32).map(|i| i * 3 + j).collect())
+            .collect();
+        let mut acc = vec![1u32; 103];
+        let mut expect = acc.clone();
+        for p in &partials {
+            for (a, &x) in expect.iter_mut().zip(p) {
+                *a += x;
+            }
+        }
+        par_add_assign(&mut acc, &partials, 4);
+        assert_eq!(acc, expect);
+        // Degenerate shapes are no-ops, not panics.
+        par_add_assign::<u32>(&mut [], &partials, 4);
+        par_add_assign(&mut acc, &[], 4);
+        assert_eq!(acc, expect);
+    }
+
+    #[test]
+    fn threads_resolution() {
+        assert_eq!(Threads(4).resolve(), 4);
+        assert_eq!(Threads(1).resolve(), 1);
+        assert!(Threads::AUTO.resolve() >= 1);
+        assert_eq!(Threads::from(3), Threads(3));
+        assert_eq!(Threads::default(), Threads::AUTO);
     }
 }

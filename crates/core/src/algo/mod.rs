@@ -3,11 +3,14 @@
 pub mod batch;
 pub mod bs;
 pub mod bu;
+pub mod parallel;
 pub mod pc;
 
 pub use batch::{bit_bu_hybrid, bit_bu_plus, bit_bu_plus_opts, bit_bu_pp, bit_bu_pp_opts};
 pub use bs::{bit_bs, PeelStrategy};
 pub use bu::{bit_bu, bit_bu_opts};
+pub use butterfly::Threads;
+pub use parallel::{bit_bu_pp_par, bit_bu_pp_par_tuned};
 pub use pc::{bit_pc, bit_pc_opts, kmax_bound, DEFAULT_TAU};
 
 use bigraph::BipartiteGraph;
@@ -28,6 +31,13 @@ pub enum Algorithm {
     BuPlus,
     /// BiT-BU++ (Algorithm 5) — both batch optimizations.
     BuPlusPlus,
+    /// BiT-BU++/P (extension): the shared-memory parallel engine —
+    /// parallel counting, parallel index construction and parallel batch
+    /// bloom processing across the configured worker threads.
+    BuPlusPlusPar {
+        /// Worker-thread configuration (`Threads(0)` = auto-detect).
+        threads: Threads,
+    },
     /// BiT-BU# (extension): one bloom traversal per batch (as BU++) with
     /// writes aggregated per affected edge (as BU+).
     BuHybrid,
@@ -44,6 +54,13 @@ impl Algorithm {
         Algorithm::Pc { tau: DEFAULT_TAU }
     }
 
+    /// BiT-BU++/P with auto-detected worker threads.
+    pub fn parallel_auto() -> Algorithm {
+        Algorithm::BuPlusPlusPar {
+            threads: Threads::AUTO,
+        }
+    }
+
     /// Short display name matching the paper's figures.
     pub fn name(&self) -> &'static str {
         match self {
@@ -52,6 +69,7 @@ impl Algorithm {
             Algorithm::Bu => "BU",
             Algorithm::BuPlus => "BU+",
             Algorithm::BuPlusPlus => "BU++",
+            Algorithm::BuPlusPlusPar { .. } => "BU++/P",
             Algorithm::BuHybrid => "BU#",
             Algorithm::Pc { .. } => "PC",
         }
@@ -78,6 +96,7 @@ pub fn decompose(g: &BipartiteGraph, algorithm: Algorithm) -> (Decomposition, Me
         Algorithm::Bu => bit_bu(g),
         Algorithm::BuPlus => bit_bu_plus(g),
         Algorithm::BuPlusPlus => bit_bu_pp(g),
+        Algorithm::BuPlusPlusPar { threads } => parallel::bit_bu_pp_par(g, threads),
         Algorithm::BuHybrid => batch::bit_bu_hybrid(g),
         Algorithm::Pc { tau } => bit_pc(g, tau),
     }
@@ -145,6 +164,10 @@ mod tests {
             Algorithm::Bu,
             Algorithm::BuPlus,
             Algorithm::BuPlusPlus,
+            Algorithm::BuPlusPlusPar {
+                threads: Threads(3),
+            },
+            Algorithm::parallel_auto(),
             Algorithm::BuHybrid,
             Algorithm::pc_default(),
             Algorithm::Pc { tau: 1.0 },

@@ -1,0 +1,306 @@
+//! BiT-BU++/P — the shared-memory parallel decomposition engine.
+//!
+//! All three phases of BiT-BU++ get a parallel counterpart:
+//!
+//! 1. **Counting** uses `butterfly::count_per_edge_parallel` (sharded
+//!    wedge enumeration, parallel reduction).
+//! 2. **Index construction** uses [`BeIndex::build_parallel`] — bit-
+//!    identical to the sequential build for every thread count.
+//! 3. **Peeling** exploits Lemma 9 exactly like the batch algorithms of
+//!    §V-B: all edges popped at one support level peel independently, so
+//!    the per-bloom traversals of Algorithm 5 lines 14–18 are partitioned
+//!    across workers. Each worker accumulates its support deltas in a
+//!    thread-local sparse buffer (`delta`/`touched` pairs, as in
+//!    `batch.rs`); the buffers are then merged and every affected edge
+//!    receives **one** clamped write. The `max(MBS, ·)` rule composes —
+//!    `max(f, max(f, s−a)−b) = max(f, s−a−b)` — so the merged write
+//!    produces the identical support the sequential per-(bloom, edge)
+//!    writes would, and the resulting [`Decomposition`] is bit-identical
+//!    to [`bit_bu_pp`](crate::algo::bit_bu_pp) regardless of thread count.
+//!
+//! Light batches (few wedge slots to traverse) skip the fan-out: spawning
+//! scoped threads costs more than the traversal itself, so a work estimate
+//! gates the parallel path per batch.
+
+use std::time::Instant;
+
+use beindex::{BeIndex, BloomId, WedgeId};
+use bigraph::{BipartiteGraph, EdgeId};
+use butterfly::{count_per_edge_parallel, Threads};
+
+use crate::bucket_queue::BucketQueue;
+use crate::decomposition::Decomposition;
+use crate::metrics::Metrics;
+
+/// Minimum phase-2 work (wedge slots across the batch's touched blooms)
+/// before the bloom traversal is fanned out to worker threads. Below it
+/// the per-batch `thread::scope` spawn overhead outweighs the traversal.
+const PAR_BATCH_MIN_WORK: usize = 4096;
+
+/// Phase 2 of one batch (Algorithm 5 lines 14–18) for the blooms at
+/// positions `start, start + stride, …` of `blooms`: every surviving
+/// member edge of bloom `B` accumulates a `−C(B)` delta into the sparse
+/// `delta`/`touched` buffer. Read-only on the index, so the sequential
+/// path (`start = 0, stride = 1`, global buffer) and each parallel worker
+/// (`start = worker, stride = threads`, thread-local buffer) share it —
+/// one body, one set of filter rules.
+fn accumulate_bloom_deltas(
+    index: &BeIndex,
+    c: &[u32],
+    blooms: &[u32],
+    start: usize,
+    stride: usize,
+    delta: &mut [u64],
+    touched: &mut Vec<u32>,
+) {
+    let mut bi = start;
+    while bi < blooms.len() {
+        let b = BloomId(blooms[bi]);
+        bi += stride;
+        let cb = c[b.index()] as u64;
+        for w in index.bloom_wedges(b) {
+            if !index.wedge_alive(w) {
+                continue;
+            }
+            let (e1, e2) = index.wedge_members(w);
+            for other in [e1, e2] {
+                if index.in_index(other) {
+                    if delta[other.index()] == 0 {
+                        touched.push(other.0);
+                    }
+                    delta[other.index()] += cb;
+                }
+            }
+        }
+    }
+}
+
+/// Runs BiT-BU++/P: BiT-BU++ with parallel counting, parallel index
+/// construction and parallel batch bloom processing.
+///
+/// The returned decomposition is bit-identical to
+/// [`bit_bu_pp`](crate::algo::bit_bu_pp) for every thread count
+/// (`Threads(0)` = auto, `Threads(1)` = sequential engine on one worker).
+/// `support_updates` counts one write per affected edge per batch — the
+/// aggregated-write semantics of BiT-BU# — and is likewise independent of
+/// the thread count.
+pub fn bit_bu_pp_par(g: &BipartiteGraph, threads: Threads) -> (Decomposition, Metrics) {
+    bit_bu_pp_par_tuned(g, threads, PAR_BATCH_MIN_WORK)
+}
+
+/// [`bit_bu_pp_par`] with an explicit fan-out threshold: batches whose
+/// phase-2 work estimate is below `par_batch_min_work` wedge slots are
+/// traversed inline. `0` forces every batch through the parallel path
+/// (useful for determinism testing and for machines with very cheap
+/// thread spawns); `usize::MAX` pins peeling to one thread while keeping
+/// counting and index construction parallel.
+pub fn bit_bu_pp_par_tuned(
+    g: &BipartiteGraph,
+    threads: Threads,
+    par_batch_min_work: usize,
+) -> (Decomposition, Metrics) {
+    let t = threads.resolve();
+    let mut metrics = Metrics {
+        counting_threads: t,
+        index_threads: t,
+        peeling_threads: t,
+        iterations: 1,
+        ..Metrics::default()
+    };
+    let m = g.num_edges() as usize;
+
+    let t0 = Instant::now();
+    let counts = count_per_edge_parallel(g, t);
+    metrics.counting_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let mut index = BeIndex::build_parallel(g, Threads(t));
+    metrics.index_time = t1.elapsed();
+    metrics.peak_index_bytes = index.memory_bytes();
+
+    let t2 = Instant::now();
+    let mut supp = counts.per_edge;
+    let mut phi = vec![0u64; m];
+    let mut queue = BucketQueue::new(&supp, |_| true);
+
+    // c[b] = wedges the current batch removed from bloom b (Algorithm 5's
+    // C(B∗)), reset per batch via `touched_blooms`.
+    let mut c: Vec<u32> = vec![0; index.num_blooms() as usize];
+    let mut touched_blooms: Vec<u32> = Vec::new();
+    // Global aggregation buffer: one clamped write per edge per batch.
+    let mut delta = vec![0u64; m];
+    let mut touched_edges: Vec<u32> = Vec::new();
+    // Per-worker sparse buffers for the parallel bloom pass, allocated
+    // lazily on the first batch heavy enough to fan out.
+    let mut worker_bufs: Vec<(Vec<u64>, Vec<u32>)> = Vec::new();
+    let mut batch: Vec<EdgeId> = Vec::new();
+
+    while let Some(level) = queue.pop_level(&supp, &mut batch) {
+        for &e in &batch {
+            phi[e.index()] = level;
+        }
+
+        // Phase 1 (Algorithm 5 lines 6–13, sequential): kill the batch's
+        // wedges, count C(B) per touched bloom, and accumulate the twin
+        // settlements −(k−1) into the aggregation buffer. Wedge kills
+        // race-freely belong here: two batch edges may share a wedge.
+        for &e in &batch {
+            for li in 0..index.links(e).len() {
+                let w0 = WedgeId(index.links(e)[li]);
+                if !index.wedge_alive(w0) {
+                    continue; // twin also in S and processed first
+                }
+                let b = index.wedge_bloom(w0);
+                let k = index.bloom_k(b) as u64;
+                let twin = index.wedge_twin(w0, e);
+                index.kill_wedge(w0);
+                if c[b.index()] == 0 {
+                    touched_blooms.push(b.0);
+                }
+                c[b.index()] += 1;
+                if k >= 2 && index.in_index(twin) {
+                    if delta[twin.index()] == 0 {
+                        touched_edges.push(twin.0);
+                    }
+                    delta[twin.index()] += k - 1;
+                }
+            }
+            index.remove_edge_links(e);
+        }
+
+        // Phase 2 (lines 14–18): one traversal per touched bloom,
+        // accumulating −C(B) per surviving member edge. Blooms are
+        // independent here — the traversal only reads the index — so heavy
+        // batches partition them across workers (interleaved, like the
+        // vertex sharding elsewhere) into thread-local buffers.
+        let work: usize = touched_blooms
+            .iter()
+            .map(|&b| index.bloom_stored_wedges(BloomId(b)) as usize)
+            .sum();
+        if t > 1 && work >= par_batch_min_work && work > 0 {
+            if worker_bufs.is_empty() {
+                worker_bufs = (0..t).map(|_| (vec![0u64; m], Vec::new())).collect();
+                metrics.scratch_bytes = t * m * std::mem::size_of::<u64>();
+            }
+            std::thread::scope(|scope| {
+                let index = &index;
+                let c = &c;
+                let blooms = &touched_blooms;
+                for (wi, (w_delta, w_touched)) in worker_bufs.iter_mut().enumerate() {
+                    scope.spawn(move || {
+                        accumulate_bloom_deltas(index, c, blooms, wi, t, w_delta, w_touched);
+                    });
+                }
+            });
+            // Merge the worker buffers into the global aggregation buffer
+            // (addition commutes, so merge order cannot affect results).
+            for (w_delta, w_touched) in &mut worker_bufs {
+                for &e in w_touched.iter() {
+                    let d = std::mem::take(&mut w_delta[e as usize]);
+                    if delta[e as usize] == 0 {
+                        touched_edges.push(e);
+                    }
+                    delta[e as usize] += d;
+                }
+                w_touched.clear();
+            }
+        } else {
+            accumulate_bloom_deltas(
+                &index,
+                &c,
+                &touched_blooms,
+                0,
+                1,
+                &mut delta,
+                &mut touched_edges,
+            );
+        }
+        // Settle bloom sizes and reset the batch counters.
+        for &b in &touched_blooms {
+            let cb = std::mem::take(&mut c[b as usize]);
+            index.sub_bloom_k(BloomId(b), cb);
+        }
+        touched_blooms.clear();
+
+        // Phase 3: one merged clamped write per affected edge.
+        for &te in &touched_edges {
+            let e = EdgeId(te);
+            let d = std::mem::take(&mut delta[e.index()]);
+            if d > 0 && index.in_index(e) && supp[e.index()] > level {
+                let old = supp[e.index()];
+                let new = level.max(old.saturating_sub(d));
+                supp[e.index()] = new;
+                queue.decrease(e, old, new);
+                metrics.record_update(e);
+            }
+        }
+        touched_edges.clear();
+    }
+    metrics.peeling_time = t2.elapsed();
+    (Decomposition::new(phi), metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::batch::{bit_bu_hybrid, bit_bu_pp};
+    use crate::verify::{reference_decomposition, validate_decomposition};
+
+    #[test]
+    fn matches_sequential_on_random_graphs() {
+        for seed in 0..6 {
+            let g = datagen::random::uniform(13, 15, 70, seed);
+            let (seq, _) = bit_bu_pp(&g);
+            for threads in [1, 2, 3, 8] {
+                // min_work = 0 forces the parallel fan-out on every batch
+                // so small graphs exercise it too.
+                let (par, m) = bit_bu_pp_par_tuned(&g, Threads(threads), 0);
+                assert_eq!(par, seq, "seed {seed} threads {threads}");
+                assert_eq!(m.peeling_threads, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_skewed_graphs() {
+        for seed in 0..3 {
+            let g = datagen::powerlaw::chung_lu(80, 80, 1_200, 1.9, 1.9, seed);
+            let expect = reference_decomposition(&g);
+            let (par, _) = bit_bu_pp_par_tuned(&g, Threads(4), 0);
+            assert_eq!(par, expect, "seed {seed}");
+            validate_decomposition(&g, &par).unwrap();
+        }
+    }
+
+    #[test]
+    fn update_count_is_thread_count_independent_and_matches_hybrid() {
+        // The aggregated-write semantics are exactly BiT-BU#'s, so the
+        // update count must match it and be identical across thread
+        // counts.
+        let g = datagen::powerlaw::chung_lu(90, 90, 1_400, 1.9, 1.9, 8);
+        let (d_h, m_h) = bit_bu_hybrid(&g);
+        let mut counts = Vec::new();
+        for threads in [1, 2, 3, 8] {
+            let (d, m) = bit_bu_pp_par_tuned(&g, Threads(threads), 0);
+            assert_eq!(d, d_h);
+            counts.push(m.support_updates);
+        }
+        assert!(counts.iter().all(|&u| u == m_h.support_updates));
+    }
+
+    #[test]
+    fn auto_threads() {
+        let g = datagen::random::uniform(12, 12, 55, 3);
+        let (seq, _) = bit_bu_pp(&g);
+        let (par, m) = bit_bu_pp_par(&g, Threads::AUTO);
+        assert_eq!(par, seq);
+        assert!(m.counting_threads >= 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = bigraph::GraphBuilder::new().build().unwrap();
+        let (d, _) = bit_bu_pp_par(&g, Threads(4));
+        assert_eq!(d.phi.len(), 0);
+    }
+}

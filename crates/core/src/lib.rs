@@ -10,6 +10,7 @@
 //! | [`algo::bit_bu`]       | Alg. 4 | peel through the BE-Index |
 //! | [`algo::bit_bu_plus`]  | §V-B   | + batch edge processing |
 //! | [`algo::bit_bu_pp`]    | Alg. 5 | + batch bloom processing |
+//! | [`algo::bit_bu_pp_par`] | ext.  | BiT-BU++/P: parallel counting, index construction and batch peeling |
 //! | [`algo::bit_pc`]       | Alg. 7 | progressive compression: hub edges first, in candidate subgraphs |
 //!
 //! All of them produce the same [`Decomposition`] — the bitruss number
@@ -50,8 +51,9 @@ pub mod verify;
 
 pub use algo::{
     bit_bs, bit_bu, bit_bu_hybrid, bit_bu_opts, bit_bu_plus, bit_bu_plus_opts, bit_bu_pp,
-    bit_bu_pp_opts, bit_pc, bit_pc_opts, decompose, decompose_pruned, decompose_with_histogram,
-    kmax_bound, Algorithm, PeelStrategy, DEFAULT_TAU,
+    bit_bu_pp_opts, bit_bu_pp_par, bit_bu_pp_par_tuned, bit_pc, bit_pc_opts, decompose,
+    decompose_pruned, decompose_with_histogram, kmax_bound, Algorithm, PeelStrategy, Threads,
+    DEFAULT_TAU,
 };
 pub use bucket_queue::BucketQueue;
 pub use decomposition::{Community, Decomposition};

@@ -92,6 +92,22 @@ pub struct Metrics {
     pub iterations: u32,
     /// Peak BE-Index size in bytes over the run (0 for BiT-BS).
     pub peak_index_bytes: usize,
+    /// Worker threads the counting phase was *configured* with (0 = the
+    /// sequential engine, which does not set the per-phase counts). Small
+    /// inputs may still run sequentially under the hood — the parallel
+    /// entry points fall back below their size thresholds.
+    pub counting_threads: usize,
+    /// Worker threads the index-construction phase was configured with
+    /// (0 = sequential engine; same fallback caveat as counting).
+    pub index_threads: usize,
+    /// Worker threads the peeling phase can fan out to (0 = sequential
+    /// engine; light batches run inline even when this is > 1).
+    pub peeling_threads: usize,
+    /// Thread-local scratch allocated by the parallel peeling engine, in
+    /// bytes (0 until a batch is heavy enough to fan out). Reported
+    /// separately from [`Metrics::peak_index_bytes`] so the parallel
+    /// engine's true memory footprint stays visible next to the index's.
+    pub scratch_bytes: usize,
     /// Optional per-original-support update histogram (Figure 7).
     pub histogram: Option<UpdateHistogram>,
 }

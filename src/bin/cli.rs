@@ -2,27 +2,31 @@
 //!
 //! ```text
 //! bitruss-cli stats      <edges.txt>
-//! bitruss-cli count      <edges.txt>
-//! bitruss-cli decompose  <edges.txt> [--algorithm bs|bu|bu+|bu++|pc] [--tau T] [--output phi.txt]
+//! bitruss-cli count      <edges.txt> [--threads N]
+//! bitruss-cli decompose  <edges.txt> [--algorithm bs|bu|bu+|bu++|bu++p|pc] [--tau T] [--threads N] [--output phi.txt]
 //! bitruss-cli kbitruss   <edges.txt> <k> [--output sub.txt]
 //! bitruss-cli communities <edges.txt> <k>
 //! bitruss-cli generate   <dataset-name> <edges.txt>
 //! ```
 //!
-//! Edge files are whitespace-separated `upper lower` pairs, one per line,
-//! `%`/`#` comments allowed; pass `--one-based` for KONECT-style 1-based
-//! indices.
+//! `--threads N` selects the parallel engine with `N` workers (`0` =
+//! auto-detect from the hardware); for `decompose` it upgrades the
+//! default `bu++` algorithm to the parallel `bu++p`, whose result is
+//! bit-identical to the sequential run. Edge files are whitespace-
+//! separated `upper lower` pairs, one per line, `%`/`#` comments allowed;
+//! pass `--one-based` for KONECT-style 1-based indices.
 
 use std::process::ExitCode;
 
 use bitruss::graph::io::{read_edge_list_file, write_edge_list_file, IndexBase};
 use bitruss::graph::GraphStats;
-use bitruss::{decompose, Algorithm, BipartiteGraph};
+use bitruss::{decompose, Algorithm, BipartiteGraph, Threads};
 
 struct Args {
     positional: Vec<String>,
     algorithm: Algorithm,
     tau: f64,
+    threads: Option<Threads>,
     output: Option<String>,
     base: IndexBase,
 }
@@ -32,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         positional: Vec::new(),
         algorithm: Algorithm::BuPlusPlus,
         tau: bitruss::DEFAULT_TAU,
+        threads: None,
         output: None,
         base: IndexBase::Zero,
     };
@@ -45,6 +50,11 @@ fn parse_args() -> Result<Args, String> {
             "--tau" | "-t" => {
                 let v = it.next().ok_or("--tau needs a value")?;
                 args.tau = v.parse().map_err(|_| format!("bad τ {v:?}"))?;
+            }
+            "--threads" | "-j" => {
+                let v = it.next().ok_or("--threads needs a value (0 = auto)")?;
+                let n: usize = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+                args.threads = Some(Threads(n));
             }
             "--output" | "-o" => {
                 args.output = Some(it.next().ok_or("--output needs a value")?);
@@ -61,9 +71,19 @@ fn parse_args() -> Result<Args, String> {
             "bu" => Algorithm::Bu,
             "bu+" => Algorithm::BuPlus,
             "bu++" => Algorithm::BuPlusPlus,
+            "bu++p" | "bu++/p" => Algorithm::BuPlusPlusPar {
+                threads: args.threads.unwrap_or(Threads::AUTO),
+            },
             "pc" => Algorithm::Pc { tau: args.tau },
             other => return Err(format!("unknown algorithm {other:?}")),
         };
+    }
+    // `--threads` without an explicit parallel algorithm upgrades the
+    // default BU++ to its parallel engine (bit-identical results).
+    if let Some(threads) = args.threads {
+        if args.algorithm == Algorithm::BuPlusPlus {
+            args.algorithm = Algorithm::BuPlusPlusPar { threads };
+        }
     }
     Ok(args)
 }
@@ -100,7 +120,10 @@ fn run() -> Result<(), String> {
         "count" => {
             let path = args.positional.get(1).ok_or("count needs a file")?;
             let g = load(path, args.base)?;
-            let c = bitruss::count_per_edge(&g);
+            let c = match args.threads {
+                Some(t) => bitruss::count_per_edge_parallel(&g, t.0),
+                None => bitruss::count_per_edge(&g),
+            };
             println!("butterflies: {}", c.total);
             println!("max support: {}", c.max_support());
             println!(
@@ -110,6 +133,13 @@ fn run() -> Result<(), String> {
         }
         "decompose" => {
             let path = args.positional.get(1).ok_or("decompose needs a file")?;
+            if args.threads.is_some() && !matches!(args.algorithm, Algorithm::BuPlusPlusPar { .. })
+            {
+                return Err(format!(
+                    "--threads only applies to the parallel engine (bu++ or bu++p), not {}",
+                    args.algorithm.name()
+                ));
+            }
             let g = load(path, args.base)?;
             let (d, m) = decompose(&g, args.algorithm);
             println!(
@@ -119,6 +149,12 @@ fn run() -> Result<(), String> {
                 m.support_updates,
                 m.iterations
             );
+            if m.peeling_threads > 0 {
+                println!(
+                    "threads (configured): {} counting, {} index, {} peeling",
+                    m.counting_threads, m.index_threads, m.peeling_threads
+                );
+            }
             println!("max bitruss number: {}", d.max_bitruss());
             for (k, n) in d.level_sizes() {
                 println!("  φ = {k}: {n} edges");

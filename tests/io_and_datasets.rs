@@ -64,9 +64,11 @@ fn harness_quick_run_produces_all_tables() {
         full: false,
     };
     let mut out = Vec::new();
+    let mut json = Vec::new();
     for id in ["table2", "fig10", "fig13"] {
-        bitruss_bench::experiments::run(id, &mut out, &opts).unwrap();
+        bitruss_bench::experiments::run(id, &mut out, &opts, &mut json).unwrap();
     }
+    assert!(json.is_empty(), "these experiments emit no JSON records");
     let text = String::from_utf8(out).unwrap();
     assert!(text.contains("Table II analogue"));
     assert!(text.contains("Figure 10 analogue"));

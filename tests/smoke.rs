@@ -2,25 +2,29 @@
 //!
 //! Builds a handful of tiny deterministic graphs with `datagen` and asserts
 //! that all five algorithm families of the paper — BiT-BS, BiT-BU, BiT-BU+,
-//! BiT-BU++ and BiT-PC — assign the *identical* bitruss number to every
-//! edge. Unlike `cross_algorithm.rs` (hundreds of property cases) this runs
-//! in well under a second, so a broken algorithm fails CI almost instantly.
+//! BiT-BU++ and BiT-PC — plus the parallel engine BiT-BU++/P assign the
+//! *identical* bitruss number to every edge. Unlike `cross_algorithm.rs`
+//! (hundreds of property cases) this runs in well under a second, so a
+//! broken algorithm fails CI almost instantly.
 
-use bitruss::{decompose, Algorithm, BipartiteGraph};
+use bitruss::{decompose, Algorithm, BipartiteGraph, Threads};
 
-const FIVE_ALGORITHMS: &[Algorithm] = &[
+const ORACLE_ALGORITHMS: &[Algorithm] = &[
     Algorithm::BsIntersection,
     Algorithm::Bu,
     Algorithm::BuPlus,
     Algorithm::BuPlusPlus,
+    Algorithm::BuPlusPlusPar {
+        threads: Threads(3),
+    },
     Algorithm::Pc { tau: 0.25 },
 ];
 
 fn assert_all_agree(g: &BipartiteGraph, label: &str) {
     // The first entry is the BiT-BS baseline; comparing it against itself
     // would just double the cost of the slowest algorithm.
-    let (baseline, _) = decompose(g, FIVE_ALGORITHMS[0]);
-    for &alg in &FIVE_ALGORITHMS[1..] {
+    let (baseline, _) = decompose(g, ORACLE_ALGORITHMS[0]);
+    for &alg in &ORACLE_ALGORITHMS[1..] {
         let (d, _) = decompose(g, alg);
         for e in g.edges() {
             assert_eq!(
