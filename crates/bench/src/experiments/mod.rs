@@ -1,5 +1,5 @@
 //! One module per table/figure of the paper's evaluation (§VI), plus the
-//! extension experiments (`ablation`, `parallel`).
+//! extension experiments (`ablation`, `parallel`, `query`).
 
 pub mod ablation;
 pub mod fig10;
@@ -11,6 +11,7 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig9;
 pub mod parallel;
+pub mod query;
 pub mod table2;
 
 use std::io::{self, Write};
@@ -21,7 +22,7 @@ use crate::Opts;
 /// All experiment ids in paper order, plus the extension experiments.
 pub const ALL: &[&str] = &[
     "table2", "fig5", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation",
-    "parallel",
+    "parallel", "query",
 ];
 
 /// Runs one experiment by id (or `all`). Experiments that measure whole
@@ -45,6 +46,7 @@ pub fn run(
         "fig14" => fig14::run(out, opts),
         "ablation" => ablation::run(out, opts),
         "parallel" => parallel::run(out, opts, json),
+        "query" => query::run(out, opts, json),
         "all" => {
             for id in ALL {
                 run(id, out, opts, json)?;

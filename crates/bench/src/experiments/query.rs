@@ -1,0 +1,194 @@
+//! Query-serving experiment (extension beyond the paper): once φ is
+//! computed, how fast can the k-bitruss hierarchy be *queried*? Compares
+//! the `Decomposition` methods — which rescan all `m` edges per call —
+//! against the `BitrussHierarchy` index built once from the same result,
+//! on a deterministic batch mixing the three query kinds the `query` CLI
+//! serves (`levels`, `edges k`, `community u v k`). Both engines must
+//! return identical answers (asserted before timing); the interesting
+//! output is queries/sec and the speedup, which the `--json` sink
+//! records for the perf trajectory.
+
+use std::io::{self, Write};
+use std::time::{Duration, Instant};
+
+use bigraph::{BipartiteGraph, EdgeId};
+use bitruss_core::{bit_bu_pp, BitrussHierarchy, Decomposition};
+
+use crate::fmt::{dur, Table};
+use crate::json::JsonRecord;
+use crate::Opts;
+
+/// One query of the batch, mirroring the CLI's query language.
+enum Query {
+    /// `levels` — edge count per bitruss number.
+    Levels,
+    /// `edges k` — size of the k-bitruss (the CLI answers the count).
+    Count(u64),
+    /// `community u v k` — the k-bitruss community containing an edge.
+    Community(EdgeId, u64),
+}
+
+/// Builds a deterministic batch: `levels`, one `edges` count per sampled
+/// level, and one tight (`k = φ(e)`) community query per sampled edge.
+/// Half the community targets are spread evenly over all edges and half
+/// are dense-core (high-φ) edges — serving traffic investigates dense
+/// blocks far more often than it re-materializes `H_0`, and the evenly
+/// spread half keeps the giant low-k communities in the mix.
+fn workload(g: &BipartiteGraph, d: &Decomposition, per_kind: usize) -> Vec<Query> {
+    let mut qs = vec![Query::Levels];
+    let levels = d.levels();
+    for i in 0..per_kind.min(levels.len()) {
+        let k = levels[i * levels.len() / per_kind.min(levels.len())];
+        qs.push(Query::Count(k));
+    }
+    let m = g.num_edges() as usize;
+    let half = per_kind / 2;
+    for i in 0..half.min(m) {
+        let e = EdgeId((i * m / half.min(m)) as u32);
+        qs.push(Query::Community(e, d.bitruss_number(e)));
+    }
+    let mut by_phi: Vec<u32> = (0..m as u32).collect();
+    by_phi.sort_unstable_by_key(|&e| std::cmp::Reverse(d.phi[e as usize]));
+    for &e in by_phi.iter().take(half.min(m)) {
+        let e = EdgeId(e);
+        qs.push(Query::Community(e, d.bitruss_number(e)));
+    }
+    qs
+}
+
+/// Serves the batch via `Decomposition`'s O(m)-per-call scans. Returns a
+/// fingerprint of the answers (sums of result sizes) so the work cannot
+/// be optimized away and both engines can be cross-checked.
+fn serve_scan(g: &BipartiteGraph, d: &Decomposition, qs: &[Query]) -> u64 {
+    let mut fp = 0u64;
+    for q in qs {
+        match *q {
+            Query::Levels => {
+                for (k, n) in d.level_sizes() {
+                    fp = fp.wrapping_add(k ^ n as u64);
+                }
+            }
+            Query::Count(k) => fp += d.phi.iter().filter(|&&p| p >= k).count() as u64,
+            Query::Community(e, k) => {
+                let c = d
+                    .communities(g, k)
+                    .into_iter()
+                    .find(|c| c.edges.binary_search(&e).is_ok())
+                    .expect("edge with φ ≥ k is in some community");
+                fp += c.edges.len() as u64 + c.vertices.len() as u64;
+            }
+        }
+    }
+    fp
+}
+
+/// Serves the same batch via the hierarchy index.
+fn serve_hierarchy(g: &BipartiteGraph, h: &BitrussHierarchy, qs: &[Query]) -> u64 {
+    let mut fp = 0u64;
+    for q in qs {
+        match *q {
+            Query::Levels => {
+                for (k, n) in h.level_sizes() {
+                    fp = fp.wrapping_add(k ^ n as u64);
+                }
+            }
+            Query::Count(k) => fp += h.k_bitruss_count(k) as u64,
+            Query::Community(e, k) => {
+                let c = h.community_of(g, e, k).expect("φ(e) ≥ k by construction");
+                fp += c.edges.len() as u64 + c.vertices.len() as u64;
+            }
+        }
+    }
+    fp
+}
+
+/// Runs the scan-vs-hierarchy query throughput comparison.
+pub fn run(out: &mut dyn Write, opts: &Opts, json: &mut Vec<JsonRecord>) -> io::Result<()> {
+    writeln!(
+        out,
+        "== Query serving: Decomposition rescans vs BitrussHierarchy (identical answers) =="
+    )?;
+    let dataset = if opts.quick { "Marvel" } else { "Github" };
+    let d_cfg = datagen::dataset_by_name(dataset).expect("registry");
+    let g = d_cfg.generate();
+    let (dec, _) = bit_bu_pp(&g);
+
+    let t0 = Instant::now();
+    let h = BitrussHierarchy::new(&g, &dec).expect("decomposition belongs to the graph");
+    let build = t0.elapsed();
+    writeln!(
+        out,
+        "graph: {} ({} edges, φ_max {}, {} levels); hierarchy: {} forest nodes, {} KiB, built in {}",
+        d_cfg.name,
+        g.num_edges(),
+        h.max_bitruss(),
+        h.levels().len(),
+        h.num_forest_nodes(),
+        h.memory_bytes() / 1024,
+        dur(build)
+    )?;
+
+    let per_kind = if opts.quick { 12 } else { 24 };
+    let qs = workload(&g, &dec, per_kind);
+    // Answers must agree before anything is timed.
+    assert_eq!(
+        serve_scan(&g, &dec, &qs),
+        serve_hierarchy(&g, &h, &qs),
+        "hierarchy diverged from the decomposition on {dataset}"
+    );
+
+    let reps = if opts.quick { 2 } else { 5 };
+    let queries = (qs.len() * reps) as u64;
+    let time_engine = |serve: &dyn Fn() -> u64| -> Duration {
+        let t = Instant::now();
+        let mut sink = 0u64;
+        for _ in 0..reps {
+            sink = sink.wrapping_add(serve());
+        }
+        let elapsed = t.elapsed();
+        std::hint::black_box(sink);
+        elapsed
+    };
+    let scan_time = time_engine(&|| serve_scan(&g, &dec, &qs));
+    let hier_time = time_engine(&|| serve_hierarchy(&g, &h, &qs));
+
+    let qps = |t: Duration| queries as f64 / t.as_secs_f64().max(1e-9);
+    json.push(JsonRecord::query(
+        "scan",
+        d_cfg.name,
+        queries,
+        scan_time,
+        Duration::ZERO,
+        dec.phi.len() * 8,
+    ));
+    json.push(JsonRecord::query(
+        "hierarchy",
+        d_cfg.name,
+        queries,
+        hier_time,
+        build,
+        h.memory_bytes(),
+    ));
+
+    let mut table = Table::new(&["Engine", "prep", "queries", "time", "queries/s", "speedup"]);
+    table.row(&[
+        "scan".to_string(),
+        "-".into(),
+        queries.to_string(),
+        dur(scan_time),
+        format!("{:.0}", qps(scan_time)),
+        "1.00x".into(),
+    ]);
+    table.row(&[
+        "hierarchy".to_string(),
+        dur(build),
+        queries.to_string(),
+        dur(hier_time),
+        format!("{:.0}", qps(hier_time)),
+        format!(
+            "{:.2}x",
+            scan_time.as_secs_f64() / hier_time.as_secs_f64().max(1e-9)
+        ),
+    ]);
+    write!(out, "{}", table.render())
+}

@@ -25,6 +25,13 @@ pub enum Error {
     },
     /// The graph would exceed the `u32` id space.
     TooLarge(String),
+    /// A caller-supplied argument combination violated an API invariant
+    /// (e.g. a φ array whose length does not match the graph's edge count).
+    Invariant(String),
+    /// A binary snapshot failed validation: bad magic, unsupported
+    /// version, truncated section, structurally impossible data, or a
+    /// checksum mismatch.
+    Corrupt(String),
 }
 
 impl fmt::Display for Error {
@@ -44,6 +51,8 @@ impl fmt::Display for Error {
                 )
             }
             Error::TooLarge(what) => write!(f, "graph too large: {what}"),
+            Error::Invariant(what) => write!(f, "invariant violation: {what}"),
+            Error::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
         }
     }
 }
@@ -93,6 +102,14 @@ mod tests {
 
         let e = Error::TooLarge("5000000000 vertices".into());
         assert!(e.to_string().starts_with("graph too large"));
+
+        let e = Error::Invariant("2 φ values for 3 edges".into());
+        assert!(e.to_string().starts_with("invariant violation"));
+
+        let e = Error::Corrupt("checksum mismatch".into());
+        assert!(e.to_string().starts_with("corrupt snapshot"));
+
+        let e = Error::TooLarge("x".into());
 
         let io = Error::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
         assert!(io.to_string().contains("i/o error"));

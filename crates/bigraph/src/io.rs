@@ -37,16 +37,20 @@ impl IndexBase {
 
 /// Reads a bipartite edge list from any reader.
 ///
-/// If the first comment line is a size header of the form written by
-/// [`write_edge_list`] (`% bipartite edge list: U upper, L lower, …`), the
-/// declared layer sizes are honoured, so trailing isolated vertices
-/// survive a round trip.
+/// If any comment line *before the first edge* is a size header of the
+/// form written by [`write_edge_list`]
+/// (`% bipartite edge list: U upper, L lower, …`), the declared layer
+/// sizes are honoured, so trailing isolated vertices survive a round trip
+/// even when the header follows other `%`/`#` banner lines. The first
+/// header found wins; headers after the first edge are ignored as plain
+/// comments.
 pub fn read_edge_list<R: Read>(reader: R, base: IndexBase) -> Result<BipartiteGraph> {
     let reader = BufReader::new(reader);
     let mut builder = GraphBuilder::new();
     let mut line_buf = String::new();
     let mut reader = reader;
     let mut line_no = 0usize;
+    let mut declared = false;
     loop {
         line_buf.clear();
         if reader.read_line(&mut line_buf)? == 0 {
@@ -55,9 +59,10 @@ pub fn read_edge_list<R: Read>(reader: R, base: IndexBase) -> Result<BipartiteGr
         line_no += 1;
         let line = line_buf.trim();
         if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
-            if line_no == 1 {
-                if let Some((upper, lower)) = parse_size_header(line) {
+            if !declared && builder.staged_edges() == 0 {
+                if let Some((upper, lower)) = parse_size_header(line, EDGE_LIST_HEADER) {
                     builder = builder.with_upper(upper).with_lower(lower);
+                    declared = true;
                 }
             }
             continue;
@@ -86,9 +91,17 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P, base: IndexBase) -> Result<B
     read_edge_list(File::open(path)?, base)
 }
 
-/// Parses the `% bipartite edge list: U upper, L lower, …` size header.
-fn parse_size_header(line: &str) -> Option<(u32, u32)> {
-    let rest = line.strip_prefix("% bipartite edge list:")?;
+/// Prefix of the size header written by [`write_edge_list`].
+const EDGE_LIST_HEADER: &str = "% bipartite edge list:";
+
+/// Parses a `{prefix} U upper, L lower, …` size header.
+///
+/// Shared by every plain-text format in the suite that records layer
+/// sizes in a comment line (edge lists here, decomposition files in
+/// `bitruss-core`), so the formats agree on how declared sizes — and
+/// hence isolated vertices — survive a round trip.
+pub fn parse_size_header(line: &str, prefix: &str) -> Option<(u32, u32)> {
+    let rest = line.strip_prefix(prefix)?;
     let mut it = rest.split(',').map(str::trim);
     let upper = it.next()?.strip_suffix(" upper")?.parse().ok()?;
     let lower = it.next()?.strip_suffix(" lower")?.parse().ok()?;
@@ -187,10 +200,39 @@ mod tests {
     #[test]
     fn size_header_parsing() {
         assert_eq!(
-            parse_size_header("% bipartite edge list: 4 upper, 7 lower, 9 edges (0-based)"),
+            parse_size_header(
+                "% bipartite edge list: 4 upper, 7 lower, 9 edges (0-based)",
+                EDGE_LIST_HEADER
+            ),
             Some((4, 7))
         );
-        assert_eq!(parse_size_header("% some other comment"), None);
-        assert_eq!(parse_size_header("# not our header"), None);
+        assert_eq!(
+            parse_size_header("% some other comment", EDGE_LIST_HEADER),
+            None
+        );
+        assert_eq!(
+            parse_size_header("# not our header", EDGE_LIST_HEADER),
+            None
+        );
+    }
+
+    #[test]
+    fn size_header_after_banner_comments_is_honoured() {
+        // A `%` banner ahead of the header must not make the reader drop
+        // the declared sizes (regression: only line 1 used to be checked).
+        let text = "% KONECT-style banner\n# generated by a tool\n\
+                    % bipartite edge list: 5 upper, 6 lower, 1 edges (0-based)\n0 0\n";
+        let g = read_edge_list(text.as_bytes(), IndexBase::Zero).unwrap();
+        assert_eq!(g.num_upper(), 5);
+        assert_eq!(g.num_lower(), 6);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn size_header_after_first_edge_is_ignored() {
+        let text = "0 0\n% bipartite edge list: 5 upper, 6 lower, 1 edges (0-based)\n";
+        let g = read_edge_list(text.as_bytes(), IndexBase::Zero).unwrap();
+        assert_eq!(g.num_upper(), 1);
+        assert_eq!(g.num_lower(), 1);
     }
 }

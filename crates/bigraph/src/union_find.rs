@@ -1,5 +1,6 @@
 //! Disjoint-set forest, used to enumerate connected components of
-//! k-bitrusses when extracting communities.
+//! k-bitrusses when extracting communities and to build the nested
+//! community forest of `bitruss-core`'s `BitrussHierarchy`.
 
 /// Union-find with path halving and union by size.
 #[derive(Debug, Clone)]
@@ -43,9 +44,18 @@ impl UnionFind {
     /// Merges the sets containing `a` and `b`; returns `true` if they were
     /// previously distinct.
     pub fn union(&mut self, a: u32, b: u32) -> bool {
+        self.merge(a, b).1
+    }
+
+    /// Merges the sets containing `a` and `b`, returning the surviving
+    /// representative and whether a merge actually happened. The returned
+    /// root is what [`Self::find`] yields for both elements afterwards —
+    /// callers that key per-component state by root (e.g. the hierarchy
+    /// forest build) use it to avoid a second `find`.
+    pub fn merge(&mut self, a: u32, b: u32) -> (u32, bool) {
         let (mut ra, mut rb) = (self.find(a), self.find(b));
         if ra == rb {
-            return false;
+            return (ra, false);
         }
         if self.size[ra as usize] < self.size[rb as usize] {
             std::mem::swap(&mut ra, &mut rb);
@@ -53,7 +63,7 @@ impl UnionFind {
         self.parent[rb as usize] = ra;
         self.size[ra as usize] += self.size[rb as usize];
         self.components -= 1;
-        true
+        (ra, true)
     }
 
     /// `true` if `a` and `b` are in the same set.
@@ -101,6 +111,21 @@ mod tests {
         for i in 0..100 {
             assert_eq!(uf.find(i), uf.find(0));
         }
+    }
+
+    #[test]
+    fn merge_reports_the_surviving_root() {
+        let mut uf = UnionFind::new(5);
+        let (r, merged) = uf.merge(0, 1);
+        assert!(merged);
+        assert_eq!(r, uf.find(0));
+        assert_eq!(r, uf.find(1));
+        let (r2, merged2) = uf.merge(1, 0);
+        assert!(!merged2);
+        assert_eq!(r2, r);
+        // Union by size: the bigger {0,1} component's root survives.
+        let (r3, _) = uf.merge(2, 0);
+        assert_eq!(r3, r);
     }
 
     #[test]

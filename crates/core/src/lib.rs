@@ -43,6 +43,7 @@
 pub mod algo;
 pub mod bucket_queue;
 pub mod decomposition;
+pub mod hierarchy;
 pub mod kbitruss;
 pub mod metrics;
 pub mod persist;
@@ -57,8 +58,13 @@ pub use algo::{
 };
 pub use bucket_queue::BucketQueue;
 pub use decomposition::{Community, Decomposition};
+pub use hierarchy::BitrussHierarchy;
 pub use kbitruss::k_bitruss;
 pub use metrics::{Metrics, UpdateHistogram};
+pub use persist::binary::{
+    read_snapshot, read_snapshot_file, write_snapshot, write_snapshot_file, Snapshot,
+    FORMAT_VERSION,
+};
 pub use persist::{read_decomposition, write_decomposition};
 pub use tip::{tip_decomposition, TipLayer};
 pub use verify::{k_bitruss_fixpoint, reference_decomposition, validate_decomposition};

@@ -1,0 +1,548 @@
+//! Versioned, checksummed binary snapshots of graph + φ + hierarchy.
+//!
+//! A snapshot is the unit a query server loads once and serves from: the
+//! bipartite graph, its bitruss numbers, and (optionally) the prebuilt
+//! [`BitrussHierarchy`], so neither the minutes-long decomposition nor
+//! the index build is ever repeated.
+//!
+//! # Layout (format version 1)
+//!
+//! All integers are **little-endian**; `u32`s carry ids/counts bounded by
+//! the graph's `u32` id space, `u64`s carry φ values and offsets.
+//!
+//! ```text
+//! magic    8 × u8   "BTRSNAP\0"
+//! version  u32      1
+//! graph    u32 num_upper, u32 num_lower, u32 num_edges,
+//!          then per edge: u32 upper_local, u32 lower_local
+//!          (strictly ascending (upper, lower) pairs — edge-id order)
+//! phi      u64 × num_edges
+//! flag     u8       0 = no hierarchy section, 1 = hierarchy follows
+//! hierarchy (when flag = 1)
+//!          u32 L, u64 levels × L, u64 count_ge × L,
+//!          u32 perm × num_edges,
+//!          u32 N (forest nodes), u64 node_level × N, u32 node_parent × N,
+//!          u64 node_edge_offsets × (N+1), u32 node_edge_ids × num_edges,
+//!          u32 edge_node × num_edges, u64 vertex_max_k × num_vertices
+//! trailer  u64      FNV-1a-64 checksum of every preceding byte
+//! ```
+//!
+//! # Versioning policy
+//!
+//! The version is bumped whenever the byte layout changes; readers accept
+//! exactly the versions they know (currently only 1) and reject newer
+//! files with a clear [`Error::Corrupt`] naming both versions, so stale
+//! binaries fail loudly instead of misreading new snapshots.
+//!
+//! # Corruption handling
+//!
+//! Every load failure — bad magic, unsupported version, truncation,
+//! structurally impossible sections, or a trailer checksum mismatch —
+//! surfaces as [`Error::Corrupt`] (or [`Error::Io`] for genuine I/O
+//! failures); loading never panics on hostile bytes. A successfully
+//! loaded hierarchy is additionally cross-validated against the φ array,
+//! so its answers are guaranteed to match the decomposition.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, ErrorKind, Read, Write};
+use std::path::Path;
+
+use bigraph::{BipartiteGraph, Error, GraphBuilder, Result};
+
+use crate::decomposition::Decomposition;
+use crate::hierarchy::BitrussHierarchy;
+use crate::persist::check_matching;
+
+/// Magic bytes opening every snapshot.
+const MAGIC: [u8; 8] = *b"BTRSNAP\0";
+
+/// Current snapshot format version (see the module docs for the policy).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Cap on speculative `Vec` pre-allocation while reading, so a corrupt
+/// count field cannot trigger a huge allocation before EOF detection.
+const PREALLOC_CAP: usize = 1 << 20;
+
+/// A loaded snapshot: the graph, its decomposition, and the hierarchy
+/// index when one was persisted.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The bipartite graph, with declared layer sizes (isolated vertices
+    /// included) and the exact edge ids of the writer.
+    pub graph: BipartiteGraph,
+    /// The bitruss numbers, aligned with the graph's edge ids.
+    pub decomposition: Decomposition,
+    /// The hierarchy index, when the snapshot carried one.
+    pub hierarchy: Option<BitrussHierarchy>,
+}
+
+// ---------------------------------------------------------------------
+// FNV-1a-64 running checksum, wrapped around the raw reader/writer.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_update(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+struct HashingWriter<W: Write> {
+    inner: W,
+    hash: u64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn new(inner: W) -> Self {
+        Self {
+            inner,
+            hash: FNV_OFFSET,
+        }
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash = fnv_update(self.hash, &buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive readers/writers (truncation → Error::Corrupt).
+
+fn read_fully<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == ErrorKind::UnexpectedEof {
+            Error::Corrupt("snapshot truncated mid-section".into())
+        } else {
+            Error::Io(e)
+        }
+    })
+}
+
+fn w_u8<W: Write>(w: &mut W, x: u8) -> Result<()> {
+    w.write_all(&[x])?;
+    Ok(())
+}
+
+fn w_u32<W: Write>(w: &mut W, x: u32) -> Result<()> {
+    w.write_all(&x.to_le_bytes())?;
+    Ok(())
+}
+
+fn w_u64<W: Write>(w: &mut W, x: u64) -> Result<()> {
+    w.write_all(&x.to_le_bytes())?;
+    Ok(())
+}
+
+fn r_u8<R: Read>(r: &mut R) -> Result<u8> {
+    let mut b = [0u8; 1];
+    read_fully(r, &mut b)?;
+    Ok(b[0])
+}
+
+fn r_u32<R: Read>(r: &mut R) -> Result<u32> {
+    let mut b = [0u8; 4];
+    read_fully(r, &mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn r_u64<R: Read>(r: &mut R) -> Result<u64> {
+    let mut b = [0u8; 8];
+    read_fully(r, &mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn r_vec_u32<R: Read>(r: &mut R, count: usize) -> Result<Vec<u32>> {
+    let mut v = Vec::with_capacity(count.min(PREALLOC_CAP));
+    for _ in 0..count {
+        v.push(r_u32(r)?);
+    }
+    Ok(v)
+}
+
+fn r_vec_u64<R: Read>(r: &mut R, count: usize) -> Result<Vec<u64>> {
+    let mut v = Vec::with_capacity(count.min(PREALLOC_CAP));
+    for _ in 0..count {
+        v.push(r_u64(r)?);
+    }
+    Ok(v)
+}
+
+/// `usize` from a persisted `u64` offset/count, rejecting values that
+/// cannot index this platform's memory.
+fn r_usize<R: Read>(r: &mut R) -> Result<usize> {
+    usize::try_from(r_u64(r)?)
+        .map_err(|_| Error::Corrupt("offset exceeds the platform's address space".into()))
+}
+
+// ---------------------------------------------------------------------
+// Writing.
+
+/// Writes a snapshot of `g`, `d`, and optionally a prebuilt hierarchy.
+///
+/// # Errors
+///
+/// [`Error::Invariant`] when `d` (or `h`) does not belong to `g`;
+/// [`Error::Io`] on write failures.
+pub fn write_snapshot<W: Write>(
+    g: &BipartiteGraph,
+    d: &Decomposition,
+    h: Option<&BitrussHierarchy>,
+    writer: W,
+) -> Result<()> {
+    check_matching(g, d)?;
+    if let Some(h) = h {
+        if h.num_edges() != g.num_edges() as usize {
+            return Err(Error::Invariant(format!(
+                "hierarchy indexes {} edges but the graph has {}",
+                h.num_edges(),
+                g.num_edges()
+            )));
+        }
+    }
+    let mut w = HashingWriter::new(BufWriter::new(writer));
+    w.write_all(&MAGIC)?;
+    w_u32(&mut w, FORMAT_VERSION)?;
+
+    w_u32(&mut w, g.num_upper())?;
+    w_u32(&mut w, g.num_lower())?;
+    w_u32(&mut w, g.num_edges())?;
+    for e in g.edges() {
+        let (u, v) = g.edge(e);
+        w_u32(&mut w, g.layer_index(u))?;
+        w_u32(&mut w, g.layer_index(v))?;
+    }
+    for &p in &d.phi {
+        w_u64(&mut w, p)?;
+    }
+
+    match h {
+        None => w_u8(&mut w, 0)?,
+        Some(h) => {
+            w_u8(&mut w, 1)?;
+            w_u32(&mut w, h.levels.len() as u32)?;
+            for &l in &h.levels {
+                w_u64(&mut w, l)?;
+            }
+            for &c in &h.count_ge {
+                w_u64(&mut w, c as u64)?;
+            }
+            for &e in &h.perm {
+                w_u32(&mut w, e)?;
+            }
+            w_u32(&mut w, h.node_level.len() as u32)?;
+            for &l in &h.node_level {
+                w_u64(&mut w, l)?;
+            }
+            for &p in &h.node_parent {
+                w_u32(&mut w, p)?;
+            }
+            for &o in &h.node_edge_offsets {
+                w_u64(&mut w, o as u64)?;
+            }
+            for &e in &h.node_edge_ids {
+                w_u32(&mut w, e)?;
+            }
+            for &n in &h.edge_node {
+                w_u32(&mut w, n)?;
+            }
+            for &k in &h.vertex_max_k {
+                w_u64(&mut w, k)?;
+            }
+        }
+    }
+
+    let hash = w.hash;
+    let mut inner = w.inner;
+    inner.write_all(&hash.to_le_bytes())?;
+    inner.flush()?;
+    Ok(())
+}
+
+/// Writes a snapshot to a file path; see [`write_snapshot`].
+pub fn write_snapshot_file<P: AsRef<Path>>(
+    g: &BipartiteGraph,
+    d: &Decomposition,
+    h: Option<&BitrussHierarchy>,
+    path: P,
+) -> Result<()> {
+    write_snapshot(g, d, h, File::create(path)?)
+}
+
+// ---------------------------------------------------------------------
+// Reading.
+
+/// Reads a snapshot written by [`write_snapshot`], verifying the magic,
+/// version, trailer checksum, and every structural invariant. The
+/// checksum is verified over the whole payload *before* any section is
+/// interpreted, so a corrupted count field can never trigger a huge
+/// allocation or a misparse. See the module docs for the guarantees.
+pub fn read_snapshot<R: Read>(reader: R) -> Result<Snapshot> {
+    let mut bytes = Vec::new();
+    BufReader::new(reader).read_to_end(&mut bytes)?;
+    if bytes.len() < MAGIC.len() + 4 + 8 {
+        return Err(Error::Corrupt(
+            "file is too short to be a bitruss snapshot".into(),
+        ));
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(Error::Corrupt(
+            "not a bitruss snapshot (magic bytes mismatch)".into(),
+        ));
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    let computed = fnv_update(FNV_OFFSET, payload);
+    let version = u32::from_le_bytes(payload[8..12].try_into().expect("4-byte version"));
+    if version != FORMAT_VERSION {
+        return Err(Error::Corrupt(format!(
+            "unsupported snapshot version {version} (this build reads version {FORMAT_VERSION})"
+        )));
+    }
+    if stored != computed {
+        return Err(Error::Corrupt(format!(
+            "checksum mismatch (stored {stored:#018x}, computed {computed:#018x}) — \
+             the file is damaged"
+        )));
+    }
+
+    let mut r: &[u8] = &payload[12..];
+
+    let num_upper = r_u32(&mut r)?;
+    let num_lower = r_u32(&mut r)?;
+    let m = r_u32(&mut r)? as usize;
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(m.min(PREALLOC_CAP));
+    for _ in 0..m {
+        let u = r_u32(&mut r)?;
+        let v = r_u32(&mut r)?;
+        // Strictly ascending pairs ⇒ sorted, duplicate-free, and the
+        // builder reproduces the writer's edge ids exactly (so φ stays
+        // aligned by position).
+        if pairs.last().is_some_and(|&last| last >= (u, v)) {
+            return Err(Error::Corrupt(
+                "edge section is not strictly ascending".into(),
+            ));
+        }
+        pairs.push((u, v));
+    }
+    let graph = GraphBuilder::new()
+        .with_upper(num_upper)
+        .with_lower(num_lower)
+        .add_edges(pairs)
+        .build()
+        .map_err(|e| Error::Corrupt(format!("snapshot graph is invalid: {e}")))?;
+
+    let phi = r_vec_u64(&mut r, m)?;
+    let decomposition = Decomposition::new(phi);
+
+    let hierarchy = match r_u8(&mut r)? {
+        0 => None,
+        1 => {
+            let n = graph.num_vertices() as usize;
+            let num_levels = r_u32(&mut r)? as usize;
+            let levels = r_vec_u64(&mut r, num_levels)?;
+            let mut count_ge = Vec::with_capacity(num_levels.min(PREALLOC_CAP));
+            for _ in 0..num_levels {
+                count_ge.push(r_usize(&mut r)?);
+            }
+            let perm = r_vec_u32(&mut r, m)?;
+            let num_nodes = r_u32(&mut r)? as usize;
+            let node_level = r_vec_u64(&mut r, num_nodes)?;
+            let node_parent = r_vec_u32(&mut r, num_nodes)?;
+            let mut node_edge_offsets = Vec::with_capacity((num_nodes + 1).min(PREALLOC_CAP));
+            for _ in 0..num_nodes + 1 {
+                node_edge_offsets.push(r_usize(&mut r)?);
+            }
+            let node_edge_ids = r_vec_u32(&mut r, m)?;
+            let edge_node = r_vec_u32(&mut r, m)?;
+            let vertex_max_k = r_vec_u64(&mut r, n)?;
+            let h = BitrussHierarchy::from_parts(
+                m,
+                n,
+                levels,
+                count_ge,
+                perm,
+                node_level,
+                node_parent,
+                node_edge_offsets,
+                node_edge_ids,
+                edge_node,
+                vertex_max_k,
+            )?;
+            h.validate_against_phi(&graph, &decomposition.phi)?;
+            Some(h)
+        }
+        other => {
+            return Err(Error::Corrupt(format!(
+                "unknown hierarchy flag {other} (expected 0 or 1)"
+            )))
+        }
+    };
+
+    if !r.is_empty() {
+        return Err(Error::Corrupt(format!(
+            "{} unexpected trailing bytes after the last section",
+            r.len()
+        )));
+    }
+
+    Ok(Snapshot {
+        graph,
+        decomposition,
+        hierarchy,
+    })
+}
+
+/// Reads a snapshot from a file path; see [`read_snapshot`].
+pub fn read_snapshot_file<P: AsRef<Path>>(path: P) -> Result<Snapshot> {
+    read_snapshot(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{decompose, Algorithm};
+
+    fn sample() -> (BipartiteGraph, Decomposition, BitrussHierarchy) {
+        let g = GraphBuilder::new()
+            .with_upper(12)
+            .with_lower(9)
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (3, 1),
+                (3, 2),
+            ])
+            .build()
+            .unwrap();
+        let (d, _) = decompose(&g, Algorithm::BuPlusPlus);
+        let h = BitrussHierarchy::new(&g, &d).unwrap();
+        (g, d, h)
+    }
+
+    fn snapshot_bytes() -> (Vec<u8>, BipartiteGraph, Decomposition, BitrussHierarchy) {
+        let (g, d, h) = sample();
+        let mut buf = Vec::new();
+        write_snapshot(&g, &d, Some(&h), &mut buf).unwrap();
+        (buf, g, d, h)
+    }
+
+    #[test]
+    fn round_trip_with_hierarchy() {
+        let (buf, g, d, h) = snapshot_bytes();
+        let snap = read_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(snap.graph.edge_pairs(), g.edge_pairs());
+        assert_eq!(snap.graph.num_upper(), 12);
+        assert_eq!(snap.graph.num_lower(), 9);
+        assert_eq!(snap.decomposition, d);
+        assert_eq!(snap.hierarchy.as_ref(), Some(&h));
+    }
+
+    #[test]
+    fn round_trip_without_hierarchy() {
+        let (g, d, _) = sample();
+        let mut buf = Vec::new();
+        write_snapshot(&g, &d, None, &mut buf).unwrap();
+        let snap = read_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(snap.graph.edge_pairs(), g.edge_pairs());
+        assert_eq!(snap.decomposition, d);
+        assert!(snap.hierarchy.is_none());
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = GraphBuilder::new().build().unwrap();
+        let d = Decomposition::new(vec![]);
+        let h = BitrussHierarchy::new(&g, &d).unwrap();
+        let mut buf = Vec::new();
+        write_snapshot(&g, &d, Some(&h), &mut buf).unwrap();
+        let snap = read_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(snap.graph.num_edges(), 0);
+        assert_eq!(snap.hierarchy, Some(h));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let (mut buf, ..) = snapshot_bytes();
+        let mut wrong = buf.clone();
+        wrong[0] ^= 0xff;
+        let err = read_snapshot(wrong.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        buf[8] = 99; // version field
+        let err = read_snapshot(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let (buf, ..) = snapshot_bytes();
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                read_snapshot(bad.as_slice()).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let (buf, ..) = snapshot_bytes();
+        for len in 0..buf.len() {
+            assert!(
+                read_snapshot(&buf[..len]).is_err(),
+                "truncation to {len} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn tampered_vertex_max_k_fails_cross_validation() {
+        // A forged file can carry a valid checksum (FNV is not
+        // cryptographic), so the φ cross-validation must catch sections
+        // the structural checks cannot: rewrite one vertex_max_k entry
+        // and re-stamp the trailer.
+        let (mut buf, g, ..) = snapshot_bytes();
+        let n = g.num_vertices() as usize;
+        let len = buf.len();
+        let section = len - 8 - n * 8; // last section before the trailer
+        buf[section..section + 8].copy_from_slice(&999u64.to_le_bytes());
+        let hash = fnv_update(FNV_OFFSET, &buf[..len - 8]);
+        buf[len - 8..].copy_from_slice(&hash.to_le_bytes());
+        let err = read_snapshot(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("max-k"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_inputs_are_invariant_errors() {
+        let (g, _, h) = sample();
+        let short = Decomposition::new(vec![0]);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_snapshot(&g, &short, None, &mut buf),
+            Err(Error::Invariant(_))
+        ));
+        let g2 = GraphBuilder::new().add_edge(0, 0).build().unwrap();
+        let d2 = Decomposition::new(vec![0]);
+        assert!(matches!(
+            write_snapshot(&g2, &d2, Some(&h), &mut buf),
+            Err(Error::Invariant(_))
+        ));
+    }
+}

@@ -1,0 +1,308 @@
+//! Persistence of decomposition results.
+//!
+//! Decomposing a large graph takes minutes; querying its hierarchy should
+//! not require redoing it. Two formats are provided:
+//!
+//! * **plain text** (this module) — one `upper lower phi` triple per line
+//!   with a size header, so files are diffable, greppable, and readable
+//!   back next to the original edge list;
+//! * **binary snapshots** ([`binary`]) — versioned, checksummed images of
+//!   graph + φ + (optionally) a prebuilt [`crate::BitrussHierarchy`], for
+//!   query serving without re-decomposition or re-indexing.
+//!
+//! # Round-trip guarantees
+//!
+//! Both formats reproduce the exact `(graph, φ)` pair: edge ids, layer
+//! sizes (**including trailing isolated vertices**, via the declared
+//! sizes in the text header / binary graph section) and every bitruss
+//! number. The text reader accepts its size header on any comment line
+//! preceding the first triple, rejects duplicate triples that disagree
+//! on φ, and reports malformed lines with their line number.
+
+pub mod binary;
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use bigraph::{BipartiteGraph, Error, Result};
+
+use crate::decomposition::Decomposition;
+
+/// Prefix of the size header written by [`write_decomposition`]. The
+/// `U upper, L lower` tail matches `bigraph`'s edge-list header so both
+/// formats share one parser ([`bigraph::io::parse_size_header`]).
+const DECOMPOSITION_HEADER: &str = "% bitruss decomposition:";
+
+/// Writes `g`'s edges with their bitruss numbers: a header line followed
+/// by one `upper lower phi` triple per line (layer-local 0-based ids, in
+/// edge-id order).
+///
+/// # Errors
+///
+/// Returns [`Error::Invariant`] when `d` does not belong to `g` (its φ
+/// array length differs from the edge count) — the pair would not
+/// round-trip, so nothing is written.
+pub fn write_decomposition<W: Write>(
+    g: &BipartiteGraph,
+    d: &Decomposition,
+    writer: W,
+) -> Result<()> {
+    check_matching(g, d)?;
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "{} {} upper, {} lower, {} edges, max phi {}",
+        DECOMPOSITION_HEADER,
+        g.num_upper(),
+        g.num_lower(),
+        g.num_edges(),
+        d.max_bitruss()
+    )?;
+    for e in g.edges() {
+        let (u, v) = g.edge(e);
+        writeln!(
+            w,
+            "{} {} {}",
+            g.layer_index(u),
+            g.layer_index(v),
+            d.phi[e.index()]
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Errors unless `d` has exactly one φ value per edge of `g`.
+pub(crate) fn check_matching(g: &BipartiteGraph, d: &Decomposition) -> Result<()> {
+    if d.phi.len() != g.num_edges() as usize {
+        return Err(Error::Invariant(format!(
+            "decomposition carries {} φ values but the graph has {} edges",
+            d.phi.len(),
+            g.num_edges()
+        )));
+    }
+    Ok(())
+}
+
+/// Reads a file written by [`write_decomposition`] back as a graph plus
+/// its decomposition.
+///
+/// The size header is honoured when it appears on any comment line before
+/// the first triple, so declared layer sizes — and hence trailing
+/// isolated vertices — survive the round trip. The edge order is
+/// re-derived from the builder, so the φ values are re-attached by edge
+/// lookup rather than line order. Duplicate `u v phi` lines are tolerated
+/// when they agree on φ (the builder deduplicates the edge) and rejected
+/// with an [`Error::Parse`] naming both lines when they conflict.
+pub fn read_decomposition<R: Read>(reader: R) -> Result<(BipartiteGraph, Decomposition)> {
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    let mut declared: Option<(u32, u32)> = None;
+    let mut triples: Vec<(u32, u32, u64, usize)> = Vec::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') || trimmed.starts_with('#') {
+            if declared.is_none() && triples.is_empty() {
+                declared = bigraph::io::parse_size_header(trimmed, DECOMPOSITION_HEADER);
+            }
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let mut next = |what: &str| -> Result<u64> {
+            it.next()
+                .ok_or_else(|| Error::Parse {
+                    line: line_no,
+                    message: format!("missing {what}"),
+                })?
+                .parse::<u64>()
+                .map_err(|_| Error::Parse {
+                    line: line_no,
+                    message: format!("invalid {what}"),
+                })
+        };
+        let u = next("upper index")?;
+        let v = next("lower index")?;
+        let phi = next("bitruss number")?;
+        let to_idx = |val: u64, what: &str| -> Result<u32> {
+            u32::try_from(val).map_err(|_| Error::Parse {
+                line: line_no,
+                message: format!("{what} {val} exceeds the u32 id space"),
+            })
+        };
+        triples.push((
+            to_idx(u, "upper index")?,
+            to_idx(v, "lower index")?,
+            phi,
+            line_no,
+        ));
+    }
+
+    // Duplicate triples that disagree on φ are unanswerable — the builder
+    // would silently keep one edge and the attach loop below would
+    // last-wins the φ — so reject them up front, naming both lines.
+    let mut seen: HashMap<(u32, u32), (u64, usize)> = HashMap::with_capacity(triples.len());
+    for &(u, v, p, ln) in &triples {
+        match seen.entry((u, v)) {
+            std::collections::hash_map::Entry::Occupied(prev) => {
+                let &(p0, ln0) = prev.get();
+                if p0 != p {
+                    return Err(Error::Parse {
+                        line: ln,
+                        message: format!(
+                            "duplicate edge ({u}, {v}) with conflicting bitruss numbers: \
+                             {p0} on line {ln0}, {p} here"
+                        ),
+                    });
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert((p, ln));
+            }
+        }
+    }
+
+    let mut builder = bigraph::GraphBuilder::new();
+    if let Some((upper, lower)) = declared {
+        builder = builder.with_upper(upper).with_lower(lower);
+    }
+    let graph = builder
+        .add_edges(triples.iter().map(|&(u, v, _, _)| (u, v)))
+        .build()?;
+    let mut phi = vec![0u64; graph.num_edges() as usize];
+    for &(u, v, p, _) in &triples {
+        let e = graph
+            .edge_between(graph.upper(u), graph.lower(v))
+            .expect("edge was just inserted");
+        phi[e.index()] = p;
+    }
+    Ok((graph, Decomposition::new(phi)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{decompose, Algorithm};
+
+    #[test]
+    fn round_trip() {
+        let g = datagen::powerlaw::chung_lu(30, 30, 250, 2.0, 2.0, 5);
+        let (d, _) = decompose(&g, Algorithm::BuPlusPlus);
+        let mut buf = Vec::new();
+        write_decomposition(&g, &d, &mut buf).unwrap();
+        let (g2, d2) = read_decomposition(buf.as_slice()).unwrap();
+        assert_eq!(g.edge_pairs(), g2.edge_pairs());
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn round_trip_preserves_isolated_vertices() {
+        // Regression: the reader used to drop the size header it had
+        // itself written, shrinking the layers to the largest seen index.
+        let g = bigraph::GraphBuilder::new()
+            .with_upper(8)
+            .with_lower(13)
+            .add_edges([(0, 0), (1, 0), (0, 1), (1, 1)])
+            .build()
+            .unwrap();
+        let (d, _) = decompose(&g, Algorithm::BuPlusPlus);
+        let mut buf = Vec::new();
+        write_decomposition(&g, &d, &mut buf).unwrap();
+        let (g2, d2) = read_decomposition(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_upper(), 8);
+        assert_eq!(g2.num_lower(), 13);
+        assert_eq!(g.edge_pairs(), g2.edge_pairs());
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn header_and_format() {
+        let g = bigraph::GraphBuilder::new()
+            .add_edges([(0, 0), (1, 0)])
+            .build()
+            .unwrap();
+        let d = Decomposition::new(vec![3, 4]);
+        let mut buf = Vec::new();
+        write_decomposition(&g, &d, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("% bitruss decomposition: 2 upper, 1 lower, 2 edges"));
+        assert!(text.contains("0 0 3"));
+        assert!(text.contains("1 0 4"));
+    }
+
+    #[test]
+    fn header_after_banner_comments_is_honoured() {
+        let text = "% banner produced by some pipeline\n\
+                    % bitruss decomposition: 4 upper, 9 lower, 1 edges, max phi 0\n\
+                    0 0 0\n";
+        let (g, d) = read_decomposition(text.as_bytes()).unwrap();
+        assert_eq!(g.num_upper(), 4);
+        assert_eq!(g.num_lower(), 9);
+        assert_eq!(d.phi, vec![0]);
+    }
+
+    #[test]
+    fn mismatched_phi_length_is_an_error_not_a_panic() {
+        // Regression: this used to abort via `assert_eq!`.
+        let g = bigraph::GraphBuilder::new()
+            .add_edges([(0, 0), (1, 0)])
+            .build()
+            .unwrap();
+        let d = Decomposition::new(vec![1]);
+        let mut buf = Vec::new();
+        let err = write_decomposition(&g, &d, &mut buf).unwrap_err();
+        assert!(matches!(err, Error::Invariant(_)));
+        assert!(buf.is_empty(), "nothing must be written on error");
+    }
+
+    #[test]
+    fn conflicting_duplicate_triples_are_rejected() {
+        // Regression: the φ of the later line used to silently win.
+        let text = "0 0 3\n1 0 2\n0 0 4\n";
+        let err = read_decomposition(text.as_bytes()).unwrap_err();
+        match err {
+            Error::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("conflicting"), "{message}");
+                assert!(message.contains("line 1"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Agreeing duplicates stay tolerated (the builder dedups).
+        let (g, d) = read_decomposition("0 0 3\n0 0 3\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(d.phi, vec![3]);
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(read_decomposition("0 0\n".as_bytes()).is_err()); // missing phi
+        assert!(read_decomposition("a b c\n".as_bytes()).is_err());
+        let (g, d) = read_decomposition("% empty\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        assert!(d.phi.is_empty());
+    }
+
+    #[test]
+    fn oversized_vertex_indices_are_rejected() {
+        // Regression: `as u32` used to wrap 2^32 to 0, silently parsing
+        // the wrong edge (and φ stays u64, so only the indices are
+        // range-checked).
+        let err = read_decomposition("4294967296 0 5\n".as_bytes()).unwrap_err();
+        match err {
+            Error::Parse { line, message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("u32 id space"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(read_decomposition("0 4294967296 5\n".as_bytes()).is_err());
+        let (_, d) = read_decomposition("0 0 4294967296\n".as_bytes()).unwrap();
+        assert_eq!(d.phi, vec![4294967296]);
+    }
+}

@@ -3,9 +3,10 @@
 //! ```text
 //! bitruss-cli stats      <edges.txt>
 //! bitruss-cli count      <edges.txt> [--threads N]
-//! bitruss-cli decompose  <edges.txt> [--algorithm bs|bu|bu+|bu++|bu++p|pc] [--tau T] [--threads N] [--output phi.txt]
+//! bitruss-cli decompose  <edges.txt> [--algorithm bs|bu|bu+|bu++|bu++p|pc] [--tau T] [--threads N] [--output phi.txt] [--snapshot snap.bin]
 //! bitruss-cli kbitruss   <edges.txt> <k> [--output sub.txt]
 //! bitruss-cli communities <edges.txt> <k>
+//! bitruss-cli query      <snap.bin> [--queries q.txt]
 //! bitruss-cli generate   <dataset-name> <edges.txt>
 //! ```
 //!
@@ -15,12 +16,24 @@
 //! bit-identical to the sequential run. Edge files are whitespace-
 //! separated `upper lower` pairs, one per line, `%`/`#` comments allowed;
 //! pass `--one-based` for KONECT-style 1-based indices.
+//!
+//! `decompose --snapshot` saves a versioned, checksummed binary image of
+//! the graph, its bitruss numbers, and the prebuilt hierarchy index;
+//! `query` loads such a snapshot once and then serves batch queries from
+//! `--queries <file>` or stdin, one per line:
+//!
+//! ```text
+//! levels              # edge count per bitruss number
+//! edges <k>           # size of the k-bitruss
+//! community <u> <v> <k>   # the k-bitruss community around edge (u, v)
+//! ```
 
+use std::io::BufRead;
 use std::process::ExitCode;
 
 use bitruss::graph::io::{read_edge_list_file, write_edge_list_file, IndexBase};
 use bitruss::graph::GraphStats;
-use bitruss::{decompose, Algorithm, BipartiteGraph, Threads};
+use bitruss::{decompose, Algorithm, BipartiteGraph, BitrussHierarchy, Threads};
 
 struct Args {
     positional: Vec<String>,
@@ -28,6 +41,8 @@ struct Args {
     tau: f64,
     threads: Option<Threads>,
     output: Option<String>,
+    snapshot: Option<String>,
+    queries: Option<String>,
     base: IndexBase,
 }
 
@@ -38,6 +53,8 @@ fn parse_args() -> Result<Args, String> {
         tau: bitruss::DEFAULT_TAU,
         threads: None,
         output: None,
+        snapshot: None,
+        queries: None,
         base: IndexBase::Zero,
     };
     let mut it = std::env::args().skip(1);
@@ -58,6 +75,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--output" | "-o" => {
                 args.output = Some(it.next().ok_or("--output needs a value")?);
+            }
+            "--snapshot" | "-s" => {
+                args.snapshot = Some(it.next().ok_or("--snapshot needs a value")?);
+            }
+            "--queries" | "-q" => {
+                args.queries = Some(it.next().ok_or("--queries needs a value")?);
             }
             "--one-based" => args.base = IndexBase::One,
             other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
@@ -96,7 +119,7 @@ fn run() -> Result<(), String> {
     let args = parse_args()?;
     let Some(command) = args.positional.first() else {
         return Err(
-            "usage: bitruss-cli <stats|count|decompose|kbitruss|communities|generate> …"
+            "usage: bitruss-cli <stats|count|decompose|kbitruss|communities|query|generate> …"
                 .to_string(),
         );
     };
@@ -166,6 +189,16 @@ fn run() -> Result<(), String> {
                     .map_err(|e| format!("writing {out_path}: {e}"))?;
                 println!("φ written to {out_path}");
             }
+            if let Some(snap_path) = &args.snapshot {
+                let h = BitrussHierarchy::new(&g, &d)
+                    .map_err(|e| format!("building hierarchy: {e}"))?;
+                bitruss::write_snapshot_file(&g, &d, Some(&h), snap_path)
+                    .map_err(|e| format!("writing {snap_path}: {e}"))?;
+                println!(
+                    "snapshot written to {snap_path} (graph + φ + hierarchy, {} forest nodes)",
+                    h.num_forest_nodes()
+                );
+            }
         }
         "kbitruss" => {
             let path = args.positional.get(1).ok_or("kbitruss needs a file")?;
@@ -210,6 +243,37 @@ fn run() -> Result<(), String> {
                 );
             }
         }
+        "query" => {
+            let path = args
+                .positional
+                .get(1)
+                .ok_or("query needs a snapshot file")?;
+            let snap = bitruss::read_snapshot_file(path).map_err(|e| format!("{path}: {e}"))?;
+            let g = snap.graph;
+            let h = match snap.hierarchy {
+                Some(h) => h,
+                // Old snapshots without a hierarchy section: build once.
+                None => BitrussHierarchy::new(&g, &snap.decomposition)
+                    .map_err(|e| format!("building hierarchy: {e}"))?,
+            };
+            eprintln!(
+                "serving {} edges, φ_max {}, {} levels, {} forest nodes",
+                g.num_edges(),
+                h.max_bitruss(),
+                h.levels().len(),
+                h.num_forest_nodes()
+            );
+            let reader: Box<dyn BufRead> = match &args.queries {
+                Some(qpath) => Box::new(std::io::BufReader::new(
+                    std::fs::File::open(qpath).map_err(|e| format!("opening {qpath}: {e}"))?,
+                )),
+                None => Box::new(std::io::stdin().lock()),
+            };
+            for line in reader.lines() {
+                let line = line.map_err(|e| format!("reading queries: {e}"))?;
+                serve_query(&g, &h, line.trim());
+            }
+        }
         "generate" => {
             let name = args.positional.get(1).ok_or("generate needs a dataset")?;
             let path = args.positional.get(2).ok_or("generate needs a file")?;
@@ -222,6 +286,66 @@ fn run() -> Result<(), String> {
         other => return Err(format!("unknown command {other:?}")),
     }
     Ok(())
+}
+
+/// Answers one query line against the loaded hierarchy. Malformed lines
+/// print an `error:` answer and the batch continues — a bad query must
+/// not kill a server loop.
+fn serve_query(g: &BipartiteGraph, h: &BitrussHierarchy, line: &str) {
+    if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+        return;
+    }
+    let mut it = line.split_whitespace();
+    let verb = it.next().unwrap_or_default();
+    let mut num = |what: &str| -> Result<u64, String> {
+        it.next()
+            .ok_or_else(|| format!("missing {what}"))?
+            .parse::<u64>()
+            .map_err(|_| format!("invalid {what}"))
+    };
+    match verb {
+        "levels" => {
+            for (k, n) in h.level_sizes() {
+                println!("phi = {k}: {n} edges");
+            }
+        }
+        "edges" => match num("k") {
+            Ok(k) => println!("{} edges with phi >= {k}", h.k_bitruss_count(k)),
+            Err(e) => println!("error: edges: {e}"),
+        },
+        "community" => {
+            let parsed =
+                (|| Ok::<_, String>((num("upper index")?, num("lower index")?, num("k")?)))();
+            let (u, v, k) = match parsed {
+                Ok(t) => t,
+                Err(e) => {
+                    println!("error: community: {e}");
+                    return;
+                }
+            };
+            if u >= g.num_upper() as u64 || v >= g.num_lower() as u64 {
+                println!("error: community: vertex ({u}, {v}) out of range");
+                return;
+            }
+            let Some(e) = g.edge_between(g.upper(u as u32), g.lower(v as u32)) else {
+                println!("community ({u}, {v}) k={k}: no such edge");
+                return;
+            };
+            match h.community_of(g, e, k) {
+                None => println!(
+                    "community ({u}, {v}) k={k}: edge not in the {k}-bitruss (phi = {})",
+                    h.phi_of(e)
+                ),
+                Some(c) => println!(
+                    "community ({u}, {v}) k={k}: {} upper + {} lower vertices, {} edges",
+                    c.upper_members(g).count(),
+                    c.lower_members(g).count(),
+                    c.edges.len()
+                ),
+            }
+        }
+        other => println!("error: unknown query {other:?} (expected levels | edges | community)"),
+    }
 }
 
 fn main() -> ExitCode {

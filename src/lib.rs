@@ -71,7 +71,9 @@ pub mod workloads {
 pub use bigraph::{BipartiteGraph, EdgeId, GraphBuilder, VertexId};
 pub use bitruss_core::{
     bit_bs, bit_bu, bit_bu_hybrid, bit_bu_plus, bit_bu_pp, bit_bu_pp_par, bit_pc, decompose,
-    decompose_pruned, k_bitruss, read_decomposition, tip_decomposition, write_decomposition,
-    Algorithm, Community, Decomposition, Metrics, PeelStrategy, Threads, TipLayer, DEFAULT_TAU,
+    decompose_pruned, k_bitruss, read_decomposition, read_snapshot, read_snapshot_file,
+    tip_decomposition, write_decomposition, write_snapshot, write_snapshot_file, Algorithm,
+    BitrussHierarchy, Community, Decomposition, Metrics, PeelStrategy, Snapshot, Threads, TipLayer,
+    DEFAULT_TAU,
 };
 pub use butterfly::{count_per_edge, count_per_edge_parallel, count_total, ButterflyCounts};

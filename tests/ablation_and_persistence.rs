@@ -33,21 +33,65 @@ proptest! {
         }
     }
 
-    /// Decomposition persistence round-trips byte-for-byte semantics.
+    /// Decomposition persistence round-trips byte-for-byte semantics —
+    /// including declared layer sizes, so graphs with trailing isolated
+    /// vertices come back identical (the reader honours the size header
+    /// it writes; regression for the header being silently dropped).
     #[test]
     fn persistence_round_trip(
         nu in 3..16u32,
         nl in 3..16u32,
         m in 0..90usize,
+        extra_upper in 0..5u32,
+        extra_lower in 0..5u32,
         seed in any::<u64>(),
     ) {
-        let g = bitruss::workloads::random::uniform(nu, nl, m, seed);
+        let base = bitruss::workloads::random::uniform(nu, nl, m, seed);
+        let g = GraphBuilder::new()
+            .with_upper(base.num_upper() + extra_upper)
+            .with_lower(base.num_lower() + extra_lower)
+            .add_edges(base.edge_pairs())
+            .build()
+            .unwrap();
         let (d, _) = decompose(&g, Algorithm::BuPlusPlus);
         let mut buf = Vec::new();
         bitruss::write_decomposition(&g, &d, &mut buf).unwrap();
         let (g2, d2) = bitruss::read_decomposition(buf.as_slice()).unwrap();
         prop_assert_eq!(g.edge_pairs(), g2.edge_pairs());
+        prop_assert_eq!(g.num_upper(), g2.num_upper());
+        prop_assert_eq!(g.num_lower(), g2.num_lower());
         prop_assert_eq!(d, d2);
+    }
+
+    /// Binary snapshots round-trip the exact `(graph, φ)` pair — declared
+    /// layer sizes included — and the persisted hierarchy equals the one
+    /// rebuilt from scratch.
+    #[test]
+    fn binary_snapshot_round_trip(
+        nu in 3..16u32,
+        nl in 3..16u32,
+        m in 0..90usize,
+        extra_upper in 0..5u32,
+        extra_lower in 0..5u32,
+        seed in any::<u64>(),
+    ) {
+        let base = bitruss::workloads::random::uniform(nu, nl, m, seed);
+        let g = GraphBuilder::new()
+            .with_upper(base.num_upper() + extra_upper)
+            .with_lower(base.num_lower() + extra_lower)
+            .add_edges(base.edge_pairs())
+            .build()
+            .unwrap();
+        let (d, _) = decompose(&g, Algorithm::BuPlusPlus);
+        let h = bitruss::BitrussHierarchy::new(&g, &d).unwrap();
+        let mut buf = Vec::new();
+        bitruss::write_snapshot(&g, &d, Some(&h), &mut buf).unwrap();
+        let snap = bitruss::read_snapshot(buf.as_slice()).unwrap();
+        prop_assert_eq!(g.edge_pairs(), snap.graph.edge_pairs());
+        prop_assert_eq!(g.num_upper(), snap.graph.num_upper());
+        prop_assert_eq!(g.num_lower(), snap.graph.num_lower());
+        prop_assert_eq!(&d, &snap.decomposition);
+        prop_assert_eq!(snap.hierarchy, Some(h));
     }
 }
 
