@@ -7,13 +7,14 @@
 //! bloom anchored by `(u, w)`; the bloom exists when at least two wedges
 //! share the end (`count_wedge(w) > 1`, Algorithm 3 line 10).
 //!
-//! The per-start-vertex step is factored out ([`process_vertex`]) so the
+//! The per-start-vertex step is factored out (`process_vertex`) so the
 //! sequential build and the sharded parallel build
 //! ([`BeIndex::build_parallel`](crate::BeIndex::build_parallel)) run the
 //! byte-for-byte identical enumeration; they differ only in which arena
 //! each vertex's blooms and wedges land in.
 
-use bigraph::{BipartiteGraph, VertexId};
+use bigraph::progress::{checkpoint, EngineObserver, NoopObserver, Phase, CHECK_INTERVAL};
+use bigraph::{BipartiteGraph, Result, VertexId};
 
 use crate::index::BeIndex;
 
@@ -22,7 +23,19 @@ impl BeIndex {
     ///
     /// Runs in `O(Σ_{(u,v)∈E} min{d(u), d(v)})` time and space.
     pub fn build(g: &BipartiteGraph) -> BeIndex {
-        build_inner(g, None)
+        build_inner(g, None, &NoopObserver).expect("NoopObserver never cancels")
+    }
+
+    /// [`BeIndex::build`] with an [`EngineObserver`]: reports phase start,
+    /// coarse per-vertex progress, and polls for cancellation every
+    /// [`CHECK_INTERVAL`] start vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bigraph::Error::Cancelled`] when the observer requests
+    /// cancellation; the partial arena is discarded.
+    pub fn build_observed(g: &BipartiteGraph, observer: &dyn EngineObserver) -> Result<BeIndex> {
+        build_inner(g, None, observer)
     }
 
     /// Builds the *compressed* BE-Index of `g` (Algorithm 6), used by
@@ -37,7 +50,23 @@ impl BeIndex {
     /// the butterflies shared with assigned edges).
     pub fn build_compressed(g: &BipartiteGraph, assigned: &[bool]) -> BeIndex {
         assert_eq!(assigned.len(), g.num_edges() as usize);
-        build_inner(g, Some(assigned))
+        build_inner(g, Some(assigned), &NoopObserver).expect("NoopObserver never cancels")
+    }
+
+    /// [`BeIndex::build_compressed`] with an [`EngineObserver`]; same
+    /// progress and cancellation contract as [`BeIndex::build_observed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bigraph::Error::Cancelled`] when the observer requests
+    /// cancellation.
+    pub fn build_compressed_observed(
+        g: &BipartiteGraph,
+        assigned: &[bool],
+        observer: &dyn EngineObserver,
+    ) -> Result<BeIndex> {
+        assert_eq!(assigned.len(), g.num_edges() as usize);
+        build_inner(g, Some(assigned), observer)
     }
 }
 
@@ -228,15 +257,27 @@ pub(crate) fn finish(arena: Arena, num_edges: usize, assigned: Option<&[bool]>) 
     }
 }
 
-fn build_inner(g: &BipartiteGraph, assigned: Option<&[bool]>) -> BeIndex {
+fn build_inner(
+    g: &BipartiteGraph,
+    assigned: Option<&[bool]>,
+    observer: &dyn EngineObserver,
+) -> Result<BeIndex> {
     let n = g.num_vertices() as usize;
     let m = g.num_edges() as usize;
+    observer.on_phase_start(Phase::IndexBuild, n as u64);
+    checkpoint(observer)?;
     let mut scratch = Scratch::new(n);
     let mut arena = Arena::new(m);
     for u in g.vertices() {
+        if (u.0 as u64).is_multiple_of(CHECK_INTERVAL) && u.0 > 0 {
+            checkpoint(observer)?;
+            observer.on_phase_progress(Phase::IndexBuild, u.0 as u64, n as u64);
+        }
         process_vertex(g, u, assigned, &mut scratch, &mut arena);
     }
-    finish(arena, m, assigned)
+    let index = finish(arena, m, assigned);
+    observer.on_phase_end(Phase::IndexBuild);
+    Ok(index)
 }
 
 #[cfg(test)]

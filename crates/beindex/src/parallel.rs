@@ -5,7 +5,7 @@
 //! scoped threads with the same interleaved scheme as
 //! `butterfly::count_per_edge_parallel` (vertex `v` → worker `v mod T`).
 //! Each worker appends the blooms and wedges its vertices produce into a
-//! thread-local [`Arena`](crate::build::Arena) and records per-vertex
+//! thread-local `Arena` and records per-vertex
 //! arena watermarks; a merge pass then walks the vertices **in global
 //! order**, splicing each vertex's chunk into one global arena with
 //! renumbered bloom ids and prefix-summed wedge offsets. Per-edge link
@@ -16,7 +16,10 @@
 //! **bit-identical to [`BeIndex::build`] regardless of thread count** —
 //! the determinism the cross-checks in `tests/` pin down.
 
-use bigraph::{BipartiteGraph, VertexId};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bigraph::progress::{EngineObserver, NoopObserver, Phase, CHECK_INTERVAL};
+use bigraph::{BipartiteGraph, Error, Result, VertexId};
 use butterfly::{par_add_assign, Threads};
 
 use crate::build::{finish, process_vertex, Arena, Scratch};
@@ -38,12 +41,33 @@ impl BeIndex {
     /// every thread count. `Threads(0)` auto-detects; `Threads(1)` or an
     /// empty graph falls through to the sequential build.
     pub fn build_parallel(g: &BipartiteGraph, threads: Threads) -> BeIndex {
+        BeIndex::build_parallel_observed(g, threads, &NoopObserver)
+            .expect("NoopObserver never cancels")
+    }
+
+    /// [`BeIndex::build_parallel`] with an [`EngineObserver`]: every
+    /// worker polls for cancellation and ticks a shared progress counter
+    /// roughly every [`CHECK_INTERVAL`] start vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Cancelled`] when the observer requests
+    /// cancellation; all workers stop at their next poll and the partial
+    /// arenas are discarded.
+    pub fn build_parallel_observed(
+        g: &BipartiteGraph,
+        threads: Threads,
+        observer: &dyn EngineObserver,
+    ) -> Result<BeIndex> {
         let t = threads.resolve();
         let n = g.num_vertices() as usize;
         let m = g.num_edges() as usize;
         if t <= 1 || n == 0 {
-            return BeIndex::build(g);
+            return BeIndex::build_observed(g, observer);
         }
+        observer.on_phase_start(Phase::IndexBuild, n as u64);
+        let progress = AtomicU64::new(0);
+        let progress = &progress;
 
         let mut workers: Vec<WorkerOut> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..t)
@@ -53,8 +77,23 @@ impl BeIndex {
                         let mut scratch = Scratch::new(n);
                         let mut vert_bloom_end = Vec::new();
                         let mut vert_wedge_end = Vec::new();
+                        let mut since_poll = 0u64;
                         let mut v = ti;
                         while v < n {
+                            since_poll += 1;
+                            if since_poll >= CHECK_INTERVAL {
+                                since_poll = 0;
+                                if observer.is_cancelled() {
+                                    break;
+                                }
+                                let done = progress.fetch_add(CHECK_INTERVAL, Ordering::Relaxed)
+                                    + CHECK_INTERVAL;
+                                observer.on_phase_progress(
+                                    Phase::IndexBuild,
+                                    done.min(n as u64),
+                                    n as u64,
+                                );
+                            }
                             process_vertex(g, VertexId(v as u32), None, &mut scratch, &mut arena);
                             vert_bloom_end.push(arena.bloom_k.len() as u32);
                             vert_wedge_end.push(arena.wedge_e1.len() as u32);
@@ -73,6 +112,9 @@ impl BeIndex {
                 .map(|h| h.join().expect("index build worker panicked"))
                 .collect()
         });
+        if observer.is_cancelled() {
+            return Err(Error::Cancelled);
+        }
 
         // Per-edge link tallies are additive across workers, so they
         // reduce with the shared chunked parallel sum (taken out of the
@@ -143,7 +185,9 @@ impl BeIndex {
         debug_assert_eq!(merged.wedge_e1.len(), total_wedges);
         merged.link_count = link_count;
 
-        finish(merged, m, None)
+        let index = finish(merged, m, None);
+        observer.on_phase_end(Phase::IndexBuild);
+        Ok(index)
     }
 }
 

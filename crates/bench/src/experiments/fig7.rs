@@ -11,7 +11,7 @@
 
 use std::io::{self, Write};
 
-use bitruss_core::{decompose_with_histogram, Algorithm};
+use bitruss_core::{Algorithm, BitrussEngine};
 use butterfly::count_per_edge;
 use datagen::dataset_by_name;
 
@@ -51,7 +51,12 @@ pub fn run(out: &mut dyn Write, opts: &Opts) -> io::Result<()> {
     let mut labels: Vec<String> = Vec::new();
     let mut reference = None;
     for (label, alg) in algorithms {
-        let (dec, m) = decompose_with_histogram(&g, alg, &bounds);
+        let session = BitrussEngine::builder()
+            .algorithm(alg)
+            .histogram_bounds(bounds.clone())
+            .build_borrowed(&g)
+            .expect("no observer: run cannot fail");
+        let (dec, m) = session.into_parts();
         match &reference {
             Some(r) => assert_eq!(&dec, r, "algorithms disagree"),
             None => reference = Some(dec),

@@ -21,7 +21,7 @@ pub fn run(out: &mut dyn Write, opts: &Opts, json: &mut Vec<JsonRecord>) -> io::
     )?;
     let lineup = Algorithm::figure9_lineup();
     let mut header: Vec<String> = vec!["Dataset".into()];
-    header.extend(lineup.iter().map(|a| a.name().to_string()));
+    header.extend(lineup.iter().map(|a| a.to_string()));
     let mut table = Table::new(&header);
 
     for d in selected_datasets(opts) {
@@ -40,7 +40,7 @@ pub fn run(out: &mut dyn Write, opts: &Opts, json: &mut Vec<JsonRecord>) -> io::
             }
             let (dec, m) = decompose(&g, alg);
             match &reference {
-                Some(r) => assert_eq!(&dec, r, "{} disagrees on {}", alg.name(), d.name),
+                Some(r) => assert_eq!(&dec, r, "{alg} disagrees on {}", d.name),
                 None => reference = Some(dec),
             }
             json.push(JsonRecord::from_metrics("fig9", alg.name(), d.name, 1, &m));

@@ -1,14 +1,15 @@
 //! Parallel-engine experiment (extension beyond the paper): sequential
 //! BiT-BU++ versus BiT-BU++/P — parallel counting, parallel BE-Index
 //! construction, parallel batch bloom peeling — on one generated graph,
-//! across thread counts. The runs must produce identical decompositions
-//! (asserted); the interesting output is the per-phase wall-time split
-//! and the speedup, which the `--json` sink records for the perf
+//! across thread counts. Every run goes through the [`BitrussEngine`]
+//! session API; the runs must produce identical decompositions
+//! (asserted), and the interesting output is the per-phase wall-time
+//! split and the speedup, which the `--json` sink records for the perf
 //! trajectory.
 
 use std::io::{self, Write};
 
-use bitruss_core::{bit_bu_pp, bit_bu_pp_par, Threads};
+use bitruss_core::{Algorithm, BitrussEngine, Threads};
 
 use crate::fmt::{dur, Table};
 use crate::json::JsonRecord;
@@ -46,7 +47,11 @@ pub fn run(out: &mut dyn Write, opts: &Opts, json: &mut Vec<JsonRecord>) -> io::
         "Engine", "threads", "counting", "index", "peeling", "total", "speedup",
     ]);
 
-    let (seq_dec, seq_m) = bit_bu_pp(&g);
+    let seq = BitrussEngine::builder()
+        .algorithm(Algorithm::BuPlusPlus)
+        .build_borrowed(&g)
+        .expect("no observer: sequential run cannot fail");
+    let seq_m = seq.metrics().expect("fresh session has metrics").clone();
     let seq_total = seq_m.total_time().as_secs_f64();
     json.push(JsonRecord::from_metrics(
         "parallel", "BU++", d.name, 1, &seq_m,
@@ -62,15 +67,19 @@ pub fn run(out: &mut dyn Write, opts: &Opts, json: &mut Vec<JsonRecord>) -> io::
     ]);
 
     for t in sweep() {
-        let (dec, m) = bit_bu_pp_par(&g, Threads(t));
+        let par = BitrussEngine::builder()
+            .algorithm(Algorithm::BuPlusPlus)
+            .threads(Threads(t))
+            .build_borrowed(&g)
+            .expect("no observer: parallel run cannot fail");
         assert_eq!(
-            dec, seq_dec,
+            par.phi(),
+            seq.phi(),
             "BU++/P with {t} threads diverged from sequential BU++ on {}",
             d.name
         );
-        json.push(JsonRecord::from_metrics(
-            "parallel", "BU++/P", d.name, t, &m,
-        ));
+        let m = par.metrics().expect("fresh session has metrics");
+        json.push(JsonRecord::from_metrics("parallel", "BU++/P", d.name, t, m));
         let speedup = seq_total / m.total_time().as_secs_f64().max(1e-9);
         table.row(&[
             "BU++/P".to_string(),

@@ -1,18 +1,19 @@
 //! Query-serving experiment (extension beyond the paper): once φ is
 //! computed, how fast can the k-bitruss hierarchy be *queried*? Compares
 //! the `Decomposition` methods — which rescan all `m` edges per call —
-//! against the `BitrussHierarchy` index built once from the same result,
-//! on a deterministic batch mixing the three query kinds the `query` CLI
-//! serves (`levels`, `edges k`, `community u v k`). Both engines must
-//! return identical answers (asserted before timing); the interesting
-//! output is queries/sec and the speedup, which the `--json` sink
-//! records for the perf trajectory.
+//! against the [`BitrussEngine`] session serving the same queries from
+//! its lazily-built-and-cached hierarchy index, on a deterministic batch
+//! mixing the three query kinds the `query` CLI serves (`levels`,
+//! `edges k`, `community u v k`). Both engines must return identical
+//! answers (asserted before timing); the interesting output is
+//! queries/sec and the speedup, which the `--json` sink records for the
+//! perf trajectory.
 
 use std::io::{self, Write};
 use std::time::{Duration, Instant};
 
 use bigraph::{BipartiteGraph, EdgeId};
-use bitruss_core::{bit_bu_pp, BitrussHierarchy, Decomposition};
+use bitruss_core::{Algorithm, BitrussEngine, Decomposition};
 
 use crate::fmt::{dur, Table};
 use crate::json::JsonRecord;
@@ -82,19 +83,22 @@ fn serve_scan(g: &BipartiteGraph, d: &Decomposition, qs: &[Query]) -> u64 {
     fp
 }
 
-/// Serves the same batch via the hierarchy index.
-fn serve_hierarchy(g: &BipartiteGraph, h: &BitrussHierarchy, qs: &[Query]) -> u64 {
+/// Serves the same batch through the engine session (hierarchy-backed).
+fn serve_engine(session: &BitrussEngine<'_>, qs: &[Query]) -> u64 {
     let mut fp = 0u64;
     for q in qs {
         match *q {
             Query::Levels => {
-                for (k, n) in h.level_sizes() {
+                for (k, n) in session.level_sizes() {
                     fp = fp.wrapping_add(k ^ n as u64);
                 }
             }
-            Query::Count(k) => fp += h.k_bitruss_count(k) as u64,
+            Query::Count(k) => fp += session.k_bitruss_count(k).expect("hierarchy built") as u64,
             Query::Community(e, k) => {
-                let c = h.community_of(g, e, k).expect("φ(e) ≥ k by construction");
+                let c = session
+                    .community_of(e, k)
+                    .expect("hierarchy built")
+                    .expect("φ(e) ≥ k by construction");
                 fp += c.edges.len() as u64 + c.vertices.len() as u64;
             }
         }
@@ -102,26 +106,30 @@ fn serve_hierarchy(g: &BipartiteGraph, h: &BitrussHierarchy, qs: &[Query]) -> u6
     fp
 }
 
-/// Runs the scan-vs-hierarchy query throughput comparison.
+/// Runs the scan-vs-engine query throughput comparison.
 pub fn run(out: &mut dyn Write, opts: &Opts, json: &mut Vec<JsonRecord>) -> io::Result<()> {
     writeln!(
         out,
-        "== Query serving: Decomposition rescans vs BitrussHierarchy (identical answers) =="
+        "== Query serving: Decomposition rescans vs BitrussEngine session (identical answers) =="
     )?;
     let dataset = if opts.quick { "Marvel" } else { "Github" };
     let d_cfg = datagen::dataset_by_name(dataset).expect("registry");
     let g = d_cfg.generate();
-    let (dec, _) = bit_bu_pp(&g);
+    let session = BitrussEngine::builder()
+        .algorithm(Algorithm::BuPlusPlus)
+        .build_borrowed(&g)
+        .expect("no observer: decomposition cannot fail");
 
+    // First hierarchy access pays the lazy build; time it explicitly.
     let t0 = Instant::now();
-    let h = BitrussHierarchy::new(&g, &dec).expect("decomposition belongs to the graph");
+    let h = session.hierarchy().expect("no observer: build cannot fail");
     let build = t0.elapsed();
     writeln!(
         out,
         "graph: {} ({} edges, φ_max {}, {} levels); hierarchy: {} forest nodes, {} KiB, built in {}",
         d_cfg.name,
         g.num_edges(),
-        h.max_bitruss(),
+        session.max_bitruss(),
         h.levels().len(),
         h.num_forest_nodes(),
         h.memory_bytes() / 1024,
@@ -129,12 +137,13 @@ pub fn run(out: &mut dyn Write, opts: &Opts, json: &mut Vec<JsonRecord>) -> io::
     )?;
 
     let per_kind = if opts.quick { 12 } else { 24 };
-    let qs = workload(&g, &dec, per_kind);
+    let dec = session.decomposition();
+    let qs = workload(&g, dec, per_kind);
     // Answers must agree before anything is timed.
     assert_eq!(
-        serve_scan(&g, &dec, &qs),
-        serve_hierarchy(&g, &h, &qs),
-        "hierarchy diverged from the decomposition on {dataset}"
+        serve_scan(&g, dec, &qs),
+        serve_engine(&session, &qs),
+        "engine session diverged from the decomposition on {dataset}"
     );
 
     let reps = if opts.quick { 2 } else { 5 };
@@ -149,8 +158,8 @@ pub fn run(out: &mut dyn Write, opts: &Opts, json: &mut Vec<JsonRecord>) -> io::
         std::hint::black_box(sink);
         elapsed
     };
-    let scan_time = time_engine(&|| serve_scan(&g, &dec, &qs));
-    let hier_time = time_engine(&|| serve_hierarchy(&g, &h, &qs));
+    let scan_time = time_engine(&|| serve_scan(&g, dec, &qs));
+    let hier_time = time_engine(&|| serve_engine(&session, &qs));
 
     let qps = |t: Duration| queries as f64 / t.as_secs_f64().max(1e-9);
     json.push(JsonRecord::query(

@@ -2,7 +2,12 @@
 
 use std::fmt;
 
-/// Errors produced while building, loading or transforming bipartite graphs.
+/// Errors produced while building, loading or transforming bipartite
+/// graphs, or while running observed decomposition passes.
+///
+/// Marked `#[non_exhaustive]`: new failure modes may be added without a
+/// semver break, so downstream matches need a wildcard arm.
+#[non_exhaustive]
 #[derive(Debug)]
 pub enum Error {
     /// An underlying I/O failure while reading or writing an edge list.
@@ -32,6 +37,10 @@ pub enum Error {
     /// version, truncated section, structurally impossible data, or a
     /// checksum mismatch.
     Corrupt(String),
+    /// An [`EngineObserver`](crate::progress::EngineObserver) requested
+    /// cooperative cancellation; the pass unwound cleanly and produced no
+    /// result.
+    Cancelled,
 }
 
 impl fmt::Display for Error {
@@ -53,6 +62,7 @@ impl fmt::Display for Error {
             Error::TooLarge(what) => write!(f, "graph too large: {what}"),
             Error::Invariant(what) => write!(f, "invariant violation: {what}"),
             Error::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            Error::Cancelled => write!(f, "cancelled by the observer"),
         }
     }
 }
@@ -108,6 +118,8 @@ mod tests {
 
         let e = Error::Corrupt("checksum mismatch".into());
         assert!(e.to_string().starts_with("corrupt snapshot"));
+
+        assert_eq!(Error::Cancelled.to_string(), "cancelled by the observer");
 
         let e = Error::TooLarge("x".into());
 

@@ -23,6 +23,7 @@ pub mod error;
 pub mod graph;
 pub mod io;
 pub mod kcore;
+pub mod progress;
 pub mod sampling;
 pub mod stats;
 pub mod subgraph;
@@ -32,6 +33,7 @@ pub use builder::{GraphBuilder, PriorityMode};
 pub use error::{Error, Result};
 pub use graph::{BipartiteGraph, EdgeId, VertexId};
 pub use kcore::{alpha_beta_core, butterfly_core_mask};
+pub use progress::{EngineObserver, NoopObserver, Phase};
 pub use sampling::{sample_vertices_percent, SplitMix64};
 pub use stats::GraphStats;
 pub use subgraph::{edge_subgraph, vertex_induced_subgraph, EdgeSubgraph};

@@ -1,0 +1,162 @@
+//! Progress and cancellation plumbing for long-running passes.
+//!
+//! Every expensive phase of the suite — butterfly counting, BE-Index
+//! construction, peeling, hierarchy builds — accepts an
+//! [`EngineObserver`] through its `*_observed` entry point. The observer
+//! receives phase boundaries and coarse progress ticks, and may request
+//! cancellation at any time; a cancelled pass unwinds cleanly with
+//! [`Error::Cancelled`] instead of aborting the
+//! process. The trait lives in the substrate crate so the counting,
+//! index and decomposition layers can all share one definition; the
+//! `bitruss-core` engine re-exports it as its public observer API.
+//!
+//! Observers must be cheap: hot loops call them every
+//! [`CHECK_INTERVAL`]-ish units of work. The default method bodies are
+//! no-ops, so a `struct Quiet; impl EngineObserver for Quiet {}` observer
+//! costs nothing but the virtual call.
+
+use crate::error::{Error, Result};
+
+/// How often (in units of work: vertices enumerated, edges peeled) the
+/// observed passes poll the observer. Public so tests can build
+/// cancellation fixtures that trip after a known number of polls.
+pub const CHECK_INTERVAL: u64 = 1024;
+
+/// The phases of a decomposition session, in the order a typical run
+/// visits them. Marked `#[non_exhaustive]`: future passes (e.g. sharded
+/// I/O) may add phases without a semver break.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Per-edge butterfly support counting.
+    Counting,
+    /// BE-Index construction.
+    IndexBuild,
+    /// Bottom-up peeling (support updates and φ assignment).
+    Peeling,
+    /// Candidate-subgraph extraction (BiT-PC only).
+    Extraction,
+    /// Building the bitruss hierarchy index from a finished φ array.
+    HierarchyBuild,
+}
+
+impl Phase {
+    /// Short lowercase name, stable across releases (used in logs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::Counting => "counting",
+            Phase::IndexBuild => "index-build",
+            Phase::Peeling => "peeling",
+            Phase::Extraction => "extraction",
+            Phase::HierarchyBuild => "hierarchy-build",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Observer hooks for long-running passes: phase boundaries, coarse
+/// progress, and cooperative cancellation.
+///
+/// All methods have no-op defaults. Implementations must be [`Sync`]
+/// because the parallel engines poll the observer from worker threads.
+///
+/// # Cancellation
+///
+/// [`EngineObserver::is_cancelled`] is polled at least once per phase and
+/// roughly every [`CHECK_INTERVAL`] units of work inside a phase. Once it
+/// returns `true`, the observed pass stops at the next poll and returns
+/// [`Error::Cancelled`]; partial results are
+/// discarded. Polls may keep happening briefly after the first `true`, so
+/// the method must stay idempotent (an `AtomicBool` load is the typical
+/// implementation).
+pub trait EngineObserver: Sync {
+    /// A phase is starting. `total` is the phase's work estimate in the
+    /// unit later reported by [`EngineObserver::on_phase_progress`]
+    /// (vertices for counting/index build, edges for peeling); `0` when
+    /// unknown.
+    fn on_phase_start(&self, phase: Phase, total: u64) {
+        let _ = (phase, total);
+    }
+
+    /// Coarse progress inside a phase: `done` of `total` units complete.
+    /// Ticks are monotone per phase but not dense — expect one every
+    /// [`CHECK_INTERVAL`]-ish units, not one per unit. The parallel
+    /// engines may tick from several worker threads.
+    fn on_phase_progress(&self, phase: Phase, done: u64, total: u64) {
+        let _ = (phase, done, total);
+    }
+
+    /// A phase finished (not called when the run is cancelled mid-phase).
+    fn on_phase_end(&self, phase: Phase) {
+        let _ = phase;
+    }
+
+    /// Return `true` to request cooperative cancellation. Must be cheap
+    /// and idempotent; see the trait docs for polling guarantees.
+    fn is_cancelled(&self) -> bool {
+        false
+    }
+}
+
+/// The do-nothing observer used by every legacy (un-observed) entry
+/// point. Never cancels, so passes run with it are infallible.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl EngineObserver for NoopObserver {}
+
+/// Polls the observer, converting a cancellation request into
+/// [`Error::Cancelled`]. Hot loops call this every
+/// [`CHECK_INTERVAL`] units of work.
+#[inline]
+pub fn checkpoint(observer: &dyn EngineObserver) -> Result<()> {
+    if observer.is_cancelled() {
+        Err(Error::Cancelled)
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn noop_observer_never_cancels() {
+        let obs = NoopObserver;
+        obs.on_phase_start(Phase::Counting, 10);
+        obs.on_phase_progress(Phase::Counting, 5, 10);
+        obs.on_phase_end(Phase::Counting);
+        assert!(!obs.is_cancelled());
+        assert!(checkpoint(&obs).is_ok());
+    }
+
+    #[test]
+    fn checkpoint_surfaces_cancellation() {
+        struct Flag(AtomicBool);
+        impl EngineObserver for Flag {
+            fn is_cancelled(&self) -> bool {
+                self.0.load(Ordering::Relaxed)
+            }
+        }
+        let obs = Flag(AtomicBool::new(false));
+        assert!(checkpoint(&obs).is_ok());
+        obs.0.store(true, Ordering::Relaxed);
+        assert!(matches!(checkpoint(&obs), Err(Error::Cancelled)));
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        assert_eq!(Phase::Counting.name(), "counting");
+        assert_eq!(Phase::IndexBuild.to_string(), "index-build");
+        assert_eq!(Phase::Peeling.name(), "peeling");
+        assert_eq!(Phase::Extraction.name(), "extraction");
+        assert_eq!(Phase::HierarchyBuild.name(), "hierarchy-build");
+    }
+}

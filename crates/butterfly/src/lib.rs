@@ -19,6 +19,8 @@ pub mod support;
 pub mod vertex;
 
 pub use naive::{count_naive, enumerate_butterflies, Butterfly};
-pub use parallel::{count_per_edge_parallel, par_add_assign, Threads};
-pub use support::{count_per_edge, count_total, ButterflyCounts};
+pub use parallel::{
+    count_per_edge_parallel, count_per_edge_parallel_observed, par_add_assign, Threads,
+};
+pub use support::{count_per_edge, count_per_edge_observed, count_total, ButterflyCounts};
 pub use vertex::count_per_vertex;

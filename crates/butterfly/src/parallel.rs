@@ -9,7 +9,10 @@
 //! so no single thread has to merge `threads × m` partials alone. The
 //! result is bit-identical to [`crate::count_per_edge`].
 
-use bigraph::{BipartiteGraph, VertexId};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bigraph::progress::{EngineObserver, NoopObserver, Phase, CHECK_INTERVAL};
+use bigraph::{BipartiteGraph, Error, Result, VertexId};
 
 use crate::support::{choose2, ButterflyCounts};
 
@@ -74,12 +77,32 @@ where
 /// Parallel counting across `threads` workers (clamped to at least 1).
 /// `threads == 0` selects `std::thread::available_parallelism()`.
 pub fn count_per_edge_parallel(g: &BipartiteGraph, threads: usize) -> ButterflyCounts {
+    count_per_edge_parallel_observed(g, threads, &NoopObserver).expect("NoopObserver never cancels")
+}
+
+/// [`count_per_edge_parallel`] with an [`EngineObserver`]: every worker
+/// polls for cancellation and ticks a shared progress counter roughly
+/// every [`CHECK_INTERVAL`] start vertices (so progress events may arrive
+/// from several threads).
+///
+/// # Errors
+///
+/// Returns [`Error::Cancelled`] when the observer requests cancellation;
+/// all workers stop at their next poll and the partials are discarded.
+pub fn count_per_edge_parallel_observed(
+    g: &BipartiteGraph,
+    threads: usize,
+    observer: &dyn EngineObserver,
+) -> Result<ButterflyCounts> {
     let threads = Threads(threads).resolve();
     let n = g.num_vertices() as usize;
     let m = g.num_edges() as usize;
     if threads <= 1 || n < 1024 {
-        return crate::support::count_per_edge(g);
+        return crate::support::count_per_edge_observed(g, observer);
     }
+    observer.on_phase_start(Phase::Counting, n as u64);
+    let progress = AtomicU64::new(0);
+    let progress = &progress;
 
     // Static interleaved sharding: vertex v goes to thread v % threads.
     // High-degree vertices cluster at particular ids in many generators, so
@@ -93,8 +116,19 @@ pub fn count_per_edge_parallel(g: &BipartiteGraph, threads: usize) -> ButterflyC
                 let mut count = vec![0u32; n];
                 let mut touched: Vec<u32> = Vec::new();
                 let mut wedges: Vec<(u32, u32, u32)> = Vec::new();
+                let mut since_poll = 0u64;
                 let mut v_idx = t as u32;
                 while (v_idx as usize) < n {
+                    since_poll += 1;
+                    if since_poll >= CHECK_INTERVAL {
+                        since_poll = 0;
+                        if observer.is_cancelled() {
+                            break;
+                        }
+                        let done =
+                            progress.fetch_add(CHECK_INTERVAL, Ordering::Relaxed) + CHECK_INTERVAL;
+                        observer.on_phase_progress(Phase::Counting, done.min(n as u64), n as u64);
+                    }
                     let u = VertexId(v_idx);
                     v_idx += threads as u32;
                     let pu = g.priority(u);
@@ -140,6 +174,12 @@ pub fn count_per_edge_parallel(g: &BipartiteGraph, threads: usize) -> ButterflyC
             .collect()
     });
 
+    // A worker that saw the cancellation request broke out early, leaving
+    // its partial incomplete — discard everything and report cleanly.
+    if observer.is_cancelled() {
+        return Err(Error::Cancelled);
+    }
+
     // Parallel reduction: fold the remaining partials into the first one,
     // chunking the edge range across the same workers so the merge is not
     // serialized on one thread.
@@ -147,7 +187,8 @@ pub fn count_per_edge_parallel(g: &BipartiteGraph, threads: usize) -> ButterflyC
     let mut per_edge = partials.remove(0).0;
     let rest: Vec<Vec<u64>> = partials.into_iter().map(|(v, _)| v).collect();
     par_add_assign(&mut per_edge, &rest, threads);
-    ButterflyCounts { per_edge, total }
+    observer.on_phase_end(Phase::Counting);
+    Ok(ButterflyCounts { per_edge, total })
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Per-edge butterfly support counting via priority-obeyed wedges.
 
-use bigraph::{BipartiteGraph, EdgeId};
+use bigraph::progress::{checkpoint, EngineObserver, NoopObserver, Phase, CHECK_INTERVAL};
+use bigraph::{BipartiteGraph, EdgeId, Result};
 
 /// Result of a counting pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,8 +38,25 @@ pub(crate) fn choose2(c: u64) -> u64 {
 /// This is the counting step used by every decomposition algorithm
 /// (Algorithm 1 line 1, Algorithm 4 line 1, Algorithm 7 line 1).
 pub fn count_per_edge(g: &BipartiteGraph) -> ButterflyCounts {
+    count_per_edge_observed(g, &NoopObserver).expect("NoopObserver never cancels")
+}
+
+/// [`count_per_edge`] with an [`EngineObserver`]: reports phase start,
+/// coarse per-vertex progress, and polls for cancellation every
+/// [`CHECK_INTERVAL`] start vertices.
+///
+/// # Errors
+///
+/// Returns [`bigraph::Error::Cancelled`] when the observer requests
+/// cancellation; the partial counts are discarded.
+pub fn count_per_edge_observed(
+    g: &BipartiteGraph,
+    observer: &dyn EngineObserver,
+) -> Result<ButterflyCounts> {
     let n = g.num_vertices() as usize;
     let m = g.num_edges() as usize;
+    observer.on_phase_start(Phase::Counting, n as u64);
+    checkpoint(observer)?;
     let mut per_edge = vec![0u64; m];
     let mut total = 0u64;
 
@@ -48,6 +66,10 @@ pub fn count_per_edge(g: &BipartiteGraph) -> ButterflyCounts {
     let mut wedges: Vec<(u32, u32, u32)> = Vec::new(); // (w, e_uv, e_vw)
 
     for u in g.vertices() {
+        if (u.0 as u64).is_multiple_of(CHECK_INTERVAL) && u.0 > 0 {
+            checkpoint(observer)?;
+            observer.on_phase_progress(Phase::Counting, u.0 as u64, n as u64);
+        }
         let pu = g.priority(u);
         touched.clear();
         wedges.clear();
@@ -89,7 +111,8 @@ pub fn count_per_edge(g: &BipartiteGraph) -> ButterflyCounts {
         }
     }
 
-    ButterflyCounts { per_edge, total }
+    observer.on_phase_end(Phase::Counting);
+    Ok(ButterflyCounts { per_edge, total })
 }
 
 /// Counts only the total number of butterflies (`onG`), skipping the

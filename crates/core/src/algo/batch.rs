@@ -20,8 +20,9 @@
 use std::time::Instant;
 
 use beindex::{BeIndex, BloomId, WedgeId};
-use bigraph::{BipartiteGraph, EdgeId};
-use butterfly::count_per_edge;
+use bigraph::progress::{checkpoint, EngineObserver, NoopObserver, Phase};
+use bigraph::{BipartiteGraph, EdgeId, Result};
+use butterfly::count_per_edge_observed;
 
 use crate::bucket_queue::BucketQueue;
 use crate::decomposition::Decomposition;
@@ -38,23 +39,46 @@ pub fn bit_bu_plus_opts(
     g: &BipartiteGraph,
     histogram_bounds: Option<&[u64]>,
 ) -> (Decomposition, Metrics) {
+    bit_bu_plus_run(g, histogram_bounds, &NoopObserver).expect("NoopObserver never cancels")
+}
+
+/// [`bit_bu_plus`] with an [`EngineObserver`]: phase events for counting,
+/// index construction and peeling, with a cancellation poll per batch.
+///
+/// # Errors
+///
+/// Returns [`bigraph::Error::Cancelled`] when the observer requests
+/// cancellation; the partial φ assignment is discarded.
+pub fn bit_bu_plus_observed(
+    g: &BipartiteGraph,
+    observer: &dyn EngineObserver,
+) -> Result<(Decomposition, Metrics)> {
+    bit_bu_plus_run(g, None, observer)
+}
+
+pub(crate) fn bit_bu_plus_run(
+    g: &BipartiteGraph,
+    histogram_bounds: Option<&[u64]>,
+    observer: &dyn EngineObserver,
+) -> Result<(Decomposition, Metrics)> {
     let mut metrics = Metrics::default();
     let m = g.num_edges() as usize;
 
     let t0 = Instant::now();
-    let counts = count_per_edge(g);
+    let counts = count_per_edge_observed(g, observer)?;
     metrics.counting_time = t0.elapsed();
     if let Some(bounds) = histogram_bounds {
         metrics.enable_histogram(bounds.to_vec(), &counts.per_edge);
     }
 
     let t1 = Instant::now();
-    let mut index = BeIndex::build(g);
+    let mut index = BeIndex::build_observed(g, observer)?;
     metrics.index_time = t1.elapsed();
     metrics.peak_index_bytes = index.memory_bytes();
     metrics.iterations = 1;
 
     let t2 = Instant::now();
+    observer.on_phase_start(Phase::Peeling, m as u64);
     let mut supp = counts.per_edge;
     let mut phi = vec![0u64; m];
     let mut queue = BucketQueue::new(&supp, |_| true);
@@ -64,7 +88,11 @@ pub fn bit_bu_plus_opts(
     let mut touched: Vec<u32> = Vec::new();
     let mut batch: Vec<EdgeId> = Vec::new();
 
+    let mut popped = 0u64;
     while let Some(level) = queue.pop_level(&supp, &mut batch) {
+        checkpoint(observer)?;
+        popped += batch.len() as u64;
+        observer.on_phase_progress(Phase::Peeling, popped, m as u64);
         for &e in &batch {
             phi[e.index()] = level;
         }
@@ -118,7 +146,8 @@ pub fn bit_bu_plus_opts(
         touched.clear();
     }
     metrics.peeling_time = t2.elapsed();
-    (Decomposition::new(phi), metrics)
+    observer.on_phase_end(Phase::Peeling);
+    Ok((Decomposition::new(phi), metrics))
 }
 
 /// Runs BiT-BU++ (Algorithm 5: batch edge *and* batch bloom processing).
@@ -131,30 +160,57 @@ pub fn bit_bu_pp_opts(
     g: &BipartiteGraph,
     histogram_bounds: Option<&[u64]>,
 ) -> (Decomposition, Metrics) {
+    bit_bu_pp_run(g, histogram_bounds, &NoopObserver).expect("NoopObserver never cancels")
+}
+
+/// [`bit_bu_pp`] with an [`EngineObserver`]: phase events for counting,
+/// index construction and peeling, with a cancellation poll per batch.
+///
+/// # Errors
+///
+/// Returns [`bigraph::Error::Cancelled`] when the observer requests
+/// cancellation; the partial φ assignment is discarded.
+pub fn bit_bu_pp_observed(
+    g: &BipartiteGraph,
+    observer: &dyn EngineObserver,
+) -> Result<(Decomposition, Metrics)> {
+    bit_bu_pp_run(g, None, observer)
+}
+
+pub(crate) fn bit_bu_pp_run(
+    g: &BipartiteGraph,
+    histogram_bounds: Option<&[u64]>,
+    observer: &dyn EngineObserver,
+) -> Result<(Decomposition, Metrics)> {
     let mut metrics = Metrics::default();
     let m = g.num_edges() as usize;
 
     let t0 = Instant::now();
-    let counts = count_per_edge(g);
+    let counts = count_per_edge_observed(g, observer)?;
     metrics.counting_time = t0.elapsed();
     if let Some(bounds) = histogram_bounds {
         metrics.enable_histogram(bounds.to_vec(), &counts.per_edge);
     }
 
     let t1 = Instant::now();
-    let mut index = BeIndex::build(g);
+    let mut index = BeIndex::build_observed(g, observer)?;
     metrics.index_time = t1.elapsed();
     metrics.peak_index_bytes = index.memory_bytes();
     metrics.iterations = 1;
 
     let t2 = Instant::now();
+    observer.on_phase_start(Phase::Peeling, m as u64);
     let mut supp = counts.per_edge;
     let mut phi = vec![0u64; m];
     let mut queue = BucketQueue::new(&supp, |_| true);
     let mut state = BatchState::new(index.num_blooms());
     let mut batch: Vec<EdgeId> = Vec::new();
 
+    let mut popped = 0u64;
     while let Some(level) = queue.pop_level(&supp, &mut batch) {
+        checkpoint(observer)?;
+        popped += batch.len() as u64;
+        observer.on_phase_progress(Phase::Peeling, popped, m as u64);
         for &e in &batch {
             phi[e.index()] = level;
         }
@@ -170,7 +226,8 @@ pub fn bit_bu_pp_opts(
         );
     }
     metrics.peeling_time = t2.elapsed();
-    (Decomposition::new(phi), metrics)
+    observer.on_phase_end(Phase::Peeling);
+    Ok((Decomposition::new(phi), metrics))
 }
 
 /// Runs BiT-BU# — an extension beyond the paper combining both batch
@@ -180,20 +237,43 @@ pub fn bit_bu_pp_opts(
 /// per batch (as in BiT-BU+). Strictly fewer bloom traversals than BU+
 /// and strictly fewer queue writes than BU++.
 pub fn bit_bu_hybrid(g: &BipartiteGraph) -> (Decomposition, Metrics) {
+    bit_bu_hybrid_run(g, &NoopObserver).expect("NoopObserver never cancels")
+}
+
+/// [`bit_bu_hybrid`] with an [`EngineObserver`]: phase events for
+/// counting, index construction and peeling, with a cancellation poll per
+/// batch.
+///
+/// # Errors
+///
+/// Returns [`bigraph::Error::Cancelled`] when the observer requests
+/// cancellation; the partial φ assignment is discarded.
+pub fn bit_bu_hybrid_observed(
+    g: &BipartiteGraph,
+    observer: &dyn EngineObserver,
+) -> Result<(Decomposition, Metrics)> {
+    bit_bu_hybrid_run(g, observer)
+}
+
+pub(crate) fn bit_bu_hybrid_run(
+    g: &BipartiteGraph,
+    observer: &dyn EngineObserver,
+) -> Result<(Decomposition, Metrics)> {
     let mut metrics = Metrics::default();
     let m = g.num_edges() as usize;
 
     let t0 = Instant::now();
-    let counts = count_per_edge(g);
+    let counts = count_per_edge_observed(g, observer)?;
     metrics.counting_time = t0.elapsed();
 
     let t1 = Instant::now();
-    let mut index = BeIndex::build(g);
+    let mut index = BeIndex::build_observed(g, observer)?;
     metrics.index_time = t1.elapsed();
     metrics.peak_index_bytes = index.memory_bytes();
     metrics.iterations = 1;
 
     let t2 = Instant::now();
+    observer.on_phase_start(Phase::Peeling, m as u64);
     let mut supp = counts.per_edge;
     let mut phi = vec![0u64; m];
     let mut queue = BucketQueue::new(&supp, |_| true);
@@ -202,7 +282,11 @@ pub fn bit_bu_hybrid(g: &BipartiteGraph) -> (Decomposition, Metrics) {
     let mut touched_edges: Vec<u32> = Vec::new();
     let mut batch: Vec<EdgeId> = Vec::new();
 
+    let mut popped = 0u64;
     while let Some(level) = queue.pop_level(&supp, &mut batch) {
+        checkpoint(observer)?;
+        popped += batch.len() as u64;
+        observer.on_phase_progress(Phase::Peeling, popped, m as u64);
         for &e in &batch {
             phi[e.index()] = level;
         }
@@ -267,7 +351,8 @@ pub fn bit_bu_hybrid(g: &BipartiteGraph) -> (Decomposition, Metrics) {
         touched_edges.clear();
     }
     metrics.peeling_time = t2.elapsed();
-    (Decomposition::new(phi), metrics)
+    observer.on_phase_end(Phase::Peeling);
+    Ok((Decomposition::new(phi), metrics))
 }
 
 /// Reusable per-bloom batch counters (`C(B∗)` of Algorithm 5).

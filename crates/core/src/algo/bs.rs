@@ -10,14 +10,19 @@
 
 use std::time::Instant;
 
-use bigraph::{BipartiteGraph, EdgeId, VertexId};
-use butterfly::count_per_edge;
+use bigraph::progress::{checkpoint, EngineObserver, NoopObserver, Phase, CHECK_INTERVAL};
+use bigraph::{BipartiteGraph, EdgeId, Result, VertexId};
+use butterfly::count_per_edge_observed;
 
 use crate::bucket_queue::BucketQueue;
 use crate::decomposition::Decomposition;
 use crate::metrics::Metrics;
 
 /// How BiT-BS enumerates the butterflies containing a removed edge.
+///
+/// Marked `#[non_exhaustive]`: future peeling strategies may be added
+/// without a semver break.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PeelStrategy {
     /// Ref.\[5\]: for each `w ∈ N(v)\u`, merge-intersect `N(u) ∩ N(w)` —
@@ -30,21 +35,43 @@ pub enum PeelStrategy {
 
 /// Runs BiT-BS (Algorithm 1) with the chosen peeling strategy.
 pub fn bit_bs(g: &BipartiteGraph, strategy: PeelStrategy) -> (Decomposition, Metrics) {
+    bit_bs_observed(g, strategy, &NoopObserver).expect("NoopObserver never cancels")
+}
+
+/// [`bit_bs`] with an [`EngineObserver`]: phase events for counting and
+/// peeling, with a cancellation poll every [`CHECK_INTERVAL`] removals.
+///
+/// # Errors
+///
+/// Returns [`bigraph::Error::Cancelled`] when the observer requests
+/// cancellation; the partial φ assignment is discarded.
+pub fn bit_bs_observed(
+    g: &BipartiteGraph,
+    strategy: PeelStrategy,
+    observer: &dyn EngineObserver,
+) -> Result<(Decomposition, Metrics)> {
     let mut metrics = Metrics::default();
     let m = g.num_edges() as usize;
 
     let t0 = Instant::now();
-    let counts = count_per_edge(g);
+    let counts = count_per_edge_observed(g, observer)?;
     metrics.counting_time = t0.elapsed();
 
     let t1 = Instant::now();
+    observer.on_phase_start(Phase::Peeling, m as u64);
     let mut supp = counts.per_edge;
     let mut removed = vec![false; m];
     let mut phi = vec![0u64; m];
     let mut queue = BucketQueue::new(&supp, |_| true);
     metrics.iterations = 1;
 
+    let mut popped = 0u64;
     while let Some((level, e)) = queue.pop_min(&supp) {
+        popped += 1;
+        if popped.is_multiple_of(CHECK_INTERVAL) {
+            checkpoint(observer)?;
+            observer.on_phase_progress(Phase::Peeling, popped, m as u64);
+        }
         phi[e.index()] = level;
         removed[e.index()] = true;
         let update =
@@ -98,7 +125,8 @@ pub fn bit_bs(g: &BipartiteGraph, strategy: PeelStrategy) -> (Decomposition, Met
         }
     }
     metrics.peeling_time = t1.elapsed();
-    (Decomposition::new(phi), metrics)
+    observer.on_phase_end(Phase::Peeling);
+    Ok((Decomposition::new(phi), metrics))
 }
 
 /// Merge-intersects the id-sorted adjacency lists of `a` and `b` (same

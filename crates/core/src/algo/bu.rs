@@ -9,8 +9,9 @@
 use std::time::Instant;
 
 use beindex::{BeIndex, UpdateSink};
-use bigraph::{BipartiteGraph, EdgeId};
-use butterfly::count_per_edge;
+use bigraph::progress::{checkpoint, EngineObserver, NoopObserver, Phase, CHECK_INTERVAL};
+use bigraph::{BipartiteGraph, EdgeId, Result};
+use butterfly::count_per_edge_observed;
 
 use crate::bucket_queue::BucketQueue;
 use crate::decomposition::Decomposition;
@@ -48,28 +49,58 @@ pub fn bit_bu_opts(
     g: &BipartiteGraph,
     histogram_bounds: Option<&[u64]>,
 ) -> (Decomposition, Metrics) {
+    bit_bu_run(g, histogram_bounds, &NoopObserver).expect("NoopObserver never cancels")
+}
+
+/// [`bit_bu`] with an [`EngineObserver`]: phase events for counting,
+/// index construction and peeling, with a cancellation poll every
+/// [`CHECK_INTERVAL`] removals.
+///
+/// # Errors
+///
+/// Returns [`bigraph::Error::Cancelled`] when the observer requests
+/// cancellation; the partial φ assignment is discarded.
+pub fn bit_bu_observed(
+    g: &BipartiteGraph,
+    observer: &dyn EngineObserver,
+) -> Result<(Decomposition, Metrics)> {
+    bit_bu_run(g, None, observer)
+}
+
+pub(crate) fn bit_bu_run(
+    g: &BipartiteGraph,
+    histogram_bounds: Option<&[u64]>,
+    observer: &dyn EngineObserver,
+) -> Result<(Decomposition, Metrics)> {
     let mut metrics = Metrics::default();
     let m = g.num_edges() as usize;
 
     let t0 = Instant::now();
-    let counts = count_per_edge(g);
+    let counts = count_per_edge_observed(g, observer)?;
     metrics.counting_time = t0.elapsed();
     if let Some(bounds) = histogram_bounds {
         metrics.enable_histogram(bounds.to_vec(), &counts.per_edge);
     }
 
     let t1 = Instant::now();
-    let mut index = BeIndex::build(g);
+    let mut index = BeIndex::build_observed(g, observer)?;
     metrics.index_time = t1.elapsed();
     metrics.peak_index_bytes = index.memory_bytes();
     metrics.iterations = 1;
 
     let t2 = Instant::now();
+    observer.on_phase_start(Phase::Peeling, m as u64);
     let mut supp = counts.per_edge;
     let mut phi = vec![0u64; m];
     let mut queue = BucketQueue::new(&supp, |_| true);
 
+    let mut popped = 0u64;
     while let Some((level, e)) = queue.pop_min(&supp) {
+        popped += 1;
+        if popped.is_multiple_of(CHECK_INTERVAL) {
+            checkpoint(observer)?;
+            observer.on_phase_progress(Phase::Peeling, popped, m as u64);
+        }
         phi[e.index()] = level; // Algorithm 4 line 6: φ_e ← k
         let mut sink = PeelSink {
             queue: &mut queue,
@@ -79,7 +110,8 @@ pub fn bit_bu_opts(
         index.remove_edge(e, &mut supp, level, &mut sink);
     }
     metrics.peeling_time = t2.elapsed();
-    (Decomposition::new(phi), metrics)
+    observer.on_phase_end(Phase::Peeling);
+    Ok((Decomposition::new(phi), metrics))
 }
 
 #[cfg(test)]

@@ -6,19 +6,34 @@ pub mod bu;
 pub mod parallel;
 pub mod pc;
 
-pub use batch::{bit_bu_hybrid, bit_bu_plus, bit_bu_plus_opts, bit_bu_pp, bit_bu_pp_opts};
-pub use bs::{bit_bs, PeelStrategy};
-pub use bu::{bit_bu, bit_bu_opts};
+pub use batch::{
+    bit_bu_hybrid, bit_bu_hybrid_observed, bit_bu_plus, bit_bu_plus_observed, bit_bu_plus_opts,
+    bit_bu_pp, bit_bu_pp_observed, bit_bu_pp_opts,
+};
+pub use bs::{bit_bs, bit_bs_observed, PeelStrategy};
+pub use bu::{bit_bu, bit_bu_observed, bit_bu_opts};
 pub use butterfly::Threads;
-pub use parallel::{bit_bu_pp_par, bit_bu_pp_par_tuned};
-pub use pc::{bit_pc, bit_pc_opts, kmax_bound, DEFAULT_TAU};
+pub use parallel::{bit_bu_pp_par, bit_bu_pp_par_observed, bit_bu_pp_par_tuned};
+pub use pc::{bit_pc, bit_pc_observed, bit_pc_opts, kmax_bound, DEFAULT_TAU};
 
-use bigraph::BipartiteGraph;
+use std::fmt;
+use std::str::FromStr;
+
+use bigraph::progress::EngineObserver;
+use bigraph::{BipartiteGraph, Result};
 
 use crate::decomposition::Decomposition;
 use crate::metrics::Metrics;
 
-/// Algorithm selector for [`decompose`].
+/// Algorithm selector for [`decompose`] and the
+/// [`BitrussEngine`](crate::engine::BitrussEngine).
+///
+/// Marked `#[non_exhaustive]`: future engines may be added without a
+/// semver break, so downstream matches need a wildcard arm. Parse
+/// algorithm names with the [`FromStr`] impl (the CLI spelling, e.g.
+/// `"bu++"`, `"bu++p"`, `"pc"`) and print them with [`fmt::Display`]
+/// (the paper spelling, e.g. `"BU++"`).
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Algorithm {
     /// BiT-BS with the intersection peeling of ref.\[5\] (Algorithm 1).
@@ -86,51 +101,160 @@ impl Algorithm {
     }
 }
 
+/// Prints the paper-style name ([`Algorithm::name`]); parameters (τ,
+/// thread count) are not rendered, matching the figure labels.
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when an algorithm name cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAlgorithmError {
+    name: String,
+}
+
+impl fmt::Display for ParseAlgorithmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown algorithm {:?} (expected bs, bs-pair, bu, bu+, bu++, bu++p, bu#, or pc)",
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for ParseAlgorithmError {}
+
+/// Parses the CLI spelling of an algorithm name, case-insensitively:
+/// `bs`, `bs-pair`, `bu`, `bu+`, `bu++`, `bu++p` (or `bu++/p`), `bu#`
+/// (or `bu-hybrid`), `pc`. The paper spellings produced by
+/// [`Algorithm::name`] round-trip. Parameterized variants parse with
+/// their defaults — `pc` gets [`DEFAULT_TAU`], `bu++p` gets
+/// [`Threads::AUTO`] — and callers override the fields afterwards.
+impl FromStr for Algorithm {
+    type Err = ParseAlgorithmError;
+
+    fn from_str(s: &str) -> std::result::Result<Algorithm, ParseAlgorithmError> {
+        match s.to_ascii_lowercase().as_str() {
+            "bs" => Ok(Algorithm::BsIntersection),
+            "bs-pair" => Ok(Algorithm::BsPairEnumeration),
+            "bu" => Ok(Algorithm::Bu),
+            "bu+" => Ok(Algorithm::BuPlus),
+            "bu++" => Ok(Algorithm::BuPlusPlus),
+            "bu++p" | "bu++/p" => Ok(Algorithm::parallel_auto()),
+            "bu#" | "bu-hybrid" => Ok(Algorithm::BuHybrid),
+            "pc" => Ok(Algorithm::pc_default()),
+            _ => Err(ParseAlgorithmError {
+                name: s.to_string(),
+            }),
+        }
+    }
+}
+
+/// Dispatches one observed run; the single place every entry point —
+/// the engine, [`decompose`], [`decompose_observed`] — funnels through.
+pub(crate) fn run_algorithm(
+    g: &BipartiteGraph,
+    algorithm: Algorithm,
+    histogram_bounds: Option<&[u64]>,
+    observer: &dyn EngineObserver,
+) -> Result<(Decomposition, Metrics)> {
+    // The BiT-BS variants and the parallel/hybrid engines do not support
+    // histogram collection; they run plain (matching the Figure 7 scope).
+    match algorithm {
+        Algorithm::BsIntersection => bs::bit_bs_observed(g, PeelStrategy::Intersection, observer),
+        Algorithm::BsPairEnumeration => {
+            bs::bit_bs_observed(g, PeelStrategy::PairEnumeration, observer)
+        }
+        Algorithm::Bu => bu::bit_bu_run(g, histogram_bounds, observer),
+        Algorithm::BuPlus => batch::bit_bu_plus_run(g, histogram_bounds, observer),
+        Algorithm::BuPlusPlus => batch::bit_bu_pp_run(g, histogram_bounds, observer),
+        Algorithm::BuPlusPlusPar { threads } => {
+            parallel::bit_bu_pp_par_observed(g, threads, observer)
+        }
+        Algorithm::BuHybrid => batch::bit_bu_hybrid_run(g, observer),
+        Algorithm::Pc { tau } => pc::bit_pc_run(g, tau, histogram_bounds, observer),
+    }
+}
+
 /// Runs bitruss decomposition with the selected algorithm. All algorithms
 /// return identical φ arrays; they differ in how the peeling work is
 /// organized, which the returned [`Metrics`] quantify.
+///
+/// This is the one-shot convenience entry point; for sessions that also
+/// query, snapshot, or need progress/cancellation, use
+/// [`BitrussEngine`](crate::engine::BitrussEngine).
 pub fn decompose(g: &BipartiteGraph, algorithm: Algorithm) -> (Decomposition, Metrics) {
-    match algorithm {
-        Algorithm::BsIntersection => bit_bs(g, PeelStrategy::Intersection),
-        Algorithm::BsPairEnumeration => bit_bs(g, PeelStrategy::PairEnumeration),
-        Algorithm::Bu => bit_bu(g),
-        Algorithm::BuPlus => bit_bu_plus(g),
-        Algorithm::BuPlusPlus => bit_bu_pp(g),
-        Algorithm::BuPlusPlusPar { threads } => parallel::bit_bu_pp_par(g, threads),
-        Algorithm::BuHybrid => batch::bit_bu_hybrid(g),
-        Algorithm::Pc { tau } => bit_pc(g, tau),
-    }
+    crate::engine::BitrussEngine::builder()
+        .algorithm(algorithm)
+        .build_borrowed(g)
+        .expect("NoopObserver never cancels and the configuration is valid")
+        .into_parts()
+}
+
+/// [`decompose`] with an [`EngineObserver`] receiving phase events and
+/// able to cancel the run.
+///
+/// # Errors
+///
+/// Returns [`bigraph::Error::Cancelled`] when the observer requests
+/// cancellation; the partial result is discarded.
+pub fn decompose_observed(
+    g: &BipartiteGraph,
+    algorithm: Algorithm,
+    observer: &dyn EngineObserver,
+) -> Result<(Decomposition, Metrics)> {
+    run_algorithm(g, algorithm, None, observer)
 }
 
 /// [`decompose`] with an update histogram bucketed by the given bounds on
 /// original supports (Figure 7 instrumentation). Not supported for the
 /// BiT-BS variants, which fall back to plain runs.
+#[deprecated(note = "use BitrussEngine with EngineBuilder::histogram_bounds")]
 pub fn decompose_with_histogram(
     g: &BipartiteGraph,
     algorithm: Algorithm,
     bounds: &[u64],
 ) -> (Decomposition, Metrics) {
-    match algorithm {
-        Algorithm::Bu => bu::bit_bu_opts(g, Some(bounds)),
-        Algorithm::BuPlus => batch::bit_bu_plus_opts(g, Some(bounds)),
-        Algorithm::BuPlusPlus => batch::bit_bu_pp_opts(g, Some(bounds)),
-        Algorithm::Pc { tau } => pc::bit_pc_opts(g, tau, Some(bounds)),
-        other => decompose(g, other),
-    }
+    crate::engine::BitrussEngine::builder()
+        .algorithm(algorithm)
+        .histogram_bounds(bounds.to_vec())
+        .build_borrowed(g)
+        .expect("NoopObserver never cancels and the configuration is valid")
+        .into_parts()
 }
 
 /// [`decompose`] with (2,2)-core pre-pruning (extension): every butterfly
 /// lies inside the (2,2)-core, so edges outside it have `φ = 0` and can
 /// be dropped before counting and peeling. On butterfly-sparse graphs
 /// this shrinks the working graph substantially at `O(n + m)` cost.
+#[deprecated(note = "use BitrussEngine with EngineBuilder::pruned(true)")]
 pub fn decompose_pruned(g: &BipartiteGraph, algorithm: Algorithm) -> (Decomposition, Metrics) {
+    crate::engine::BitrussEngine::builder()
+        .algorithm(algorithm)
+        .pruned(true)
+        .build_borrowed(g)
+        .expect("NoopObserver never cancels and the configuration is valid")
+        .into_parts()
+}
+
+/// The (2,2)-core pre-pruning wrapper around [`run_algorithm`], shared by
+/// the engine's `pruned` option and the deprecated [`decompose_pruned`].
+pub(crate) fn prune_and_run(
+    g: &BipartiteGraph,
+    algorithm: Algorithm,
+    histogram_bounds: Option<&[u64]>,
+    observer: &dyn EngineObserver,
+) -> Result<(Decomposition, Metrics)> {
     let core = bigraph::alpha_beta_core(g, 2, 2);
-    let (sub_dec, metrics) = decompose(&core.graph, algorithm);
+    let (sub_dec, metrics) = run_algorithm(&core.graph, algorithm, histogram_bounds, observer)?;
     let mut phi = vec![0u64; g.num_edges() as usize];
     for (i, &old) in core.new_to_old.iter().enumerate() {
         phi[old.index()] = sub_dec.phi[i];
     }
-    (Decomposition::new(phi), metrics)
+    Ok((Decomposition::new(phi), metrics))
 }
 
 #[cfg(test)]
@@ -139,6 +263,7 @@ mod tests {
     use crate::verify::reference_decomposition;
 
     #[test]
+    #[allow(deprecated)] // the compatibility wrapper must keep working
     fn core_pruning_preserves_phi() {
         for seed in 0..5 {
             let g = datagen::powerlaw::chung_lu(60, 60, 500, 2.2, 2.2, seed);
@@ -184,5 +309,42 @@ mod tests {
         let lineup = Algorithm::figure9_lineup();
         assert_eq!(lineup.len(), 4);
         assert_eq!(lineup[0].name(), "BS");
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for alg in [
+            Algorithm::BsIntersection,
+            Algorithm::BsPairEnumeration,
+            Algorithm::Bu,
+            Algorithm::BuPlus,
+            Algorithm::BuPlusPlus,
+            Algorithm::parallel_auto(),
+            Algorithm::BuHybrid,
+            Algorithm::pc_default(),
+        ] {
+            assert_eq!(alg.to_string(), alg.name());
+        }
+    }
+
+    #[test]
+    fn from_str_parses_cli_and_paper_spellings() {
+        assert_eq!("bs".parse::<Algorithm>(), Ok(Algorithm::BsIntersection));
+        assert_eq!(
+            "BS-pair".parse::<Algorithm>(),
+            Ok(Algorithm::BsPairEnumeration)
+        );
+        assert_eq!("bu".parse::<Algorithm>(), Ok(Algorithm::Bu));
+        assert_eq!("BU+".parse::<Algorithm>(), Ok(Algorithm::BuPlus));
+        assert_eq!("bu++".parse::<Algorithm>(), Ok(Algorithm::BuPlusPlus));
+        assert_eq!("bu++p".parse::<Algorithm>(), Ok(Algorithm::parallel_auto()));
+        assert_eq!(
+            "BU++/P".parse::<Algorithm>(),
+            Ok(Algorithm::parallel_auto())
+        );
+        assert_eq!("bu#".parse::<Algorithm>(), Ok(Algorithm::BuHybrid));
+        assert_eq!("pc".parse::<Algorithm>(), Ok(Algorithm::pc_default()));
+        let err = "bu+++".parse::<Algorithm>().unwrap_err();
+        assert!(err.to_string().contains("unknown algorithm \"bu+++\""));
     }
 }

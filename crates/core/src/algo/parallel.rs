@@ -25,8 +25,9 @@
 use std::time::Instant;
 
 use beindex::{BeIndex, BloomId, WedgeId};
-use bigraph::{BipartiteGraph, EdgeId};
-use butterfly::{count_per_edge_parallel, Threads};
+use bigraph::progress::{checkpoint, EngineObserver, NoopObserver, Phase};
+use bigraph::{BipartiteGraph, EdgeId, Result};
+use butterfly::{count_per_edge_parallel_observed, Threads};
 
 use crate::bucket_queue::BucketQueue;
 use crate::decomposition::Decomposition;
@@ -88,6 +89,23 @@ pub fn bit_bu_pp_par(g: &BipartiteGraph, threads: Threads) -> (Decomposition, Me
     bit_bu_pp_par_tuned(g, threads, PAR_BATCH_MIN_WORK)
 }
 
+/// [`bit_bu_pp_par`] with an [`EngineObserver`]: phase events for
+/// counting, index construction and peeling. Counting and index-build
+/// workers poll for cancellation from their shards; peeling polls once
+/// per batch.
+///
+/// # Errors
+///
+/// Returns [`bigraph::Error::Cancelled`] when the observer requests
+/// cancellation; the partial φ assignment is discarded.
+pub fn bit_bu_pp_par_observed(
+    g: &BipartiteGraph,
+    threads: Threads,
+    observer: &dyn EngineObserver,
+) -> Result<(Decomposition, Metrics)> {
+    bit_bu_pp_par_run(g, threads, PAR_BATCH_MIN_WORK, observer)
+}
+
 /// [`bit_bu_pp_par`] with an explicit fan-out threshold: batches whose
 /// phase-2 work estimate is below `par_batch_min_work` wedge slots are
 /// traversed inline. `0` forces every batch through the parallel path
@@ -99,6 +117,16 @@ pub fn bit_bu_pp_par_tuned(
     threads: Threads,
     par_batch_min_work: usize,
 ) -> (Decomposition, Metrics) {
+    bit_bu_pp_par_run(g, threads, par_batch_min_work, &NoopObserver)
+        .expect("NoopObserver never cancels")
+}
+
+pub(crate) fn bit_bu_pp_par_run(
+    g: &BipartiteGraph,
+    threads: Threads,
+    par_batch_min_work: usize,
+    observer: &dyn EngineObserver,
+) -> Result<(Decomposition, Metrics)> {
     let t = threads.resolve();
     let mut metrics = Metrics {
         counting_threads: t,
@@ -110,15 +138,16 @@ pub fn bit_bu_pp_par_tuned(
     let m = g.num_edges() as usize;
 
     let t0 = Instant::now();
-    let counts = count_per_edge_parallel(g, t);
+    let counts = count_per_edge_parallel_observed(g, t, observer)?;
     metrics.counting_time = t0.elapsed();
 
     let t1 = Instant::now();
-    let mut index = BeIndex::build_parallel(g, Threads(t));
+    let mut index = BeIndex::build_parallel_observed(g, Threads(t), observer)?;
     metrics.index_time = t1.elapsed();
     metrics.peak_index_bytes = index.memory_bytes();
 
     let t2 = Instant::now();
+    observer.on_phase_start(Phase::Peeling, m as u64);
     let mut supp = counts.per_edge;
     let mut phi = vec![0u64; m];
     let mut queue = BucketQueue::new(&supp, |_| true);
@@ -135,7 +164,11 @@ pub fn bit_bu_pp_par_tuned(
     let mut worker_bufs: Vec<(Vec<u64>, Vec<u32>)> = Vec::new();
     let mut batch: Vec<EdgeId> = Vec::new();
 
+    let mut popped = 0u64;
     while let Some(level) = queue.pop_level(&supp, &mut batch) {
+        checkpoint(observer)?;
+        popped += batch.len() as u64;
+        observer.on_phase_progress(Phase::Peeling, popped, m as u64);
         for &e in &batch {
             phi[e.index()] = level;
         }
@@ -237,7 +270,8 @@ pub fn bit_bu_pp_par_tuned(
         touched_edges.clear();
     }
     metrics.peeling_time = t2.elapsed();
-    (Decomposition::new(phi), metrics)
+    observer.on_phase_end(Phase::Peeling);
+    Ok((Decomposition::new(phi), metrics))
 }
 
 #[cfg(test)]

@@ -33,8 +33,9 @@
 use std::time::Instant;
 
 use beindex::BeIndex;
-use bigraph::{edge_subgraph, BipartiteGraph, EdgeId};
-use butterfly::count_per_edge;
+use bigraph::progress::{checkpoint, EngineObserver, NoopObserver, Phase};
+use bigraph::{edge_subgraph, BipartiteGraph, EdgeId, Result};
+use butterfly::{count_per_edge, count_per_edge_observed};
 
 use crate::algo::batch::{peel_batch_pp, BatchState};
 use crate::bucket_queue::BucketQueue;
@@ -74,13 +75,41 @@ pub fn bit_pc_opts(
     tau: f64,
     histogram_bounds: Option<&[u64]>,
 ) -> (Decomposition, Metrics) {
+    bit_pc_run(g, tau, histogram_bounds, &NoopObserver).expect("NoopObserver never cancels")
+}
+
+/// [`bit_pc`] with an [`EngineObserver`]. BiT-PC revisits its phases once
+/// per ε-iteration, so observers see repeated
+/// [`Phase::Extraction`]/[`Phase::IndexBuild`]/[`Phase::Peeling`] cycles
+/// after the single global [`Phase::Counting`]; peeling progress reports
+/// the cumulative number of assigned edges out of `m`. Cancellation is
+/// polled per fixpoint round, per index build, and per peel batch.
+///
+/// # Errors
+///
+/// Returns [`bigraph::Error::Cancelled`] when the observer requests
+/// cancellation; the partial φ assignment is discarded.
+pub fn bit_pc_observed(
+    g: &BipartiteGraph,
+    tau: f64,
+    observer: &dyn EngineObserver,
+) -> Result<(Decomposition, Metrics)> {
+    bit_pc_run(g, tau, None, observer)
+}
+
+pub(crate) fn bit_pc_run(
+    g: &BipartiteGraph,
+    tau: f64,
+    histogram_bounds: Option<&[u64]>,
+    observer: &dyn EngineObserver,
+) -> Result<(Decomposition, Metrics)> {
     assert!(tau > 0.0 && tau <= 1.0, "τ must lie in (0, 1], got {tau}");
     let mut metrics = Metrics::default();
     let m = g.num_edges() as usize;
 
     // Step 0: global counting, done once.
     let t0 = Instant::now();
-    let global = count_per_edge(g);
+    let global = count_per_edge_observed(g, observer)?;
     metrics.counting_time = t0.elapsed();
     if let Some(bounds) = histogram_bounds {
         metrics.enable_histogram(bounds.to_vec(), &global.per_edge);
@@ -109,9 +138,12 @@ pub fn bit_pc_opts(
         // the εᵢ-bitruss together with the assigned edges (whose φ ≥ εᵢ
         // already certifies their membership).
         let (sub, counts) = loop {
+            checkpoint(observer)?;
+            observer.on_phase_start(Phase::Extraction, m as u64);
             let t1 = Instant::now();
             let sub = edge_subgraph(g, |e| alive[e.index()]);
             metrics.extraction_time += t1.elapsed();
+            observer.on_phase_end(Phase::Extraction);
 
             let t2 = Instant::now();
             let counts = count_per_edge(&sub.graph);
@@ -135,7 +167,7 @@ pub fn bit_pc_opts(
         // Step 2: compressed index (Algorithm 6) and bottom-up peel. The
         // derived supports equal the fixpoint counts for unassigned edges.
         let t4 = Instant::now();
-        let mut index = BeIndex::build_compressed(&sub.graph, &sub_assigned);
+        let mut index = BeIndex::build_compressed_observed(&sub.graph, &sub_assigned, observer)?;
         metrics.index_time += t4.elapsed();
         metrics.peak_index_bytes = metrics.peak_index_bytes.max(index.memory_bytes());
         debug_assert!({
@@ -148,12 +180,14 @@ pub fn bit_pc_opts(
         });
 
         let t5 = Instant::now();
+        observer.on_phase_start(Phase::Peeling, m as u64);
         let mut supp = counts.per_edge;
         let mut queue = BucketQueue::new(&supp, |e| index.in_index(e));
         let mut state = BatchState::new(index.num_blooms());
         let mut batch: Vec<EdgeId> = Vec::new();
 
         while let Some(level) = queue.pop_level(&supp, &mut batch) {
+            checkpoint(observer)?;
             // Every unassigned edge entered with support ≥ εᵢ and clamping
             // keeps supports at or above the peel level, so every pop is
             // final (no deferral).
@@ -174,8 +208,10 @@ pub fn bit_pc_opts(
                 &mut metrics,
                 Some(to_global),
             );
+            observer.on_phase_progress(Phase::Peeling, num_assigned as u64, m as u64);
         }
         metrics.peeling_time += t5.elapsed();
+        observer.on_phase_end(Phase::Peeling);
 
         if num_assigned == m || eps == 0 {
             break;
@@ -184,7 +220,7 @@ pub fn bit_pc_opts(
     }
 
     debug_assert_eq!(num_assigned, m);
-    (Decomposition::new(phi), metrics)
+    Ok((Decomposition::new(phi), metrics))
 }
 
 #[cfg(test)]

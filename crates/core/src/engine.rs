@@ -1,0 +1,934 @@
+//! [`BitrussEngine`] — the typed session API owning the full lifecycle
+//! **decompose → hierarchy → query → snapshot**.
+//!
+//! The free functions of [`crate::algo`] each answer one question; a
+//! production query server needs all of them against one graph, without
+//! re-doing work: decompose once, build the hierarchy index once, answer
+//! many queries, persist a snapshot, resume from it later. The engine is
+//! that owning entry point:
+//!
+//! ```
+//! use bigraph::GraphBuilder;
+//! use bitruss_core::engine::BitrussEngine;
+//! use bitruss_core::Algorithm;
+//!
+//! let g = GraphBuilder::new()
+//!     .add_edges([
+//!         (0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1),
+//!         (2, 2), (2, 3), (3, 1), (3, 2), (3, 4),
+//!     ])
+//!     .build()
+//!     .unwrap();
+//!
+//! // Configure → run → serve.
+//! let session = BitrussEngine::builder()
+//!     .algorithm(Algorithm::BuPlusPlus)
+//!     .build(g)
+//!     .unwrap();
+//! assert_eq!(session.max_bitruss(), 2);
+//! assert_eq!(session.k_bitruss_count(2).unwrap(), 6);
+//!
+//! // Persist the session and resume it elsewhere.
+//! let mut bytes = Vec::new();
+//! session.save_snapshot_to(&mut bytes).unwrap();
+//! let resumed = BitrussEngine::from_snapshot_reader(&bytes[..]).unwrap();
+//! assert_eq!(resumed.phi(), session.phi());
+//! assert_eq!(resumed.k_bitruss_count(2).unwrap(), 6);
+//! ```
+//!
+//! # Observability and cancellation
+//!
+//! [`EngineBuilder::progress`] attaches an [`EngineObserver`] that is
+//! threaded through counting, BE-Index construction, peeling and the
+//! hierarchy build: it receives phase boundaries and coarse progress
+//! ticks, and may request cooperative cancellation at any poll, which
+//! surfaces as [`Error::Cancelled`] instead of aborting the process.
+//!
+//! # Relation to the legacy free functions
+//!
+//! [`decompose`](crate::decompose) and friends remain as thin wrappers
+//! over the same dispatch the engine uses, so results are bit-identical;
+//! `decompose_pruned` and `decompose_with_histogram` are deprecated in
+//! favour of [`EngineBuilder::pruned`] and
+//! [`EngineBuilder::histogram_bounds`].
+
+use std::borrow::Cow;
+use std::fmt;
+use std::io::{BufRead, Read, Write};
+use std::path::Path;
+use std::str::FromStr;
+use std::sync::{Arc, OnceLock};
+
+use bigraph::progress::checkpoint;
+use bigraph::{BipartiteGraph, EdgeId, Error, Result, VertexId};
+
+pub use bigraph::progress::{EngineObserver, NoopObserver, Phase};
+
+use crate::algo::{self, Algorithm, Threads};
+use crate::decomposition::{Community, Decomposition};
+use crate::hierarchy::BitrussHierarchy;
+use crate::metrics::Metrics;
+use crate::persist::binary::{
+    read_snapshot, read_snapshot_file, write_snapshot, write_snapshot_file,
+};
+
+/// When the session builds its [`BitrussHierarchy`] index.
+///
+/// Marked `#[non_exhaustive]`: future modes (e.g. persisted-only) may be
+/// added without a semver break.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HierarchyMode {
+    /// Build on the first query that needs it, then cache (the default).
+    #[default]
+    Lazy,
+    /// Build eagerly inside [`EngineBuilder::build`], so the first query
+    /// pays no latency spike and cancellation covers the index build too.
+    Eager,
+}
+
+/// Typed builder for a [`BitrussEngine`] session.
+///
+/// Obtained from [`BitrussEngine::builder`]; every option has a sensible
+/// default (BiT-BU++, no pruning, lazy hierarchy, no observer).
+pub struct EngineBuilder {
+    algorithm: Algorithm,
+    threads: Option<Threads>,
+    pruned: bool,
+    hierarchy_mode: HierarchyMode,
+    histogram_bounds: Option<Vec<u64>>,
+    observer: Option<Arc<dyn EngineObserver + Send + Sync>>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            algorithm: Algorithm::BuPlusPlus,
+            threads: None,
+            pruned: false,
+            hierarchy_mode: HierarchyMode::Lazy,
+            histogram_bounds: None,
+            observer: None,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Selects the decomposition algorithm (default:
+    /// [`Algorithm::BuPlusPlus`]).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Configures worker threads. Mirrors the CLI's `--threads` rule: it
+    /// upgrades the default [`Algorithm::BuPlusPlus`] to the parallel
+    /// engine (bit-identical results) or overrides the thread count of an
+    /// explicit [`Algorithm::BuPlusPlusPar`]; combining it with any other
+    /// algorithm is rejected by [`EngineBuilder::build`].
+    pub fn threads(mut self, threads: impl Into<Threads>) -> Self {
+        self.threads = Some(threads.into());
+        self
+    }
+
+    /// Enables (2,2)-core pre-pruning: edges outside the core have
+    /// `φ = 0` and are dropped before counting and peeling.
+    pub fn pruned(mut self, pruned: bool) -> Self {
+        self.pruned = pruned;
+        self
+    }
+
+    /// Chooses when the hierarchy index is built (default: lazily).
+    pub fn hierarchy(mut self, mode: HierarchyMode) -> Self {
+        self.hierarchy_mode = mode;
+        self
+    }
+
+    /// Enables the per-original-support update histogram (Figure 7
+    /// instrumentation) with the given ascending bucket bounds. Ignored
+    /// by the BiT-BS variants and the parallel/hybrid engines.
+    pub fn histogram_bounds(mut self, bounds: Vec<u64>) -> Self {
+        self.histogram_bounds = Some(bounds);
+        self
+    }
+
+    /// Attaches an [`EngineObserver`] receiving phase events and able to
+    /// cancel the run. Keep a clone of the `Arc` to flip your
+    /// cancellation flag from another thread.
+    pub fn progress(mut self, observer: Arc<dyn EngineObserver + Send + Sync>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Runs the configured decomposition on an owned graph and returns
+    /// the serving session.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Cancelled`] when the observer cancels the run, or
+    /// [`Error::Invariant`] for invalid configurations (e.g.
+    /// [`EngineBuilder::threads`] with a non-parallel algorithm).
+    pub fn build(self, graph: BipartiteGraph) -> Result<BitrussEngine<'static>> {
+        self.run(Cow::Owned(graph))
+    }
+
+    /// [`EngineBuilder::build`] borrowing the graph instead of owning it
+    /// — zero-copy for callers that keep the graph alive themselves (the
+    /// legacy free functions delegate here).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`EngineBuilder::build`].
+    pub fn build_borrowed(self, graph: &BipartiteGraph) -> Result<BitrussEngine<'_>> {
+        self.run(Cow::Borrowed(graph))
+    }
+
+    /// Resolves the `--threads`-style upgrade rule against the selected
+    /// algorithm.
+    fn effective_algorithm(&self) -> Result<Algorithm> {
+        match (self.threads, self.algorithm) {
+            (None, algorithm) => Ok(algorithm),
+            (Some(threads), Algorithm::BuPlusPlus | Algorithm::BuPlusPlusPar { .. }) => {
+                Ok(Algorithm::BuPlusPlusPar { threads })
+            }
+            (Some(_), other) => Err(Error::Invariant(format!(
+                "threads only apply to the parallel engine (bu++ or bu++p), not {other}"
+            ))),
+        }
+    }
+
+    fn run(self, graph: Cow<'_, BipartiteGraph>) -> Result<BitrussEngine<'_>> {
+        let algorithm = self.effective_algorithm()?;
+        let observer: Arc<dyn EngineObserver + Send + Sync> =
+            self.observer.unwrap_or_else(|| Arc::new(NoopObserver));
+        let bounds = self.histogram_bounds.as_deref();
+        let (decomposition, metrics) = if self.pruned {
+            algo::prune_and_run(&graph, algorithm, bounds, &*observer)?
+        } else {
+            algo::run_algorithm(&graph, algorithm, bounds, &*observer)?
+        };
+        let engine = BitrussEngine {
+            graph,
+            algorithm: Some(algorithm),
+            decomposition,
+            metrics: Some(metrics),
+            hierarchy: OnceLock::new(),
+            observer,
+        };
+        if self.hierarchy_mode == HierarchyMode::Eager {
+            engine.hierarchy()?;
+        }
+        Ok(engine)
+    }
+}
+
+/// A decomposition session: the graph, its bitruss numbers, run metrics,
+/// and a lazily-built-and-cached [`BitrussHierarchy`] behind one typed
+/// API — see the [module docs](self) for the lifecycle.
+///
+/// The lifetime parameter tracks graph ownership:
+/// [`EngineBuilder::build`] and [`BitrussEngine::from_snapshot`] produce
+/// self-contained `BitrussEngine<'static>` sessions, while
+/// [`EngineBuilder::build_borrowed`] borrows a caller-owned graph. All
+/// query methods take `&self`; the session is `Sync`, so a server can
+/// share it across request threads.
+pub struct BitrussEngine<'g> {
+    graph: Cow<'g, BipartiteGraph>,
+    /// `None` for sessions resumed from a snapshot (the snapshot does not
+    /// record which algorithm produced φ).
+    algorithm: Option<Algorithm>,
+    decomposition: Decomposition,
+    /// `None` for sessions resumed from a snapshot (no run happened).
+    metrics: Option<Metrics>,
+    hierarchy: OnceLock<BitrussHierarchy>,
+    observer: Arc<dyn EngineObserver + Send + Sync>,
+}
+
+impl fmt::Debug for BitrussEngine<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BitrussEngine")
+            .field("num_edges", &self.graph.num_edges())
+            .field("algorithm", &self.algorithm)
+            .field("max_bitruss", &self.decomposition.max_bitruss())
+            .field("hierarchy_built", &self.hierarchy.get().is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BitrussEngine<'static> {
+    /// Resumes a session from a binary snapshot file written by
+    /// [`BitrussEngine::save_snapshot`] (or the lower-level
+    /// [`write_snapshot_file`]). A hierarchy
+    /// persisted in the snapshot is adopted directly — the index build is
+    /// never repeated; [`BitrussEngine::metrics`] and
+    /// [`BitrussEngine::algorithm`] are `None` because no run happened.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on I/O failures, [`Error::Corrupt`] when the
+    /// snapshot fails validation.
+    pub fn from_snapshot<P: AsRef<Path>>(path: P) -> Result<Self> {
+        Self::adopt(read_snapshot_file(path)?)
+    }
+
+    /// [`BitrussEngine::from_snapshot`] over any reader.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BitrussEngine::from_snapshot`].
+    pub fn from_snapshot_reader<R: Read>(reader: R) -> Result<Self> {
+        Self::adopt(read_snapshot(reader)?)
+    }
+
+    fn adopt(snapshot: crate::persist::binary::Snapshot) -> Result<Self> {
+        let hierarchy = OnceLock::new();
+        if let Some(h) = snapshot.hierarchy {
+            let _ = hierarchy.set(h);
+        }
+        Ok(BitrussEngine {
+            graph: Cow::Owned(snapshot.graph),
+            algorithm: None,
+            decomposition: snapshot.decomposition,
+            metrics: None,
+            hierarchy,
+            observer: Arc::new(NoopObserver),
+        })
+    }
+}
+
+impl<'g> BitrussEngine<'g> {
+    /// Starts configuring a new session.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// The graph this session serves.
+    pub fn graph(&self) -> &BipartiteGraph {
+        &self.graph
+    }
+
+    /// The algorithm that produced φ (`None` when resumed from a
+    /// snapshot).
+    pub fn algorithm(&self) -> Option<Algorithm> {
+        self.algorithm
+    }
+
+    /// The bitruss number of every edge, indexed by edge id.
+    pub fn phi(&self) -> &[u64] {
+        &self.decomposition.phi
+    }
+
+    /// The full decomposition result.
+    pub fn decomposition(&self) -> &Decomposition {
+        &self.decomposition
+    }
+
+    /// Metrics of the decomposition run (`None` when resumed from a
+    /// snapshot — no run happened in this session).
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.metrics.as_ref()
+    }
+
+    /// The maximum bitruss number over all edges.
+    pub fn max_bitruss(&self) -> u64 {
+        self.decomposition.max_bitruss()
+    }
+
+    /// Edge count per distinct bitruss number. Served from the hierarchy
+    /// when it is already built (`O(L)`), otherwise from one φ scan.
+    pub fn level_sizes(&self) -> std::collections::BTreeMap<u64, usize> {
+        match self.hierarchy.get() {
+            Some(h) => h.level_sizes(),
+            None => self.decomposition.level_sizes(),
+        }
+    }
+
+    /// The hierarchy index, building and caching it on first use.
+    /// Subsequent calls are lock-free reads.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Cancelled`] when the session's observer cancels the
+    /// build.
+    pub fn hierarchy(&self) -> Result<&BitrussHierarchy> {
+        if self.hierarchy.get().is_none() {
+            let observer = &*self.observer;
+            checkpoint(observer)?;
+            observer.on_phase_start(Phase::HierarchyBuild, self.graph.num_edges() as u64);
+            let h = BitrussHierarchy::new(&self.graph, &self.decomposition)?;
+            observer.on_phase_end(Phase::HierarchyBuild);
+            // A concurrent caller may have won the race; first write wins
+            // and both results are identical.
+            let _ = self.hierarchy.set(h);
+        }
+        Ok(self.hierarchy.get().expect("initialized above"))
+    }
+
+    /// The number of edges in the k-bitruss, in `O(log L)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`BitrussEngine::hierarchy`].
+    pub fn k_bitruss_count(&self, k: u64) -> Result<usize> {
+        Ok(self.hierarchy()?.k_bitruss_count(k))
+    }
+
+    /// The edges of the k-bitruss (ascending edge ids), output-
+    /// sensitively.
+    ///
+    /// # Errors
+    ///
+    /// See [`BitrussEngine::hierarchy`].
+    pub fn k_bitruss_edges(&self, k: u64) -> Result<Vec<EdgeId>> {
+        Ok(self.hierarchy()?.k_bitruss_edges(k))
+    }
+
+    /// The largest `k` whose k-bitruss contains an edge incident to `v`
+    /// (`None` for isolated vertices), in `O(1)` after the hierarchy is
+    /// built.
+    ///
+    /// # Errors
+    ///
+    /// See [`BitrussEngine::hierarchy`].
+    pub fn max_k(&self, v: VertexId) -> Result<Option<u64>> {
+        Ok(self.hierarchy()?.max_k(v))
+    }
+
+    /// The connected component of the k-bitruss containing edge `e`
+    /// (`None` when `φ(e) < k`), output-sensitively.
+    ///
+    /// # Errors
+    ///
+    /// See [`BitrussEngine::hierarchy`].
+    pub fn community_of(&self, e: EdgeId, k: u64) -> Result<Option<Community>> {
+        Ok(self.hierarchy()?.community_of(&self.graph, e, k))
+    }
+
+    /// All connected components of the k-bitruss, output-sensitively.
+    ///
+    /// # Errors
+    ///
+    /// See [`BitrussEngine::hierarchy`].
+    pub fn communities(&self, k: u64) -> Result<Vec<Community>> {
+        Ok(self.hierarchy()?.communities(&self.graph, k))
+    }
+
+    /// Executes one typed query. `Levels`/`Edges` answer from the
+    /// hierarchy index; `Community` resolves the edge first (producing
+    /// the miss variants of [`QueryAnswer`] rather than errors, so batch
+    /// serving survives bad inputs).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Invariant`] when a `Community` query addresses a vertex
+    /// outside the graph's layers, or [`Error::Cancelled`] from a
+    /// cancelled lazy hierarchy build.
+    pub fn execute(&self, query: &Query) -> Result<QueryAnswer> {
+        match *query {
+            // level_sizes answers without forcing the lazy hierarchy
+            // build (one φ scan until the index exists, O(L) after).
+            Query::Levels => Ok(QueryAnswer::Levels(
+                self.level_sizes().into_iter().collect(),
+            )),
+            Query::Edges { k } => Ok(QueryAnswer::Count {
+                k,
+                count: self.k_bitruss_count(k)?,
+            }),
+            Query::Community { upper, lower, k } => {
+                let g = self.graph();
+                if upper >= g.num_upper() as u64 || lower >= g.num_lower() as u64 {
+                    return Err(Error::Invariant(format!(
+                        "vertex ({upper}, {lower}) out of range"
+                    )));
+                }
+                let Some(e) = g.edge_between(g.upper(upper as u32), g.lower(lower as u32)) else {
+                    return Ok(QueryAnswer::NoSuchEdge { upper, lower, k });
+                };
+                let h = self.hierarchy()?;
+                match h.community_of(g, e, k) {
+                    None => Ok(QueryAnswer::NotInTruss {
+                        upper,
+                        lower,
+                        k,
+                        phi: h.phi_of(e),
+                    }),
+                    Some(c) => Ok(QueryAnswer::Community {
+                        upper,
+                        lower,
+                        k,
+                        num_upper: c.upper_members(g).count(),
+                        num_lower: c.lower_members(g).count(),
+                        num_edges: c.edges.len(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Serves one line of the batch query language (see [`Query`]).
+    /// Returns `Ok(None)` for blank/comment lines and `Ok(Some(text))`
+    /// otherwise — malformed queries render as `error: …` text instead of
+    /// failing, so a bad line never kills a server loop.
+    ///
+    /// # Errors
+    ///
+    /// Only engine-level failures (a cancelled lazy hierarchy build).
+    pub fn query_line(&self, line: &str) -> Result<Option<String>> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+            return Ok(None);
+        }
+        let query = match line.parse::<Query>() {
+            Ok(q) => q,
+            Err(e) => return Ok(Some(format!("error: {e}"))),
+        };
+        match self.execute(&query) {
+            Ok(answer) => Ok(Some(answer.to_string())),
+            // Out-of-range community vertices are data errors, not engine
+            // failures — keep the batch alive (execute only returns
+            // Invariant for them).
+            Err(Error::Invariant(msg)) => Ok(Some(format!("error: community: {msg}"))),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Serves a whole batch: one query per line from `reader`, one
+    /// rendered answer per query to `writer`. Returns the number of
+    /// queries answered (comments and blank lines excluded). This is the
+    /// exact serving loop of the CLI `query` subcommand.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on reader/writer failures, or a cancelled lazy
+    /// hierarchy build.
+    pub fn run_queries<R: BufRead, W: Write>(&self, reader: R, mut writer: W) -> Result<u64> {
+        let mut answered = 0u64;
+        for line in reader.lines() {
+            let line = line?;
+            if let Some(answer) = self.query_line(&line)? {
+                writeln!(writer, "{answer}")?;
+                answered += 1;
+            }
+        }
+        Ok(answered)
+    }
+
+    /// Writes a versioned, checksummed binary snapshot of the session —
+    /// graph, φ, and the hierarchy index — so a query server can resume
+    /// with [`BitrussEngine::from_snapshot`] without recomputing
+    /// anything. Builds the hierarchy first if it is not cached yet.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on write failures, or a cancelled hierarchy build.
+    pub fn save_snapshot<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        let h = self.hierarchy()?;
+        write_snapshot_file(&self.graph, &self.decomposition, Some(h), path)
+    }
+
+    /// [`BitrussEngine::save_snapshot`] over any writer.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BitrussEngine::save_snapshot`].
+    pub fn save_snapshot_to<W: Write>(&self, writer: W) -> Result<()> {
+        let h = self.hierarchy()?;
+        write_snapshot(&self.graph, &self.decomposition, Some(h), writer)
+    }
+
+    /// Consumes the session, returning the decomposition and the run
+    /// metrics ([`Metrics::default`] when resumed from a snapshot). The
+    /// legacy `decompose*` wrappers are implemented with this.
+    pub fn into_parts(self) -> (Decomposition, Metrics) {
+        (self.decomposition, self.metrics.unwrap_or_default())
+    }
+}
+
+/// One query of the batch language served by [`BitrussEngine::execute`]
+/// and the CLI `query` subcommand:
+///
+/// ```text
+/// levels                  # edge count per bitruss number
+/// edges <k>               # size of the k-bitruss
+/// community <u> <v> <k>   # the k-bitruss community around edge (u, v)
+/// ```
+///
+/// Marked `#[non_exhaustive]`: new query verbs may be added without a
+/// semver break.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// Edge count per distinct bitruss number.
+    Levels,
+    /// Size of the k-bitruss.
+    Edges {
+        /// The truss level.
+        k: u64,
+    },
+    /// The k-bitruss community containing the edge between upper vertex
+    /// `upper` and lower vertex `lower` (layer-local indices).
+    Community {
+        /// Layer-local upper vertex index.
+        upper: u64,
+        /// Layer-local lower vertex index.
+        lower: u64,
+        /// The truss level.
+        k: u64,
+    },
+}
+
+/// Parses one line of the batch query language. The error string names
+/// the offending verb and argument (e.g. `edges: missing k`), ready to
+/// print after an `error: ` prefix.
+impl FromStr for Query {
+    type Err = String;
+
+    fn from_str(line: &str) -> std::result::Result<Query, String> {
+        let mut it = line.split_whitespace();
+        let verb = it.next().unwrap_or_default();
+        let mut num = |what: &str| -> std::result::Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("missing {what}"))?
+                .parse::<u64>()
+                .map_err(|_| format!("invalid {what}"))
+        };
+        match verb {
+            "levels" => Ok(Query::Levels),
+            "edges" => num("k")
+                .map(|k| Query::Edges { k })
+                .map_err(|e| format!("edges: {e}")),
+            "community" => (|| {
+                Ok(Query::Community {
+                    upper: num("upper index")?,
+                    lower: num("lower index")?,
+                    k: num("k")?,
+                })
+            })()
+            .map_err(|e: String| format!("community: {e}")),
+            other => Err(format!(
+                "unknown query {other:?} (expected levels | edges | community)"
+            )),
+        }
+    }
+}
+
+/// The typed answer to a [`Query`]; its [`fmt::Display`] renders the
+/// exact line format the CLI `query` subcommand prints.
+///
+/// Marked `#[non_exhaustive]`: new query verbs bring new answers.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryAnswer {
+    /// `(k, edge count)` per distinct bitruss number, ascending.
+    Levels(Vec<(u64, usize)>),
+    /// Size of the k-bitruss.
+    Count {
+        /// The queried truss level.
+        k: u64,
+        /// Number of edges with `φ ≥ k`.
+        count: usize,
+    },
+    /// The addressed vertex pair is in range but not connected.
+    NoSuchEdge {
+        /// Layer-local upper vertex index.
+        upper: u64,
+        /// Layer-local lower vertex index.
+        lower: u64,
+        /// The queried truss level.
+        k: u64,
+    },
+    /// The edge exists but its bitruss number is below `k`.
+    NotInTruss {
+        /// Layer-local upper vertex index.
+        upper: u64,
+        /// Layer-local lower vertex index.
+        lower: u64,
+        /// The queried truss level.
+        k: u64,
+        /// The edge's actual bitruss number.
+        phi: u64,
+    },
+    /// The community summary.
+    Community {
+        /// Layer-local upper vertex index.
+        upper: u64,
+        /// Layer-local lower vertex index.
+        lower: u64,
+        /// The queried truss level.
+        k: u64,
+        /// Upper-layer members of the community.
+        num_upper: usize,
+        /// Lower-layer members of the community.
+        num_lower: usize,
+        /// Edges of the community.
+        num_edges: usize,
+    },
+}
+
+impl fmt::Display for QueryAnswer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryAnswer::Levels(levels) => {
+                for (i, (k, n)) in levels.iter().enumerate() {
+                    if i > 0 {
+                        writeln!(f)?;
+                    }
+                    write!(f, "phi = {k}: {n} edges")?;
+                }
+                Ok(())
+            }
+            QueryAnswer::Count { k, count } => write!(f, "{count} edges with phi >= {k}"),
+            QueryAnswer::NoSuchEdge { upper, lower, k } => {
+                write!(f, "community ({upper}, {lower}) k={k}: no such edge")
+            }
+            QueryAnswer::NotInTruss {
+                upper,
+                lower,
+                k,
+                phi,
+            } => write!(
+                f,
+                "community ({upper}, {lower}) k={k}: edge not in the {k}-bitruss (phi = {phi})"
+            ),
+            QueryAnswer::Community {
+                upper,
+                lower,
+                k,
+                num_upper,
+                num_lower,
+                num_edges,
+            } => write!(
+                f,
+                "community ({upper}, {lower}) k={k}: {num_upper} upper + {num_lower} lower vertices, {num_edges} edges"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::GraphBuilder;
+
+    fn fig1() -> BipartiteGraph {
+        GraphBuilder::new()
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (2, 3),
+                (3, 1),
+                (3, 2),
+                (3, 4),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn session_lifecycle_on_fig1() {
+        let session = BitrussEngine::builder().build(fig1()).unwrap();
+        assert_eq!(session.algorithm(), Some(Algorithm::BuPlusPlus));
+        assert_eq!(session.max_bitruss(), 2);
+        assert_eq!(session.phi().len(), 11);
+        assert!(session.metrics().is_some());
+        assert_eq!(session.k_bitruss_count(2).unwrap(), 6);
+        assert_eq!(session.k_bitruss_edges(2).unwrap().len(), 6);
+        let communities = session.communities(2).unwrap();
+        assert_eq!(communities.len(), 1);
+        let g = session.graph();
+        let e = g.edge_between(g.upper(0), g.lower(0)).unwrap();
+        assert!(session.community_of(e, 2).unwrap().is_some());
+        assert!(session.community_of(e, 3).unwrap().is_none());
+        assert_eq!(session.max_k(g.upper(0)).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn borrowed_sessions_leave_the_graph_to_the_caller() {
+        let g = fig1();
+        let session = BitrussEngine::builder().build_borrowed(&g).unwrap();
+        assert_eq!(session.max_bitruss(), 2);
+        drop(session);
+        assert_eq!(g.num_edges(), 11); // still ours
+    }
+
+    #[test]
+    fn threads_upgrade_rule() {
+        let session = BitrussEngine::builder()
+            .threads(Threads(2))
+            .build(fig1())
+            .unwrap();
+        assert!(matches!(
+            session.algorithm(),
+            Some(Algorithm::BuPlusPlusPar {
+                threads: Threads(2)
+            })
+        ));
+
+        let err = BitrussEngine::builder()
+            .algorithm(Algorithm::Bu)
+            .threads(Threads(2))
+            .build(fig1())
+            .unwrap_err();
+        assert!(matches!(err, Error::Invariant(_)), "{err}");
+    }
+
+    #[test]
+    fn eager_hierarchy_is_prebuilt() {
+        let session = BitrussEngine::builder()
+            .hierarchy(HierarchyMode::Eager)
+            .build(fig1())
+            .unwrap();
+        assert!(session.hierarchy.get().is_some());
+        assert_eq!(session.level_sizes()[&2], 6);
+    }
+
+    #[test]
+    fn pruned_sessions_match_plain() {
+        let g = datagen::powerlaw::chung_lu(50, 50, 320, 2.1, 2.1, 9);
+        let plain = BitrussEngine::builder().build_borrowed(&g).unwrap();
+        let pruned = BitrussEngine::builder()
+            .pruned(true)
+            .build_borrowed(&g)
+            .unwrap();
+        assert_eq!(plain.phi(), pruned.phi());
+    }
+
+    #[test]
+    fn histogram_bounds_are_collected() {
+        let session = BitrussEngine::builder()
+            .histogram_bounds(vec![1, 2])
+            .build(fig1())
+            .unwrap();
+        assert!(session.metrics().unwrap().histogram.is_some());
+    }
+
+    #[test]
+    fn query_language_round_trip() {
+        let session = BitrussEngine::builder().build(fig1()).unwrap();
+        assert_eq!("levels".parse::<Query>(), Ok(Query::Levels));
+        assert_eq!("edges 2".parse::<Query>(), Ok(Query::Edges { k: 2 }));
+        assert_eq!(
+            "community 0 0 2".parse::<Query>(),
+            Ok(Query::Community {
+                upper: 0,
+                lower: 0,
+                k: 2
+            })
+        );
+        assert_eq!(
+            "edges".parse::<Query>().unwrap_err(),
+            "edges: missing k".to_string()
+        );
+        assert_eq!(
+            "community 0 x 2".parse::<Query>().unwrap_err(),
+            "community: invalid lower index".to_string()
+        );
+
+        let answer = session.execute(&Query::Edges { k: 2 }).unwrap();
+        assert_eq!(answer.to_string(), "6 edges with phi >= 2");
+        assert_eq!(
+            session
+                .execute(&Query::Community {
+                    upper: 0,
+                    lower: 0,
+                    k: 2
+                })
+                .unwrap()
+                .to_string(),
+            "community (0, 0) k=2: 3 upper + 2 lower vertices, 6 edges"
+        );
+        assert_eq!(
+            session
+                .execute(&Query::Community {
+                    upper: 3,
+                    lower: 4,
+                    k: 2
+                })
+                .unwrap(),
+            QueryAnswer::NotInTruss {
+                upper: 3,
+                lower: 4,
+                k: 2,
+                phi: 0
+            }
+        );
+        assert_eq!(
+            session
+                .execute(&Query::Community {
+                    upper: 0,
+                    lower: 4,
+                    k: 1
+                })
+                .unwrap(),
+            QueryAnswer::NoSuchEdge {
+                upper: 0,
+                lower: 4,
+                k: 1
+            }
+        );
+        assert!(matches!(
+            session.execute(&Query::Community {
+                upper: 99,
+                lower: 0,
+                k: 1
+            }),
+            Err(Error::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn batch_serving_matches_line_protocol() {
+        let session = BitrussEngine::builder().build(fig1()).unwrap();
+        let input =
+            "% a comment\n\nlevels\nedges 2\ncommunity 0 0 2\nbogus\nedges\ncommunity 99 0 1\n";
+        let mut out = Vec::new();
+        let answered = session.run_queries(input.as_bytes(), &mut out).unwrap();
+        assert_eq!(answered, 6);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "phi = 0: 2 edges");
+        assert_eq!(lines[1], "phi = 1: 3 edges");
+        assert_eq!(lines[2], "phi = 2: 6 edges");
+        assert_eq!(lines[3], "6 edges with phi >= 2");
+        assert_eq!(
+            lines[4],
+            "community (0, 0) k=2: 3 upper + 2 lower vertices, 6 edges"
+        );
+        assert!(lines[5].starts_with("error: unknown query \"bogus\""));
+        assert_eq!(lines[6], "error: edges: missing k");
+        assert_eq!(lines[7], "error: community: vertex (99, 0) out of range");
+        assert_eq!(lines.len(), 8);
+    }
+
+    #[test]
+    fn snapshot_round_trip_through_the_engine() {
+        let g = datagen::random::uniform(12, 12, 55, 5);
+        let session = BitrussEngine::builder().build_borrowed(&g).unwrap();
+        let mut bytes = Vec::new();
+        session.save_snapshot_to(&mut bytes).unwrap();
+        let resumed = BitrussEngine::from_snapshot_reader(&bytes[..]).unwrap();
+        assert_eq!(resumed.phi(), session.phi());
+        assert!(resumed.metrics().is_none());
+        assert!(resumed.algorithm().is_none());
+        // The persisted hierarchy was adopted — queries agree.
+        assert!(resumed.hierarchy.get().is_some());
+        for k in 0..=session.max_bitruss() {
+            assert_eq!(
+                resumed.k_bitruss_edges(k).unwrap(),
+                session.k_bitruss_edges(k).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BitrussEngine<'static>>();
+        assert_send_sync::<EngineBuilder>();
+    }
+}

@@ -20,9 +20,12 @@
 //!
 //! # Quickstart
 //!
+//! The headline API is the [`engine::BitrussEngine`] session, which owns
+//! the full lifecycle decompose → hierarchy → query → snapshot:
+//!
 //! ```
 //! use bigraph::GraphBuilder;
-//! use bitruss_core::{decompose, Algorithm};
+//! use bitruss_core::{Algorithm, BitrussEngine};
 //!
 //! // The author–paper network of the paper's Figure 1.
 //! let g = GraphBuilder::new()
@@ -32,17 +35,24 @@
 //!     ])
 //!     .build()
 //!     .unwrap();
-//! let (decomposition, _metrics) = decompose(&g, Algorithm::BuPlusPlus);
-//! assert_eq!(decomposition.max_bitruss(), 2);
+//! let session = BitrussEngine::builder()
+//!     .algorithm(Algorithm::BuPlusPlus)
+//!     .build(g)
+//!     .unwrap();
+//! assert_eq!(session.max_bitruss(), 2);
 //! // The 2-bitruss is the dense {u0,u1,u2} × {v0,v1} block.
-//! assert_eq!(decomposition.k_bitruss_edges(2).len(), 6);
+//! assert_eq!(session.k_bitruss_edges(2).unwrap().len(), 6);
 //! ```
+//!
+//! One-shot callers that only need φ can still use [`decompose`], a thin
+//! wrapper over the same dispatch.
 
 #![warn(missing_docs)]
 
 pub mod algo;
 pub mod bucket_queue;
 pub mod decomposition;
+pub mod engine;
 pub mod hierarchy;
 pub mod kbitruss;
 pub mod metrics;
@@ -50,14 +60,21 @@ pub mod persist;
 pub mod tip;
 pub mod verify;
 
+#[allow(deprecated)]
 pub use algo::{
-    bit_bs, bit_bu, bit_bu_hybrid, bit_bu_opts, bit_bu_plus, bit_bu_plus_opts, bit_bu_pp,
-    bit_bu_pp_opts, bit_bu_pp_par, bit_bu_pp_par_tuned, bit_pc, bit_pc_opts, decompose,
-    decompose_pruned, decompose_with_histogram, kmax_bound, Algorithm, PeelStrategy, Threads,
+    bit_bs, bit_bs_observed, bit_bu, bit_bu_hybrid, bit_bu_hybrid_observed, bit_bu_observed,
+    bit_bu_opts, bit_bu_plus, bit_bu_plus_observed, bit_bu_plus_opts, bit_bu_pp,
+    bit_bu_pp_observed, bit_bu_pp_opts, bit_bu_pp_par, bit_bu_pp_par_observed, bit_bu_pp_par_tuned,
+    bit_pc, bit_pc_observed, bit_pc_opts, decompose, decompose_observed, decompose_pruned,
+    decompose_with_histogram, kmax_bound, Algorithm, ParseAlgorithmError, PeelStrategy, Threads,
     DEFAULT_TAU,
 };
 pub use bucket_queue::BucketQueue;
 pub use decomposition::{Community, Decomposition};
+pub use engine::{
+    BitrussEngine, EngineBuilder, EngineObserver, HierarchyMode, NoopObserver, Phase, Query,
+    QueryAnswer,
+};
 pub use hierarchy::BitrussHierarchy;
 pub use kbitruss::k_bitruss;
 pub use metrics::{Metrics, UpdateHistogram};

@@ -1,9 +1,10 @@
-//! Quickstart: build a small bipartite graph, decompose it with every
-//! algorithm, and explore the result.
+//! Quickstart: build a small bipartite graph, run a [`BitrussEngine`]
+//! session, and explore the result — decompose, query the hierarchy,
+//! snapshot, resume.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use bitruss::{decompose, Algorithm, GraphBuilder};
+use bitruss::{Algorithm, BitrussEngine, GraphBuilder, Query};
 
 fn main() {
     // The author–paper network of the paper's Figure 1:
@@ -37,35 +38,64 @@ fn main() {
     println!("butterflies: {}", counts.total);
 
     // All algorithms produce identical bitruss numbers; they differ in
-    // how much work the peeling takes.
-    let mut reference = None;
+    // how much work the peeling takes. Each engine session owns one run.
+    let mut reference: Option<Vec<u64>> = None;
     for alg in [
         Algorithm::BsIntersection,
         Algorithm::Bu,
         Algorithm::BuPlusPlus,
         Algorithm::pc_default(),
     ] {
-        let (d, m) = decompose(&g, alg);
+        let session = BitrussEngine::builder()
+            .algorithm(alg)
+            .build_borrowed(&g)
+            .expect("run cannot fail without an observer");
+        let m = session.metrics().expect("fresh session");
         println!(
             "{:>5}: max bitruss = {}, support updates = {}",
-            alg.name(),
-            d.max_bitruss(),
+            alg,
+            session.max_bitruss(),
             m.support_updates
         );
         if let Some(r) = &reference {
-            assert_eq!(&d, r, "algorithms must agree");
+            assert_eq!(session.phi(), &r[..], "algorithms must agree");
         } else {
-            reference = Some(d);
+            reference = Some(session.phi().to_vec());
         }
     }
-    let d = reference.expect("at least one algorithm ran");
 
-    // The bitruss hierarchy: each level is a maximal subgraph in which
-    // every edge lies in at least k butterflies.
-    for k in d.levels() {
-        let edges = d.k_bitruss_edges(k);
+    // Keep one session for serving: the hierarchy index is built lazily
+    // on the first query and cached for the rest.
+    let session = BitrussEngine::builder()
+        .algorithm(Algorithm::BuPlusPlus)
+        .build_borrowed(&g)
+        .expect("run cannot fail without an observer");
+    for (k, n) in session.level_sizes() {
+        println!("phi = {k}: {n} edges");
+    }
+    for k in session.decomposition().levels() {
+        let edges = session.k_bitruss_edges(k).expect("hierarchy");
         println!("{k}-bitruss: {} edges", edges.len());
     }
+
+    // The batch query language the CLI `query` subcommand serves.
+    for line in ["edges 2", "community 0 0 2", "community 3 4 2"] {
+        let query: Query = line.parse().expect("well-formed query");
+        let answer = session.execute(&query).expect("in-range query");
+        println!("  {line:<18} -> {answer}");
+    }
+
+    // Snapshot the session and resume it — the hierarchy travels along,
+    // so the resumed session answers without recomputing anything.
+    let mut bytes = Vec::new();
+    session.save_snapshot_to(&mut bytes).expect("snapshot");
+    let resumed = BitrussEngine::from_snapshot_reader(&bytes[..]).expect("valid snapshot");
+    assert_eq!(resumed.phi(), session.phi());
+    println!(
+        "snapshot: {} bytes; resumed session serves {} edges",
+        bytes.len(),
+        resumed.graph().num_edges()
+    );
 
     // Per-edge bitruss numbers, as in Figure 1 (blue=2, yellow=1, gray=0).
     for e in g.edges() {
@@ -75,7 +105,7 @@ fn main() {
             g.layer_index(u),
             g.layer_index(v),
             counts.support(e),
-            d.bitruss_number(e)
+            session.decomposition().bitruss_number(e)
         );
     }
 }

@@ -10,35 +10,44 @@
 //! bitruss-cli generate   <dataset-name> <edges.txt>
 //! ```
 //!
-//! `--threads N` selects the parallel engine with `N` workers (`0` =
-//! auto-detect from the hardware); for `decompose` it upgrades the
-//! default `bu++` algorithm to the parallel `bu++p`, whose result is
-//! bit-identical to the sequential run. Edge files are whitespace-
-//! separated `upper lower` pairs, one per line, `%`/`#` comments allowed;
-//! pass `--one-based` for KONECT-style 1-based indices.
-//!
-//! `decompose --snapshot` saves a versioned, checksummed binary image of
-//! the graph, its bitruss numbers, and the prebuilt hierarchy index;
-//! `query` loads such a snapshot once and then serves batch queries from
-//! `--queries <file>` or stdin, one per line:
+//! Every decomposition-backed subcommand runs through the
+//! [`BitrussEngine`] session API: `decompose` builds a session, prints
+//! its metrics, and optionally persists φ (`--output`) or a binary
+//! snapshot with the prebuilt hierarchy (`--snapshot`); `query` resumes a
+//! session from such a snapshot with [`BitrussEngine::from_snapshot`] and
+//! serves batch queries from `--queries <file>` or stdin, one per line:
 //!
 //! ```text
 //! levels              # edge count per bitruss number
 //! edges <k>           # size of the k-bitruss
 //! community <u> <v> <k>   # the k-bitruss community around edge (u, v)
 //! ```
+//!
+//! `--threads N` selects the parallel engine with `N` workers (`0` =
+//! auto-detect from the hardware); for `decompose` it upgrades the
+//! default `bu++` algorithm to the parallel `bu++p`, whose result is
+//! bit-identical to the sequential run. Edge files are whitespace-
+//! separated `upper lower` pairs, one per line, `%`/`#` comments allowed;
+//! pass `--one-based` for KONECT-style 1-based indices. Unknown flags are
+//! rejected with the list of known ones — typos never parse as file
+//! names.
 
 use std::io::BufRead;
 use std::process::ExitCode;
 
 use bitruss::graph::io::{read_edge_list_file, write_edge_list_file, IndexBase};
 use bitruss::graph::GraphStats;
-use bitruss::{decompose, Algorithm, BipartiteGraph, BitrussHierarchy, Threads};
+use bitruss::{Algorithm, BipartiteGraph, BitrussEngine, Threads};
 
+/// Flags every subcommand understands, printed when an unknown flag is
+/// rejected.
+const KNOWN_FLAGS: &str = "--algorithm/-a, --tau/-t, --threads/-j, --output/-o, \
+     --snapshot/-s, --queries/-q, --one-based";
+
+#[derive(Debug)]
 struct Args {
     positional: Vec<String>,
     algorithm: Algorithm,
-    tau: f64,
     threads: Option<Threads>,
     output: Option<String>,
     snapshot: Option<String>,
@@ -46,18 +55,18 @@ struct Args {
     base: IndexBase,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         positional: Vec::new(),
         algorithm: Algorithm::BuPlusPlus,
-        tau: bitruss::DEFAULT_TAU,
         threads: None,
         output: None,
         snapshot: None,
         queries: None,
         base: IndexBase::Zero,
     };
-    let mut it = std::env::args().skip(1);
+    let mut tau: Option<f64> = None;
+    let mut it = raw;
     let mut algorithm_name: Option<String> = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -66,7 +75,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--tau" | "-t" => {
                 let v = it.next().ok_or("--tau needs a value")?;
-                args.tau = v.parse().map_err(|_| format!("bad τ {v:?}"))?;
+                tau = Some(v.parse().map_err(|_| format!("bad τ {v:?}"))?);
             }
             "--threads" | "-j" => {
                 let v = it.next().ok_or("--threads needs a value (0 = auto)")?;
@@ -83,29 +92,24 @@ fn parse_args() -> Result<Args, String> {
                 args.queries = Some(it.next().ok_or("--queries needs a value")?);
             }
             "--one-based" => args.base = IndexBase::One,
-            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other if other.starts_with('-') => {
+                return Err(format!(
+                    "unknown flag {other:?} (known flags: {KNOWN_FLAGS})"
+                ))
+            }
             other => args.positional.push(other.to_string()),
         }
     }
     if let Some(name) = algorithm_name {
-        args.algorithm = match name.as_str() {
-            "bs" => Algorithm::BsIntersection,
-            "bs-pair" => Algorithm::BsPairEnumeration,
-            "bu" => Algorithm::Bu,
-            "bu+" => Algorithm::BuPlus,
-            "bu++" => Algorithm::BuPlusPlus,
-            "bu++p" | "bu++/p" => Algorithm::BuPlusPlusPar {
-                threads: args.threads.unwrap_or(Threads::AUTO),
-            },
-            "pc" => Algorithm::Pc { tau: args.tau },
-            other => return Err(format!("unknown algorithm {other:?}")),
-        };
+        // One shared name→variant map for the whole suite: core's FromStr.
+        args.algorithm = name.parse::<Algorithm>().map_err(|e| e.to_string())?;
     }
-    // `--threads` without an explicit parallel algorithm upgrades the
-    // default BU++ to its parallel engine (bit-identical results).
-    if let Some(threads) = args.threads {
-        if args.algorithm == Algorithm::BuPlusPlus {
-            args.algorithm = Algorithm::BuPlusPlusPar { threads };
+    // `--tau` refines the PC default. `--threads` is left for
+    // EngineBuilder::threads, which owns the upgrade/validation rule
+    // (BU++ → BU++/P, rejected for non-parallel algorithms).
+    if let Algorithm::Pc { tau: ref mut t } = args.algorithm {
+        if let Some(v) = tau {
+            *t = v;
         }
     }
     Ok(args)
@@ -115,8 +119,18 @@ fn load(path: &str, base: IndexBase) -> Result<BipartiteGraph, String> {
     read_edge_list_file(path, base).map_err(|e| format!("reading {path}: {e}"))
 }
 
+/// Builds the engine session for subcommands that decompose. The
+/// `--threads` upgrade/validation rule lives in `EngineBuilder` alone.
+fn build_session(g: BipartiteGraph, args: &Args) -> Result<BitrussEngine<'static>, String> {
+    let mut builder = BitrussEngine::builder().algorithm(args.algorithm);
+    if let Some(threads) = args.threads {
+        builder = builder.threads(threads);
+    }
+    builder.build(g).map_err(|e| e.to_string())
+}
+
 fn run() -> Result<(), String> {
-    let args = parse_args()?;
+    let args = parse_args(std::env::args().skip(1))?;
     let Some(command) = args.positional.first() else {
         return Err(
             "usage: bitruss-cli <stats|count|decompose|kbitruss|communities|query|generate> …"
@@ -156,18 +170,12 @@ fn run() -> Result<(), String> {
         }
         "decompose" => {
             let path = args.positional.get(1).ok_or("decompose needs a file")?;
-            if args.threads.is_some() && !matches!(args.algorithm, Algorithm::BuPlusPlusPar { .. })
-            {
-                return Err(format!(
-                    "--threads only applies to the parallel engine (bu++ or bu++p), not {}",
-                    args.algorithm.name()
-                ));
-            }
             let g = load(path, args.base)?;
-            let (d, m) = decompose(&g, args.algorithm);
+            let session = build_session(g, &args)?;
+            let m = session.metrics().expect("fresh session has metrics");
             println!(
                 "algorithm {} finished in {:.3}s ({} support updates, {} iterations)",
-                args.algorithm.name(),
+                session.algorithm().expect("fresh session has an algorithm"),
                 m.total_time().as_secs_f64(),
                 m.support_updates,
                 m.iterations
@@ -178,25 +186,27 @@ fn run() -> Result<(), String> {
                     m.counting_threads, m.index_threads, m.peeling_threads
                 );
             }
-            println!("max bitruss number: {}", d.max_bitruss());
-            for (k, n) in d.level_sizes() {
+            println!("max bitruss number: {}", session.max_bitruss());
+            for (k, n) in session.level_sizes() {
                 println!("  φ = {k}: {n} edges");
             }
             if let Some(out_path) = &args.output {
                 let f = std::fs::File::create(out_path)
                     .map_err(|e| format!("creating {out_path}: {e}"))?;
-                bitruss::write_decomposition(&g, &d, f)
+                bitruss::write_decomposition(session.graph(), session.decomposition(), f)
                     .map_err(|e| format!("writing {out_path}: {e}"))?;
                 println!("φ written to {out_path}");
             }
             if let Some(snap_path) = &args.snapshot {
-                let h = BitrussHierarchy::new(&g, &d)
-                    .map_err(|e| format!("building hierarchy: {e}"))?;
-                bitruss::write_snapshot_file(&g, &d, Some(&h), snap_path)
+                session
+                    .save_snapshot(snap_path)
                     .map_err(|e| format!("writing {snap_path}: {e}"))?;
                 println!(
                     "snapshot written to {snap_path} (graph + φ + hierarchy, {} forest nodes)",
-                    h.num_forest_nodes()
+                    session
+                        .hierarchy()
+                        .map_err(|e| format!("building hierarchy: {e}"))?
+                        .num_forest_nodes()
                 );
             }
         }
@@ -231,14 +241,17 @@ fn run() -> Result<(), String> {
                 .parse()
                 .map_err(|_| "k must be an integer")?;
             let g = load(path, args.base)?;
-            let (d, _) = decompose(&g, args.algorithm);
-            let communities = d.communities(&g, k);
+            let session = build_session(g, &args)?;
+            let communities = session
+                .communities(k)
+                .map_err(|e| format!("building hierarchy: {e}"))?;
             println!("{} communities at k = {k}", communities.len());
+            let g = session.graph();
             for (i, c) in communities.iter().enumerate().take(20) {
                 println!(
                     "  #{i}: {} upper + {} lower vertices, {} edges",
-                    c.upper_members(&g).count(),
-                    c.lower_members(&g).count(),
+                    c.upper_members(g).count(),
+                    c.lower_members(g).count(),
                     c.edges.len()
                 );
             }
@@ -248,17 +261,13 @@ fn run() -> Result<(), String> {
                 .positional
                 .get(1)
                 .ok_or("query needs a snapshot file")?;
-            let snap = bitruss::read_snapshot_file(path).map_err(|e| format!("{path}: {e}"))?;
-            let g = snap.graph;
-            let h = match snap.hierarchy {
-                Some(h) => h,
-                // Old snapshots without a hierarchy section: build once.
-                None => BitrussHierarchy::new(&g, &snap.decomposition)
-                    .map_err(|e| format!("building hierarchy: {e}"))?,
-            };
+            let session = BitrussEngine::from_snapshot(path).map_err(|e| format!("{path}: {e}"))?;
+            let h = session
+                .hierarchy()
+                .map_err(|e| format!("building hierarchy: {e}"))?;
             eprintln!(
                 "serving {} edges, φ_max {}, {} levels, {} forest nodes",
-                g.num_edges(),
+                session.graph().num_edges(),
                 h.max_bitruss(),
                 h.levels().len(),
                 h.num_forest_nodes()
@@ -269,10 +278,9 @@ fn run() -> Result<(), String> {
                 )),
                 None => Box::new(std::io::stdin().lock()),
             };
-            for line in reader.lines() {
-                let line = line.map_err(|e| format!("reading queries: {e}"))?;
-                serve_query(&g, &h, line.trim());
-            }
+            session
+                .run_queries(reader, std::io::stdout().lock())
+                .map_err(|e| format!("serving queries: {e}"))?;
         }
         "generate" => {
             let name = args.positional.get(1).ok_or("generate needs a dataset")?;
@@ -288,66 +296,6 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
-/// Answers one query line against the loaded hierarchy. Malformed lines
-/// print an `error:` answer and the batch continues — a bad query must
-/// not kill a server loop.
-fn serve_query(g: &BipartiteGraph, h: &BitrussHierarchy, line: &str) {
-    if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
-        return;
-    }
-    let mut it = line.split_whitespace();
-    let verb = it.next().unwrap_or_default();
-    let mut num = |what: &str| -> Result<u64, String> {
-        it.next()
-            .ok_or_else(|| format!("missing {what}"))?
-            .parse::<u64>()
-            .map_err(|_| format!("invalid {what}"))
-    };
-    match verb {
-        "levels" => {
-            for (k, n) in h.level_sizes() {
-                println!("phi = {k}: {n} edges");
-            }
-        }
-        "edges" => match num("k") {
-            Ok(k) => println!("{} edges with phi >= {k}", h.k_bitruss_count(k)),
-            Err(e) => println!("error: edges: {e}"),
-        },
-        "community" => {
-            let parsed =
-                (|| Ok::<_, String>((num("upper index")?, num("lower index")?, num("k")?)))();
-            let (u, v, k) = match parsed {
-                Ok(t) => t,
-                Err(e) => {
-                    println!("error: community: {e}");
-                    return;
-                }
-            };
-            if u >= g.num_upper() as u64 || v >= g.num_lower() as u64 {
-                println!("error: community: vertex ({u}, {v}) out of range");
-                return;
-            }
-            let Some(e) = g.edge_between(g.upper(u as u32), g.lower(v as u32)) else {
-                println!("community ({u}, {v}) k={k}: no such edge");
-                return;
-            };
-            match h.community_of(g, e, k) {
-                None => println!(
-                    "community ({u}, {v}) k={k}: edge not in the {k}-bitruss (phi = {})",
-                    h.phi_of(e)
-                ),
-                Some(c) => println!(
-                    "community ({u}, {v}) k={k}: {} upper + {} lower vertices, {} edges",
-                    c.upper_members(g).count(),
-                    c.lower_members(g).count(),
-                    c.edges.len()
-                ),
-            }
-        }
-        other => println!("error: unknown query {other:?} (expected levels | edges | community)"),
-    }
-}
-
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
@@ -355,5 +303,79 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, String> {
+        parse_args(words.iter().map(|w| w.to_string()))
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_help() {
+        // The historical bug: `--thread 4` (a typo for --threads) must
+        // not be swallowed as a positional argument.
+        let err = parse(&["decompose", "g.txt", "--thread", "4"]).unwrap_err();
+        assert!(err.contains("unknown flag \"--thread\""), "{err}");
+        assert!(err.contains("--threads/-j"), "{err}");
+        assert!(parse(&["decompose", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn algorithm_names_parse_through_core_fromstr() {
+        let args = parse(&["decompose", "g.txt", "-a", "pc", "--tau", "0.5"]).unwrap();
+        assert_eq!(args.algorithm, Algorithm::Pc { tau: 0.5 });
+        // `--threads` stays separate: EngineBuilder::threads owns the
+        // override/upgrade rule, so parse_args records both as given.
+        let args = parse(&["decompose", "g.txt", "-a", "bu++p", "-j", "3"]).unwrap();
+        assert_eq!(args.algorithm, Algorithm::parallel_auto());
+        assert_eq!(args.threads, Some(Threads(3)));
+        let err = parse(&["decompose", "g.txt", "-a", "nope"]).unwrap_err();
+        assert!(err.contains("unknown algorithm"), "{err}");
+    }
+
+    #[test]
+    fn threads_are_recorded_for_the_builder() {
+        let args = parse(&["decompose", "g.txt", "--threads", "4"]).unwrap();
+        assert_eq!(args.algorithm, Algorithm::BuPlusPlus);
+        assert_eq!(args.threads, Some(Threads(4)));
+        // An explicitly sequential algorithm keeps its threads too —
+        // EngineBuilder::build rejects the combination.
+        let args = parse(&["decompose", "g.txt", "-a", "bu", "-j", "4"]).unwrap();
+        assert_eq!(args.algorithm, Algorithm::Bu);
+        assert_eq!(args.threads, Some(Threads(4)));
+    }
+
+    #[test]
+    fn positionals_and_options_are_collected() {
+        let args = parse(&[
+            "query",
+            "snap.bin",
+            "--queries",
+            "q.txt",
+            "--one-based",
+            "-o",
+            "out.txt",
+            "-s",
+            "snap2.bin",
+        ])
+        .unwrap();
+        assert_eq!(args.positional, vec!["query", "snap.bin"]);
+        assert_eq!(args.queries.as_deref(), Some("q.txt"));
+        assert_eq!(args.output.as_deref(), Some("out.txt"));
+        assert_eq!(args.snapshot.as_deref(), Some("snap2.bin"));
+        assert!(matches!(args.base, IndexBase::One));
+    }
+
+    #[test]
+    fn flag_values_are_required() {
+        assert!(parse(&["decompose", "-a"]).is_err());
+        assert!(parse(&["decompose", "--tau"]).is_err());
+        assert!(parse(&["decompose", "--threads"]).is_err());
+        assert!(parse(&["decompose", "--threads", "x"]).is_err());
+        assert!(parse(&["decompose", "--tau", "x"]).is_err());
     }
 }

@@ -13,15 +13,19 @@
 //!   [`graph::GraphBuilder`], subgraphs, sampling, I/O);
 //! * [`counting`] — butterfly counting ([`counting::count_per_edge`]);
 //! * [`index`] — the BE-Index ([`index::BeIndex`]);
-//! * [`decomposition`] — the algorithms and result types
-//!   ([`decompose`], [`Algorithm`], [`Decomposition`]);
+//! * [`decomposition`] — the engine, algorithms and result types
+//!   ([`BitrussEngine`], [`decompose`], [`Algorithm`], [`Decomposition`]);
 //! * [`workloads`] — synthetic generators and the Table II dataset
 //!   registry.
 //!
 //! ## Quickstart
 //!
+//! The headline API is the [`BitrussEngine`] session: one typed entry
+//! point owning the full lifecycle **decompose → hierarchy → query →
+//! snapshot** — build once, serve many.
+//!
 //! ```
-//! use bitruss::{decompose, Algorithm, GraphBuilder};
+//! use bitruss::{Algorithm, BitrussEngine, GraphBuilder};
 //!
 //! // The author–paper network of the paper's Figure 1.
 //! let g = GraphBuilder::new()
@@ -32,14 +36,25 @@
 //!     .build()
 //!     .unwrap();
 //!
-//! let (d, metrics) = decompose(&g, Algorithm::pc_default());
-//! assert_eq!(d.max_bitruss(), 2);
+//! let session = BitrussEngine::builder()
+//!     .algorithm(Algorithm::pc_default())
+//!     .build(g)
+//!     .unwrap();
+//! assert_eq!(session.max_bitruss(), 2);
+//! // Query the k-bitruss hierarchy (index built lazily, cached).
+//! assert_eq!(session.k_bitruss_count(2).unwrap(), 6);
 //! println!(
 //!     "φ_max = {}, {} support updates",
-//!     d.max_bitruss(),
-//!     metrics.support_updates
+//!     session.max_bitruss(),
+//!     session.metrics().unwrap().support_updates
 //! );
 //! ```
+//!
+//! Attach an [`EngineObserver`] via `builder().progress(..)` for phase
+//! progress and cooperative cancellation on long runs, persist sessions
+//! with `save_snapshot`, and resume them with
+//! [`BitrussEngine::from_snapshot`]. One-shot callers that only need φ
+//! can still use [`decompose`].
 
 #![warn(missing_docs)]
 
@@ -69,11 +84,13 @@ pub mod workloads {
 }
 
 pub use bigraph::{BipartiteGraph, EdgeId, GraphBuilder, VertexId};
+#[allow(deprecated)]
 pub use bitruss_core::{
     bit_bs, bit_bu, bit_bu_hybrid, bit_bu_plus, bit_bu_pp, bit_bu_pp_par, bit_pc, decompose,
-    decompose_pruned, k_bitruss, read_decomposition, read_snapshot, read_snapshot_file,
-    tip_decomposition, write_decomposition, write_snapshot, write_snapshot_file, Algorithm,
-    BitrussHierarchy, Community, Decomposition, Metrics, PeelStrategy, Snapshot, Threads, TipLayer,
-    DEFAULT_TAU,
+    decompose_observed, decompose_pruned, k_bitruss, read_decomposition, read_snapshot,
+    read_snapshot_file, tip_decomposition, write_decomposition, write_snapshot,
+    write_snapshot_file, Algorithm, BitrussEngine, BitrussHierarchy, Community, Decomposition,
+    EngineBuilder, EngineObserver, HierarchyMode, Metrics, NoopObserver, ParseAlgorithmError,
+    PeelStrategy, Phase, Query, QueryAnswer, Snapshot, Threads, TipLayer, DEFAULT_TAU,
 };
 pub use butterfly::{count_per_edge, count_per_edge_parallel, count_total, ButterflyCounts};

@@ -2,6 +2,9 @@
 //! (α,β)-core pruning, the BU# hybrid, direct k-bitruss queries and the
 //! per-vertex counter — exercised together through the facade.
 
+// The deprecated compatibility wrappers must keep working until removal.
+#![allow(deprecated)]
+
 use bitruss::graph::{alpha_beta_core, butterfly_core_mask};
 use bitruss::{decompose, decompose_pruned, k_bitruss, tip_decomposition, Algorithm, TipLayer};
 use proptest::prelude::*;
