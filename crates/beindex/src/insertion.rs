@@ -1,0 +1,192 @@
+//! The edge-restoration operation — the insertion counterpart of
+//! [`BeIndex::remove_edge`] (Algorithm 2 run in reverse).
+//!
+//! Peeling consumes a BE-Index destructively; maintenance layers want to
+//! *rewind* it instead of rebuilding from scratch — e.g. to reuse one
+//! index across exploratory peels, or to re-admit an edge whose removal
+//! turned out to be speculative. [`BeIndex::restore_edge`] re-admits an
+//! edge into `L(I)`, revives its wedges, and re-applies the butterfly
+//! supports its blooms contribute — exactly inverting an unclamped
+//! removal.
+
+use bigraph::EdgeId;
+
+use crate::index::BeIndex;
+use crate::removal::UpdateSink;
+
+/// Receiver variant for support *increases* (restoration updates the
+/// same quantity Figures 7/10/14 count, in the other direction); the
+/// blanket impls mirror [`UpdateSink`].
+impl BeIndex {
+    /// Re-admits a previously removed edge `e` into the index, reviving
+    /// every wedge whose twin is still present and re-adding the
+    /// butterflies those wedges close. Supports are *increased*: the twin
+    /// of each revived wedge gains the `k − 1` butterflies it again
+    /// shares with `e` inside the bloom, every other live edge of the
+    /// bloom gains 1, and `supp[e]` is recomputed from scratch as
+    /// `Σ_B (k_B − 1)` (Lemma 2). `sink` observes every write with
+    /// `old < new`.
+    ///
+    /// # Contract
+    ///
+    /// Removals must be undone in **LIFO order** with respect to
+    /// `remove_edge` calls, and only removals performed with `floor = 0`
+    /// (unclamped) are exactly invertible — a clamped removal discards
+    /// the amount each support was actually decreased by. Under that
+    /// contract, `remove_edge(e, …, 0, …)` followed by
+    /// `restore_edge(e, …)` leaves the index and the support array
+    /// bit-identical.
+    pub fn restore_edge<S: UpdateSink>(&mut self, e: EdgeId, supp: &mut [u64], sink: &mut S) {
+        debug_assert!(!self.in_index(e), "restoring an edge that is present");
+        // Present again before wedges revive, so blooms where e twins
+        // itself out are consistent.
+        self.in_index.set(e.index(), true);
+
+        let links = self.link_start[e.index()] as usize..self.link_start[e.index() + 1] as usize;
+        for li in links {
+            let w0 = crate::index::WedgeId(self.link_wedge[li]);
+            debug_assert!(!self.wedge_alive(w0), "removed edge with a live wedge");
+            let twin = self.wedge_twin(w0, e);
+            if !self.in_index(twin) {
+                continue; // the twin is still removed; the wedge stays dead
+            }
+            // Revive the wedge: the bloom regains it and the C(k,2)
+            // butterflies grow by k − 1, shared between e's wedge and
+            // every other live wedge of the bloom.
+            self.wedge_alive.set(w0.index(), true);
+            let b = self.wedge_bloom(w0);
+            self.bloom_k[b.index()] += 1;
+            let k = self.bloom_k(b) as u64;
+            if k >= 2 && twin != e {
+                let old = supp[twin.index()];
+                supp[twin.index()] = old + (k - 1);
+                sink.on_support_update(twin, old, supp[twin.index()]);
+            }
+            let range =
+                self.bloom_start[b.index()] as usize..self.bloom_start[b.index() + 1] as usize;
+            for w in range {
+                if !self.wedge_alive.get(w) || w == w0.index() {
+                    continue;
+                }
+                for other in [self.wedge_e1[w], self.wedge_e2[w]] {
+                    let other = EdgeId(other);
+                    if other != twin && other != e && self.in_index(other) {
+                        let old = supp[other.index()];
+                        supp[other.index()] = old + 1;
+                        sink.on_support_update(other, old, old + 1);
+                    }
+                }
+            }
+        }
+
+        // e's own support, re-derived from its live blooms (Lemma 2).
+        let mut s = 0u64;
+        for &w in self.links(e) {
+            if self.wedge_alive.get(w as usize) {
+                s += (self.bloom_k[self.wedge_bloom[w as usize] as usize] as u64) - 1;
+            }
+        }
+        let old = supp[e.index()];
+        supp[e.index()] = s;
+        if old != s {
+            sink.on_support_update(e, old, s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::{BipartiteGraph, GraphBuilder};
+
+    fn fig6_graph() -> BipartiteGraph {
+        GraphBuilder::new()
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (3, 1),
+                (3, 2),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    /// Removing any edge unclamped and restoring it reproduces the
+    /// original index and supports bit-for-bit.
+    #[test]
+    fn remove_restore_round_trip() {
+        let g = fig6_graph();
+        let pristine = BeIndex::build(&g);
+        let orig_supp = pristine.derive_supports();
+        for victim in g.edges() {
+            let mut idx = pristine.clone();
+            let mut supp = orig_supp.clone();
+            idx.remove_edge(victim, &mut supp, 0, &mut ());
+            idx.restore_edge(victim, &mut supp, &mut ());
+            assert_eq!(idx, pristine, "index diverged after {victim}");
+            assert_eq!(supp, orig_supp, "supports diverged after {victim}");
+        }
+    }
+
+    /// A LIFO sequence of removals unwinds exactly, checking supports
+    /// against fresh recounts at every depth.
+    #[test]
+    fn lifo_unwind_matches_recounts() {
+        let g = fig6_graph();
+        let mut idx = BeIndex::build(&g);
+        let pristine = idx.clone();
+        let mut supp = idx.derive_supports();
+        let orig_supp = supp.clone();
+        let order = [5u32, 0, 7, 2, 8];
+        for &v in &order {
+            idx.remove_edge(bigraph::EdgeId(v), &mut supp, 0, &mut ());
+        }
+        for (depth, &v) in order.iter().enumerate().rev() {
+            idx.restore_edge(bigraph::EdgeId(v), &mut supp, &mut ());
+            // Supports must equal a fresh count on the partial graph.
+            let removed: Vec<u32> = order[..depth].to_vec();
+            let rest = bigraph::edge_subgraph(&g, |e| !removed.contains(&e.0));
+            let recount = butterfly::count_per_edge(&rest.graph);
+            for (new_e, &old_e) in rest.new_to_old.iter().enumerate() {
+                assert_eq!(
+                    supp[old_e.index()],
+                    recount.per_edge[new_e],
+                    "depth {depth}, edge {old_e:?}"
+                );
+            }
+        }
+        assert_eq!(idx, pristine);
+        assert_eq!(supp, orig_supp);
+    }
+
+    /// The sink observes increases (old < new) during restoration.
+    #[test]
+    fn sink_sees_increases() {
+        let g = fig6_graph();
+        let mut idx = BeIndex::build(&g);
+        let mut supp = idx.derive_supports();
+        let e6 = bigraph::EdgeId(6);
+        idx.remove_edge(e6, &mut supp, 0, &mut ());
+
+        struct Rec(Vec<(u32, u64, u64)>);
+        impl UpdateSink for Rec {
+            fn on_support_update(&mut self, e: bigraph::EdgeId, old: u64, new: u64) {
+                assert!(old < new, "restoration must increase supports");
+                self.0.push((e.0, old, new));
+            }
+        }
+        let mut rec = Rec(Vec::new());
+        idx.restore_edge(e6, &mut supp, &mut rec);
+        // e5 regains the butterflies it shared with e6 (Example 2 in
+        // reverse); e6's own entry was never decremented by its removal,
+        // so the recompute writes the same value and fires no event.
+        assert!(rec.0.iter().any(|&(e, _, _)| e == 5));
+        assert!(rec.0.iter().all(|&(e, _, _)| e != 6));
+        assert_eq!(supp, idx.derive_supports());
+    }
+}

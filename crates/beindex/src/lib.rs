@@ -17,12 +17,17 @@
 //!   (CompressedIndexConstruction): assigned edges keep the blooms they
 //!   support alive but receive no links and are never updated.
 //! * [`BeIndex::remove_edge`] — Algorithm 2 (RemoveEdge).
+//! * [`BeIndex::restore_edge`] — the insertion counterpart (Algorithm 2
+//!   in reverse, LIFO): re-admits a removed edge and re-applies its
+//!   butterfly supports, so maintenance layers can rewind a peel instead
+//!   of rebuilding the index.
 
 #![warn(missing_docs)]
 
 pub mod bitset;
 pub mod build;
 pub mod index;
+pub mod insertion;
 pub mod parallel;
 pub mod removal;
 

@@ -1,5 +1,6 @@
 //! One module per table/figure of the paper's evaluation (§VI), plus the
-//! extension experiments (`ablation`, `parallel`, `query`).
+//! extension experiments (`ablation`, `parallel`, `query`,
+//! `maintenance`).
 
 pub mod ablation;
 pub mod fig10;
@@ -10,6 +11,7 @@ pub mod fig14;
 pub mod fig5;
 pub mod fig7;
 pub mod fig9;
+pub mod maintenance;
 pub mod parallel;
 pub mod query;
 pub mod table2;
@@ -21,8 +23,19 @@ use crate::Opts;
 
 /// All experiment ids in paper order, plus the extension experiments.
 pub const ALL: &[&str] = &[
-    "table2", "fig5", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation",
-    "parallel", "query",
+    "table2",
+    "fig5",
+    "fig7",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "ablation",
+    "parallel",
+    "query",
+    "maintenance",
 ];
 
 /// Runs one experiment by id (or `all`). Experiments that measure whole
@@ -47,6 +60,7 @@ pub fn run(
         "ablation" => ablation::run(out, opts),
         "parallel" => parallel::run(out, opts, json),
         "query" => query::run(out, opts, json),
+        "maintenance" => maintenance::run(out, opts, json),
         "all" => {
             for id in ALL {
                 run(id, out, opts, json)?;

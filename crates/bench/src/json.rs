@@ -91,6 +91,42 @@ impl JsonRecord {
         }
     }
 
+    /// Builds a record for a measured *maintenance* run (the
+    /// `maintenance` experiment). The schema stays identical across
+    /// experiments via a fixed mapping: `total_ms` = wall time of
+    /// applying the batch (incremental) or re-decomposing (recompute),
+    /// `support_updates` = support updates performed, `peak_index_bytes`
+    /// = affected (re-peeled) edges, `threads` = batch size in
+    /// operations; the phase times carry the analyze/rebuild/re-peel
+    /// split for the incremental engine and the usual
+    /// counting/index/peeling split for recompute.
+    #[allow(clippy::too_many_arguments)] // flat record, one field each
+    pub fn maintenance(
+        algorithm: &str,
+        graph: &str,
+        batch_ops: usize,
+        analyze: Duration,
+        rebuild: Duration,
+        peel: Duration,
+        total: Duration,
+        support_updates: u64,
+        affected_edges: u64,
+    ) -> JsonRecord {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        JsonRecord {
+            experiment: "maintenance".to_string(),
+            algorithm: algorithm.to_string(),
+            graph: graph.to_string(),
+            threads: batch_ops,
+            counting_ms: ms(analyze),
+            index_ms: ms(rebuild),
+            peeling_ms: ms(peel),
+            total_ms: ms(total),
+            support_updates,
+            peak_index_bytes: affected_edges as usize,
+        }
+    }
+
     fn write_to(&self, out: &mut dyn Write) -> io::Result<()> {
         write!(
             out,

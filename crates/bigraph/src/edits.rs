@@ -1,0 +1,275 @@
+//! Edge-list edits: rebuild a CSR graph under a batch of deletions and
+//! insertions while tracking how edge ids move.
+//!
+//! [`BipartiteGraph`] is immutable by design — every algorithm in the
+//! suite relies on its dense, sorted edge-id space. Dynamic maintenance
+//! therefore works in generations: [`apply_edits`] produces the *next*
+//! generation graph plus the id mappings a maintenance layer needs to
+//! carry per-edge state (φ, supports) across the edit. Edge ids are
+//! assigned by sorted `(upper, lower)` pair order in both generations, so
+//! the mapping is a deterministic function of the edit, not of the order
+//! updates were supplied in.
+
+use crate::builder::GraphBuilder;
+use crate::error::{Error, Result};
+use crate::graph::{BipartiteGraph, EdgeId};
+
+/// Sentinel in [`EditedGraph::old_to_new`] for deleted edges.
+pub const DELETED: u32 = u32::MAX;
+
+/// The next-generation graph produced by [`apply_edits`], with the edge
+/// id mappings needed to migrate per-edge state.
+#[derive(Debug, Clone)]
+pub struct EditedGraph {
+    /// The rebuilt graph. Layer sizes never shrink; they grow when an
+    /// inserted edge addresses a vertex beyond the old layer bounds.
+    pub graph: BipartiteGraph,
+    /// `old_to_new[old_edge] = new_edge`, or [`DELETED`] for edges
+    /// removed by the edit.
+    pub old_to_new: Vec<u32>,
+    /// New edge ids of the inserted pairs, parallel to the `inserts`
+    /// argument of [`apply_edits`].
+    pub inserted: Vec<EdgeId>,
+}
+
+impl EditedGraph {
+    /// Migrates a per-edge array across the edit: surviving edges carry
+    /// their value to their new id, inserted edges get `fill`.
+    pub fn migrate<T: Clone>(&self, old: &[T], fill: T) -> Vec<T> {
+        let mut out = vec![fill; self.graph.num_edges() as usize];
+        for (old_e, &new_e) in self.old_to_new.iter().enumerate() {
+            if new_e != DELETED {
+                out[new_e as usize] = old[old_e].clone();
+            }
+        }
+        out
+    }
+}
+
+/// Applies a batch of edge deletions and insertions to `g`, returning
+/// the rebuilt graph and the edge-id mappings.
+///
+/// `deletes` are edge ids of `g` (each at most once); `inserts` are
+/// layer-local `(upper, lower)` pairs that must not collide with a
+/// surviving edge or with each other. Inserted pairs may address
+/// vertices beyond the current layer sizes, growing the layer.
+///
+/// # Errors
+///
+/// [`Error::Invariant`] for an out-of-range or duplicate delete, an
+/// insert of an already-present pair, or a duplicate insert;
+/// [`Error::TooLarge`] if the grown graph would leave `u32` id space.
+pub fn apply_edits(
+    g: &BipartiteGraph,
+    deletes: &[EdgeId],
+    inserts: &[(u32, u32)],
+) -> Result<EditedGraph> {
+    let m = g.num_edges() as usize;
+    let mut dead = vec![false; m];
+    for &d in deletes {
+        if d.index() >= m {
+            return Err(Error::Invariant(format!(
+                "delete of {d} out of range ({m} edges)"
+            )));
+        }
+        if std::mem::replace(&mut dead[d.index()], true) {
+            return Err(Error::Invariant(format!("edge {d} deleted twice")));
+        }
+    }
+
+    // Merge survivors and inserts into one (pair, origin) list. The
+    // graph's edge ids are already in sorted pair order, so a linear
+    // merge against the (small) sorted insert list reproduces the id
+    // order GraphBuilder will assign without re-sorting all m edges.
+    const INSERT_TAG: u32 = u32::MAX;
+    let mut sorted_inserts: Vec<(u32, u32, u32)> = inserts
+        .iter()
+        .enumerate()
+        .map(|(i, &(u, v))| (u, v, i as u32))
+        .collect();
+    sorted_inserts.sort_unstable();
+    for w in sorted_inserts.windows(2) {
+        if (w[0].0, w[0].1) == (w[1].0, w[1].1) {
+            return Err(Error::Invariant(format!(
+                "edge ({}, {}) inserted twice",
+                w[0].0, w[0].1
+            )));
+        }
+    }
+    let mut entries: Vec<(u32, u32, u32, u32)> =
+        Vec::with_capacity(m - deletes.len() + inserts.len());
+    let mut ins_at = 0usize;
+    let push_inserts_below = |bound: Option<(u32, u32)>,
+                              ins_at: &mut usize,
+                              entries: &mut Vec<(u32, u32, u32, u32)>|
+     -> Result<()> {
+        while *ins_at < sorted_inserts.len() {
+            let (u, v, i) = sorted_inserts[*ins_at];
+            if let Some(b) = bound {
+                if (u, v) > b {
+                    break;
+                }
+                if (u, v) == b {
+                    return Err(Error::Invariant(format!(
+                        "inserted edge ({u}, {v}) already present"
+                    )));
+                }
+            }
+            entries.push((u, v, INSERT_TAG, i));
+            *ins_at += 1;
+        }
+        Ok(())
+    };
+    for e in g.edges() {
+        if dead[e.index()] {
+            continue;
+        }
+        let (u, v) = g.edge(e);
+        let pair = (g.layer_index(u), g.layer_index(v));
+        push_inserts_below(Some(pair), &mut ins_at, &mut entries)?;
+        entries.push((pair.0, pair.1, 0, e.0));
+    }
+    push_inserts_below(None, &mut ins_at, &mut entries)?;
+
+    let num_upper = inserts
+        .iter()
+        .map(|&(u, _)| u + 1)
+        .max()
+        .unwrap_or(0)
+        .max(g.num_upper());
+    let num_lower = inserts
+        .iter()
+        .map(|&(_, v)| v + 1)
+        .max()
+        .unwrap_or(0)
+        .max(g.num_lower());
+
+    let mut builder = GraphBuilder::new()
+        .with_upper(num_upper)
+        .with_lower(num_lower)
+        .with_edge_capacity(entries.len());
+    for &(u, v, _, _) in &entries {
+        builder.push_edge(u, v);
+    }
+    let graph = builder.build()?;
+    debug_assert_eq!(graph.num_edges() as usize, entries.len());
+
+    let mut old_to_new = vec![DELETED; m];
+    let mut inserted = vec![EdgeId(0); inserts.len()];
+    for (new_id, &(_, _, tag, payload)) in entries.iter().enumerate() {
+        if tag == INSERT_TAG {
+            inserted[payload as usize] = EdgeId(new_id as u32);
+        } else {
+            old_to_new[payload as usize] = new_id as u32;
+        }
+    }
+    Ok(EditedGraph {
+        graph,
+        old_to_new,
+        inserted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> BipartiteGraph {
+        GraphBuilder::new()
+            .add_edges([(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn delete_and_insert_remap_ids() {
+        let g = fig1();
+        // Delete (1,0) (id 2), insert (2,2) and (3,0).
+        let e = g.edge_between(g.upper(1), g.lower(0)).unwrap();
+        let edited = apply_edits(&g, &[e], &[(2, 2), (3, 0)]).unwrap();
+        assert_eq!(edited.graph.num_edges(), 7);
+        assert_eq!(edited.graph.num_upper(), 4); // grown by (3, 0)
+        assert_eq!(edited.graph.num_lower(), 3); // grown by (2, 2)
+        assert_eq!(edited.old_to_new[e.index()], DELETED);
+        // Every surviving old edge maps to the same pair.
+        for old in g.edges() {
+            let new = edited.old_to_new[old.index()];
+            if new == DELETED {
+                continue;
+            }
+            let (ou, ov) = g.edge(old);
+            let (nu, nv) = edited.graph.edge(EdgeId(new));
+            assert_eq!(g.layer_index(ou), edited.graph.layer_index(nu));
+            assert_eq!(g.layer_index(ov), edited.graph.layer_index(nv));
+        }
+        // Inserted ids point at the inserted pairs, in argument order.
+        let (u, v) = edited.graph.edge(edited.inserted[0]);
+        assert_eq!(
+            (edited.graph.layer_index(u), edited.graph.layer_index(v)),
+            (2, 2)
+        );
+        let (u, v) = edited.graph.edge(edited.inserted[1]);
+        assert_eq!(
+            (edited.graph.layer_index(u), edited.graph.layer_index(v)),
+            (3, 0)
+        );
+    }
+
+    #[test]
+    fn migrate_carries_state() {
+        let g = fig1();
+        let e = g.edge_between(g.upper(0), g.lower(0)).unwrap();
+        let edited = apply_edits(&g, &[e], &[(2, 2)]).unwrap();
+        let phi: Vec<u64> = (0..g.num_edges() as u64).collect();
+        let moved = edited.migrate(&phi, u64::MAX);
+        for old in g.edges() {
+            let new = edited.old_to_new[old.index()];
+            if new != DELETED {
+                assert_eq!(moved[new as usize], old.0 as u64);
+            }
+        }
+        assert_eq!(moved[edited.inserted[0].index()], u64::MAX);
+    }
+
+    #[test]
+    fn deleting_everything_and_empty_edits() {
+        let g = fig1();
+        let all: Vec<EdgeId> = g.edges().collect();
+        let edited = apply_edits(&g, &all, &[]).unwrap();
+        assert_eq!(edited.graph.num_edges(), 0);
+        assert_eq!(edited.graph.num_upper(), g.num_upper()); // layers kept
+        let same = apply_edits(&g, &[], &[]).unwrap();
+        assert_eq!(same.graph.edge_pairs(), g.edge_pairs());
+        assert!(same.old_to_new.iter().enumerate().all(|(i, &n)| {
+            let (u, v) = g.edge(EdgeId(i as u32));
+            let (nu, nv) = same.graph.edge(EdgeId(n));
+            (u, v) == (nu, nv)
+        }));
+    }
+
+    #[test]
+    fn invalid_edits_are_rejected() {
+        let g = fig1();
+        let e = EdgeId(0);
+        assert!(matches!(
+            apply_edits(&g, &[EdgeId(99)], &[]),
+            Err(Error::Invariant(_))
+        ));
+        assert!(matches!(
+            apply_edits(&g, &[e, e], &[]),
+            Err(Error::Invariant(_))
+        ));
+        // (0,0) is present and not deleted.
+        assert!(matches!(
+            apply_edits(&g, &[], &[(0, 0)]),
+            Err(Error::Invariant(_))
+        ));
+        // Duplicate insert.
+        assert!(matches!(
+            apply_edits(&g, &[], &[(5, 5), (5, 5)]),
+            Err(Error::Invariant(_))
+        ));
+        // Deleting (0,0) makes inserting it legal again.
+        assert!(apply_edits(&g, &[e], &[(0, 0)]).is_ok());
+    }
+}

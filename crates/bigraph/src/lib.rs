@@ -14,11 +14,15 @@
 //!   larger than lower-layer ids, as the paper assumes).
 //! * Subgraph extraction by edge mask (for the candidate graphs `G≥ε` of
 //!   BiT-PC) and by vertex sampling (for the scalability experiments).
+//! * Generation edits ([`apply_edits`]): rebuild the CSR under a batch of
+//!   edge insertions/deletions with deterministic edge-id mappings, the
+//!   substrate of dynamic maintenance.
 //! * Plain-text edge-list I/O compatible with KONECT-style files.
 
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod edits;
 pub mod error;
 pub mod graph;
 pub mod io;
@@ -30,6 +34,7 @@ pub mod subgraph;
 pub mod union_find;
 
 pub use builder::{GraphBuilder, PriorityMode};
+pub use edits::{apply_edits, EditedGraph};
 pub use error::{Error, Result};
 pub use graph::{BipartiteGraph, EdgeId, VertexId};
 pub use kcore::{alpha_beta_core, butterfly_core_mask};

@@ -38,6 +38,9 @@ pub enum Phase {
     Extraction,
     /// Building the bitruss hierarchy index from a finished φ array.
     HierarchyBuild,
+    /// Affected-region analysis of a dynamic update batch (the cascade
+    /// search bounding which edges a batch can re-assign).
+    AffectedRegion,
 }
 
 impl Phase {
@@ -49,6 +52,7 @@ impl Phase {
             Phase::Peeling => "peeling",
             Phase::Extraction => "extraction",
             Phase::HierarchyBuild => "hierarchy-build",
+            Phase::AffectedRegion => "affected-region",
         }
     }
 }
@@ -158,5 +162,6 @@ mod tests {
         assert_eq!(Phase::Peeling.name(), "peeling");
         assert_eq!(Phase::Extraction.name(), "extraction");
         assert_eq!(Phase::HierarchyBuild.name(), "hierarchy-build");
+        assert_eq!(Phase::AffectedRegion.name(), "affected-region");
     }
 }

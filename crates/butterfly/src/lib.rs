@@ -13,11 +13,16 @@
 
 #![warn(missing_docs)]
 
+pub mod local;
 pub mod naive;
 pub mod parallel;
 pub mod support;
 pub mod vertex;
 
+pub use local::{
+    count_for_edges, count_through_edge, count_through_edge_metered, for_each_butterfly_through,
+    for_each_butterfly_through_metered, for_each_butterfly_through_while,
+};
 pub use naive::{count_naive, enumerate_butterflies, Butterfly};
 pub use parallel::{
     count_per_edge_parallel, count_per_edge_parallel_observed, par_add_assign, Threads,

@@ -263,7 +263,6 @@ mod tests {
     use crate::verify::reference_decomposition;
 
     #[test]
-    #[allow(deprecated)] // the compatibility wrapper must keep working
     fn core_pruning_preserves_phi() {
         for seed in 0..5 {
             let g = datagen::powerlaw::chung_lu(60, 60, 500, 2.2, 2.2, seed);
@@ -273,8 +272,12 @@ mod tests {
                 Algorithm::BuPlusPlus,
                 Algorithm::Pc { tau: 0.2 },
             ] {
-                let (pruned, _) = decompose_pruned(&g, alg);
-                assert_eq!(plain, pruned, "seed {seed} {}", alg.name());
+                let pruned = crate::engine::BitrussEngine::builder()
+                    .algorithm(alg)
+                    .pruned(true)
+                    .build_borrowed(&g)
+                    .unwrap();
+                assert_eq!(plain.phi, pruned.phi(), "seed {seed} {}", alg.name());
             }
         }
     }

@@ -329,6 +329,50 @@ impl<'g> BitrussEngine<'g> {
         self.metrics.as_ref()
     }
 
+    /// The observer attached to this session ([`NoopObserver`] when none
+    /// was configured). Maintenance layers thread it through their own
+    /// passes so progress and cancellation keep working across updates.
+    pub fn observer(&self) -> Arc<dyn EngineObserver + Send + Sync> {
+        Arc::clone(&self.observer)
+    }
+
+    /// Replaces the session's graph and decomposition in one step — the
+    /// splice point for dynamic maintenance layers (e.g. the
+    /// `bitruss_dynamic` crate's `apply`), which compute an updated
+    /// `(graph, φ)` pair and hand the session its next generation.
+    ///
+    /// The cached hierarchy index is invalidated (the next query or
+    /// snapshot rebuilds it lazily), [`BitrussEngine::metrics`] is set to
+    /// `metrics` (maintenance layers report their own phase times and
+    /// affected/reused counts there), and
+    /// [`BitrussEngine::algorithm`] is cleared — φ no longer comes from a
+    /// single from-scratch run.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Invariant`] when the decomposition does not belong to the
+    /// graph (φ length differs from the edge count).
+    pub fn replace_state(
+        &mut self,
+        graph: BipartiteGraph,
+        decomposition: Decomposition,
+        metrics: Option<Metrics>,
+    ) -> Result<()> {
+        if decomposition.phi.len() != graph.num_edges() as usize {
+            return Err(Error::Invariant(format!(
+                "{} φ values for {} edges",
+                decomposition.phi.len(),
+                graph.num_edges()
+            )));
+        }
+        self.graph = Cow::Owned(graph);
+        self.decomposition = decomposition;
+        self.metrics = metrics;
+        self.algorithm = None;
+        self.hierarchy = OnceLock::new();
+        Ok(())
+    }
+
     /// The maximum bitruss number over all edges.
     pub fn max_bitruss(&self) -> u64 {
         self.decomposition.max_bitruss()

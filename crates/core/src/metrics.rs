@@ -108,6 +108,12 @@ pub struct Metrics {
     /// separately from [`Metrics::peak_index_bytes`] so the parallel
     /// engine's true memory footprint stays visible next to the index's.
     pub scratch_bytes: usize,
+    /// Dynamic maintenance only: edges the affected-region analyzer
+    /// marked for re-peeling (0 for full decomposition runs).
+    pub affected_edges: u64,
+    /// Dynamic maintenance only: edges whose φ was carried over from the
+    /// previous decomposition without re-peeling (0 for full runs).
+    pub reused_edges: u64,
     /// Optional per-original-support update histogram (Figure 7).
     pub histogram: Option<UpdateHistogram>,
 }
@@ -116,6 +122,18 @@ impl Metrics {
     /// Total wall time across the phases.
     pub fn total_time(&self) -> Duration {
         self.counting_time + self.index_time + self.peeling_time + self.extraction_time
+    }
+
+    /// Fraction of edges whose φ survived a maintenance run untouched
+    /// (`reused / (reused + affected)`); 0.0 for full decomposition runs
+    /// (which reuse nothing).
+    pub fn reuse_ratio(&self) -> f64 {
+        let total = self.affected_edges + self.reused_edges;
+        if total == 0 {
+            0.0
+        } else {
+            self.reused_edges as f64 / total as f64
+        }
     }
 
     /// Enables histogram collection with the given bucket bounds over the

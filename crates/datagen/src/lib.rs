@@ -12,7 +12,9 @@
 //! * [`block::planted_blocks`] — dense bicliques planted over a background
 //!   (nested communities, fraud blocks);
 //! * [`configuration::from_degrees`] — configuration model from explicit
-//!   degree sequences.
+//!   degree sequences;
+//! * [`stream::edge_stream`] — seeded interleaved insert/delete
+//!   schedules over any generated graph (dynamic-maintenance workloads).
 //!
 //! All generators are deterministic given a seed.
 
@@ -23,5 +25,7 @@ pub mod configuration;
 pub mod powerlaw;
 pub mod random;
 pub mod registry;
+pub mod stream;
 
 pub use registry::{all_datasets, dataset_by_name, Dataset, SizeClass};
+pub use stream::{edge_stream, StreamOp};

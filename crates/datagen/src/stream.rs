@@ -1,0 +1,187 @@
+//! Reproducible edge-update streams: seeded, interleaved insert/delete
+//! schedules over an existing generator's output, for exercising and
+//! benchmarking dynamic maintenance.
+//!
+//! A stream is *valid by construction* when replayed in order against
+//! its base graph: every delete addresses an edge present at that point
+//! (original or re-inserted), every insert a pair absent at that point.
+//! Deletions sample the current edge set uniformly; insertions re-insert
+//! a previously deleted pair half of the time (the hardest maintenance
+//! case — φ must be restored exactly) and draw a fresh absent pair
+//! otherwise. All choices are deterministic in the seed.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use bigraph::BipartiteGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One operation of an edge-update stream, in layer-local indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamOp {
+    /// `true` = insert, `false` = delete.
+    pub insert: bool,
+    /// Layer-local upper vertex index.
+    pub upper: u32,
+    /// Layer-local lower vertex index.
+    pub lower: u32,
+}
+
+/// Renders the CLI `update` stream format: `+u v` / `-u v`.
+impl fmt::Display for StreamOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.insert { '+' } else { '-' };
+        write!(f, "{}{} {}", sign, self.upper, self.lower)
+    }
+}
+
+/// Generates a reproducible interleaved insert/delete schedule of `ops`
+/// operations over `g`'s edge set. Roughly half the operations are
+/// deletions (fewer when the edge set runs dry). Deterministic in
+/// `seed`.
+pub fn edge_stream(g: &BipartiteGraph, ops: usize, seed: u64) -> Vec<StreamOp> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut present: Vec<(u32, u32)> = g.edge_pairs();
+    let mut present_set: HashSet<(u32, u32)> = present.iter().copied().collect();
+    let mut deleted_pool: Vec<(u32, u32)> = Vec::new();
+    let possible = (g.num_upper() as u64) * (g.num_lower() as u64);
+    let mut out = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        let want_delete = rng.gen_range(0..2u32) == 0 && !present.is_empty();
+        if want_delete {
+            let i = rng.gen_range(0..present.len());
+            let pair = present.swap_remove(i);
+            present_set.remove(&pair);
+            deleted_pool.push(pair);
+            out.push(StreamOp {
+                insert: false,
+                upper: pair.0,
+                lower: pair.1,
+            });
+        } else {
+            // Half re-insertions of deleted pairs, half fresh pairs.
+            let pair = if !deleted_pool.is_empty() && rng.gen_range(0..2u32) == 0 {
+                deleted_pool.swap_remove(rng.gen_range(0..deleted_pool.len()))
+            } else if (present.len() as u64) < possible {
+                loop {
+                    let cand = (
+                        rng.gen_range(0..g.num_upper().max(1)),
+                        rng.gen_range(0..g.num_lower().max(1)),
+                    );
+                    if !present_set.contains(&cand) {
+                        deleted_pool.retain(|&p| p != cand);
+                        break cand;
+                    }
+                }
+            } else if !deleted_pool.is_empty() {
+                deleted_pool.swap_remove(rng.gen_range(0..deleted_pool.len()))
+            } else {
+                // Complete graph with nothing deleted: no insert is
+                // possible; fall back to a delete if one exists.
+                if present.is_empty() {
+                    break;
+                }
+                let i = rng.gen_range(0..present.len());
+                let pair = present.swap_remove(i);
+                present_set.remove(&pair);
+                deleted_pool.push(pair);
+                out.push(StreamOp {
+                    insert: false,
+                    upper: pair.0,
+                    lower: pair.1,
+                });
+                continue;
+            };
+            present_set.insert(pair);
+            present.push(pair);
+            out.push(StreamOp {
+                insert: true,
+                upper: pair.0,
+                lower: pair.1,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::uniform;
+
+    /// Replays a stream against the base edge set, asserting validity.
+    fn replay(g: &BipartiteGraph, ops: &[StreamOp]) -> HashSet<(u32, u32)> {
+        let mut present: HashSet<(u32, u32)> = g.edge_pairs().into_iter().collect();
+        for op in ops {
+            let pair = (op.upper, op.lower);
+            if op.insert {
+                assert!(present.insert(pair), "inserted a present pair {pair:?}");
+            } else {
+                assert!(present.remove(&pair), "deleted an absent pair {pair:?}");
+            }
+        }
+        present
+    }
+
+    #[test]
+    fn streams_are_valid_and_deterministic() {
+        let g = uniform(20, 20, 120, 5);
+        let a = edge_stream(&g, 60, 9);
+        let b = edge_stream(&g, 60, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 60);
+        replay(&g, &a);
+        let c = edge_stream(&g, 60, 10);
+        assert_ne!(a, c);
+        replay(&g, &c);
+    }
+
+    #[test]
+    fn streams_mix_inserts_deletes_and_reinserts() {
+        let g = uniform(15, 15, 100, 3);
+        let ops = edge_stream(&g, 200, 17);
+        let inserts = ops.iter().filter(|o| o.insert).count();
+        let deletes = ops.len() - inserts;
+        assert!(
+            inserts > 20 && deletes > 20,
+            "{inserts} ins / {deletes} del"
+        );
+        // At least one re-insertion of a previously deleted pair.
+        let mut deleted: HashSet<(u32, u32)> = HashSet::new();
+        let mut reinserted = false;
+        for op in &ops {
+            let pair = (op.upper, op.lower);
+            if op.insert {
+                reinserted |= deleted.contains(&pair);
+            } else {
+                deleted.insert(pair);
+            }
+        }
+        assert!(reinserted, "schedule never re-inserted a deleted edge");
+    }
+
+    #[test]
+    fn stream_ops_render_the_update_format() {
+        let op = StreamOp {
+            insert: true,
+            upper: 3,
+            lower: 7,
+        };
+        assert_eq!(op.to_string(), "+3 7");
+        let op = StreamOp {
+            insert: false,
+            upper: 0,
+            lower: 1,
+        };
+        assert_eq!(op.to_string(), "-0 1");
+    }
+
+    #[test]
+    fn empty_graph_streams_insert_only() {
+        let g = uniform(4, 4, 0, 1);
+        let ops = edge_stream(&g, 10, 2);
+        replay(&g, &ops);
+        assert!(!ops.is_empty());
+    }
+}

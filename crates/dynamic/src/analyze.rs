@@ -1,0 +1,484 @@
+//! The affected-region machinery: bound (insertions) or settle exactly
+//! (deletions) which edges a batch of updates can re-assign.
+//!
+//! Everything here builds on two properties of the bitruss fixpoint
+//! (`H_k` = maximal subgraph in which every edge lies in ≥ k
+//! butterflies of the subgraph):
+//!
+//! 1. **Locality** — φ is the *greatest* fixpoint of the per-edge
+//!    h-operator `H(x)(f) = max{k : f has ≥ k butterflies whose other
+//!    members all have x ≥ k}`. Any pointwise upper bound of φ,
+//!    iterated downward through `x ← min(x, H(x))` until quiescent,
+//!    converges to φ exactly: the invariant `x ≥ φ` is preserved
+//!    (`H` is monotone and `H(φ) ≥ φ` by the fixpoint), and a quiescent
+//!    `x ≤ H(x)` makes every level set `{x ≥ k}` a valid k-subgraph,
+//!    hence `x ≤ φ`.
+//! 2. **Monotonicity** — deleting edges can only lower φ, inserting
+//!    can only raise it.
+//!
+//! # Deletions ([`settle_deletions`])
+//!
+//! After a deletion the *old* φ is a pointwise upper bound, so the
+//! downward h-iteration applies directly: seed the worklist with the
+//! butterfly mates of the deleted edges (the only edges whose
+//! h-value the edit touches), recompute h-values locally, and
+//! propagate each drop to the butterfly mates it can affect (those
+//! with x above the new value). The result is **exact** — the affected
+//! "region" of the deletion phase is precisely the set of edges whose
+//! φ really changed, at a cost proportional to that set's butterfly
+//! neighbourhood.
+//!
+//! # Insertions ([`insertion_region`])
+//!
+//! For insertions the old φ is a *lower* bound, so a sound
+//! over-approximation of the risers is computed instead (the localized
+//! re-peel then assigns exact values). If `φ(f)` rises, `f` joins
+//! `H_k` for `k = φ_old(f) + 1`, which requires `k` butterflies whose
+//! other members all *could* be in the new `H_k` — old φ at least `k`,
+//! or (for fellow joiners) new support at least `k`. The member
+//! potential `cap(h) = max(φ_old(h), sup_new(h))` soundly bounds
+//! `φ_new(h)`, so the **rise ceiling** of an edge — the largest `k`
+//! with at least `k` butterflies whose other members all have
+//! `cap ≥ k`, an h-index over butterfly levels — soundly bounds its
+//! new φ. Moreover, the set of new `H_k` members is
+//! butterfly-connected to an inserted edge (a joiner chunk with no
+//! inserted edge would contradict the old fixpoint's maximality), so
+//! the region is the BFS closure from the inserted edges where each
+//! step must fit a common level: above both endpoints' old φ, at or
+//! below both rise ceilings and the connecting butterfly's member
+//! caps.
+
+use bigraph::{BipartiteGraph, EdgeId};
+use butterfly::{count_through_edge_metered, for_each_butterfly_through_metered};
+
+/// Sentinel in cached per-edge arrays for "not computed yet".
+const UNKNOWN: u64 = u64::MAX;
+
+/// In `phi` arrays handled by [`settle_deletions`], a [`u64::MAX`]
+/// entry marks an edge that is *absent* for this phase (e.g. an edge
+/// inserted by the same batch, handled by the insertion phase): its
+/// butterflies are skipped entirely.
+pub const MASKED: u64 = u64::MAX;
+
+/// The h-operator of the module docs, evaluated against a drop check:
+/// returns `None` as soon as `f` provably keeps ≥ `phi[f]` butterflies
+/// whose other (unmasked) members reach `phi[f]` — the common case,
+/// detected with an early-exit scan — and otherwise the h-value capped
+/// at `phi[f]` (all the caller needs: values are clamped downward).
+///
+/// One single pass, bucket-counted with levels clamped to `phi[f]`:
+/// no level vector is materialized, so hub edges with millions of
+/// butterflies cost one enumeration, not an allocation plus a sort.
+fn h_drop(g: &BipartiteGraph, phi: &[u64], f: EdgeId, visits: &mut u64) -> Option<u64> {
+    let k = phi[f.index()];
+    debug_assert!(k > 0 && k != MASKED);
+    let mut counts = vec![0u64; k as usize + 1];
+    let (completed, work) = for_each_butterfly_through_metered(g, f, |a, b, c| {
+        if phi[a.index()] != MASKED && phi[b.index()] != MASKED && phi[c.index()] != MASKED {
+            let level = phi[a.index()]
+                .min(phi[b.index()])
+                .min(phi[c.index()])
+                .min(k);
+            counts[level as usize] += 1;
+        }
+        counts[k as usize] < k
+    });
+    *visits += work;
+    let enough = !completed;
+    if enough {
+        return None;
+    }
+    // Fell short of k: the largest j ≤ k with ≥ j butterflies at
+    // level ≥ j, off the clamped histogram's suffix sums.
+    let mut suffix = 0u64;
+    let mut j = k;
+    loop {
+        suffix += counts[j as usize];
+        if suffix >= j || j == 0 {
+            return Some(j);
+        }
+        j -= 1;
+    }
+}
+
+/// Settles `phi` to the exact decomposition of `g` by the downward
+/// local h-iteration, given that `phi` is a pointwise **upper bound**
+/// of the true decomposition that is already correct outside the
+/// butterfly neighbourhood of `seeds` (see the module docs). Entries
+/// equal to [`MASKED`] are treated as absent edges (their butterflies
+/// do not exist for this phase) and are never touched. For the deletion
+/// phase of a batch: `g` is the fully rebuilt graph, `phi` the migrated
+/// old values with inserted edges masked, and `seeds` the surviving
+/// butterfly mates of the deleted edges.
+///
+/// Returns the edges whose φ changed (no particular order), or `None`
+/// when the `budget` — a cap on butterfly visits across all
+/// h-evaluations — ran out first. On `None` the `phi` array is
+/// partially settled and must be discarded; the caller falls back to a
+/// full recompute (see [`crate::apply_batch`]). The budget is what
+/// keeps butterfly-bomb graphs honest: enumerating a single hub edge's
+/// butterflies can cost more than the BE-Index-driven full
+/// decomposition there, so bailing out *is* the fast path.
+pub fn settle_deletions(
+    g: &BipartiteGraph,
+    phi: &mut [u64],
+    seeds: &[EdgeId],
+    budget: u64,
+) -> Option<Vec<EdgeId>> {
+    let m = g.num_edges() as usize;
+    debug_assert_eq!(phi.len(), m);
+    let mut queued = vec![false; m];
+    let mut changed = vec![false; m];
+    let mut work: Vec<EdgeId> = Vec::with_capacity(seeds.len());
+    for &s in seeds {
+        if phi[s.index()] > 0 && phi[s.index()] != MASKED && !queued[s.index()] {
+            queued[s.index()] = true;
+            work.push(s);
+        }
+    }
+    let mut out = Vec::new();
+    let mut visits = 0u64;
+    while let Some(f) = work.pop() {
+        if visits > budget {
+            return None;
+        }
+        queued[f.index()] = false;
+        let Some(hv) = h_drop(g, phi, f, &mut visits) else {
+            continue;
+        };
+        if hv >= phi[f.index()] {
+            continue;
+        }
+        phi[f.index()] = hv;
+        if !changed[f.index()] {
+            changed[f.index()] = true;
+            out.push(f);
+        }
+        // Only mates still above the new value can be disturbed by the
+        // drop: their h-counts at levels ≤ hv are unaffected.
+        let (_, scan) = for_each_butterfly_through_metered(g, f, |a, b, c| {
+            for mate in [a, b, c] {
+                let p = phi[mate.index()];
+                if p != MASKED && p > hv && !queued[mate.index()] {
+                    queued[mate.index()] = true;
+                    work.push(mate);
+                }
+            }
+            true
+        });
+        visits += scan;
+    }
+    Some(out)
+}
+
+/// When an edge has more butterflies than this, its rise ceiling falls
+/// back to the (sound, looser) support bound instead of the exact
+/// h-index — hub edges would otherwise pay for millions of quads.
+const CEILING_QUAD_CAP: usize = 4096;
+
+/// Edges whose φ may *increase* after `inserted` edges appeared in
+/// `g_new` (the post-insertion graph). `phi_base[e]` is the maintained φ
+/// of every surviving edge and [`u64::MAX`] for the inserted ones (whose
+/// φ is unknown and computed by the re-peel regardless). Returns a mask
+/// over `g_new`'s edges that **includes** the inserted edges.
+///
+/// The search carries a work budget: when the marked region or the
+/// butterfly work grows to full-graph scale — where a localized re-peel
+/// has no advantage left over a full one — it returns `None`, and the
+/// caller falls back to a full recompute, so a pathological batch
+/// degrades to recompute cost instead of super-linear analysis cost.
+pub fn insertion_region(
+    g_new: &BipartiteGraph,
+    phi_base: &[u64],
+    inserted: &[EdgeId],
+) -> Option<Vec<bool>> {
+    let m = g_new.num_edges() as usize;
+    debug_assert_eq!(phi_base.len(), m);
+    let region_budget = (m / 8).max(1024);
+    // Tighter than the settle budget: a busted analysis is pure loss on
+    // top of the fallback recompute, so it must stay a small fraction
+    // of a decomposition.
+    let mut quad_budget = (32 * m).max(1 << 12) as i64;
+    let mut marked = 0usize;
+    let mut sup_cache = vec![UNKNOWN; m];
+    let mut ceiling = vec![UNKNOWN; m];
+    let mut region = vec![false; m];
+    let mut work: Vec<EdgeId> = Vec::with_capacity(inserted.len());
+    for &i in inserted {
+        region[i.index()] = true;
+        work.push(i);
+    }
+    while let Some(e) = work.pop() {
+        if marked > region_budget || quad_budget < 0 {
+            return None;
+        }
+        let e_phi = match phi_base[e.index()] {
+            u64::MAX => 0, // inserted sources carry no old φ
+            p => p,
+        };
+        let e_ceil = rise_ceiling(
+            g_new,
+            phi_base,
+            e,
+            &mut ceiling,
+            &mut sup_cache,
+            &mut quad_budget,
+        );
+        // Collect first: the neighbour checks below need the caches
+        // mutably, which the enumeration closure would also hold.
+        let mut quads: Vec<[EdgeId; 3]> = Vec::new();
+        let (_, scan) = for_each_butterfly_through_metered(g_new, e, |a, b, c| {
+            quads.push([a, b, c]);
+            true
+        });
+        quad_budget -= scan as i64;
+        for quad in quads {
+            if quad_budget < 0 {
+                return None;
+            }
+            for f in quad {
+                let base = phi_base[f.index()];
+                if base == u64::MAX || region[f.index()] {
+                    continue; // inserted edges are sources already
+                }
+                // A common level k must fit the whole step: above both
+                // endpoints' old φ, at or below both rise ceilings and
+                // the remaining members' caps.
+                let mut window_hi = e_ceil.min(rise_ceiling(
+                    g_new,
+                    phi_base,
+                    f,
+                    &mut ceiling,
+                    &mut sup_cache,
+                    &mut quad_budget,
+                ));
+                for h in quad {
+                    if h != f {
+                        window_hi = window_hi.min(cap_of(
+                            g_new,
+                            phi_base,
+                            h,
+                            &mut sup_cache,
+                            &mut quad_budget,
+                        ));
+                    }
+                }
+                let window_lo = base.max(e_phi);
+                if window_hi > window_lo {
+                    region[f.index()] = true;
+                    marked += 1;
+                    work.push(f);
+                }
+            }
+        }
+    }
+    Some(region)
+}
+
+/// A sound upper bound on an edge's post-insertion φ from its own
+/// support: an inserted edge can reach at most its support, a survivor
+/// at least keeps its old φ and can rise at most to its new support.
+/// A cache miss charges the scan to `budget` (degree-bound plus the
+/// counted butterflies — roughly the wedge work the count performed).
+fn cap_of(
+    g_new: &BipartiteGraph,
+    phi_base: &[u64],
+    h: EdgeId,
+    sup_cache: &mut [u64],
+    budget: &mut i64,
+) -> u64 {
+    if sup_cache[h.index()] == UNKNOWN {
+        let (count, work) = count_through_edge_metered(g_new, h);
+        sup_cache[h.index()] = count;
+        *budget -= work as i64;
+    }
+    match phi_base[h.index()] {
+        u64::MAX => sup_cache[h.index()],
+        p => p.max(sup_cache[h.index()]),
+    }
+}
+
+/// The rise ceiling (see the module docs): the h-index over the levels
+/// of `f`'s butterflies, where a butterfly's level is the minimum
+/// [`cap_of`] of its other members. Lazily cached per edge.
+fn rise_ceiling(
+    g_new: &BipartiteGraph,
+    phi_base: &[u64],
+    f: EdgeId,
+    ceiling: &mut [u64],
+    sup_cache: &mut [u64],
+    budget: &mut i64,
+) -> u64 {
+    if ceiling[f.index()] == UNKNOWN {
+        let mut quads: Vec<[EdgeId; 3]> = Vec::new();
+        let (complete, work) = for_each_butterfly_through_metered(g_new, f, |a, b, c| {
+            quads.push([a, b, c]);
+            quads.len() < CEILING_QUAD_CAP
+        });
+        *budget -= work as i64;
+        ceiling[f.index()] = if !complete {
+            // Hub edge: the exact h-index would price in millions of
+            // member caps; its own support bound is sound and cheap.
+            cap_of(g_new, phi_base, f, sup_cache, budget)
+        } else {
+            let mut levels: Vec<u64> = quads
+                .into_iter()
+                .map(|quad| {
+                    quad.into_iter()
+                        .map(|h| cap_of(g_new, phi_base, h, sup_cache, budget))
+                        .min()
+                        .unwrap_or(0)
+                })
+                .collect();
+            levels.sort_unstable_by(|a, b| b.cmp(a));
+            let mut rc = 0u64;
+            for (i, &l) in levels.iter().enumerate() {
+                let k = (i + 1) as u64;
+                if l >= k {
+                    rc = k;
+                } else {
+                    break;
+                }
+            }
+            rc
+        };
+    }
+    ceiling[f.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::{edge_subgraph, GraphBuilder};
+    use bitruss_core::{decompose, Algorithm};
+    use butterfly::for_each_butterfly_through;
+
+    /// Deleting each edge of a fixture in turn, the h-iteration settles
+    /// the migrated φ to exactly the fresh decomposition.
+    #[test]
+    fn settle_matches_recompute_per_deletion() {
+        let g = GraphBuilder::new()
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (2, 3),
+                (3, 1),
+                (3, 2),
+                (3, 4),
+            ])
+            .build()
+            .unwrap();
+        let (d, _) = decompose(&g, Algorithm::BuPlusPlus);
+        for victim in g.edges() {
+            // Mates of the victim, in old ids.
+            let mut mates = Vec::new();
+            for_each_butterfly_through(&g, victim, |a, b, c| mates.extend([a, b, c]));
+            let rest = edge_subgraph(&g, |e| e != victim);
+            // Migrate φ and the seed list to the subgraph's ids.
+            let mut old_to_new = vec![u32::MAX; g.num_edges() as usize];
+            for (new, &old) in rest.new_to_old.iter().enumerate() {
+                old_to_new[old.index()] = new as u32;
+            }
+            let mut phi: Vec<u64> = rest.new_to_old.iter().map(|&e| d.phi[e.index()]).collect();
+            let seeds: Vec<EdgeId> = mates
+                .iter()
+                .map(|&e| EdgeId(old_to_new[e.index()]))
+                .collect();
+            let changed = settle_deletions(&rest.graph, &mut phi, &seeds, u64::MAX).unwrap();
+            let (fresh, _) = decompose(&rest.graph, Algorithm::BuPlusPlus);
+            assert_eq!(phi, fresh.phi, "victim {victim}");
+            // Every reported change is a real change.
+            for &e in &changed {
+                assert_ne!(phi[e.index()], d.phi[rest.new_to_old[e.index()].index()]);
+            }
+        }
+    }
+
+    /// The h-iteration touches nothing when the seeds lost no
+    /// butterflies.
+    #[test]
+    fn settle_is_a_noop_on_a_correct_decomposition() {
+        let g = datagen::random::uniform(10, 10, 45, 3);
+        let (d, _) = decompose(&g, Algorithm::BuPlusPlus);
+        let mut phi = d.phi.clone();
+        let all: Vec<EdgeId> = g.edges().collect();
+        let changed = settle_deletions(&g, &mut phi, &all, u64::MAX).unwrap();
+        assert!(changed.is_empty());
+        assert_eq!(phi, d.phi);
+    }
+
+    /// Inserting the last edge of a square affects the three edges that
+    /// complete the new butterfly, but not a far-away square.
+    #[test]
+    fn insertion_region_covers_new_butterflies_only() {
+        let g = GraphBuilder::new()
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (5, 5),
+                (5, 6),
+                (6, 5),
+                (6, 6),
+            ])
+            .build()
+            .unwrap();
+        // Pretend (1,1) was just inserted: base φ of the others is their
+        // pre-insert value 0, the inserted edge is MAX.
+        let inserted = g.edge_between(g.upper(1), g.lower(1)).unwrap();
+        let mut phi_base = vec![0u64; g.num_edges() as usize];
+        // The far square's φ is 1 in both generations.
+        for e in g.edges() {
+            if g.layer_index(g.edge(e).0) >= 5 {
+                phi_base[e.index()] = 1;
+            }
+        }
+        phi_base[inserted.index()] = u64::MAX;
+        let region = insertion_region(&g, &phi_base, &[inserted]).unwrap();
+        for e in g.edges() {
+            let near = g.layer_index(g.edge(e).0) < 2;
+            assert_eq!(region[e.index()], near, "{e}");
+        }
+    }
+
+    /// The rise ceiling caps the region: an edge already at the level
+    /// its neighbourhood supports cannot rise further and blocks the
+    /// cascade.
+    #[test]
+    fn insertion_ceiling_blocks_saturated_edges() {
+        // K_{2,2} square whose members sit at φ = 1 with exactly one
+        // butterfly each: inserting a pendant edge near it creates no
+        // new butterflies, so nothing can rise.
+        let g = GraphBuilder::new()
+            .add_edges([(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)])
+            .build()
+            .unwrap();
+        let inserted = g.edge_between(g.upper(2), g.lower(2)).unwrap();
+        let mut phi_base = vec![1u64; g.num_edges() as usize];
+        phi_base[inserted.index()] = u64::MAX;
+        let region = insertion_region(&g, &phi_base, &[inserted]).unwrap();
+        let marked: Vec<usize> = (0..region.len()).filter(|&i| region[i]).collect();
+        assert_eq!(marked, vec![inserted.index()]);
+    }
+
+    /// An insertion with no butterflies affects only itself.
+    #[test]
+    fn butterfly_free_insertion_is_self_contained() {
+        let g = GraphBuilder::new()
+            .add_edges([(0, 0), (0, 1), (1, 2)])
+            .build()
+            .unwrap();
+        let inserted = g.edge_between(g.upper(1), g.lower(2)).unwrap();
+        let mut phi_base = vec![0u64; g.num_edges() as usize];
+        phi_base[inserted.index()] = u64::MAX;
+        let region = insertion_region(&g, &phi_base, &[inserted]).unwrap();
+        let marked: Vec<usize> = (0..region.len()).filter(|&i| region[i]).collect();
+        assert_eq!(marked, vec![inserted.index()]);
+    }
+}

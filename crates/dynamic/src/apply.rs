@@ -1,0 +1,327 @@
+//! Batch application: deletions phase, insertions phase, splice.
+
+use std::time::{Duration, Instant};
+
+use bigraph::edits::{apply_edits, DELETED};
+use bigraph::progress::{checkpoint, EngineObserver, NoopObserver, Phase};
+use bigraph::{BipartiteGraph, EdgeId, Error, Result};
+use bitruss_core::{Decomposition, Metrics};
+
+use crate::analyze::{insertion_region, settle_deletions};
+use crate::batch::UpdateBatch;
+use crate::repeel::repeel_region;
+
+/// Counters and timings of one [`apply_batch`] run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaintenanceStats {
+    /// Edge count before the batch.
+    pub edges_before: u64,
+    /// Edge count after the batch.
+    pub edges_after: u64,
+    /// Net deleted edges.
+    pub deleted_edges: u64,
+    /// Net inserted edges.
+    pub inserted_edges: u64,
+    /// Distinct edges re-peeled across both phases (inserted edges
+    /// included; an edge touched by both phases counts once).
+    pub affected_edges: u64,
+    /// Frozen boundary edges replayed around the regions.
+    pub boundary_edges: u64,
+    /// Final-generation edges whose φ was carried over without
+    /// re-peeling.
+    pub reused_edges: u64,
+    /// Surviving edges whose φ actually changed (inserted edges not
+    /// counted).
+    pub phi_changed: u64,
+    /// `true` when the incremental path hit its work budget and the
+    /// batch was settled by a full recompute instead (still exact;
+    /// nothing is reused). Expect this on butterfly-dense graphs where
+    /// a batch genuinely reshapes a large fraction of φ.
+    pub fell_back: bool,
+    /// Butterfly-support updates performed by the localized re-peels.
+    pub support_updates: u64,
+    /// Wall time of the affected-region analyses.
+    pub analyze_time: Duration,
+    /// Wall time of the localized re-peels (index builds included).
+    pub repeel_time: Duration,
+    /// Wall time of the CSR rebuilds and φ migrations.
+    pub rebuild_time: Duration,
+}
+
+impl MaintenanceStats {
+    /// Fraction of the final graph's edges whose φ was reused
+    /// (`reused / edges_after`; 1.0 for an empty graph).
+    pub fn reuse_ratio(&self) -> f64 {
+        if self.edges_after == 0 {
+            1.0
+        } else {
+            self.reused_edges as f64 / self.edges_after as f64
+        }
+    }
+
+    /// Total maintenance wall time.
+    pub fn total_time(&self) -> Duration {
+        self.analyze_time + self.repeel_time + self.rebuild_time
+    }
+
+    /// Renders the stats as [`Metrics`] for engine sessions: analysis
+    /// time is reported as the counting phase, rebuilds as the index
+    /// phase, re-peels as peeling; affected/reused counts land in the
+    /// dedicated maintenance fields.
+    pub fn as_metrics(&self) -> Metrics {
+        Metrics {
+            support_updates: self.support_updates,
+            counting_time: self.analyze_time,
+            index_time: self.rebuild_time,
+            peeling_time: self.repeel_time,
+            iterations: 1,
+            affected_edges: self.affected_edges,
+            reused_edges: self.reused_edges,
+            ..Metrics::default()
+        }
+    }
+}
+
+/// The result of applying a batch: the next-generation graph, its
+/// maintained decomposition, and the run's counters.
+#[derive(Debug, Clone)]
+pub struct AppliedBatch {
+    /// The updated graph.
+    pub graph: BipartiteGraph,
+    /// The maintained decomposition, bit-identical to a from-scratch
+    /// decomposition of [`AppliedBatch::graph`].
+    pub decomposition: Decomposition,
+    /// Counters and timings.
+    pub stats: MaintenanceStats,
+}
+
+/// Applies an update batch to `(g, d)` incrementally: resolves the
+/// batch, bounds the affected regions, re-peels only those, and splices
+/// the results into the carried-over φ values. The returned φ is
+/// **bit-identical** to a from-scratch decomposition of the updated
+/// graph.
+///
+/// Deletions are applied first (φ only decreases, cascading through the
+/// pre-deletion butterflies), then insertions (φ only increases,
+/// cascading from the new edges) — see [`crate::analyze`] for the
+/// soundness argument of each bound.
+///
+/// # Errors
+///
+/// [`Error::Invariant`] when `d` does not belong to `g` or the batch is
+/// invalid against it ([`UpdateBatch::resolve`]);
+/// [`Error::Cancelled`] when `observer` cancels mid-run.
+pub fn apply_batch(
+    g: &BipartiteGraph,
+    d: &Decomposition,
+    batch: &UpdateBatch,
+    observer: &dyn EngineObserver,
+) -> Result<AppliedBatch> {
+    if d.phi.len() != g.num_edges() as usize {
+        return Err(Error::Invariant(format!(
+            "{} φ values for {} edges",
+            d.phi.len(),
+            g.num_edges()
+        )));
+    }
+    let resolved = batch.resolve(g)?;
+    let mut stats = MaintenanceStats {
+        edges_before: g.num_edges() as u64,
+        deleted_edges: resolved.deletes.len() as u64,
+        inserted_edges: resolved.inserts.len() as u64,
+        ..MaintenanceStats::default()
+    };
+    if resolved.deletes.is_empty() && resolved.inserts.is_empty() {
+        stats.edges_after = stats.edges_before;
+        stats.reused_edges = stats.edges_after;
+        return Ok(AppliedBatch {
+            graph: g.clone(),
+            decomposition: d.clone(),
+            stats,
+        });
+    }
+
+    // ---- One rebuild, two phases -------------------------------------
+    // The next-generation CSR is built once; the deletion phase then
+    // runs on it with the inserted edges *masked out* (their butterflies
+    // do not exist yet for that phase), and the insertion phase unmasks
+    // them on the same graph.
+    // Work budget for the incremental machinery, in adjacency scan
+    // units: roughly what a counting pass costs. Past it, incremental
+    // work exceeds what a from-scratch run would pay, so falling back
+    // IS the fast path.
+    let budget = 128 * (g.num_edges() as u64 + resolved.inserts.len() as u64).max(1 << 12);
+
+    let t0 = Instant::now();
+    // The deletion edit only removes butterflies through deleted edges,
+    // so only their surviving mates can see their h-value drop — and a
+    // lost butterfly only counted towards a mate's own level if the
+    // mate attains the minimum φ in it (the butterfly lived in
+    // H_{φ(mate)}). Everyone else keeps their level support untouched.
+    let mut seed_mask = vec![false; g.num_edges() as usize];
+    let mut seed_scan = 0u64;
+    for &del in &resolved.deletes {
+        let phi_d = d.phi[del.index()];
+        let (_, work) = butterfly::for_each_butterfly_through_metered(g, del, |a, b, c| {
+            let min_phi = phi_d
+                .min(d.phi[a.index()])
+                .min(d.phi[b.index()])
+                .min(d.phi[c.index()]);
+            for mate in [a, b, c] {
+                if d.phi[mate.index()] == min_phi {
+                    seed_mask[mate.index()] = true;
+                }
+            }
+            true
+        });
+        seed_scan += work;
+        if seed_scan > budget {
+            // A deleted hub's butterfly neighbourhood alone rivals a
+            // counting pass; recompute instead of scanning on.
+            stats.fell_back = true;
+            break;
+        }
+    }
+    stats.analyze_time += t0.elapsed();
+
+    let t1 = Instant::now();
+    let edited = apply_edits(g, &resolved.deletes, &resolved.inserts)?;
+    // Inserted edges carry the "unknown"/masked sentinel until the
+    // insertion phase re-peels them.
+    let mut phi_new = edited.migrate(&d.phi, u64::MAX);
+    let g_new = edited.graph;
+    let seeds: Vec<EdgeId> = seed_mask
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| s)
+        .filter_map(|(old, _)| match edited.old_to_new[old] {
+            DELETED => None,
+            new => Some(EdgeId(new)),
+        })
+        .collect();
+    stats.rebuild_time += t1.elapsed();
+
+    // Distinct re-peeled edges across both phases (an edge both dropped
+    // by the settle and marked by the insertion region counts once).
+    let mut affected = vec![false; g_new.num_edges() as usize];
+
+    // ---- Phase 1: deletions ------------------------------------------
+    // Deletions only lower φ, so the migrated old values are a pointwise
+    // upper bound and the local h-iteration settles them *exactly* — the
+    // affected set of this phase is precisely the set of real changes.
+    if !resolved.deletes.is_empty() && !stats.fell_back {
+        let t2 = Instant::now();
+        observer.on_phase_start(Phase::AffectedRegion, seeds.len() as u64);
+        let settled = settle_deletions(&g_new, &mut phi_new, &seeds, budget);
+        observer.on_phase_end(Phase::AffectedRegion);
+        checkpoint(observer)?;
+        stats.repeel_time += t2.elapsed();
+        match settled {
+            Some(changed) => {
+                for e in changed {
+                    affected[e.index()] = true;
+                }
+            }
+            None => stats.fell_back = true,
+        }
+    }
+
+    // ---- Phase 2: insertions -----------------------------------------
+    let phi_new = if resolved.inserts.is_empty() || stats.fell_back {
+        phi_new
+    } else {
+        let t1 = Instant::now();
+        observer.on_phase_start(Phase::AffectedRegion, edited.inserted.len() as u64);
+        let region = insertion_region(&g_new, &phi_new, &edited.inserted);
+        observer.on_phase_end(Phase::AffectedRegion);
+        stats.analyze_time += t1.elapsed();
+        checkpoint(observer)?;
+
+        match region {
+            None => {
+                stats.fell_back = true;
+                phi_new
+            }
+            Some(region) => {
+                let t2 = Instant::now();
+                let (phi_new, peel) = repeel_region(&g_new, &phi_new, &region, observer)?;
+                stats.repeel_time += t2.elapsed();
+                for (e, &in_region) in region.iter().enumerate() {
+                    if in_region {
+                        affected[e] = true;
+                    }
+                }
+                stats.boundary_edges += peel.boundary_edges;
+                stats.support_updates += peel.support_updates;
+                phi_new
+            }
+        }
+    };
+
+    // ---- Budget fallback ---------------------------------------------
+    // The batch reshaped more of the graph than localized machinery can
+    // beat: let the BE-Index do what it is best at and decompose the new
+    // graph from scratch (exact either way; `fell_back` records it).
+    let phi_new = if stats.fell_back {
+        let t = Instant::now();
+        let (dec, metrics) = bitruss_core::decompose_observed(
+            &g_new,
+            bitruss_core::Algorithm::BuPlusPlus,
+            observer,
+        )?;
+        stats.repeel_time += t.elapsed();
+        stats.affected_edges = g_new.num_edges() as u64;
+        stats.support_updates += metrics.support_updates;
+        dec.phi
+    } else {
+        stats.affected_edges = affected.iter().filter(|&&a| a).count() as u64;
+        phi_new
+    };
+    debug_assert_eq!(phi_new.len(), g_new.num_edges() as usize);
+    debug_assert!(
+        !phi_new.contains(&u64::MAX),
+        "an inserted edge escaped the insertion region"
+    );
+
+    stats.edges_after = g_new.num_edges() as u64;
+    // Reused = final edges whose φ was carried over untouched by either
+    // phase (the insertion region already contains the inserted edges).
+    stats.reused_edges = stats.edges_after.saturating_sub(stats.affected_edges);
+    stats.phi_changed = {
+        // Count surviving edges whose φ differs generation-to-generation:
+        // replay the id mappings by pair identity (cheap: both edge lists
+        // are sorted by pair, walk them in lockstep).
+        let mut changed = 0u64;
+        let (mut i, mut j) = (0u32, 0u32);
+        let (m_old, m_new) = (g.num_edges(), g_new.num_edges());
+        let pair = |gr: &BipartiteGraph, e: u32| {
+            let (u, v) = gr.edge(EdgeId(e));
+            (gr.layer_index(u), gr.layer_index(v))
+        };
+        while i < m_old && j < m_new {
+            match pair(g, i).cmp(&pair(&g_new, j)) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if d.phi[i as usize] != phi_new[j as usize] {
+                        changed += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        changed
+    };
+
+    Ok(AppliedBatch {
+        graph: g_new,
+        decomposition: Decomposition::new(phi_new),
+        stats,
+    })
+}
+
+/// Convenience wrapper over [`apply_batch`] without an observer.
+pub fn apply(g: &BipartiteGraph, d: &Decomposition, batch: &UpdateBatch) -> Result<AppliedBatch> {
+    apply_batch(g, d, batch, &NoopObserver)
+}

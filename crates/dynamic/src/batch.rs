@@ -1,0 +1,352 @@
+//! Update batches: ordered streams of edge insertions and deletions,
+//! their text format, and their resolution against a concrete graph.
+//!
+//! # Text format
+//!
+//! One operation per line — `+u v` inserts the edge between upper-layer
+//! vertex `u` and lower-layer vertex `v`, `-u v` deletes it. Whitespace
+//! after the sign is optional, `%`/`#` comment lines and blank lines are
+//! skipped, and malformed lines are rejected with their 1-based line
+//! number (mirroring the edge-list and query parsers):
+//!
+//! ```text
+//! % warm-up batch
+//! +0 3
+//! - 2 1
+//! +4 4
+//! ```
+
+use std::fmt;
+use std::io::BufRead;
+
+use bigraph::{BipartiteGraph, EdgeId, Error, Result};
+
+/// One edge update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Insert the edge `(upper, lower)` (layer-local indices).
+    Insert {
+        /// Layer-local upper vertex index.
+        upper: u32,
+        /// Layer-local lower vertex index.
+        lower: u32,
+    },
+    /// Delete the edge `(upper, lower)` (layer-local indices).
+    Delete {
+        /// Layer-local upper vertex index.
+        upper: u32,
+        /// Layer-local lower vertex index.
+        lower: u32,
+    },
+}
+
+impl fmt::Display for UpdateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            UpdateOp::Insert { upper, lower } => write!(f, "+{upper} {lower}"),
+            UpdateOp::Delete { upper, lower } => write!(f, "-{upper} {lower}"),
+        }
+    }
+}
+
+/// An ordered batch of edge updates, applied atomically by
+/// [`apply_batch`](crate::apply_batch).
+///
+/// Order matters for *validity*, not for the result: a pair may be
+/// deleted and later re-inserted (or inserted and later deleted) within
+/// one batch; [`UpdateBatch::resolve`] replays the ops in order against
+/// the graph and reduces them to their net effect.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    ops: Vec<UpdateOp>,
+}
+
+/// The net effect of a batch against a concrete graph: which existing
+/// edges go, which new pairs come.
+#[derive(Debug, Clone, Default)]
+pub struct ResolvedBatch {
+    /// Edge ids of the current graph to delete.
+    pub deletes: Vec<EdgeId>,
+    /// `(upper, lower)` pairs to insert (absent from the current graph).
+    pub inserts: Vec<(u32, u32)>,
+}
+
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an insertion of the edge `(upper, lower)`.
+    pub fn insert(&mut self, upper: u32, lower: u32) -> &mut Self {
+        self.ops.push(UpdateOp::Insert { upper, lower });
+        self
+    }
+
+    /// Appends a deletion of the edge `(upper, lower)`.
+    pub fn delete(&mut self, upper: u32, lower: u32) -> &mut Self {
+        self.ops.push(UpdateOp::Delete { upper, lower });
+        self
+    }
+
+    /// Appends one parsed operation.
+    pub fn push(&mut self, op: UpdateOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// The operations, in arrival order.
+    pub fn ops(&self) -> &[UpdateOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Reads a batch from the `+u v` / `-u v` stream format (see the
+    /// [module docs](self)).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Parse`] with the 1-based line number of the first
+    /// malformed line, or [`Error::Io`] for reader failures.
+    pub fn from_reader<R: BufRead>(reader: R) -> Result<UpdateBatch> {
+        let mut batch = UpdateBatch::new();
+        for (i, line) in reader.lines().enumerate() {
+            let line = line?;
+            if let Some(op) = parse_update_line(&line, i + 1)? {
+                batch.push(op);
+            }
+        }
+        Ok(batch)
+    }
+
+    /// Replays the batch in order against `g`, validating every
+    /// operation, and reduces it to its net effect.
+    ///
+    /// Each delete must address an edge present at that point of the
+    /// replay (originally present or inserted earlier in the batch);
+    /// each insert must address a pair absent at that point. Inserted
+    /// pairs may lie beyond the current layer sizes (the graph grows).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Invariant`] naming the offending operation (1-based
+    /// position) and pair.
+    pub fn resolve(&self, g: &BipartiteGraph) -> Result<ResolvedBatch> {
+        // Overlay over the graph: Some(true) = present, Some(false) =
+        // absent, None = as in the graph.
+        let mut overlay: std::collections::HashMap<(u32, u32), bool> =
+            std::collections::HashMap::new();
+        let in_graph = |u: u32, v: u32| {
+            u < g.num_upper() && v < g.num_lower() && g.has_edge(g.upper(u), g.lower(v))
+        };
+        for (i, &op) in self.ops.iter().enumerate() {
+            let (present, pair, want_present) = match op {
+                UpdateOp::Insert { upper, lower } => {
+                    let pair = (upper, lower);
+                    let present = *overlay.get(&pair).unwrap_or(&in_graph(upper, lower));
+                    (present, pair, false)
+                }
+                UpdateOp::Delete { upper, lower } => {
+                    let pair = (upper, lower);
+                    let present = *overlay.get(&pair).unwrap_or(&in_graph(upper, lower));
+                    (present, pair, true)
+                }
+            };
+            if present != want_present {
+                let verb = if want_present { "delete" } else { "insert" };
+                let state = if present {
+                    "already present"
+                } else {
+                    "not present"
+                };
+                return Err(Error::Invariant(format!(
+                    "op {}: cannot {verb} edge ({}, {}): {state}",
+                    i + 1,
+                    pair.0,
+                    pair.1
+                )));
+            }
+            overlay.insert(pair, !present);
+        }
+        // Net effect: only pairs whose final state differs from the
+        // graph's survive the reduction.
+        let mut resolved = ResolvedBatch::default();
+        let mut pairs: Vec<(&(u32, u32), &bool)> = overlay.iter().collect();
+        pairs.sort_unstable();
+        for (&(u, v), &present) in pairs {
+            if present == in_graph(u, v) {
+                continue; // net no-op (deleted then re-inserted, or vice versa)
+            }
+            if present {
+                resolved.inserts.push((u, v));
+            } else {
+                resolved.deletes.push(
+                    g.edge_between(g.upper(u), g.lower(v))
+                        .expect("validated above"),
+                );
+            }
+        }
+        Ok(resolved)
+    }
+}
+
+impl fmt::Display for UpdateBatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for op in &self.ops {
+            writeln!(f, "{op}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses one line of the update stream: `Ok(None)` for blank/comment
+/// lines, `Ok(Some(op))` for a well-formed update.
+///
+/// # Errors
+///
+/// [`Error::Parse`] carrying `line_no` for malformed lines.
+pub fn parse_update_line(line: &str, line_no: usize) -> Result<Option<UpdateOp>> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+        return Ok(None);
+    }
+    let err = |message: String| Error::Parse {
+        line: line_no,
+        message,
+    };
+    let (sign, rest) = line.split_at(1);
+    let insert = match sign {
+        "+" => true,
+        "-" => false,
+        other => {
+            return Err(err(format!(
+                "expected '+' or '-' before the vertex pair, found {other:?}"
+            )))
+        }
+    };
+    let mut it = rest.split_whitespace();
+    let mut num = |what: &str| -> Result<u32> {
+        let tok = it
+            .next()
+            .ok_or_else(|| err(format!("missing {what} index")))?;
+        tok.parse::<u32>()
+            .map_err(|_| err(format!("invalid {what} index {tok:?}")))
+    };
+    let upper = num("upper")?;
+    let lower = num("lower")?;
+    if let Some(extra) = it.next() {
+        return Err(err(format!("unexpected trailing token {extra:?}")));
+    }
+    Ok(Some(if insert {
+        UpdateOp::Insert { upper, lower }
+    } else {
+        UpdateOp::Delete { upper, lower }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::GraphBuilder;
+
+    fn square() -> BipartiteGraph {
+        GraphBuilder::new()
+            .add_edges([(0, 0), (0, 1), (1, 0), (1, 1)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn stream_round_trip() {
+        let text = "% comment\n\n+0 3\n- 2 1\n#another\n+ 4 4\n";
+        let batch = UpdateBatch::from_reader(text.as_bytes()).unwrap();
+        assert_eq!(
+            batch.ops(),
+            &[
+                UpdateOp::Insert { upper: 0, lower: 3 },
+                UpdateOp::Delete { upper: 2, lower: 1 },
+                UpdateOp::Insert { upper: 4, lower: 4 },
+            ]
+        );
+        let rendered = batch.to_string();
+        let again = UpdateBatch::from_reader(rendered.as_bytes()).unwrap();
+        assert_eq!(again, batch);
+    }
+
+    #[test]
+    fn malformed_lines_carry_line_numbers() {
+        for (text, line, needle) in [
+            ("+0 1\nx2 3\n", 2, "expected '+' or '-'"),
+            ("+0\n", 1, "missing lower"),
+            ("%c\n-1 b\n", 2, "invalid lower index"),
+            ("+1 2 3\n", 1, "trailing token"),
+        ] {
+            let err = UpdateBatch::from_reader(text.as_bytes()).unwrap_err();
+            match err {
+                Error::Parse { line: l, message } => {
+                    assert_eq!(l, line, "{text:?}");
+                    assert!(message.contains(needle), "{message:?} vs {needle:?}");
+                }
+                other => panic!("expected parse error, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_reduces_to_net_effect() {
+        let g = square();
+        let mut b = UpdateBatch::new();
+        // Delete (0,0) and re-insert it: net no-op. Insert (2,0) then
+        // delete it: net no-op. Delete (1,1): net delete. Insert (2,2):
+        // net insert.
+        b.delete(0, 0)
+            .insert(0, 0)
+            .insert(2, 0)
+            .delete(2, 0)
+            .delete(1, 1)
+            .insert(2, 2);
+        let r = b.resolve(&g).unwrap();
+        assert_eq!(r.inserts, vec![(2, 2)]);
+        assert_eq!(
+            r.deletes,
+            vec![g.edge_between(g.upper(1), g.lower(1)).unwrap()]
+        );
+    }
+
+    #[test]
+    fn invalid_ops_name_their_position() {
+        let g = square();
+        let mut b = UpdateBatch::new();
+        b.insert(5, 5).insert(5, 5);
+        let err = b.resolve(&g).unwrap_err();
+        assert!(err.to_string().contains("op 2"), "{err}");
+        assert!(err.to_string().contains("already present"), "{err}");
+
+        let mut b = UpdateBatch::new();
+        b.delete(3, 3);
+        let err = b.resolve(&g).unwrap_err();
+        assert!(err.to_string().contains("op 1"), "{err}");
+        assert!(err.to_string().contains("not present"), "{err}");
+
+        // Deleting an edge twice without re-inserting fails at op 2.
+        let mut b = UpdateBatch::new();
+        b.delete(0, 0).delete(0, 0);
+        assert!(b.resolve(&g).is_err());
+    }
+
+    #[test]
+    fn empty_batch_resolves_empty() {
+        let g = square();
+        let r = UpdateBatch::new().resolve(&g).unwrap();
+        assert!(r.deletes.is_empty() && r.inserts.is_empty());
+    }
+}

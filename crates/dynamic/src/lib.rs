@@ -1,0 +1,248 @@
+//! **`bitruss_dynamic`** — incremental bitruss maintenance for edge
+//! insertions and deletions.
+//!
+//! The rest of the suite treats a graph as frozen: any edge change
+//! invalidates φ, the hierarchy and every snapshot, forcing a full
+//! decomposition. This crate maintains a decomposition *under* batches
+//! of updates instead, in three steps per batch:
+//!
+//! 1. **Deletion settling** ([`analyze::settle_deletions`]) — φ only
+//!    decreases under deletions, so the carried-over values are an
+//!    upper bound and the local h-index fixpoint iteration (φ is the
+//!    greatest fixpoint of "f has ≥ k butterflies whose other members
+//!    reach k") settles them *exactly*, touching only edges that
+//!    really change plus their butterfly mates.
+//! 2. **Insertion region analysis** ([`analyze::insertion_region`]) —
+//!    φ only increases under insertions; a sound over-approximation of
+//!    the risers is the butterfly-BFS closure of the inserted edges
+//!    bounded by per-edge *rise ceilings* (an h-index over butterfly
+//!    member potentials).
+//! 3. **Localized re-peel** ([`repeel`]) — the BiT-BU machinery runs on
+//!    the insertion region only; unaffected boundary edges are replayed
+//!    at their *frozen* (unchanged) φ levels, which reproduces the
+//!    global peel's support dynamics bit-for-bit. The recomputed values
+//!    splice into the carried-over ones on the rebuilt graph
+//!    ([`apply_batch`]).
+//!
+//! The maintained φ is **bit-identical** to a from-scratch
+//! decomposition of the updated graph (property-tested across random
+//! graphs and batches), at a cost proportional to the affected region
+//! rather than the graph.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bigraph::GraphBuilder;
+//! use bitruss_core::BitrussEngine;
+//! use bitruss_dynamic::{DynamicEngineExt, UpdateBatch};
+//!
+//! let g = GraphBuilder::new()
+//!     .add_edges([(0, 0), (0, 1), (1, 0), (1, 1), (2, 0)])
+//!     .build()
+//!     .unwrap();
+//! let mut session = BitrussEngine::builder().build(g).unwrap();
+//! assert_eq!(session.max_bitruss(), 1);
+//!
+//! // Close the rectangle (2, 1): the 2-bitruss appears without a
+//! // from-scratch decomposition.
+//! let mut batch = UpdateBatch::new();
+//! batch.insert(2, 1).delete(0, 0);
+//! let stats = session.apply(&batch).unwrap();
+//! assert_eq!(session.max_bitruss(), 1);
+//! assert!(stats.reuse_ratio() <= 1.0);
+//! assert_eq!(session.graph().num_edges(), 5);
+//! ```
+//!
+//! Batches parse from the CLI's `+u v` / `-u v` stream format with
+//! [`UpdateBatch::from_reader`], and a mutated session saves straight
+//! back to a snapshot (`session.save_snapshot(..)`) — the hierarchy
+//! index is invalidated and rebuilt lazily.
+//!
+//! # Deprecation path
+//!
+//! Recompute-on-change — rebuilding an engine from scratch after every
+//! edit — remains available but is now the fallback, not the model:
+//! prefer [`DynamicEngineExt::apply`] and fall back to a fresh
+//! [`BitrussEngine`] only when a batch rewrites most of the graph (the
+//! [`MaintenanceStats::reuse_ratio`] of past batches is the signal).
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod apply;
+pub mod batch;
+pub mod repeel;
+
+pub use analyze::{insertion_region, settle_deletions};
+pub use apply::{apply, apply_batch, AppliedBatch, MaintenanceStats};
+pub use batch::{parse_update_line, ResolvedBatch, UpdateBatch, UpdateOp};
+pub use repeel::{repeel_region, RepeelStats};
+
+use bigraph::Result;
+use bitruss_core::BitrussEngine;
+
+/// Extends [`BitrussEngine`] sessions with incremental maintenance.
+///
+/// Lives here (not in `bitruss-core`) so the maintenance machinery
+/// stays an optional layer; the facade crate re-exports it, so
+/// `use bitruss::dynamic::DynamicEngineExt` is all a server needs.
+pub trait DynamicEngineExt {
+    /// Applies an update batch to the session in place: the graph and φ
+    /// advance to the next generation, the cached hierarchy index is
+    /// invalidated (rebuilt lazily by the next query or snapshot), and
+    /// [`BitrussEngine::metrics`] reports the maintenance run
+    /// (affected/reused edge counts included). The session's observer
+    /// receives phase events and can cancel, in which case the session
+    /// is left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`bigraph::Error::Invariant`] for invalid batches,
+    /// [`bigraph::Error::Cancelled`] on cancellation.
+    fn apply(&mut self, batch: &UpdateBatch) -> Result<MaintenanceStats>;
+}
+
+impl DynamicEngineExt for BitrussEngine<'_> {
+    fn apply(&mut self, batch: &UpdateBatch) -> Result<MaintenanceStats> {
+        // A batch that nets out changes nothing: validate it, but keep
+        // the session (graph, φ, cached hierarchy) untouched instead of
+        // cloning and invalidating for a no-op.
+        let resolved = batch.resolve(self.graph())?;
+        if resolved.deletes.is_empty() && resolved.inserts.is_empty() {
+            let edges = self.graph().num_edges() as u64;
+            return Ok(MaintenanceStats {
+                edges_before: edges,
+                edges_after: edges,
+                reused_edges: edges,
+                ..MaintenanceStats::default()
+            });
+        }
+        let observer = self.observer();
+        let applied = apply_batch(self.graph(), self.decomposition(), batch, &*observer)?;
+        self.replace_state(
+            applied.graph,
+            applied.decomposition,
+            Some(applied.stats.as_metrics()),
+        )?;
+        Ok(applied.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::GraphBuilder;
+    use bitruss_core::{Algorithm, BitrussEngine};
+
+    fn fig1() -> bigraph::BipartiteGraph {
+        GraphBuilder::new()
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (2, 3),
+                (3, 1),
+                (3, 2),
+                (3, 4),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    /// Incremental φ equals a from-scratch decomposition, for a mixed
+    /// batch on the paper's Figure 1 graph.
+    #[test]
+    fn mixed_batch_matches_recompute() {
+        let g = fig1();
+        let mut session = BitrussEngine::builder().build(g).unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert(3, 0).delete(2, 2).insert(4, 1);
+        let stats = session.apply(&batch).unwrap();
+        assert_eq!(stats.inserted_edges, 2);
+        assert_eq!(stats.deleted_edges, 1);
+
+        let fresh = BitrussEngine::builder()
+            .algorithm(Algorithm::BuPlusPlus)
+            .build(session.graph().clone())
+            .unwrap();
+        assert_eq!(session.phi(), fresh.phi());
+        assert_eq!(session.level_sizes(), fresh.level_sizes());
+        // Metrics now describe the maintenance run.
+        let m = session.metrics().unwrap();
+        assert_eq!(m.affected_edges, stats.affected_edges);
+        assert!(session.algorithm().is_none());
+    }
+
+    /// Applying a batch and its inverse restores the original φ.
+    #[test]
+    fn inverse_batches_round_trip() {
+        let g = fig1();
+        let mut session = BitrussEngine::builder().build(g.clone()).unwrap();
+        let before = session.phi().to_vec();
+        let mut batch = UpdateBatch::new();
+        batch.delete(0, 0).insert(3, 3);
+        session.apply(&batch).unwrap();
+        let mut inverse = UpdateBatch::new();
+        inverse.insert(0, 0).delete(3, 3);
+        session.apply(&inverse).unwrap();
+        assert_eq!(session.graph().edge_pairs(), g.edge_pairs());
+        assert_eq!(session.phi(), &before[..]);
+    }
+
+    /// Empty and net-zero batches are no-ops with full reuse — and they
+    /// keep the session's cached hierarchy and metrics intact.
+    #[test]
+    fn noop_batches_leave_the_session_untouched() {
+        let mut session = BitrussEngine::builder().build(fig1()).unwrap();
+        session.hierarchy().unwrap();
+        let before = session.phi().to_vec();
+
+        let stats = session.apply(&UpdateBatch::new()).unwrap();
+        assert_eq!(session.phi(), &before[..]);
+        assert_eq!(stats.affected_edges, 0);
+        assert_eq!(stats.reuse_ratio(), 1.0);
+
+        // Delete + re-insert nets out: same guarantees.
+        let mut net_zero = UpdateBatch::new();
+        net_zero.delete(0, 0).insert(0, 0);
+        let stats = session.apply(&net_zero).unwrap();
+        assert_eq!(session.phi(), &before[..]);
+        assert_eq!(stats.reuse_ratio(), 1.0);
+        // The session still reports its original decomposition run (a
+        // no-op apply must not wipe algorithm/metrics or the cached
+        // hierarchy).
+        assert!(session.algorithm().is_some());
+        assert_eq!(session.k_bitruss_count(2).unwrap(), 6);
+    }
+
+    /// A cancelled apply surfaces `Error::Cancelled` and leaves the
+    /// session unchanged.
+    #[test]
+    fn cancellation_leaves_the_session_intact() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        struct Cancel(AtomicBool);
+        impl bigraph::EngineObserver for Cancel {
+            fn is_cancelled(&self) -> bool {
+                self.0.load(Ordering::Relaxed)
+            }
+        }
+        let observer = Arc::new(Cancel(AtomicBool::new(false)));
+        let mut session = BitrussEngine::builder()
+            .progress(observer.clone())
+            .build(fig1())
+            .unwrap();
+        let before = session.phi().to_vec();
+        observer.0.store(true, Ordering::Relaxed);
+        let mut batch = UpdateBatch::new();
+        batch.delete(0, 0);
+        let err = session.apply(&batch).unwrap_err();
+        assert!(matches!(err, bigraph::Error::Cancelled), "{err}");
+        assert_eq!(session.phi(), &before[..]);
+        assert_eq!(session.graph().num_edges(), 11);
+    }
+}

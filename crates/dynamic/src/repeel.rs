@@ -1,0 +1,414 @@
+//! The localized re-peel: run the bottom-up peeling machinery on the
+//! affected subgraph only, with the unaffected boundary *frozen* at its
+//! known φ.
+//!
+//! # Exactness
+//!
+//! The global bottom-up peel removes every edge at level `φ(e)`, and —
+//! by the `max(MBS, ·)` clamp rule the batch algorithms already rely on
+//! — the final φ assignment is invariant to removal order within a
+//! level. The re-peel simulates exactly the slice of that global peel
+//! that can differ:
+//!
+//! * **region edges** (the affected set) start at their true supports in
+//!   the updated graph and peel dynamically, exactly as in BiT-BU;
+//! * **boundary edges** (non-region edges sharing a butterfly with the
+//!   region) are removed at their *frozen* level — their φ is known to
+//!   be unchanged, and `φ(e)` is precisely the level the global peel
+//!   removes them at;
+//! * edges further out never interact with the region: every butterfly
+//!   containing a region edge has its other three members in
+//!   region ∪ boundary by construction, so the local structure
+//!   reproduces the global support dynamics for region edges
+//!   bit-for-bit.
+//!
+//! Events are merged through one lazy-deletion binary heap keyed by
+//! `(level, kind, edge)` so mixed region/boundary levels interleave in
+//! the global order; all clamping uses the event's level as the floor,
+//! matching Algorithm 2/5.
+//!
+//! # Two backends, one semantics
+//!
+//! Removing an edge decreases every butterfly-sharing edge's support by
+//! the number of butterflies they share (clamped at the floor) — a
+//! quantity independent of how butterflies are organized. The re-peel
+//! picks the cheaper representation:
+//!
+//! * **quad peel** (small regions): the butterflies collected while
+//!   closing the region are peeled directly as explicit 4-edge quads —
+//!   no subgraph extraction, no index build, cost proportional to the
+//!   local butterfly count;
+//! * **BE-Index peel** (large regions): the affected subgraph is
+//!   extracted and a local [`BeIndex`] drives removals exactly as
+//!   BiT-BU does globally, amortizing `O(sup)` per removal.
+
+use std::collections::BinaryHeap;
+
+use beindex::{BeIndex, UpdateSink};
+use bigraph::progress::{checkpoint, EngineObserver, Phase, CHECK_INTERVAL};
+use bigraph::{edge_subgraph, BipartiteGraph, EdgeId, Result};
+use butterfly::for_each_butterfly_through;
+
+/// Above this fraction of the graph's edges, the re-peel switches from
+/// the quad backend to the BE-Index subgraph backend (whose fixed
+/// `O(n + m)` extraction cost then amortizes).
+const SUBGRAPH_FRACTION: usize = 8;
+
+/// Counters reported by one localized re-peel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RepeelStats {
+    /// Region edges whose φ was recomputed.
+    pub region_edges: u64,
+    /// Frozen boundary edges replayed around the region.
+    pub boundary_edges: u64,
+    /// Butterfly-support updates performed on region edges.
+    pub support_updates: u64,
+}
+
+/// Min-heap event: `Reverse` ordering over `(level, kind, local edge)`;
+/// `kind` 0 = frozen boundary removal, 1 = dynamic region removal, so
+/// boundary events at a level drain before region pops at that level
+/// (any interleaving within a level is equivalent; this one is
+/// deterministic).
+type Event = std::cmp::Reverse<(u64, u8, u32)>;
+
+/// Update sink feeding region support decreases back into the event
+/// heap; boundary supports are scratch and not tracked.
+struct RegionSink<'a> {
+    heap: &'a mut BinaryHeap<Event>,
+    is_region: &'a [bool],
+    updates: &'a mut u64,
+}
+
+impl UpdateSink for RegionSink<'_> {
+    #[inline]
+    fn on_support_update(&mut self, e: EdgeId, _old: u64, new: u64) {
+        if self.is_region[e.index()] {
+            *self.updates += 1;
+            self.heap.push(std::cmp::Reverse((new, 1, e.0)));
+        }
+    }
+}
+
+/// Recomputes φ for the `region` edges of `g`, assuming every edge
+/// outside the region keeps `phi_frozen[e]`. Returns the updated φ
+/// array (region entries recomputed, all others copied from
+/// `phi_frozen`) and the re-peel counters.
+///
+/// `phi_frozen` must hold the correct bitruss number of every
+/// **non-region** edge of `g`; region entries are ignored. The caller
+/// guarantees (via the affected-region analysis) that non-region φ
+/// values are unchanged by the update being applied.
+///
+/// # Errors
+///
+/// [`bigraph::Error::Cancelled`] when `observer` requests cancellation.
+pub fn repeel_region(
+    g: &BipartiteGraph,
+    phi_frozen: &[u64],
+    region: &[bool],
+    observer: &dyn EngineObserver,
+) -> Result<(Vec<u64>, RepeelStats)> {
+    let m = g.num_edges() as usize;
+    debug_assert_eq!(phi_frozen.len(), m);
+    debug_assert_eq!(region.len(), m);
+    let mut phi = phi_frozen.to_vec();
+    let mut stats = RepeelStats::default();
+    let region_count = region.iter().filter(|&&r| r).count();
+    if region_count == 0 {
+        return Ok((phi, stats));
+    }
+
+    if region_count.saturating_mul(SUBGRAPH_FRACTION) >= m {
+        repeel_with_index(g, phi_frozen, region, &mut phi, &mut stats, observer)?;
+    } else {
+        // Close the region under butterfly adjacency: every butterfly
+        // of g touching the region lies entirely inside the local edge
+        // set, so supports and removal dynamics of region edges are
+        // globally exact locally. Quads are canonicalized and
+        // deduplicated (a butterfly with several region members is
+        // enumerated several times).
+        let mut quads: Vec<[u32; 4]> = Vec::new();
+        for e in g.edges() {
+            if !region[e.index()] {
+                continue;
+            }
+            for_each_butterfly_through(g, e, |a, b, c| {
+                let mut quad = [e.0, a.0, b.0, c.0];
+                quad.sort_unstable();
+                quads.push(quad);
+            });
+        }
+        quads.sort_unstable();
+        quads.dedup();
+        repeel_quads(
+            g, phi_frozen, region, &quads, &mut phi, &mut stats, observer,
+        )?;
+    }
+    Ok((phi, stats))
+}
+
+/// Quad backend: peel the collected butterflies directly.
+fn repeel_quads(
+    g: &BipartiteGraph,
+    phi_frozen: &[u64],
+    region: &[bool],
+    quads: &[[u32; 4]],
+    phi: &mut [u64],
+    stats: &mut RepeelStats,
+    observer: &dyn EngineObserver,
+) -> Result<()> {
+    // Local edge set: region edges plus every quad member.
+    let mut locals: Vec<u32> = quads.iter().flatten().copied().collect();
+    locals.extend(g.edges().filter(|e| region[e.index()]).map(|e| e.0));
+    locals.sort_unstable();
+    locals.dedup();
+    let local_of = |global: u32| -> usize {
+        locals
+            .binary_search(&global)
+            .expect("member of the local set")
+    };
+    let m_loc = locals.len();
+
+    // CSR: quads incident to each local edge.
+    let mut offsets = vec![0usize; m_loc + 1];
+    for quad in quads {
+        for &member in quad {
+            offsets[local_of(member) + 1] += 1;
+        }
+    }
+    for i in 0..m_loc {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut incident = vec![0u32; offsets[m_loc]];
+    let mut cursor = offsets.clone();
+    for (qi, quad) in quads.iter().enumerate() {
+        for &member in quad {
+            let l = local_of(member);
+            incident[cursor[l]] = qi as u32;
+            cursor[l] += 1;
+        }
+    }
+
+    observer.on_phase_start(Phase::Peeling, m_loc as u64);
+    let mut supp = vec![0u64; m_loc];
+    let mut is_region = vec![false; m_loc];
+    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+    for (local, &global) in locals.iter().enumerate() {
+        if region[global as usize] {
+            is_region[local] = true;
+            stats.region_edges += 1;
+            supp[local] = (offsets[local + 1] - offsets[local]) as u64;
+            heap.push(std::cmp::Reverse((supp[local], 1, local as u32)));
+        } else {
+            stats.boundary_edges += 1;
+            // Scratch: parked high so clamped decrements never pull a
+            // frozen edge into an early pop.
+            supp[local] = u64::MAX / 2;
+            heap.push(std::cmp::Reverse((
+                phi_frozen[global as usize],
+                0,
+                local as u32,
+            )));
+        }
+    }
+
+    let mut quad_dead = vec![false; quads.len()];
+    let mut removed = vec![false; m_loc];
+    let mut popped = 0u64;
+    while let Some(std::cmp::Reverse((level, kind, local))) = heap.pop() {
+        let local = local as usize;
+        if removed[local] {
+            continue;
+        }
+        if kind == 1 && supp[local] != level {
+            continue; // stale entry from an earlier support value
+        }
+        removed[local] = true;
+        popped += 1;
+        if popped.is_multiple_of(CHECK_INTERVAL) {
+            checkpoint(observer)?;
+            observer.on_phase_progress(Phase::Peeling, popped, m_loc as u64);
+        }
+        if kind == 1 {
+            phi[locals[local] as usize] = level;
+        }
+        for &qi in &incident[offsets[local]..offsets[local + 1]] {
+            if std::mem::replace(&mut quad_dead[qi as usize], true) {
+                continue;
+            }
+            for &member in &quads[qi as usize] {
+                let l = local_of(member);
+                if l != local && !removed[l] && supp[l] > level {
+                    supp[l] -= 1;
+                    if is_region[l] {
+                        stats.support_updates += 1;
+                        heap.push(std::cmp::Reverse((supp[l], 1, l as u32)));
+                    }
+                }
+            }
+        }
+    }
+    observer.on_phase_end(Phase::Peeling);
+    Ok(())
+}
+
+/// BE-Index backend: extract the closed subgraph and drive removals
+/// through [`BeIndex::remove_edge`], exactly as BiT-BU does globally.
+fn repeel_with_index(
+    g: &BipartiteGraph,
+    phi_frozen: &[u64],
+    region: &[bool],
+    phi: &mut [u64],
+    stats: &mut RepeelStats,
+    observer: &dyn EngineObserver,
+) -> Result<()> {
+    let mut in_loc = region.to_vec();
+    for e in g.edges() {
+        if !region[e.index()] {
+            continue;
+        }
+        for_each_butterfly_through(g, e, |a, b, c| {
+            in_loc[a.index()] = true;
+            in_loc[b.index()] = true;
+            in_loc[c.index()] = true;
+        });
+    }
+
+    observer.on_phase_start(
+        Phase::IndexBuild,
+        in_loc.iter().filter(|&&x| x).count() as u64,
+    );
+    let loc = edge_subgraph(g, |e| in_loc[e.index()]);
+    let mut index = BeIndex::build(&loc.graph);
+    let mut supp = index.derive_supports();
+    observer.on_phase_end(Phase::IndexBuild);
+    checkpoint(observer)?;
+
+    // Local views: region membership and frozen levels per local id.
+    let m_loc = loc.new_to_old.len();
+    let mut is_region = vec![false; m_loc];
+    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+    for (local, &global) in loc.new_to_old.iter().enumerate() {
+        if region[global.index()] {
+            is_region[local] = true;
+            stats.region_edges += 1;
+            heap.push(std::cmp::Reverse((supp[local], 1, local as u32)));
+        } else {
+            stats.boundary_edges += 1;
+            // Boundary supports are scratch: parked high so clamped
+            // decrements never pull a frozen edge into an early pop.
+            supp[local] = u64::MAX / 2;
+            heap.push(std::cmp::Reverse((
+                phi_frozen[global.index()],
+                0,
+                local as u32,
+            )));
+        }
+    }
+
+    observer.on_phase_start(Phase::Peeling, m_loc as u64);
+    let mut removed = vec![false; m_loc];
+    let mut popped = 0u64;
+    while let Some(std::cmp::Reverse((level, kind, local))) = heap.pop() {
+        let local = local as usize;
+        if removed[local] {
+            continue;
+        }
+        if kind == 1 && supp[local] != level {
+            continue; // stale entry from an earlier support value
+        }
+        removed[local] = true;
+        popped += 1;
+        if popped.is_multiple_of(CHECK_INTERVAL) {
+            checkpoint(observer)?;
+            observer.on_phase_progress(Phase::Peeling, popped, m_loc as u64);
+        }
+        if kind == 1 {
+            phi[loc.new_to_old[local].index()] = level;
+        }
+        let mut sink = RegionSink {
+            heap: &mut heap,
+            is_region: &is_region,
+            updates: &mut stats.support_updates,
+        };
+        index.remove_edge(EdgeId(local as u32), &mut supp, level, &mut sink);
+    }
+    observer.on_phase_end(Phase::Peeling);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::{GraphBuilder, NoopObserver};
+    use bitruss_core::{decompose, Algorithm};
+
+    /// Re-peeling any single-edge "region" of a correct decomposition
+    /// reproduces that edge's φ (self-consistency of the frozen peel).
+    #[test]
+    fn repeel_is_a_fixpoint_of_correct_phi() {
+        let g = GraphBuilder::new()
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (2, 3),
+                (3, 1),
+                (3, 2),
+                (3, 4),
+            ])
+            .build()
+            .unwrap();
+        let (d, _) = decompose(&g, Algorithm::BuPlusPlus);
+        for e in g.edges() {
+            let mut region = vec![false; g.num_edges() as usize];
+            region[e.index()] = true;
+            let (phi, stats) = repeel_region(&g, &d.phi, &region, &NoopObserver).unwrap();
+            assert_eq!(phi, d.phi, "region {{{e}}}");
+            assert_eq!(stats.region_edges, 1);
+        }
+    }
+
+    /// With the whole graph as region, the re-peel degenerates to a full
+    /// peel through the BE-Index backend.
+    #[test]
+    fn full_region_matches_decompose() {
+        let g = datagen::random::uniform(10, 10, 45, 7);
+        let (d, _) = decompose(&g, Algorithm::BuPlusPlus);
+        let region = vec![true; g.num_edges() as usize];
+        let garbage = vec![99u64; g.num_edges() as usize]; // frozen values unused
+        let (phi, stats) = repeel_region(&g, &garbage, &region, &NoopObserver).unwrap();
+        assert_eq!(phi, d.phi);
+        assert_eq!(stats.region_edges, g.num_edges() as u64);
+        assert_eq!(stats.boundary_edges, 0);
+    }
+
+    /// Randomized fixpoint check across arbitrary regions — both the
+    /// quad backend (sparse regions) and the BE-Index backend (dense
+    /// regions) must reproduce the decomposition.
+    #[test]
+    fn random_regions_are_fixpoints_on_both_backends() {
+        for seed in 0..8u64 {
+            let g = datagen::random::uniform(9, 9, 40, seed);
+            let (d, _) = decompose(&g, Algorithm::BuPlusPlus);
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut rng = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            // Alternate sparse regions (quad backend) and dense regions
+            // (index backend).
+            let denom = if seed % 2 == 0 { 16 } else { 2 };
+            let region: Vec<bool> = (0..g.num_edges()).map(|_| rng() % denom == 0).collect();
+            let (phi, _) = repeel_region(&g, &d.phi, &region, &NoopObserver).unwrap();
+            assert_eq!(phi, d.phi, "seed {seed}");
+        }
+    }
+}

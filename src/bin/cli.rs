@@ -7,6 +7,7 @@
 //! bitruss-cli kbitruss   <edges.txt> <k> [--output sub.txt]
 //! bitruss-cli communities <edges.txt> <k>
 //! bitruss-cli query      <snap.bin> [--queries q.txt]
+//! bitruss-cli update     <snap.bin> [--updates u.txt] [--snapshot out.bin]
 //! bitruss-cli generate   <dataset-name> <edges.txt>
 //! ```
 //!
@@ -23,6 +24,14 @@
 //! community <u> <v> <k>   # the k-bitruss community around edge (u, v)
 //! ```
 //!
+//! `update` maintains a snapshot *incrementally*: it loads the session,
+//! applies a `+u v` / `-u v` edge-update stream from `--updates <file>`
+//! or stdin (comments and blank lines allowed; malformed lines are
+//! rejected with their line number), re-peels only the affected region,
+//! and writes the refreshed snapshot to `--snapshot <out>` (default:
+//! back over the input). Recomputing from scratch after every edit is
+//! the deprecated path — `update` produces bit-identical φ.
+//!
 //! `--threads N` selects the parallel engine with `N` workers (`0` =
 //! auto-detect from the hardware); for `decompose` it upgrades the
 //! default `bu++` algorithm to the parallel `bu++p`, whose result is
@@ -37,12 +46,12 @@ use std::process::ExitCode;
 
 use bitruss::graph::io::{read_edge_list_file, write_edge_list_file, IndexBase};
 use bitruss::graph::GraphStats;
-use bitruss::{Algorithm, BipartiteGraph, BitrussEngine, Threads};
+use bitruss::{Algorithm, BipartiteGraph, BitrussEngine, DynamicEngineExt, Threads, UpdateBatch};
 
 /// Flags every subcommand understands, printed when an unknown flag is
 /// rejected.
 const KNOWN_FLAGS: &str = "--algorithm/-a, --tau/-t, --threads/-j, --output/-o, \
-     --snapshot/-s, --queries/-q, --one-based";
+     --snapshot/-s, --queries/-q, --updates/-u, --one-based";
 
 #[derive(Debug)]
 struct Args {
@@ -52,6 +61,7 @@ struct Args {
     output: Option<String>,
     snapshot: Option<String>,
     queries: Option<String>,
+    updates: Option<String>,
     base: IndexBase,
 }
 
@@ -63,6 +73,7 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
         output: None,
         snapshot: None,
         queries: None,
+        updates: None,
         base: IndexBase::Zero,
     };
     let mut tau: Option<f64> = None;
@@ -90,6 +101,9 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--queries" | "-q" => {
                 args.queries = Some(it.next().ok_or("--queries needs a value")?);
+            }
+            "--updates" | "-u" => {
+                args.updates = Some(it.next().ok_or("--updates needs a value")?);
             }
             "--one-based" => args.base = IndexBase::One,
             other if other.starts_with('-') => {
@@ -133,7 +147,7 @@ fn run() -> Result<(), String> {
     let args = parse_args(std::env::args().skip(1))?;
     let Some(command) = args.positional.first() else {
         return Err(
-            "usage: bitruss-cli <stats|count|decompose|kbitruss|communities|query|generate> …"
+            "usage: bitruss-cli <stats|count|decompose|kbitruss|communities|query|update|generate> …"
                 .to_string(),
         );
     };
@@ -282,6 +296,57 @@ fn run() -> Result<(), String> {
                 .run_queries(reader, std::io::stdout().lock())
                 .map_err(|e| format!("serving queries: {e}"))?;
         }
+        "update" => {
+            let path = args
+                .positional
+                .get(1)
+                .ok_or("update needs a snapshot file")?;
+            let mut session =
+                BitrussEngine::from_snapshot(path).map_err(|e| format!("{path}: {e}"))?;
+            let reader: Box<dyn BufRead> = match &args.updates {
+                Some(upath) => Box::new(std::io::BufReader::new(
+                    std::fs::File::open(upath).map_err(|e| format!("opening {upath}: {e}"))?,
+                )),
+                None => Box::new(std::io::stdin().lock()),
+            };
+            let batch = UpdateBatch::from_reader(reader).map_err(|e| format!("updates: {e}"))?;
+            let ops = batch.len();
+            let stats = session
+                .apply(&batch)
+                .map_err(|e| format!("applying updates: {e}"))?;
+            println!(
+                "{ops} ops applied in {:.3}s: {} deleted, {} inserted ({} -> {} edges)",
+                stats.total_time().as_secs_f64(),
+                stats.deleted_edges,
+                stats.inserted_edges,
+                stats.edges_before,
+                stats.edges_after
+            );
+            println!(
+                "affected {} edges (+{} frozen boundary), reused {} ({:.1}% reuse), {} phi changed, {} support updates{}",
+                stats.affected_edges,
+                stats.boundary_edges,
+                stats.reused_edges,
+                stats.reuse_ratio() * 100.0,
+                stats.phi_changed,
+                stats.support_updates,
+                if stats.fell_back {
+                    " [work budget hit: settled by full recompute]"
+                } else {
+                    ""
+                }
+            );
+            println!("max bitruss number: {}", session.max_bitruss());
+            let out = args.snapshot.as_deref().unwrap_or(path);
+            // Write-then-rename so a failed write never truncates the
+            // only copy of an in-place-refreshed snapshot.
+            let tmp = format!("{out}.tmp");
+            session
+                .save_snapshot(&tmp)
+                .map_err(|e| format!("writing {tmp}: {e}"))?;
+            std::fs::rename(&tmp, out).map_err(|e| format!("renaming {tmp} -> {out}: {e}"))?;
+            println!("refreshed snapshot written to {out}");
+        }
         "generate" => {
             let name = args.positional.get(1).ok_or("generate needs a dataset")?;
             let path = args.positional.get(2).ok_or("generate needs a file")?;
@@ -371,8 +436,19 @@ mod tests {
     }
 
     #[test]
+    fn update_flags_are_collected() {
+        let args = parse(&["update", "snap.bin", "--updates", "u.txt", "-s", "out.bin"]).unwrap();
+        assert_eq!(args.positional, vec!["update", "snap.bin"]);
+        assert_eq!(args.updates.as_deref(), Some("u.txt"));
+        assert_eq!(args.snapshot.as_deref(), Some("out.bin"));
+        let args = parse(&["update", "snap.bin", "-u", "u.txt"]).unwrap();
+        assert_eq!(args.updates.as_deref(), Some("u.txt"));
+    }
+
+    #[test]
     fn flag_values_are_required() {
         assert!(parse(&["decompose", "-a"]).is_err());
+        assert!(parse(&["update", "--updates"]).is_err());
         assert!(parse(&["decompose", "--tau"]).is_err());
         assert!(parse(&["decompose", "--threads"]).is_err());
         assert!(parse(&["decompose", "--threads", "x"]).is_err());

@@ -15,6 +15,8 @@
 //! * [`index`] — the BE-Index ([`index::BeIndex`]);
 //! * [`decomposition`] — the engine, algorithms and result types
 //!   ([`BitrussEngine`], [`decompose`], [`Algorithm`], [`Decomposition`]);
+//! * [`dynamic`] — incremental maintenance under edge insertions and
+//!   deletions ([`DynamicEngineExt`], [`UpdateBatch`]);
 //! * [`workloads`] — synthetic generators and the Table II dataset
 //!   registry.
 //!
@@ -78,6 +80,12 @@ pub mod decomposition {
     pub use bitruss_core::*;
 }
 
+/// Incremental maintenance under edge insertions/deletions (re-export
+/// of the `bitruss-dynamic` crate).
+pub mod dynamic {
+    pub use bitruss_dynamic::*;
+}
+
 /// Workload generators and the dataset registry (re-export of `datagen`).
 pub mod workloads {
     pub use datagen::*;
@@ -93,4 +101,5 @@ pub use bitruss_core::{
     EngineBuilder, EngineObserver, HierarchyMode, Metrics, NoopObserver, ParseAlgorithmError,
     PeelStrategy, Phase, Query, QueryAnswer, Snapshot, Threads, TipLayer, DEFAULT_TAU,
 };
+pub use bitruss_dynamic::{DynamicEngineExt, MaintenanceStats, UpdateBatch, UpdateOp};
 pub use butterfly::{count_per_edge, count_per_edge_parallel, count_total, ButterflyCounts};

@@ -1,0 +1,321 @@
+//! Property tests for incremental bitruss maintenance: after random
+//! update batches, the maintained decomposition must be **bit-identical**
+//! to a from-scratch decomposition of the updated graph — φ values,
+//! hierarchy answers, and snapshot round-trips included.
+
+use bitruss::dynamic::{apply, DynamicEngineExt, UpdateBatch};
+use bitruss::graph::GraphBuilder;
+use bitruss::{Algorithm, BitrussEngine};
+use proptest::prelude::*;
+
+/// Tiny deterministic generator for batch shapes (the vendored proptest
+/// shim has no collection strategies; seeds drive these instead).
+struct Rng(u64);
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// Derives a deletion mask and raw insert pairs from one seed.
+fn batch_shape(
+    g: &bitruss::BipartiteGraph,
+    shape_seed: u64,
+    dels: usize,
+    inserts: usize,
+) -> (Vec<bool>, Vec<(u32, u32)>) {
+    let mut rng = Rng::new(shape_seed);
+    let m = g.num_edges() as usize;
+    let mut del_sel = vec![false; m];
+    if m > 0 {
+        for _ in 0..dels {
+            del_sel[(rng.next() as usize) % m] = true;
+        }
+    }
+    let ins_raw: Vec<(u32, u32)> = (0..inserts)
+        .map(|_| {
+            (
+                (rng.next() % (g.num_upper() as u64 + 3)) as u32,
+                (rng.next() % (g.num_lower() as u64 + 3)) as u32,
+            )
+        })
+        .collect();
+    (del_sel, ins_raw)
+}
+
+/// Builds a valid random batch against `g`: a sample of existing edges
+/// to delete, fresh pairs to insert, plus (to exercise the in-batch
+/// compaction) re-insertions of deleted pairs and deletions of
+/// just-inserted pairs.
+fn random_batch(
+    g: &bitruss::BipartiteGraph,
+    del_sel: &[bool],
+    ins_raw: &[(u32, u32)],
+    churn: bool,
+) -> UpdateBatch {
+    let mut batch = UpdateBatch::new();
+    let mut present: std::collections::HashSet<(u32, u32)> = g.edge_pairs().into_iter().collect();
+    let mut deleted_pairs = Vec::new();
+    for (i, pair) in g.edge_pairs().into_iter().enumerate() {
+        if del_sel.get(i).copied().unwrap_or(false) {
+            batch.delete(pair.0, pair.1);
+            present.remove(&pair);
+            deleted_pairs.push(pair);
+        }
+    }
+    for &(u, v) in ins_raw {
+        if present.insert((u, v)) {
+            batch.insert(u, v);
+        }
+    }
+    if churn {
+        // Re-insert one deleted pair and delete it again: net no-op
+        // that the resolver must cancel out. (Skip pairs the insert
+        // list above already brought back.)
+        if let Some(&(u, v)) = deleted_pairs.iter().find(|p| !present.contains(p)) {
+            batch.insert(u, v).delete(u, v);
+        }
+    }
+    batch
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Incremental φ equals a from-scratch decomposition after a mixed
+    /// random batch, and the reported stats are consistent.
+    #[test]
+    fn incremental_phi_matches_recompute(
+        nu in 2..12u32,
+        nl in 2..12u32,
+        m in 0..70usize,
+        seed in any::<u64>(),
+        shape in any::<u64>(),
+        dels in 0..24usize,
+        inserts in 0..12usize,
+        churn in any::<bool>(),
+    ) {
+        let g = bitruss::workloads::random::uniform(nu, nl, m, seed);
+        let session = BitrussEngine::builder()
+            .algorithm(Algorithm::BuPlusPlus)
+            .build_borrowed(&g)
+            .unwrap();
+        let (del_sel, ins_raw) = batch_shape(&g, shape, dels, inserts);
+        let batch = random_batch(&g, &del_sel, &ins_raw, churn);
+        let applied = apply(&g, session.decomposition(), &batch).unwrap();
+
+        let fresh = BitrussEngine::builder()
+            .algorithm(Algorithm::BuPlusPlus)
+            .build_borrowed(&applied.graph)
+            .unwrap();
+        prop_assert_eq!(&applied.decomposition.phi, &fresh.phi().to_vec());
+
+        let s = &applied.stats;
+        prop_assert_eq!(s.edges_after, applied.graph.num_edges() as u64);
+        prop_assert_eq!(
+            s.edges_after,
+            s.edges_before + s.inserted_edges - s.deleted_edges
+        );
+        prop_assert!(s.reuse_ratio() >= 0.0 && s.reuse_ratio() <= 1.0);
+        // Every real change must have been inside the re-peeled set
+        // (unless the engine fell back, where affected covers all).
+        prop_assert!(s.affected_edges + s.inserted_edges >= s.phi_changed || s.fell_back);
+    }
+
+    /// Deletion-only batches: the settle phase alone is exact.
+    #[test]
+    fn deletion_only_batches_are_exact(
+        nu in 2..10u32,
+        nl in 2..10u32,
+        m in 1..60usize,
+        seed in any::<u64>(),
+        shape in any::<u64>(),
+        dels in 1..24usize,
+    ) {
+        let g = bitruss::workloads::random::uniform(nu, nl, m, seed);
+        let session = BitrussEngine::builder().build_borrowed(&g).unwrap();
+        let (del_sel, _) = batch_shape(&g, shape, dels, 0);
+        let batch = random_batch(&g, &del_sel, &[], false);
+        let applied = apply(&g, session.decomposition(), &batch).unwrap();
+        let fresh = BitrussEngine::builder().build_borrowed(&applied.graph).unwrap();
+        prop_assert_eq!(&applied.decomposition.phi, &fresh.phi().to_vec());
+        prop_assert_eq!(applied.stats.inserted_edges, 0);
+    }
+
+    /// Insertion-only batches: region + frozen re-peel alone is exact,
+    /// including inserts that grow the vertex layers.
+    #[test]
+    fn insertion_only_batches_are_exact(
+        nu in 2..10u32,
+        nl in 2..10u32,
+        m in 0..60usize,
+        seed in any::<u64>(),
+        shape in any::<u64>(),
+        inserts in 1..14usize,
+    ) {
+        let g = bitruss::workloads::random::uniform(nu, nl, m, seed);
+        let session = BitrussEngine::builder().build_borrowed(&g).unwrap();
+        let (_, ins_raw) = batch_shape(&g, shape, 0, inserts);
+        let batch = random_batch(&g, &[], &ins_raw, false);
+        let applied = apply(&g, session.decomposition(), &batch).unwrap();
+        let fresh = BitrussEngine::builder().build_borrowed(&applied.graph).unwrap();
+        prop_assert_eq!(&applied.decomposition.phi, &fresh.phi().to_vec());
+        prop_assert_eq!(applied.stats.deleted_edges, 0);
+    }
+
+    /// After an engine-level apply, hierarchy queries answer exactly as
+    /// a freshly decomposed engine on the updated graph, and a snapshot
+    /// round-trip of the mutated session preserves everything.
+    #[test]
+    fn hierarchy_and_snapshots_survive_mutation(
+        nu in 2..10u32,
+        nl in 2..10u32,
+        m in 0..60usize,
+        seed in any::<u64>(),
+        shape in any::<u64>(),
+        dels in 0..16usize,
+        inserts in 0..8usize,
+    ) {
+        let g = bitruss::workloads::random::uniform(nu, nl, m, seed);
+        let mut session = BitrussEngine::builder()
+            .build(g.clone())
+            .unwrap();
+        // Force the pre-mutation hierarchy so the apply must invalidate
+        // a *cached* index, not a never-built one.
+        let _ = session.hierarchy().unwrap();
+        let (del_sel, ins_raw) = batch_shape(&g, shape, dels, inserts);
+        let batch = random_batch(&g, &del_sel, &ins_raw, false);
+        session.apply(&batch).unwrap();
+
+        let fresh = BitrussEngine::builder()
+            .build(session.graph().clone())
+            .unwrap();
+        prop_assert_eq!(session.phi(), fresh.phi());
+        prop_assert_eq!(session.level_sizes(), fresh.level_sizes());
+        let mut ks: Vec<u64> = fresh.level_sizes().into_keys().collect();
+        ks.push(fresh.max_bitruss() + 1);
+        for k in ks {
+            prop_assert_eq!(
+                session.k_bitruss_edges(k).unwrap(),
+                fresh.k_bitruss_edges(k).unwrap(),
+                "k = {}",
+                k
+            );
+            prop_assert_eq!(
+                session.communities(k).unwrap().len(),
+                fresh.communities(k).unwrap().len(),
+                "k = {}",
+                k
+            );
+        }
+
+        // Snapshot round-trip of the mutated session.
+        let mut bytes = Vec::new();
+        session.save_snapshot_to(&mut bytes).unwrap();
+        let resumed = BitrussEngine::from_snapshot_reader(&bytes[..]).unwrap();
+        prop_assert_eq!(resumed.phi(), session.phi());
+        prop_assert_eq!(
+            resumed.graph().edge_pairs(),
+            session.graph().edge_pairs()
+        );
+        for k in resumed.hierarchy().unwrap().levels().to_vec() {
+            prop_assert_eq!(
+                resumed.k_bitruss_count(k).unwrap(),
+                session.k_bitruss_count(k).unwrap()
+            );
+        }
+    }
+
+    /// Sequences of batches compose: maintaining through two generations
+    /// equals decomposing the final graph, and the stream generator's
+    /// interleaved schedules replay cleanly through the engine.
+    #[test]
+    fn batch_sequences_and_streams_compose(
+        nu in 3..10u32,
+        nl in 3..10u32,
+        m in 5..60usize,
+        seed in any::<u64>(),
+        ops in 1..24usize,
+    ) {
+        let g = bitruss::workloads::random::uniform(nu, nl, m, seed);
+        let mut session = BitrussEngine::builder().build(g.clone()).unwrap();
+        let stream = bitruss::workloads::edge_stream(&g, ops, seed ^ 0xABCD);
+        // Split the stream into two consecutive batches applied in order.
+        let half = stream.len() / 2;
+        for chunk in [&stream[..half], &stream[half..]] {
+            let mut batch = UpdateBatch::new();
+            for op in chunk {
+                if op.insert {
+                    batch.insert(op.upper, op.lower);
+                } else {
+                    batch.delete(op.upper, op.lower);
+                }
+            }
+            session.apply(&batch).unwrap();
+        }
+        let fresh = BitrussEngine::builder()
+            .build(session.graph().clone())
+            .unwrap();
+        prop_assert_eq!(session.phi(), fresh.phi());
+        prop_assert_eq!(session.max_bitruss(), fresh.max_bitruss());
+    }
+}
+
+/// The paper's Figure 1 graph mutated edge by edge in both directions —
+/// a deterministic, human-checkable anchor next to the random suites.
+#[test]
+fn figure1_single_edge_updates_are_exact() {
+    let g = GraphBuilder::new()
+        .add_edges([
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 1),
+            (2, 0),
+            (2, 1),
+            (2, 2),
+            (2, 3),
+            (3, 1),
+            (3, 2),
+            (3, 4),
+        ])
+        .build()
+        .unwrap();
+    let session = BitrussEngine::builder().build_borrowed(&g).unwrap();
+    // Delete each edge in turn.
+    for e in g.edges() {
+        let (u, v) = g.edge(e);
+        let mut batch = UpdateBatch::new();
+        batch.delete(g.layer_index(u), g.layer_index(v));
+        let applied = apply(&g, session.decomposition(), &batch).unwrap();
+        let fresh = BitrussEngine::builder()
+            .build_borrowed(&applied.graph)
+            .unwrap();
+        assert_eq!(applied.decomposition.phi, fresh.phi(), "deleting {e}");
+    }
+    // Insert each absent pair in turn.
+    for u in 0..g.num_upper() {
+        for v in 0..g.num_lower() {
+            if g.has_edge(g.upper(u), g.lower(v)) {
+                continue;
+            }
+            let mut batch = UpdateBatch::new();
+            batch.insert(u, v);
+            let applied = apply(&g, session.decomposition(), &batch).unwrap();
+            let fresh = BitrussEngine::builder()
+                .build_borrowed(&applied.graph)
+                .unwrap();
+            assert_eq!(
+                applied.decomposition.phi,
+                fresh.phi(),
+                "inserting ({u},{v})"
+            );
+        }
+    }
+}

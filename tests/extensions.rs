@@ -2,11 +2,8 @@
 //! (α,β)-core pruning, the BU# hybrid, direct k-bitruss queries and the
 //! per-vertex counter — exercised together through the facade.
 
-// The deprecated compatibility wrappers must keep working until removal.
-#![allow(deprecated)]
-
 use bitruss::graph::{alpha_beta_core, butterfly_core_mask};
-use bitruss::{decompose, decompose_pruned, k_bitruss, tip_decomposition, Algorithm, TipLayer};
+use bitruss::{decompose, k_bitruss, tip_decomposition, Algorithm, BitrussEngine, TipLayer};
 use proptest::prelude::*;
 
 proptest! {
@@ -47,8 +44,12 @@ proptest! {
     ) {
         let g = bitruss::workloads::random::uniform(nu, nl, m, seed);
         let (plain, _) = decompose(&g, Algorithm::BuPlusPlus);
-        let (pruned, _) = decompose_pruned(&g, Algorithm::BuHybrid);
-        prop_assert_eq!(plain, pruned);
+        let pruned = BitrussEngine::builder()
+            .algorithm(Algorithm::BuHybrid)
+            .pruned(true)
+            .build_borrowed(&g)
+            .unwrap();
+        prop_assert_eq!(&plain.phi, &pruned.phi().to_vec());
     }
 
     /// The direct k-bitruss query agrees with the full decomposition at
