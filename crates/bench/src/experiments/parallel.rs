@@ -1,15 +1,19 @@
 //! Parallel-engine experiment (extension beyond the paper): sequential
-//! BiT-BU++ versus BiT-BU++/P — parallel counting, parallel BE-Index
-//! construction, parallel batch bloom peeling — on one generated graph,
-//! across thread counts. Every run goes through the [`BitrussEngine`]
-//! session API; the runs must produce identical decompositions
-//! (asserted), and the interesting output is the per-phase wall-time
-//! split and the speedup, which the `--json` sink records for the perf
-//! trajectory.
+//! BiT-BU++ versus the two parallel engines — BiT-BU++/P (per-batch
+//! fork/join bloom peeling) and BiT-BU++2P (two-phase partition-parallel
+//! peeling: coarse band partitioning, then independent per-band peels,
+//! then a stitch) — on one generated graph, across thread counts. Every
+//! run goes through the [`BitrussEngine`] session API; the runs must
+//! produce identical decompositions (asserted), and the interesting
+//! output is the per-phase wall-time split and the speedup, which the
+//! `--json` sink records for the perf trajectory. CI's bench-smoke job
+//! gates on the recorded JSON: BU++2P at 2 threads must not be slower
+//! than sequential BU++.
 
 use std::io::{self, Write};
 
-use bitruss_core::{Algorithm, BitrussEngine, Threads};
+use bigraph::BipartiteGraph;
+use bitruss_core::{Algorithm, BitrussEngine, Metrics, Threads};
 
 use crate::fmt::{dur, Table};
 use crate::json::JsonRecord;
@@ -25,11 +29,49 @@ fn sweep() -> Vec<usize> {
     counts
 }
 
+/// Runs `alg` `reps` times and keeps the fastest run's metrics — on
+/// shared CI runners single-run noise dwarfs the engine differences the
+/// speedup gate compares, and the best of a few runs is the standard
+/// low-variance estimator. Every repetition's φ is checked against
+/// `expect_phi` when given; returns the run's φ alongside the metrics.
+fn best_of(
+    g: &BipartiteGraph,
+    alg: Algorithm,
+    reps: usize,
+    expect_phi: Option<&[u64]>,
+) -> (Vec<u64>, Metrics) {
+    let mut best: Option<Metrics> = None;
+    let mut phi = Vec::new();
+    for _ in 0..reps.max(1) {
+        let session = BitrussEngine::builder()
+            .algorithm(alg)
+            .build_borrowed(g)
+            .expect("no observer: the run cannot fail");
+        if let Some(expect) = expect_phi {
+            assert_eq!(
+                session.phi(),
+                expect,
+                "{} diverged from sequential BU++",
+                alg.name()
+            );
+        }
+        let m = session.metrics().expect("fresh session has metrics");
+        if best
+            .as_ref()
+            .is_none_or(|b| m.total_time() < b.total_time())
+        {
+            best = Some(m.clone());
+        }
+        phi = session.phi().to_vec();
+    }
+    (phi, best.expect("at least one repetition ran"))
+}
+
 /// Runs the sequential-vs-parallel comparison.
 pub fn run(out: &mut dyn Write, opts: &Opts, json: &mut Vec<JsonRecord>) -> io::Result<()> {
     writeln!(
         out,
-        "== Parallel engine: BiT-BU++ vs BiT-BU++/P (identical output guaranteed) =="
+        "== Parallel engines: BiT-BU++ vs BiT-BU++/P vs BiT-BU++2P (identical output guaranteed) =="
     )?;
     let dataset = if opts.quick { "Marvel" } else { "Github" };
     let d = datagen::dataset_by_name(dataset).expect("registry");
@@ -43,15 +85,21 @@ pub fn run(out: &mut dyn Write, opts: &Opts, json: &mut Vec<JsonRecord>) -> io::
         g.num_edges()
     )?;
 
+    let reps = if opts.quick { 2 } else { 3 };
     let mut table = Table::new(&[
-        "Engine", "threads", "counting", "index", "peeling", "total", "speedup",
+        "Engine",
+        "threads",
+        "counting",
+        "index",
+        "partition",
+        "peeling",
+        "stitch",
+        "total",
+        "updates",
+        "speedup",
     ]);
 
-    let seq = BitrussEngine::builder()
-        .algorithm(Algorithm::BuPlusPlus)
-        .build_borrowed(&g)
-        .expect("no observer: sequential run cannot fail");
-    let seq_m = seq.metrics().expect("fresh session has metrics").clone();
+    let (seq_phi, seq_m) = best_of(&g, Algorithm::BuPlusPlus, reps, None);
     let seq_total = seq_m.total_time().as_secs_f64();
     json.push(JsonRecord::from_metrics(
         "parallel", "BU++", d.name, 1, &seq_m,
@@ -61,35 +109,54 @@ pub fn run(out: &mut dyn Write, opts: &Opts, json: &mut Vec<JsonRecord>) -> io::
         "1".into(),
         dur(seq_m.counting_time),
         dur(seq_m.index_time),
+        "-".into(),
         dur(seq_m.peeling_time),
+        "-".into(),
         dur(seq_m.total_time()),
+        seq_m.support_updates.to_string(),
         "1.00x".into(),
     ]);
 
     for t in sweep() {
-        let par = BitrussEngine::builder()
-            .algorithm(Algorithm::BuPlusPlus)
-            .threads(Threads(t))
-            .build_borrowed(&g)
-            .expect("no observer: parallel run cannot fail");
-        assert_eq!(
-            par.phi(),
-            seq.phi(),
-            "BU++/P with {t} threads diverged from sequential BU++ on {}",
-            d.name
-        );
-        let m = par.metrics().expect("fresh session has metrics");
-        json.push(JsonRecord::from_metrics("parallel", "BU++/P", d.name, t, m));
-        let speedup = seq_total / m.total_time().as_secs_f64().max(1e-9);
-        table.row(&[
-            "BU++/P".to_string(),
-            t.to_string(),
-            dur(m.counting_time),
-            dur(m.index_time),
-            dur(m.peeling_time),
-            dur(m.total_time()),
-            format!("{speedup:.2}x"),
-        ]);
+        for alg in [
+            Algorithm::BuPlusPlusPar {
+                threads: Threads(t),
+            },
+            Algorithm::BuPlusPlusTwoPhase {
+                threads: Threads(t),
+            },
+        ] {
+            let (_, m) = best_of(&g, alg, reps, Some(&seq_phi));
+            json.push(JsonRecord::from_metrics(
+                "parallel",
+                alg.name(),
+                d.name,
+                t,
+                &m,
+            ));
+            let speedup = seq_total / m.total_time().as_secs_f64().max(1e-9);
+            let two_phase = matches!(alg, Algorithm::BuPlusPlusTwoPhase { .. });
+            table.row(&[
+                alg.name().to_string(),
+                t.to_string(),
+                dur(m.counting_time),
+                dur(m.index_time),
+                if two_phase {
+                    dur(m.partition_time)
+                } else {
+                    "-".into()
+                },
+                dur(m.peeling_time),
+                if two_phase {
+                    dur(m.stitch_time)
+                } else {
+                    "-".into()
+                },
+                dur(m.total_time()),
+                m.support_updates.to_string(),
+                format!("{speedup:.2}x"),
+            ]);
+        }
     }
     write!(out, "{}", table.render())
 }

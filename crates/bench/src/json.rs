@@ -27,8 +27,15 @@ pub struct JsonRecord {
     pub counting_ms: f64,
     /// Index-construction wall time in milliseconds.
     pub index_ms: f64,
-    /// Peeling wall time in milliseconds.
+    /// Peeling wall time in milliseconds (for the two-phase engine,
+    /// the per-band peel only).
     pub peeling_ms: f64,
+    /// Band-partitioning wall time in milliseconds (two-phase engine
+    /// only; 0.0 for every other algorithm and experiment).
+    pub partition_ms: f64,
+    /// Stitch wall time in milliseconds (two-phase engine only; 0.0
+    /// otherwise).
+    pub stitch_ms: f64,
     /// Total wall time in milliseconds (all phases).
     pub total_ms: f64,
     /// Butterfly-support updates performed while peeling.
@@ -55,6 +62,8 @@ impl JsonRecord {
             counting_ms: ms(m.counting_time),
             index_ms: ms(m.index_time),
             peeling_ms: ms(m.peeling_time),
+            partition_ms: ms(m.partition_time),
+            stitch_ms: ms(m.stitch_time),
             total_ms: ms(m.total_time()),
             support_updates: m.support_updates,
             peak_index_bytes: m.peak_index_bytes,
@@ -85,6 +94,8 @@ impl JsonRecord {
             counting_ms: 0.0,
             index_ms: ms(prep),
             peeling_ms: 0.0,
+            partition_ms: 0.0,
+            stitch_ms: 0.0,
             total_ms: ms(batch),
             support_updates: queries,
             peak_index_bytes: resident_bytes,
@@ -121,6 +132,8 @@ impl JsonRecord {
             counting_ms: ms(analyze),
             index_ms: ms(rebuild),
             peeling_ms: ms(peel),
+            partition_ms: 0.0,
+            stitch_ms: 0.0,
             total_ms: ms(total),
             support_updates,
             peak_index_bytes: affected_edges as usize,
@@ -132,6 +145,7 @@ impl JsonRecord {
             out,
             "{{\"experiment\":{},\"algorithm\":{},\"graph\":{},\"threads\":{},\
              \"counting_ms\":{:.3},\"index_ms\":{:.3},\"peeling_ms\":{:.3},\
+             \"partition_ms\":{:.3},\"stitch_ms\":{:.3},\
              \"total_ms\":{:.3},\"support_updates\":{},\"peak_index_bytes\":{}}}",
             escape(&self.experiment),
             escape(&self.algorithm),
@@ -140,6 +154,8 @@ impl JsonRecord {
             self.counting_ms,
             self.index_ms,
             self.peeling_ms,
+            self.partition_ms,
+            self.stitch_ms,
             self.total_ms,
             self.support_updates,
             self.peak_index_bytes,
@@ -191,7 +207,9 @@ mod tests {
             counting_ms: 1.5,
             index_ms: 2.25,
             peeling_ms: 10.125,
-            total_ms: 13.875,
+            partition_ms: 0.5,
+            stitch_ms: 0.25,
+            total_ms: 14.625,
             support_updates: 42,
             peak_index_bytes: 1024,
         }
@@ -207,6 +225,8 @@ mod tests {
         assert_eq!(s.matches("\"algorithm\":\"BU++/P\"").count(), 2);
         assert!(s.contains("\"support_updates\":42"));
         assert!(s.contains("\"peeling_ms\":10.125"));
+        assert!(s.contains("\"partition_ms\":0.500"));
+        assert!(s.contains("\"stitch_ms\":0.250"));
         // One comma between the two records, none after the last.
         assert_eq!(s.matches("},\n").count(), 1);
     }
@@ -231,13 +251,17 @@ mod tests {
             counting_time: std::time::Duration::from_millis(10),
             index_time: std::time::Duration::from_millis(20),
             peeling_time: std::time::Duration::from_millis(30),
+            partition_time: std::time::Duration::from_millis(4),
+            stitch_time: std::time::Duration::from_millis(2),
             support_updates: 7,
             peak_index_bytes: 99,
             ..Metrics::default()
         };
         let r = JsonRecord::from_metrics("fig9", "BU++", "Condmat", 1, &m);
         assert_eq!(r.counting_ms, 10.0);
-        assert_eq!(r.total_ms, 60.0);
+        assert_eq!(r.partition_ms, 4.0);
+        assert_eq!(r.stitch_ms, 2.0);
+        assert_eq!(r.total_ms, 66.0);
         assert_eq!(r.support_updates, 7);
         assert_eq!(r.peak_index_bytes, 99);
     }

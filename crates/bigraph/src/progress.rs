@@ -34,6 +34,13 @@ pub enum Phase {
     IndexBuild,
     /// Bottom-up peeling (support updates and φ assignment).
     Peeling,
+    /// Coarse band partitioning of the φ range (the two-phase parallel
+    /// engine's phase 1: threshold peeling that assigns each edge a
+    /// band). Progress is reported in edges assigned.
+    Partition,
+    /// Stitching per-band φ results back into one array and settling
+    /// any boundary migrations (the two-phase engine's final pass).
+    Stitch,
     /// Candidate-subgraph extraction (BiT-PC only).
     Extraction,
     /// Building the bitruss hierarchy index from a finished φ array.
@@ -50,6 +57,8 @@ impl Phase {
             Phase::Counting => "counting",
             Phase::IndexBuild => "index-build",
             Phase::Peeling => "peeling",
+            Phase::Partition => "partition",
+            Phase::Stitch => "stitch",
             Phase::Extraction => "extraction",
             Phase::HierarchyBuild => "hierarchy-build",
             Phase::AffectedRegion => "affected-region",
@@ -160,6 +169,8 @@ mod tests {
         assert_eq!(Phase::Counting.name(), "counting");
         assert_eq!(Phase::IndexBuild.to_string(), "index-build");
         assert_eq!(Phase::Peeling.name(), "peeling");
+        assert_eq!(Phase::Partition.name(), "partition");
+        assert_eq!(Phase::Stitch.name(), "stitch");
         assert_eq!(Phase::Extraction.name(), "extraction");
         assert_eq!(Phase::HierarchyBuild.name(), "hierarchy-build");
         assert_eq!(Phase::AffectedRegion.name(), "affected-region");

@@ -56,6 +56,14 @@ pub enum Algorithm {
     /// BiT-BU# (extension): one bloom traversal per batch (as BU++) with
     /// writes aggregated per affected edge (as BU+).
     BuHybrid,
+    /// BiT-BU++2P (extension): the two-phase partition-parallel engine —
+    /// a coarse scan splits the φ range into contiguous bands, each band
+    /// peels independently with partition-local state, and a stitch pass
+    /// settles the exact values. See [`crate::partition`].
+    BuPlusPlusTwoPhase {
+        /// Worker-thread configuration (`Threads(0)` = auto-detect).
+        threads: Threads,
+    },
     /// BiT-PC (Algorithm 7) with compression parameter τ.
     Pc {
         /// Compression parameter in `(0, 1]`; see [`DEFAULT_TAU`].
@@ -76,6 +84,13 @@ impl Algorithm {
         }
     }
 
+    /// BiT-BU++2P with auto-detected worker threads.
+    pub fn two_phase_auto() -> Algorithm {
+        Algorithm::BuPlusPlusTwoPhase {
+            threads: Threads::AUTO,
+        }
+    }
+
     /// Short display name matching the paper's figures.
     pub fn name(&self) -> &'static str {
         match self {
@@ -86,6 +101,7 @@ impl Algorithm {
             Algorithm::BuPlusPlus => "BU++",
             Algorithm::BuPlusPlusPar { .. } => "BU++/P",
             Algorithm::BuHybrid => "BU#",
+            Algorithm::BuPlusPlusTwoPhase { .. } => "BU++2P",
             Algorithm::Pc { .. } => "PC",
         }
     }
@@ -119,7 +135,7 @@ impl fmt::Display for ParseAlgorithmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown algorithm {:?} (expected bs, bs-pair, bu, bu+, bu++, bu++p, bu#, or pc)",
+            "unknown algorithm {:?} (expected bs, bs-pair, bu, bu+, bu++, bu++p, bu++2p, bu#, or pc)",
             self.name
         )
     }
@@ -128,10 +144,10 @@ impl fmt::Display for ParseAlgorithmError {
 impl std::error::Error for ParseAlgorithmError {}
 
 /// Parses the CLI spelling of an algorithm name, case-insensitively:
-/// `bs`, `bs-pair`, `bu`, `bu+`, `bu++`, `bu++p` (or `bu++/p`), `bu#`
-/// (or `bu-hybrid`), `pc`. The paper spellings produced by
-/// [`Algorithm::name`] round-trip. Parameterized variants parse with
-/// their defaults — `pc` gets [`DEFAULT_TAU`], `bu++p` gets
+/// `bs`, `bs-pair`, `bu`, `bu+`, `bu++`, `bu++p` (or `bu++/p`),
+/// `bu++2p`, `bu#` (or `bu-hybrid`), `pc`. The paper spellings produced
+/// by [`Algorithm::name`] round-trip. Parameterized variants parse with
+/// their defaults — `pc` gets [`DEFAULT_TAU`], `bu++p` and `bu++2p` get
 /// [`Threads::AUTO`] — and callers override the fields afterwards.
 impl FromStr for Algorithm {
     type Err = ParseAlgorithmError;
@@ -144,6 +160,7 @@ impl FromStr for Algorithm {
             "bu+" => Ok(Algorithm::BuPlus),
             "bu++" => Ok(Algorithm::BuPlusPlus),
             "bu++p" | "bu++/p" => Ok(Algorithm::parallel_auto()),
+            "bu++2p" => Ok(Algorithm::two_phase_auto()),
             "bu#" | "bu-hybrid" => Ok(Algorithm::BuHybrid),
             "pc" => Ok(Algorithm::pc_default()),
             _ => Err(ParseAlgorithmError {
@@ -175,6 +192,9 @@ pub(crate) fn run_algorithm(
             parallel::bit_bu_pp_par_observed(g, threads, observer)
         }
         Algorithm::BuHybrid => batch::bit_bu_hybrid_run(g, observer),
+        Algorithm::BuPlusPlusTwoPhase { threads } => {
+            crate::partition::bit_bu_pp_2p_observed(g, threads, observer)
+        }
         Algorithm::Pc { tau } => pc::bit_pc_run(g, tau, histogram_bounds, observer),
     }
 }
@@ -297,6 +317,10 @@ mod tests {
             },
             Algorithm::parallel_auto(),
             Algorithm::BuHybrid,
+            Algorithm::BuPlusPlusTwoPhase {
+                threads: Threads(2),
+            },
+            Algorithm::two_phase_auto(),
             Algorithm::pc_default(),
             Algorithm::Pc { tau: 1.0 },
         ] {
@@ -324,6 +348,7 @@ mod tests {
             Algorithm::BuPlusPlus,
             Algorithm::parallel_auto(),
             Algorithm::BuHybrid,
+            Algorithm::two_phase_auto(),
             Algorithm::pc_default(),
         ] {
             assert_eq!(alg.to_string(), alg.name());
@@ -344,6 +369,10 @@ mod tests {
         assert_eq!(
             "BU++/P".parse::<Algorithm>(),
             Ok(Algorithm::parallel_auto())
+        );
+        assert_eq!(
+            "BU++2P".parse::<Algorithm>(),
+            Ok(Algorithm::two_phase_auto())
         );
         assert_eq!("bu#".parse::<Algorithm>(), Ok(Algorithm::BuHybrid));
         assert_eq!("pc".parse::<Algorithm>(), Ok(Algorithm::pc_default()));

@@ -36,7 +36,9 @@ use crate::metrics::Metrics;
 /// Minimum phase-2 work (wedge slots across the batch's touched blooms)
 /// before the bloom traversal is fanned out to worker threads. Below it
 /// the per-batch `thread::scope` spawn overhead outweighs the traversal.
-const PAR_BATCH_MIN_WORK: usize = 4096;
+/// Shared with the two-phase engine's coarse partition scan, whose
+/// sub-rounds fan out the same way.
+pub(crate) const PAR_BATCH_MIN_WORK: usize = 4096;
 
 /// Phase 2 of one batch (Algorithm 5 lines 14–18) for the blooms at
 /// positions `start, start + stride, …` of `blooms`: every surviving
@@ -45,7 +47,7 @@ const PAR_BATCH_MIN_WORK: usize = 4096;
 /// path (`start = 0, stride = 1`, global buffer) and each parallel worker
 /// (`start = worker, stride = threads`, thread-local buffer) share it —
 /// one body, one set of filter rules.
-fn accumulate_bloom_deltas(
+pub(crate) fn accumulate_bloom_deltas(
     index: &BeIndex,
     c: &[u32],
     blooms: &[u32],

@@ -56,6 +56,29 @@ impl BucketQueue {
         q
     }
 
+    /// Builds a queue containing exactly the edges in `members` (ascending
+    /// ids), keyed by `supp[e]`. Equivalent to [`BucketQueue::new`] with an
+    /// `active` predicate selecting `members` — including the per-bucket
+    /// ascending-id order — but touches only the member edges instead of
+    /// scanning the whole support array, which is what the partition
+    /// engine's per-band peels need (16 bands × one full scan adds up).
+    pub fn from_members(supp: &[u64], members: &[u32]) -> Self {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "members ascend");
+        let max_supp = members.iter().map(|&e| supp[e as usize]).max().unwrap_or(0) as usize;
+        let mut q = BucketQueue {
+            head: vec![NONE; max_supp + 1],
+            next: vec![NONE; supp.len()],
+            prev: vec![NONE; supp.len()],
+            enqueued: vec![false; supp.len()],
+            cur: 0,
+            len: 0,
+        };
+        for &e in members.iter().rev() {
+            q.insert_front(e as usize, supp[e as usize] as usize);
+        }
+        q
+    }
+
     fn insert_front(&mut self, e: usize, bucket: usize) {
         debug_assert!(!self.enqueued[e]);
         let old_head = self.head[bucket];
@@ -254,6 +277,22 @@ mod tests {
         let mut batch = Vec::new();
         q.pop_level(&supp, &mut batch).unwrap();
         assert_eq!(ids(&batch), vec![0, 2]);
+    }
+
+    #[test]
+    fn from_members_matches_filtered_new() {
+        let supp = vec![3u64, 7, 0, 7, 2, 5];
+        let members = [1u32, 3, 4];
+        let mut a = BucketQueue::new(&supp, |e| members.contains(&e.0));
+        let mut b = BucketQueue::from_members(&supp, &members);
+        assert_eq!(a.len(), b.len());
+        loop {
+            let (x, y) = (a.pop_min(&supp), b.pop_min(&supp));
+            assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

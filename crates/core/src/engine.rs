@@ -124,8 +124,31 @@ impl EngineBuilder {
     /// Configures worker threads. Mirrors the CLI's `--threads` rule: it
     /// upgrades the default [`Algorithm::BuPlusPlus`] to the parallel
     /// engine (bit-identical results) or overrides the thread count of an
-    /// explicit [`Algorithm::BuPlusPlusPar`]; combining it with any other
+    /// explicit [`Algorithm::BuPlusPlusPar`] or
+    /// [`Algorithm::BuPlusPlusTwoPhase`]; combining it with any other
     /// algorithm is rejected by [`EngineBuilder::build`].
+    ///
+    /// ```
+    /// use bigraph::GraphBuilder;
+    /// use bitruss_core::{Algorithm, BitrussEngine, Threads};
+    ///
+    /// let g = GraphBuilder::new()
+    ///     .add_edges([(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)])
+    ///     .build()
+    ///     .unwrap();
+    /// // Select the two-phase partition engine with 2 workers; φ is
+    /// // bit-identical to the sequential BU++ run.
+    /// let session = BitrussEngine::builder()
+    ///     .algorithm(Algorithm::two_phase_auto())
+    ///     .threads(Threads(2))
+    ///     .build(g)
+    ///     .unwrap();
+    /// assert_eq!(session.max_bitruss(), 2);
+    /// assert!(matches!(
+    ///     session.algorithm(),
+    ///     Some(Algorithm::BuPlusPlusTwoPhase { threads: Threads(2) })
+    /// ));
+    /// ```
     pub fn threads(mut self, threads: impl Into<Threads>) -> Self {
         self.threads = Some(threads.into());
         self
@@ -191,8 +214,11 @@ impl EngineBuilder {
             (Some(threads), Algorithm::BuPlusPlus | Algorithm::BuPlusPlusPar { .. }) => {
                 Ok(Algorithm::BuPlusPlusPar { threads })
             }
+            (Some(threads), Algorithm::BuPlusPlusTwoPhase { .. }) => {
+                Ok(Algorithm::BuPlusPlusTwoPhase { threads })
+            }
             (Some(_), other) => Err(Error::Invariant(format!(
-                "threads only apply to the parallel engine (bu++ or bu++p), not {other}"
+                "threads only apply to the parallel engines (bu++, bu++p, or bu++2p), not {other}"
             ))),
         }
     }
@@ -810,6 +836,18 @@ mod tests {
             session.algorithm(),
             Some(Algorithm::BuPlusPlusPar {
                 threads: Threads(2)
+            })
+        ));
+
+        let session = BitrussEngine::builder()
+            .algorithm(Algorithm::two_phase_auto())
+            .threads(Threads(4))
+            .build(fig1())
+            .unwrap();
+        assert!(matches!(
+            session.algorithm(),
+            Some(Algorithm::BuPlusPlusTwoPhase {
+                threads: Threads(4)
             })
         ));
 

@@ -11,6 +11,7 @@
 //! | [`algo::bit_bu_plus`]  | §V-B   | + batch edge processing |
 //! | [`algo::bit_bu_pp`]    | Alg. 5 | + batch bloom processing |
 //! | [`algo::bit_bu_pp_par`] | ext.  | BiT-BU++/P: parallel counting, index construction and batch peeling |
+//! | [`partition::bit_bu_pp_2p`] | ext. | BiT-BU++2P: two-phase partition-parallel peeling (band decomposition) |
 //! | [`algo::bit_pc`]       | Alg. 7 | progressive compression: hub edges first, in candidate subgraphs |
 //!
 //! All of them produce the same [`Decomposition`] — the bitruss number
@@ -56,7 +57,9 @@ pub mod engine;
 pub mod hierarchy;
 pub mod kbitruss;
 pub mod metrics;
+pub mod partition;
 pub mod persist;
+pub mod repeel;
 pub mod tip;
 pub mod verify;
 
@@ -78,10 +81,15 @@ pub use engine::{
 pub use hierarchy::BitrussHierarchy;
 pub use kbitruss::k_bitruss;
 pub use metrics::{Metrics, UpdateHistogram};
+pub use partition::{
+    bit_bu_pp_2p, bit_bu_pp_2p_observed, bit_bu_pp_2p_tuned, bit_bu_pp_2p_with_outcome,
+    BandPartition, StitchLog, StitchMigration, DEFAULT_NUM_BANDS,
+};
 pub use persist::binary::{
     read_snapshot, read_snapshot_file, write_snapshot, write_snapshot_file, Snapshot,
     FORMAT_VERSION,
 };
 pub use persist::{read_decomposition, write_decomposition};
+pub use repeel::{repeel_region, RepeelStats};
 pub use tip::{tip_decomposition, TipLayer};
 pub use verify::{k_bitruss_fixpoint, reference_decomposition, validate_decomposition};

@@ -84,8 +84,18 @@ pub struct Metrics {
     pub counting_time: Duration,
     /// Time spent constructing BE-Indexes (zero for BiT-BS).
     pub index_time: Duration,
-    /// Time spent peeling (removal operations and queue work).
+    /// Time spent peeling (removal operations and queue work). For the
+    /// two-phase engine this is the per-band peel (its phase 2).
     pub peeling_time: Duration,
+    /// Time spent in the coarse band-partitioning scan (the two-phase
+    /// engine's phase 1; zero for every other algorithm).
+    pub partition_time: Duration,
+    /// Time spent stitching per-band φ results and settling boundary
+    /// migrations (the two-phase engine only; zero otherwise).
+    pub stitch_time: Duration,
+    /// Number of φ bands the two-phase engine partitioned the range into
+    /// (0 for every other algorithm).
+    pub bands: usize,
     /// Time spent extracting candidate subgraphs (BiT-PC only).
     pub extraction_time: Duration,
     /// Number of ε-iterations (BiT-PC; 1 for the others).
@@ -121,7 +131,12 @@ pub struct Metrics {
 impl Metrics {
     /// Total wall time across the phases.
     pub fn total_time(&self) -> Duration {
-        self.counting_time + self.index_time + self.peeling_time + self.extraction_time
+        self.counting_time
+            + self.index_time
+            + self.partition_time
+            + self.peeling_time
+            + self.stitch_time
+            + self.extraction_time
     }
 
     /// Fraction of edges whose φ survived a maintenance run untouched
@@ -187,9 +202,11 @@ mod tests {
         let mut m = Metrics {
             counting_time: Duration::from_millis(5),
             peeling_time: Duration::from_millis(7),
+            partition_time: Duration::from_millis(2),
+            stitch_time: Duration::from_millis(1),
             ..Metrics::default()
         };
-        assert_eq!(m.total_time(), Duration::from_millis(12));
+        assert_eq!(m.total_time(), Duration::from_millis(15));
         m.enable_histogram(vec![10], &[3, 30]);
         m.record_update(EdgeId(0));
         m.record_update(EdgeId(1));

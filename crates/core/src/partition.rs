@@ -1,0 +1,1030 @@
+//! BiT-BU++2P — two-phase partition-parallel peeling (RECEIPT/PBNG
+//! style).
+//!
+//! The per-batch fork/join of [`BiT-BU++/P`](crate::algo::bit_bu_pp_par)
+//! synchronizes workers at every support level; on graphs with many
+//! small batches the joins dominate and two threads can run *slower*
+//! than one. This module replaces per-batch fan-out with two coarse
+//! phases separated by a single barrier:
+//!
+//! 1. **Partition** ([`Phase::Partition`]): one coarse bottom-up scan
+//!    splits the φ range into `P` contiguous *bands*
+//!    `(t₀, t₁], (t₁, t₂], …` chosen from support quantiles, and assigns
+//!    every edge its band by running the peeling fixpoint to each
+//!    threshold in turn. Removing every edge with support ≤ t leaves the
+//!    maximal subgraph in which all supports exceed t, so the edges
+//!    removed while working towards threshold `t_p` are **exactly**
+//!    `{e : t_{p−1} < φ(e) ≤ t_p}` — band assignment is not a heuristic.
+//!    The scan records each band edge's *entry support* (its butterfly
+//!    support in the residual graph `G_p` at the moment band `p`
+//!    started) as the seed for phase 2.
+//! 2. **Band peel** ([`Phase::Peeling`]): every band is peeled
+//!    independently with partition-local state — a local bucket queue
+//!    over the band's edges, local delta buffers, and per-band BE-Index
+//!    *slices* (each bloom's wedges pre-sorted by band so a band worker
+//!    traverses only wedges still alive at its band's start). Workers
+//!    pull whole bands off a shared counter; there is **no
+//!    cross-partition synchronization** — higher-band edges are
+//!    read-only context and lower-band edges are already gone from the
+//!    slices.
+//!
+//! A final **stitch** pass ([`Phase::Stitch`]) merges the per-band φ
+//! fragments and validates the *band invariant*: every edge's φ must lie
+//! inside its assigned band. The invariant is a theorem of the
+//! construction (see below), so the validation normally finds nothing;
+//! if a violation is ever observed, the offending edges are re-peeled
+//! against the frozen remainder via
+//! [`repeel_region`] — the same
+//! frozen-boundary mechanics the dynamic maintenance layer uses — and
+//! the migration is recorded in the returned [`StitchLog`].
+//!
+//! # Why the per-band peel is exact
+//!
+//! At band `p`'s start the residual graph `G_p` contains exactly the
+//! edges with φ > t_{p−1}. Every surviving edge's tracked support equals
+//! its true support in `G_p` (all clamp floors so far are ≤ t_{p−1} <
+//! φ(e) ≤ true support). During the levels of band `p` the global peel
+//! removes only band-`p` edges, so the support trajectories of band-`p`
+//! edges depend only on `G_p`'s topology and the band's own removals —
+//! both of which the band worker reproduces: entry supports come from
+//! the partition scan, bloom sizes at band start equal the count of
+//! wedges whose *both* members sit in bands ≥ p (the sorted slice
+//! prefix), and the worker then replays Algorithm 5's batch accounting
+//! with the aggregated one-write-per-edge deltas of BiT-BU#. The
+//! `max(MBS, ·)` clamp composes across merged writes, so the resulting
+//! φ is bit-identical to sequential BiT-BU++ for every thread count and
+//! every band count.
+//!
+//! Because a band worker never tracks supports of higher-band edges,
+//! the hub-edge write traffic that dominates the sequential peel (low
+//! levels repeatedly decrementing high-support edges) disappears:
+//! `support_updates` drops well below even BiT-BU#'s aggregated count,
+//! which is what makes the engine faster at one *and* two threads.
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use beindex::{BeIndex, BloomId, WedgeId};
+use bigraph::progress::{checkpoint, EngineObserver, NoopObserver, Phase};
+use bigraph::{BipartiteGraph, EdgeId, Result};
+use butterfly::{count_per_edge_parallel_observed, Threads};
+
+use crate::algo::parallel::{accumulate_bloom_deltas, PAR_BATCH_MIN_WORK};
+use crate::bucket_queue::BucketQueue;
+use crate::decomposition::Decomposition;
+use crate::metrics::Metrics;
+use crate::repeel::repeel_region;
+
+/// Default number of φ bands the partition scan aims for. Constant (not
+/// a function of the thread count) so φ *and* `support_updates` are
+/// identical across thread counts; 16 bands load-balance up to ~8
+/// workers through the shared band counter.
+pub const DEFAULT_NUM_BANDS: usize = 16;
+
+/// One edge the stitch pass found outside its assigned band (never
+/// produced by a correct build — kept so tests can assert the invariant
+/// and any regression is observable instead of silent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StitchMigration {
+    /// The out-of-band edge.
+    pub edge: EdgeId,
+    /// The band the partition scan assigned it.
+    pub band: u32,
+    /// The φ the band peel produced for it (outside the band's range).
+    pub phi: u64,
+}
+
+/// Record of the stitch pass: which edges (if any) escaped their band
+/// and were settled by a frozen-boundary re-peel.
+#[derive(Debug, Clone, Default)]
+pub struct StitchLog {
+    /// Out-of-band edges, ascending by edge id; empty on every correct
+    /// run (the band invariant is a theorem, see the module docs).
+    pub migrations: Vec<StitchMigration>,
+}
+
+/// The partition produced by phase 1, returned alongside the
+/// decomposition by [`bit_bu_pp_2p_with_outcome`] so tests and tools can
+/// audit band assignment.
+#[derive(Debug, Clone, Default)]
+pub struct BandPartition {
+    /// Ascending inclusive upper thresholds `t_0 < t_1 < …` of bands
+    /// `0 … P−2`; band `P−1` is unbounded above. Empty means a single
+    /// band covered everything.
+    pub bounds: Vec<u64>,
+    /// Band index of every edge (indexed by edge id).
+    pub band_of_edge: Vec<u32>,
+    /// What the stitch pass had to settle (normally nothing).
+    pub stitch: StitchLog,
+}
+
+impl BandPartition {
+    /// Number of bands.
+    pub fn num_bands(&self) -> usize {
+        self.bounds.len() + 1
+    }
+
+    /// The inclusive φ range `(lo, hi)` of band `p`; `hi` is `None` for
+    /// the last (unbounded) band.
+    pub fn band_range(&self, p: u32) -> (u64, Option<u64>) {
+        let lo = if p == 0 {
+            0
+        } else {
+            self.bounds[p as usize - 1] + 1
+        };
+        (lo, self.bounds.get(p as usize).copied())
+    }
+
+    /// Whether `phi` lies inside band `p`.
+    pub fn in_band(&self, p: u32, phi: u64) -> bool {
+        let (lo, hi) = self.band_range(p);
+        phi >= lo && hi.is_none_or(|h| phi <= h)
+    }
+}
+
+/// Runs BiT-BU++2P: the two-phase partition-parallel engine with the
+/// default band count. The decomposition is bit-identical to
+/// [`bit_bu_pp`](crate::algo::bit_bu_pp) for every thread count
+/// (`Threads(0)` = auto).
+pub fn bit_bu_pp_2p(g: &BipartiteGraph, threads: Threads) -> (Decomposition, Metrics) {
+    bit_bu_pp_2p_tuned(g, threads, DEFAULT_NUM_BANDS)
+}
+
+/// [`bit_bu_pp_2p`] with an explicit band count. More bands mean less
+/// support-update work per band but more per-band setup; the default
+/// [`DEFAULT_NUM_BANDS`] is a good trade for graphs up to millions of
+/// edges. `num_bands ≤ 1` degenerates to a single band (one sequential
+/// BiT-BU#-style peel). φ is identical for every band count.
+pub fn bit_bu_pp_2p_tuned(
+    g: &BipartiteGraph,
+    threads: Threads,
+    num_bands: usize,
+) -> (Decomposition, Metrics) {
+    let (d, m, _) =
+        bit_bu_pp_2p_run(g, threads, num_bands, &NoopObserver).expect("NoopObserver never cancels");
+    (d, m)
+}
+
+/// [`bit_bu_pp_2p`] with an [`EngineObserver`]: phase events for
+/// counting, index build, partition, per-band peeling and stitch, with
+/// cancellation polls every sub-round/batch in every band worker.
+///
+/// # Errors
+///
+/// Returns [`bigraph::Error::Cancelled`] when the observer requests
+/// cancellation; the partial φ assignment is discarded.
+pub fn bit_bu_pp_2p_observed(
+    g: &BipartiteGraph,
+    threads: Threads,
+    observer: &dyn EngineObserver,
+) -> Result<(Decomposition, Metrics)> {
+    bit_bu_pp_2p_run(g, threads, DEFAULT_NUM_BANDS, observer).map(|(d, m, _)| (d, m))
+}
+
+/// The fully instrumented entry point: like [`bit_bu_pp_2p_observed`]
+/// but also returns the [`BandPartition`] (band bounds, per-edge band
+/// assignment, stitch log) for auditing.
+///
+/// # Errors
+///
+/// Returns [`bigraph::Error::Cancelled`] when the observer requests
+/// cancellation.
+pub fn bit_bu_pp_2p_with_outcome(
+    g: &BipartiteGraph,
+    threads: Threads,
+    num_bands: usize,
+    observer: &dyn EngineObserver,
+) -> Result<(Decomposition, Metrics, BandPartition)> {
+    bit_bu_pp_2p_run(g, threads, num_bands, observer)
+}
+
+pub(crate) fn bit_bu_pp_2p_run(
+    g: &BipartiteGraph,
+    threads: Threads,
+    num_bands: usize,
+    observer: &dyn EngineObserver,
+) -> Result<(Decomposition, Metrics, BandPartition)> {
+    // Cap workers at the machine's parallelism: the engine is CPU-bound
+    // end to end, so oversubscribed workers only add scheduling overhead
+    // — and φ, band assignment, and `support_updates` are all
+    // independent of the worker count by construction.
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let t = threads.resolve().min(hw).max(1);
+    let mut metrics = Metrics {
+        counting_threads: t,
+        index_threads: t,
+        peeling_threads: t,
+        iterations: 1,
+        ..Metrics::default()
+    };
+    let m = g.num_edges() as usize;
+
+    let t0 = Instant::now();
+    let counts = count_per_edge_parallel_observed(g, t, observer)?;
+    metrics.counting_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let mut index = BeIndex::build_parallel_observed(g, Threads(t), observer)?;
+    metrics.index_time = t1.elapsed();
+    metrics.peak_index_bytes = index.memory_bytes();
+
+    // Phase 1: coarse threshold peeling assigns every edge a band.
+    let t2 = Instant::now();
+    observer.on_phase_start(Phase::Partition, m as u64);
+    let bounds = band_bounds(&counts.per_edge, num_bands);
+    let nb = bounds.len() + 1;
+    metrics.bands = nb;
+    let mut coarse_scratch_bytes = 0usize;
+    let coarse = coarse_partition(
+        &mut index,
+        counts.per_edge,
+        &bounds,
+        t,
+        observer,
+        &mut coarse_scratch_bytes,
+    )?;
+    // Per-band BE-Index slices: each bloom's wedges sorted by band so a
+    // band worker traverses only wedges alive at its band's start.
+    let slices = BandSlices::build(&index, &coarse.band);
+    metrics.partition_time = t2.elapsed();
+    metrics.support_updates += coarse.updates;
+    observer.on_phase_end(Phase::Partition);
+
+    // Phase 2: peel every band with partition-local state.
+    let t3 = Instant::now();
+    observer.on_phase_start(Phase::Peeling, m as u64);
+    let mut band_edges: Vec<Vec<u32>> = vec![Vec::new(); nb];
+    for e in 0..m {
+        band_edges[coarse.band[e] as usize].push(e as u32);
+    }
+    let ctx = BandContext {
+        index: &index,
+        band: &coarse.band,
+        band_edges: &band_edges,
+        start_supp: &coarse.start_supp,
+        slices: &slices,
+        popped: AtomicU64::new(0),
+        total: m as u64,
+        observer,
+    };
+    let (per_band, band_updates, peel_scratch_bytes) = peel_bands(&ctx, &coarse.work, t)?;
+    metrics.peeling_time = t3.elapsed();
+    metrics.support_updates += band_updates;
+    metrics.scratch_bytes = coarse_scratch_bytes.max(peel_scratch_bytes + slices.memory_bytes());
+    observer.on_phase_end(Phase::Peeling);
+
+    // Stitch: merge per-band φ fragments and enforce the band invariant.
+    let t4 = Instant::now();
+    observer.on_phase_start(Phase::Stitch, m as u64);
+    checkpoint(observer)?;
+    let mut phi = vec![0u64; m];
+    for pairs in &per_band {
+        for &(e, v) in pairs {
+            phi[e as usize] = v;
+        }
+    }
+    let mut outcome = BandPartition {
+        bounds,
+        band_of_edge: coarse.band,
+        stitch: StitchLog::default(),
+    };
+    let mut region: Vec<bool> = Vec::new();
+    for e in 0..m {
+        let p = outcome.band_of_edge[e];
+        if !outcome.in_band(p, phi[e]) {
+            if region.is_empty() {
+                region = vec![false; m];
+            }
+            region[e] = true;
+            outcome.stitch.migrations.push(StitchMigration {
+                edge: EdgeId(e as u32),
+                band: p,
+                phi: phi[e],
+            });
+        }
+    }
+    if !outcome.stitch.migrations.is_empty() {
+        // Fallback repair (unreachable on a correct build, see module
+        // docs): replay the escaped edges against the frozen remainder.
+        let (fixed, _) = repeel_region(g, &phi, &region, observer)?;
+        phi = fixed;
+    }
+    metrics.stitch_time = t4.elapsed();
+    observer.on_phase_end(Phase::Stitch);
+
+    Ok((Decomposition::new(phi), metrics, outcome))
+}
+
+/// Picks ascending band thresholds from the support distribution's
+/// quantiles — the same "bucket edges by original support" histogram
+/// view Figure 7 uses, here as a *work estimate*: φ(e) ≤ sup(e), and
+/// equal-mass support buckets give bands of roughly equal peel work.
+/// Thresholds at or above the maximum support are dropped (the last
+/// band is unbounded); duplicate quantiles collapse, so skewed
+/// distributions simply yield fewer bands.
+fn band_bounds(supports: &[u64], num_bands: usize) -> Vec<u64> {
+    if supports.is_empty() || num_bands <= 1 {
+        return Vec::new();
+    }
+    let mut sorted = supports.to_vec();
+    sorted.sort_unstable();
+    let m = sorted.len();
+    let max = sorted[m - 1];
+    let mut bounds = Vec::new();
+    for p in 1..num_bands {
+        let q = sorted[(p * m / num_bands).min(m - 1)];
+        if q < max && bounds.last() != Some(&q) {
+            bounds.push(q);
+        }
+    }
+    bounds
+}
+
+/// Output of the coarse partition scan.
+struct CoarseOutcome {
+    /// Band index per edge.
+    band: Vec<u32>,
+    /// Butterfly support of each edge in `G_band(e)` — the residual
+    /// graph at its band's start; the seed supports for phase 2.
+    start_supp: Vec<u64>,
+    /// Work estimate per band (edges + entry supports), used to order
+    /// bands largest-first for the phase-2 scheduler.
+    work: Vec<u64>,
+    /// Support updates the scan performed.
+    updates: u64,
+}
+
+/// The coarse bottom-up scan: for each threshold `t_p` in turn, run the
+/// peeling fixpoint in huge sub-rounds (everything at support ≤ `t_p`
+/// peels together) with BiT-BU#-style aggregated deltas. Supports are
+/// **exact** here (no clamping): the scan tracks true residual supports
+/// so each band's entry supports can be snapshotted for phase 2. Heavy
+/// sub-rounds fan their bloom traversals out across workers exactly as
+/// BiT-BU++/P does per batch — but there are only a handful of
+/// sub-rounds per band, so the fork/join cost is amortized thousands of
+/// times better.
+fn coarse_partition(
+    index: &mut BeIndex,
+    mut supp: Vec<u64>,
+    bounds: &[u64],
+    threads: usize,
+    observer: &dyn EngineObserver,
+    scratch_bytes: &mut usize,
+) -> Result<CoarseOutcome> {
+    let m = supp.len();
+    let nb = bounds.len() + 1;
+    let last = (nb - 1) as u32;
+    let mut band = vec![last; m];
+    let mut start_supp = vec![0u64; m];
+    let mut work = vec![0u64; nb];
+    let mut updates = 0u64;
+    // `queued[e]`: e has been claimed by some band (sticky).
+    let mut queued = vec![false; m];
+    // Lazy entry-support snapshots: `snap[e]` holds e's support at the
+    // start of band `snap_band[e] − 1`'s fixpoint, captured on the first
+    // delta that band applies to e (stamp 0 = never).
+    let mut snap = vec![0u64; m];
+    let mut snap_band = vec![0u32; m];
+
+    let mut c: Vec<u32> = vec![0; index.num_blooms() as usize];
+    let mut touched_blooms: Vec<u32> = Vec::new();
+    let mut delta = vec![0u64; m];
+    let mut touched_edges: Vec<u32> = Vec::new();
+    let mut pending: Vec<EdgeId> = Vec::new();
+    let mut batch: Vec<EdgeId> = Vec::new();
+    let mut worker_bufs: Vec<(Vec<u64>, Vec<u32>)> = Vec::new();
+    let mut assigned = 0u64;
+
+    for (p, &t_p) in bounds.iter().enumerate() {
+        let p = p as u32;
+        let stamp = p + 1;
+        for e in 0..m {
+            if !queued[e] && supp[e] <= t_p {
+                queued[e] = true;
+                pending.push(EdgeId(e as u32));
+            }
+        }
+        while !pending.is_empty() {
+            checkpoint(observer)?;
+            std::mem::swap(&mut batch, &mut pending);
+            assigned += batch.len() as u64;
+            observer.on_phase_progress(Phase::Partition, assigned, m as u64);
+            for &e in &batch {
+                band[e.index()] = p;
+                // Entry support: the value before this band's first
+                // delta (the snapshot), or the current value if the
+                // band never touched it.
+                let s = if snap_band[e.index()] == stamp {
+                    snap[e.index()]
+                } else {
+                    supp[e.index()]
+                };
+                start_supp[e.index()] = s;
+                work[p as usize] += 1 + s;
+            }
+            // Kill the sub-round's wedges, count C(B), settle twins
+            // with −(k−1) into the aggregation buffer (Algorithm 5
+            // lines 6–13, deltas aggregated as in BiT-BU#).
+            for &e in &batch {
+                for li in 0..index.links(e).len() {
+                    let w0 = WedgeId(index.links(e)[li]);
+                    if !index.wedge_alive(w0) {
+                        continue;
+                    }
+                    let b = index.wedge_bloom(w0);
+                    let k = index.bloom_k(b) as u64;
+                    let twin = index.wedge_twin(w0, e);
+                    index.kill_wedge(w0);
+                    if c[b.index()] == 0 {
+                        touched_blooms.push(b.0);
+                    }
+                    c[b.index()] += 1;
+                    if k >= 2 && index.in_index(twin) {
+                        if delta[twin.index()] == 0 {
+                            touched_edges.push(twin.0);
+                        }
+                        delta[twin.index()] += k - 1;
+                    }
+                }
+                index.remove_edge_links(e);
+            }
+            batch.clear();
+            // One traversal per touched bloom, −C(B) per surviving
+            // member; fanned out across workers when heavy.
+            let traversal_work: usize = touched_blooms
+                .iter()
+                .map(|&b| index.bloom_stored_wedges(BloomId(b)) as usize)
+                .sum();
+            if threads > 1 && traversal_work >= PAR_BATCH_MIN_WORK {
+                if worker_bufs.is_empty() {
+                    worker_bufs = (0..threads).map(|_| (vec![0u64; m], Vec::new())).collect();
+                    *scratch_bytes = threads * m * std::mem::size_of::<u64>();
+                }
+                std::thread::scope(|scope| {
+                    let index = &*index;
+                    let c = &c;
+                    let blooms = &touched_blooms;
+                    for (wi, (w_delta, w_touched)) in worker_bufs.iter_mut().enumerate() {
+                        scope.spawn(move || {
+                            accumulate_bloom_deltas(
+                                index, c, blooms, wi, threads, w_delta, w_touched,
+                            );
+                        });
+                    }
+                });
+                for (w_delta, w_touched) in &mut worker_bufs {
+                    for &e in w_touched.iter() {
+                        let d = std::mem::take(&mut w_delta[e as usize]);
+                        if delta[e as usize] == 0 {
+                            touched_edges.push(e);
+                        }
+                        delta[e as usize] += d;
+                    }
+                    w_touched.clear();
+                }
+            } else {
+                accumulate_bloom_deltas(
+                    index,
+                    &c,
+                    &touched_blooms,
+                    0,
+                    1,
+                    &mut delta,
+                    &mut touched_edges,
+                );
+            }
+            for &b in &touched_blooms {
+                let cb = std::mem::take(&mut c[b as usize]);
+                index.sub_bloom_k(BloomId(b), cb);
+            }
+            touched_blooms.clear();
+            // Exact (unclamped) apply; edges crossing the threshold
+            // join the next sub-round.
+            for &te in &touched_edges {
+                let e = te as usize;
+                let d = std::mem::take(&mut delta[e]);
+                if d > 0 && index.in_index(EdgeId(te)) {
+                    if snap_band[e] != stamp {
+                        snap_band[e] = stamp;
+                        snap[e] = supp[e];
+                    }
+                    debug_assert!(supp[e] >= d, "coarse support underflow");
+                    supp[e] = supp[e].saturating_sub(d);
+                    updates += 1;
+                    if supp[e] <= t_p && !queued[e] {
+                        queued[e] = true;
+                        pending.push(EdgeId(te));
+                    }
+                }
+            }
+            touched_edges.clear();
+        }
+    }
+    // Everything that survived every threshold is the top band; its
+    // residual supports are already exact.
+    for e in 0..m {
+        if !queued[e] {
+            start_supp[e] = supp[e];
+            work[last as usize] += 1 + supp[e];
+            assigned += 1;
+        }
+    }
+    observer.on_phase_progress(Phase::Partition, assigned, m as u64);
+    Ok(CoarseOutcome {
+        band,
+        start_supp,
+        work,
+        updates,
+    })
+}
+
+/// Per-band BE-Index slices: for every bloom, its stored wedge ids
+/// re-ordered by wedge band (descending), plus the matching sorted band
+/// values. A wedge's band is `min(band(e1), band(e2))` — exactly the
+/// band during which the coarse scan kills it — so the wedges alive at
+/// band `p`'s start are a *prefix* of the bloom's slice, found by one
+/// binary search. Band workers therefore traverse live wedges only,
+/// never paying for lower bands' tombstones.
+struct BandSlices {
+    /// `min(band(e1), band(e2))` per wedge.
+    wedge_band: Vec<u32>,
+    /// Slice ranges per bloom, length `B + 1`.
+    offsets: Vec<u32>,
+    /// Wedge ids grouped by bloom, band-descending within each bloom.
+    wedges: Vec<u32>,
+    /// The band values matching `wedges` (sorted descending per bloom).
+    bands: Vec<u32>,
+    /// Slice ranges per edge into [`BandSlices::ewedges`], length `m + 1`.
+    eoffsets: Vec<u32>,
+    /// Per edge `e`: the wedges of `links(e)` whose band equals
+    /// `band(e)` — the only links a band peel of `e` can ever act on
+    /// (a wedge's band is the min of its members', so no link has a
+    /// higher band, and lower-band links died in earlier bands). Hub
+    /// edges' link lists are dominated by long-dead low-band wedges;
+    /// pre-filtering here keeps phase 1 from rescanning them.
+    ewedges: Vec<u32>,
+}
+
+impl BandSlices {
+    fn build(index: &BeIndex, band: &[u32]) -> BandSlices {
+        let nw = index.num_wedges() as usize;
+        let nbl = index.num_blooms() as usize;
+        let mut wedge_band = vec![0u32; nw];
+        for (w, wb) in wedge_band.iter_mut().enumerate() {
+            let (e1, e2) = index.wedge_members(WedgeId(w as u32));
+            *wb = band[e1.index()].min(band[e2.index()]);
+        }
+        let mut offsets = vec![0u32; nbl + 1];
+        for b in 0..nbl {
+            offsets[b + 1] = offsets[b] + index.bloom_stored_wedges(BloomId(b as u32));
+        }
+        let mut wedges = vec![0u32; nw];
+        let mut bands = vec![0u32; nw];
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        // `b` is a bloom id used against three structures; an
+        // enumerate-over-offsets rewrite would only obscure that.
+        #[allow(clippy::needless_range_loop)]
+        for b in 0..nbl {
+            pairs.clear();
+            for w in index.bloom_wedges(BloomId(b as u32)) {
+                pairs.push((wedge_band[w.index()], w.0));
+            }
+            // Band descending, wedge id ascending within a band — a
+            // deterministic order so runs are reproducible.
+            pairs.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let s = offsets[b] as usize;
+            for (i, &(bv, w)) in pairs.iter().enumerate() {
+                bands[s + i] = bv;
+                wedges[s + i] = w;
+            }
+        }
+        let ne = band.len();
+        let mut eoffsets = vec![0u32; ne + 1];
+        for e in 0..ne {
+            let cnt = index
+                .links(EdgeId(e as u32))
+                .iter()
+                .filter(|&&w| wedge_band[w as usize] == band[e])
+                .count();
+            eoffsets[e + 1] = eoffsets[e] + cnt as u32;
+        }
+        let mut ewedges = vec![0u32; eoffsets[ne] as usize];
+        for e in 0..ne {
+            let mut at = eoffsets[e] as usize;
+            for &w in index.links(EdgeId(e as u32)) {
+                if wedge_band[w as usize] == band[e] {
+                    ewedges[at] = w;
+                    at += 1;
+                }
+            }
+        }
+        BandSlices {
+            wedge_band,
+            offsets,
+            wedges,
+            bands,
+            eoffsets,
+            ewedges,
+        }
+    }
+
+    /// The links of `e` whose wedge band equals `e`'s own band — the
+    /// only wedges `e`'s removal during its band peel can still kill.
+    #[inline]
+    fn edge_wedges(&self, e: EdgeId) -> &[u32] {
+        &self.ewedges[self.eoffsets[e.index()] as usize..self.eoffsets[e.index() + 1] as usize]
+    }
+
+    /// The slice range holding bloom `b`'s wedges alive at band `p`'s
+    /// start: `(start, len)` into [`BandSlices::wedges`]. `len` is also
+    /// the bloom's wedge count `k` at that moment.
+    #[inline]
+    fn live_prefix(&self, b: BloomId, p: u32) -> (usize, usize) {
+        let s = self.offsets[b.index()] as usize;
+        let e = self.offsets[b.index() + 1] as usize;
+        let len = self.bands[s..e].partition_point(|&bv| bv >= p);
+        (s, len)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (self.wedge_band.len()
+            + self.wedges.len()
+            + self.bands.len()
+            + self.offsets.len()
+            + self.eoffsets.len()
+            + self.ewedges.len())
+            * 4
+    }
+}
+
+/// Read-only context shared by every band worker.
+struct BandContext<'a> {
+    index: &'a BeIndex,
+    band: &'a [u32],
+    band_edges: &'a [Vec<u32>],
+    start_supp: &'a [u64],
+    slices: &'a BandSlices,
+    popped: AtomicU64,
+    total: u64,
+    observer: &'a dyn EngineObserver,
+}
+
+/// Partition-local scratch, allocated once per worker and reused across
+/// the bands it pulls. All per-edge/per-wedge/per-bloom state resets in
+/// O(touched) via stamps (`band + 1`) or take-lists — never an O(m)
+/// clear between bands.
+struct BandScratch {
+    /// Working supports; only the current band's entries are live.
+    supp: Vec<u64>,
+    /// Aggregated per-edge deltas for the current batch (take-reset).
+    delta: Vec<u64>,
+    /// Stamp per edge: `band + 1` once the band peel removed it.
+    removed: Vec<u32>,
+    /// Stamp per wedge: `band + 1` once killed within the band.
+    killed: Vec<u32>,
+    /// Bloom wedge counts as the band evolves them.
+    k_local: Vec<u32>,
+    /// Stamp per bloom: `band + 1` once `k_local` was initialized.
+    k_seen: Vec<u32>,
+    /// Per-bloom removed-wedge counts for the current batch (take-reset).
+    c: Vec<u32>,
+    touched_blooms: Vec<u32>,
+    touched_edges: Vec<u32>,
+    batch: Vec<EdgeId>,
+    updates: u64,
+}
+
+impl BandScratch {
+    fn new(m: usize, nw: usize, nbl: usize) -> BandScratch {
+        BandScratch {
+            supp: vec![0; m],
+            delta: vec![0; m],
+            removed: vec![0; m],
+            killed: vec![0; nw],
+            k_local: vec![0; nbl],
+            k_seen: vec![0; nbl],
+            c: vec![0; nbl],
+            touched_blooms: Vec::new(),
+            touched_edges: Vec::new(),
+            batch: Vec::new(),
+            updates: 0,
+        }
+    }
+
+    fn memory_bytes(m: usize, nw: usize, nbl: usize) -> usize {
+        m * 8 + m * 8 + m * 4 + nw * 4 + nbl * 12
+    }
+
+    /// Peels band `p` to completion: a full BiT-BU#-style batch peel
+    /// restricted to the band's edges, seeded from their entry supports.
+    /// Returns `(edge, φ)` pairs for every edge of the band.
+    fn peel_band(&mut self, p: u32, ctx: &BandContext<'_>) -> Result<Vec<(u32, u64)>> {
+        let stamp = p + 1;
+        let members = &ctx.band_edges[p as usize];
+        for &e in members {
+            self.supp[e as usize] = ctx.start_supp[e as usize];
+        }
+        let mut queue = BucketQueue::from_members(&self.supp, members);
+        let mut pairs: Vec<(u32, u64)> = Vec::with_capacity(members.len());
+
+        while let Some(level) = queue.pop_level(&self.supp, &mut self.batch) {
+            checkpoint(ctx.observer)?;
+            let done = ctx
+                .popped
+                .fetch_add(self.batch.len() as u64, Ordering::Relaxed)
+                + self.batch.len() as u64;
+            ctx.observer
+                .on_phase_progress(Phase::Peeling, done, ctx.total);
+            let batch = std::mem::take(&mut self.batch);
+            for &e in &batch {
+                pairs.push((e.0, level));
+            }
+            // Phase 1: kill this batch's wedges (pre-filtered to the
+            // band's own links), count C(B), settle twins with −(k−1).
+            // `k` is the bloom's wedge count at batch start, lazily
+            // initialized to the band-start prefix length on the
+            // bloom's first touch.
+            for &e in &batch {
+                for &wraw in ctx.slices.edge_wedges(e) {
+                    let w = WedgeId(wraw);
+                    if self.killed[w.index()] == stamp {
+                        continue;
+                    }
+                    let b = ctx.index.wedge_bloom(w);
+                    if self.k_seen[b.index()] != stamp {
+                        self.k_seen[b.index()] = stamp;
+                        self.k_local[b.index()] = ctx.slices.live_prefix(b, p).1 as u32;
+                    }
+                    let k = self.k_local[b.index()] as u64;
+                    let twin = ctx.index.wedge_twin(w, e);
+                    self.killed[w.index()] = stamp;
+                    if self.c[b.index()] == 0 {
+                        self.touched_blooms.push(b.0);
+                    }
+                    self.c[b.index()] += 1;
+                    // Only the band's own edges are tracked: higher
+                    // bands are frozen context, lower bands are gone.
+                    if k >= 2 && ctx.band[twin.index()] == p && self.removed[twin.index()] != stamp
+                    {
+                        if self.delta[twin.index()] == 0 {
+                            self.touched_edges.push(twin.0);
+                        }
+                        self.delta[twin.index()] += k - 1;
+                    }
+                }
+                self.removed[e.index()] = stamp;
+            }
+            self.batch = batch;
+            // Phase 2: one traversal per touched bloom, −C(B) per
+            // surviving tracked member. Only wedges whose min-band is
+            // exactly `p` can hold a tracked (band-`p`) edge — wedges
+            // further up the band-descending slice are pure frozen
+            // context — so the traversal walks just the exact-band tail
+            // of the live prefix, skipping the higher-band wedges that
+            // dominate low bands' blooms.
+            for i in 0..self.touched_blooms.len() {
+                let b = BloomId(self.touched_blooms[i]);
+                let cb = std::mem::take(&mut self.c[b.index()]) as u64;
+                let (s, len) = ctx.slices.live_prefix(b, p);
+                let own = s + ctx.slices.bands[s..s + len].partition_point(|&bv| bv > p);
+                for &wraw in &ctx.slices.wedges[own..s + len] {
+                    let w = WedgeId(wraw);
+                    if self.killed[w.index()] == stamp {
+                        continue;
+                    }
+                    let (e1, e2) = ctx.index.wedge_members(w);
+                    for other in [e1, e2] {
+                        if ctx.band[other.index()] == p && self.removed[other.index()] != stamp {
+                            if self.delta[other.index()] == 0 {
+                                self.touched_edges.push(other.0);
+                            }
+                            self.delta[other.index()] += cb;
+                        }
+                    }
+                }
+                let k = &mut self.k_local[b.index()];
+                *k = k.saturating_sub(cb as u32);
+            }
+            self.touched_blooms.clear();
+            // Phase 3: one merged clamped write per affected edge.
+            for i in 0..self.touched_edges.len() {
+                let te = self.touched_edges[i];
+                let e = te as usize;
+                let d = std::mem::take(&mut self.delta[e]);
+                if d > 0 && self.removed[e] != stamp && self.supp[e] > level {
+                    let old = self.supp[e];
+                    let new = level.max(old.saturating_sub(d));
+                    self.supp[e] = new;
+                    queue.decrease(EdgeId(te), old, new);
+                    self.updates += 1;
+                }
+            }
+            self.touched_edges.clear();
+        }
+        Ok(pairs)
+    }
+}
+
+/// One band's peel output: the `(edge, φ)` pairs it settled.
+type BandPairs = Vec<(u32, u64)>;
+
+/// What one phase-2 worker hands back: its peeled bands (tagged by band
+/// index) plus its scratch's support-update count.
+type WorkerOutput = Result<(Vec<(u32, BandPairs)>, u64)>;
+
+/// Phase 2 driver: workers pull whole bands (largest estimated work
+/// first) off a shared atomic counter and peel them with their own
+/// [`BandScratch`]; no synchronization happens inside a band. Returns
+/// the per-band `(edge, φ)` fragments, the summed support updates, and
+/// the scratch footprint.
+fn peel_bands(
+    ctx: &BandContext<'_>,
+    work: &[u64],
+    threads: usize,
+) -> Result<(Vec<BandPairs>, u64, usize)> {
+    let nb = work.len();
+    let m = ctx.band.len();
+    let nw = ctx.index.num_wedges() as usize;
+    let nbl = ctx.index.num_blooms() as usize;
+    let mut order: Vec<u32> = (0..nb as u32).collect();
+    order.sort_by_key(|&p| (std::cmp::Reverse(work[p as usize]), p));
+    let next = AtomicUsize::new(0);
+    let t = threads.max(1).min(nb.max(1));
+
+    let mut per_band: Vec<BandPairs> = vec![Vec::new(); nb];
+    let mut updates = 0u64;
+    let worker = |scratch: &mut BandScratch| -> Result<Vec<(u32, BandPairs)>> {
+        let mut out = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= order.len() {
+                return Ok(out);
+            }
+            let p = order[i];
+            let pairs = scratch.peel_band(p, ctx)?;
+            out.push((p, pairs));
+        }
+    };
+
+    if t <= 1 {
+        let mut scratch = BandScratch::new(m, nw, nbl);
+        for (p, pairs) in worker(&mut scratch)? {
+            per_band[p as usize] = pairs;
+        }
+        updates += scratch.updates;
+    } else {
+        let results: Vec<WorkerOutput> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..t)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut scratch = BandScratch::new(m, nw, nbl);
+                        let out = worker(&mut scratch)?;
+                        Ok((out, scratch.updates))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("band worker panicked"))
+                .collect()
+        });
+        for r in results {
+            let (out, u) = r?;
+            for (p, pairs) in out {
+                per_band[p as usize] = pairs;
+            }
+            updates += u;
+        }
+    }
+    Ok((per_band, updates, t * BandScratch::memory_bytes(m, nw, nbl)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::batch::{bit_bu_hybrid, bit_bu_pp};
+    use crate::verify::{reference_decomposition, validate_decomposition};
+
+    #[test]
+    fn matches_sequential_across_threads_and_bands() {
+        for seed in 0..5 {
+            let g = datagen::random::uniform(13, 15, 70, seed);
+            let (seq, _) = bit_bu_pp(&g);
+            for threads in [1, 2, 4, 8] {
+                for bands in [1, 2, 3, 16] {
+                    let (d, m) = bit_bu_pp_2p_tuned(&g, Threads(threads), bands);
+                    assert_eq!(d, seq, "seed {seed} threads {threads} bands {bands}");
+                    assert!(m.bands >= 1 && m.bands <= bands.max(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_skewed_graphs() {
+        for seed in 0..3 {
+            let g = datagen::powerlaw::chung_lu(80, 80, 1_200, 1.9, 1.9, seed);
+            let expect = reference_decomposition(&g);
+            let (d, _) = bit_bu_pp_2p(&g, Threads(4));
+            assert_eq!(d, expect, "seed {seed}");
+            validate_decomposition(&g, &d).unwrap();
+        }
+    }
+
+    #[test]
+    fn update_count_is_thread_independent_and_below_hybrid() {
+        let g = datagen::powerlaw::chung_lu(90, 90, 1_400, 1.9, 1.9, 8);
+        let (d_h, m_h) = bit_bu_hybrid(&g);
+        let mut counts = Vec::new();
+        for threads in [1, 2, 4, 8] {
+            let (d, m) = bit_bu_pp_2p(&g, Threads(threads));
+            assert_eq!(d, d_h);
+            counts.push(m.support_updates);
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+        // Untracked cross-band writes are the point of the partition:
+        // strictly less write traffic than the aggregated sequential
+        // engine on a skewed graph.
+        assert!(
+            counts[0] < m_h.support_updates,
+            "{} >= {}",
+            counts[0],
+            m_h.support_updates
+        );
+    }
+
+    #[test]
+    fn outcome_respects_band_invariant_with_empty_stitch_log() {
+        for seed in 0..4 {
+            let g = datagen::powerlaw::chung_lu(60, 60, 700, 2.0, 2.0, seed);
+            let (d, _, outcome) =
+                bit_bu_pp_2p_with_outcome(&g, Threads(3), 8, &NoopObserver).unwrap();
+            assert!(outcome.stitch.migrations.is_empty(), "seed {seed}");
+            for e in 0..g.num_edges() as usize {
+                let p = outcome.band_of_edge[e];
+                assert!(
+                    outcome.in_band(p, d.phi[e]),
+                    "seed {seed} edge {e}: φ={} outside band {p} {:?}",
+                    d.phi[e],
+                    outcome.band_range(p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_band_and_empty_graph() {
+        let g = bigraph::GraphBuilder::new().build().unwrap();
+        let (d, _) = bit_bu_pp_2p(&g, Threads(4));
+        assert_eq!(d.phi.len(), 0);
+
+        let g = datagen::random::uniform(10, 10, 45, 7);
+        let (seq, _) = bit_bu_pp(&g);
+        let (one_band, m) = bit_bu_pp_2p_tuned(&g, Threads(2), 1);
+        assert_eq!(one_band, seq);
+        assert_eq!(m.bands, 1);
+    }
+
+    #[test]
+    fn band_bounds_are_strictly_ascending_and_below_max() {
+        let supports = vec![0u64, 0, 1, 1, 2, 3, 5, 5, 5, 9, 40];
+        let bounds = band_bounds(&supports, 4);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{bounds:?}");
+        assert!(bounds.iter().all(|&b| b < 40), "{bounds:?}");
+        assert!(band_bounds(&supports, 1).is_empty());
+        assert!(band_bounds(&[], 8).is_empty());
+        assert!(band_bounds(&[7, 7, 7], 8).is_empty());
+    }
+
+    #[test]
+    fn cancellation_unwinds_from_band_workers() {
+        use std::sync::atomic::AtomicU64 as Counter;
+        struct CancelAfter {
+            polls: Counter,
+            after: u64,
+        }
+        impl EngineObserver for CancelAfter {
+            fn is_cancelled(&self) -> bool {
+                self.polls.fetch_add(1, Ordering::Relaxed) >= self.after
+            }
+        }
+        let g = datagen::powerlaw::chung_lu(60, 60, 700, 2.0, 2.0, 1);
+        // Sweep the cancellation point from "immediately" to "deep in
+        // phase 2" — every stop must surface Err(Cancelled).
+        let mut cancelled = 0;
+        for after in [0, 1, 5, 20, 80, 200] {
+            let obs = CancelAfter {
+                polls: Counter::new(0),
+                after,
+            };
+            match bit_bu_pp_2p_with_outcome(&g, Threads(4), 8, &obs) {
+                Err(bigraph::Error::Cancelled) => cancelled += 1,
+                Err(e) => panic!("unexpected error {e}"),
+                Ok(_) => {}
+            }
+        }
+        assert!(cancelled >= 4, "only {cancelled} runs cancelled");
+    }
+}

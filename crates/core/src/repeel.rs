@@ -2,6 +2,11 @@
 //! affected subgraph only, with the unaffected boundary *frozen* at its
 //! known φ.
 //!
+//! Two layers build on this pass: the `bitruss-dynamic` crate's
+//! incremental maintenance (its insertion regions re-peel here) and the
+//! [two-phase partition engine](crate::partition)'s stitch repair (edges
+//! whose φ escaped their assigned band re-peel against a frozen rest).
+//!
 //! # Exactness
 //!
 //! The global bottom-up peel removes every edge at level `φ(e)`, and —
@@ -341,8 +346,8 @@ fn repeel_with_index(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::algo::{decompose, Algorithm};
     use bigraph::{GraphBuilder, NoopObserver};
-    use bitruss_core::{decompose, Algorithm};
 
     /// Re-peeling any single-edge "region" of a correct decomposition
     /// reproduces that edge's φ (self-consistency of the frozen peel).

@@ -71,7 +71,10 @@
 pub mod analyze;
 pub mod apply;
 pub mod batch;
-pub mod repeel;
+/// The localized frozen-boundary re-peel now lives in `bitruss-core`
+/// (the two-phase partition engine's stitch pass shares it); re-exported
+/// here so `bitruss_dynamic::repeel::repeel_region` keeps resolving.
+pub use bitruss_core::repeel;
 
 pub use analyze::{insertion_region, settle_deletions};
 pub use apply::{apply, apply_batch, AppliedBatch, MaintenanceStats};

@@ -3,7 +3,7 @@
 //! ```text
 //! bitruss-cli stats      <edges.txt>
 //! bitruss-cli count      <edges.txt> [--threads N]
-//! bitruss-cli decompose  <edges.txt> [--algorithm bs|bu|bu+|bu++|bu++p|pc] [--tau T] [--threads N] [--output phi.txt] [--snapshot snap.bin]
+//! bitruss-cli decompose  <edges.txt> [--algorithm bs|bu|bu+|bu++|bu++p|bu++2p|pc] [--tau T] [--threads N] [--output phi.txt] [--snapshot snap.bin]
 //! bitruss-cli kbitruss   <edges.txt> <k> [--output sub.txt]
 //! bitruss-cli communities <edges.txt> <k>
 //! bitruss-cli query      <snap.bin> [--queries q.txt]
@@ -32,10 +32,11 @@
 //! back over the input). Recomputing from scratch after every edit is
 //! the deprecated path — `update` produces bit-identical φ.
 //!
-//! `--threads N` selects the parallel engine with `N` workers (`0` =
+//! `--threads N` selects a parallel engine with `N` workers (`0` =
 //! auto-detect from the hardware); for `decompose` it upgrades the
-//! default `bu++` algorithm to the parallel `bu++p`, whose result is
-//! bit-identical to the sequential run. Edge files are whitespace-
+//! default `bu++` algorithm to the parallel `bu++p`, or sets the worker
+//! count of an explicit `-a bu++2p` (the two-phase partition engine) —
+//! either way the result is bit-identical to the sequential run. Edge files are whitespace-
 //! separated `upper lower` pairs, one per line, `%`/`#` comments allowed;
 //! pass `--one-based` for KONECT-style 1-based indices. Unknown flags are
 //! rejected with the list of known ones — typos never parse as file
@@ -398,6 +399,9 @@ mod tests {
         let args = parse(&["decompose", "g.txt", "-a", "bu++p", "-j", "3"]).unwrap();
         assert_eq!(args.algorithm, Algorithm::parallel_auto());
         assert_eq!(args.threads, Some(Threads(3)));
+        let args = parse(&["decompose", "g.txt", "-a", "bu++2p", "-j", "2"]).unwrap();
+        assert_eq!(args.algorithm, Algorithm::two_phase_auto());
+        assert_eq!(args.threads, Some(Threads(2)));
         let err = parse(&["decompose", "g.txt", "-a", "nope"]).unwrap_err();
         assert!(err.contains("unknown algorithm"), "{err}");
     }

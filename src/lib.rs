@@ -94,12 +94,13 @@ pub mod workloads {
 pub use bigraph::{BipartiteGraph, EdgeId, GraphBuilder, VertexId};
 #[allow(deprecated)]
 pub use bitruss_core::{
-    bit_bs, bit_bu, bit_bu_hybrid, bit_bu_plus, bit_bu_pp, bit_bu_pp_par, bit_pc, decompose,
-    decompose_observed, decompose_pruned, k_bitruss, read_decomposition, read_snapshot,
+    bit_bs, bit_bu, bit_bu_hybrid, bit_bu_plus, bit_bu_pp, bit_bu_pp_2p, bit_bu_pp_par, bit_pc,
+    decompose, decompose_observed, decompose_pruned, k_bitruss, read_decomposition, read_snapshot,
     read_snapshot_file, tip_decomposition, write_decomposition, write_snapshot,
-    write_snapshot_file, Algorithm, BitrussEngine, BitrussHierarchy, Community, Decomposition,
-    EngineBuilder, EngineObserver, HierarchyMode, Metrics, NoopObserver, ParseAlgorithmError,
-    PeelStrategy, Phase, Query, QueryAnswer, Snapshot, Threads, TipLayer, DEFAULT_TAU,
+    write_snapshot_file, Algorithm, BandPartition, BitrussEngine, BitrussHierarchy, Community,
+    Decomposition, EngineBuilder, EngineObserver, HierarchyMode, Metrics, NoopObserver,
+    ParseAlgorithmError, PeelStrategy, Phase, Query, QueryAnswer, Snapshot, StitchLog, Threads,
+    TipLayer, DEFAULT_TAU,
 };
 pub use bitruss_dynamic::{DynamicEngineExt, MaintenanceStats, UpdateBatch, UpdateOp};
 pub use butterfly::{count_per_edge, count_per_edge_parallel, count_total, ButterflyCounts};

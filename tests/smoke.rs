@@ -2,8 +2,8 @@
 //!
 //! Builds a handful of tiny deterministic graphs with `datagen` and asserts
 //! that all five algorithm families of the paper — BiT-BS, BiT-BU, BiT-BU+,
-//! BiT-BU++ and BiT-PC — plus the parallel engine BiT-BU++/P assign the
-//! *identical* bitruss number to every edge. Unlike `cross_algorithm.rs`
+//! BiT-BU++ and BiT-PC — plus the parallel engines BiT-BU++/P and
+//! BiT-BU++2P assign the *identical* bitruss number to every edge. Unlike `cross_algorithm.rs`
 //! (hundreds of property cases) this runs in well under a second, so a
 //! broken algorithm fails CI almost instantly.
 
@@ -15,6 +15,9 @@ const ORACLE_ALGORITHMS: &[Algorithm] = &[
     Algorithm::BuPlus,
     Algorithm::BuPlusPlus,
     Algorithm::BuPlusPlusPar {
+        threads: Threads(3),
+    },
+    Algorithm::BuPlusPlusTwoPhase {
         threads: Threads(3),
     },
     Algorithm::Pc { tau: 0.25 },
