@@ -61,10 +61,13 @@ fn main() -> ExitCode {
         let _ = writeln!(out);
     }
     if let Some(path) = json_path {
-        let write = || -> std::io::Result<()> {
-            let mut f = std::fs::File::create(&path)?;
-            write_records(&mut f, &records)?;
-            f.flush()
+        // Atomic commit (temp + fsync + rename): an interrupted run can
+        // never leave truncated JSON for the CI gate to misparse.
+        let write = || -> Result<(), String> {
+            let mut bytes = Vec::new();
+            write_records(&mut bytes, &records).map_err(|e| e.to_string())?;
+            bitruss_core::write_bytes_atomic_std(std::path::Path::new(&path), &bytes)
+                .map_err(|e| e.to_string())
         };
         if let Err(e) = write() {
             eprintln!("writing {path}: {e}");

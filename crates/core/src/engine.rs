@@ -306,6 +306,22 @@ impl BitrussEngine<'static> {
         Self::adopt(read_snapshot(reader)?)
     }
 
+    /// Builds a session directly from an already-loaded
+    /// [`Snapshot`](crate::persist::binary::Snapshot) — the entry point
+    /// durable stores use after
+    /// [`crate::persist::store::SnapshotStore::recover`] has validated
+    /// the bytes. A persisted hierarchy is adopted without a rebuild;
+    /// [`BitrussEngine::metrics`] and [`BitrussEngine::algorithm`] are
+    /// `None` because no run happened.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible (the snapshot was validated on load), but
+    /// typed as [`Result`] to keep room for cross-checks.
+    pub fn from_snapshot_parts(snapshot: crate::persist::binary::Snapshot) -> Result<Self> {
+        Self::adopt(snapshot)
+    }
+
     fn adopt(snapshot: crate::persist::binary::Snapshot) -> Result<Self> {
         let hierarchy = OnceLock::new();
         if let Some(h) = snapshot.hierarchy {

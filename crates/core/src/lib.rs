@@ -89,6 +89,11 @@ pub use persist::binary::{
     read_snapshot, read_snapshot_file, write_snapshot, write_snapshot_file, Snapshot,
     FORMAT_VERSION,
 };
+pub use persist::store::{
+    write_bytes_atomic, write_bytes_atomic_std, JournalBatch, JournalOp, RecoveredState,
+    RecoveryReport, SnapshotStore, MANIFEST_NAME, STORE_FORMAT_VERSION,
+};
+pub use persist::vfs::{Fault, MemVfs, StdVfs, Vfs, VfsFile};
 pub use persist::{read_decomposition, write_decomposition};
 pub use repeel::{repeel_region, RepeelStats};
 pub use tip::{tip_decomposition, TipLayer};

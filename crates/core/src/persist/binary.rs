@@ -79,10 +79,10 @@ pub struct Snapshot {
 // ---------------------------------------------------------------------
 // FNV-1a-64 running checksum, wrapped around the raw reader/writer.
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-fn fnv_update(mut hash: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv_update(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= b as u64;
         hash = hash.wrapping_mul(FNV_PRIME);
@@ -269,13 +269,21 @@ pub fn write_snapshot<W: Write>(
 }
 
 /// Writes a snapshot to a file path; see [`write_snapshot`].
+///
+/// The write is **atomic and durable**: the snapshot is buffered, then
+/// committed via temp-file + fsync + rename + directory fsync
+/// ([`crate::persist::store::write_bytes_atomic_std`]), so a crash
+/// mid-write can never leave a torn file at `path`, and errors name the
+/// offending file.
 pub fn write_snapshot_file<P: AsRef<Path>>(
     g: &BipartiteGraph,
     d: &Decomposition,
     h: Option<&BitrussHierarchy>,
     path: P,
 ) -> Result<()> {
-    write_snapshot(g, d, h, File::create(path)?)
+    let mut bytes = Vec::new();
+    write_snapshot(g, d, h, &mut bytes)?;
+    crate::persist::store::write_bytes_atomic_std(path.as_ref(), &bytes)
 }
 
 // ---------------------------------------------------------------------
@@ -402,9 +410,12 @@ pub fn read_snapshot<R: Read>(reader: R) -> Result<Snapshot> {
     })
 }
 
-/// Reads a snapshot from a file path; see [`read_snapshot`].
+/// Reads a snapshot from a file path; see [`read_snapshot`]. Errors
+/// name the offending file.
 pub fn read_snapshot_file<P: AsRef<Path>>(path: P) -> Result<Snapshot> {
-    read_snapshot(File::open(path)?)
+    let path = path.as_ref();
+    let file = File::open(path).map_err(|e| crate::persist::store::io_ctx(path, e))?;
+    read_snapshot(file).map_err(|e| crate::persist::store::err_ctx(path, e))
 }
 
 #[cfg(test)]

@@ -20,6 +20,8 @@
 //! on φ, and reports malformed lines with their line number.
 
 pub mod binary;
+pub mod store;
+pub mod vfs;
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};

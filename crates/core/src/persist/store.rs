@@ -1,0 +1,1112 @@
+//! Crash-safe snapshot store: committed generations + a durable
+//! write-ahead journal of update batches.
+//!
+//! A [`SnapshotStore`] owns a directory with this layout:
+//!
+//! ```text
+//! MANIFEST        names the current committed generation n
+//! gen-<n>.snap    binary snapshot of (graph, φ, hierarchy) at gen n
+//! wal-<n>.log     journal of update batches applied *after* gen n
+//! gen-<n-1>.snap  previous generation, kept for corruption fallback
+//! wal-<n-1>.log   its journal (≡ everything between gen n-1 and gen n)
+//! ```
+//!
+//! # Commit protocol
+//!
+//! Every whole-file write (snapshot, journal header, MANIFEST) goes
+//! through [`write_bytes_atomic`]: unique temp name in the same
+//! directory → write → fsync file → rename over the target → fsync the
+//! directory. A reader therefore sees either the old file or the new
+//! one, never a torn mix, and what it sees survives power loss.
+//!
+//! A [`checkpoint`](SnapshotStore::checkpoint) commits generation `n+1`
+//! in the order *snapshot, empty journal, MANIFEST*. The MANIFEST
+//! rename is the commit point: crash before it and recovery finds
+//! generation `n` with its full journal (same state, replayed); crash
+//! after and recovery finds generation `n+1` with an empty journal.
+//! Either way, no acknowledged batch is lost.
+//!
+//! An [`append`](SnapshotStore::append) is acknowledged only after the
+//! encoded record is written **and fsynced** to the current journal.
+//! Records are length-prefixed, sequence-numbered, and FNV-checksummed;
+//! [recovery](SnapshotStore::recover) replays the journal tail and
+//! truncates at the first torn or corrupt record, so a crash mid-append
+//! costs at most the unacknowledged batch.
+//!
+//! # Recovery
+//!
+//! [`SnapshotStore::recover`] reads the MANIFEST, loads `gen-<n>.snap`
+//! (checksum + structural validation via [`read_snapshot`]) and scans
+//! `wal-<n>.log`. When the newest snapshot itself fails validation, it
+//! falls back to generation `n-1`: since gen `n` ≡ gen `n-1` plus every
+//! record of `wal-<n-1>.log`, replaying the previous journal in full and
+//! then the tail of `wal-<n>.log` reconstructs the same state. The
+//! returned [`RecoveryReport`] says exactly what happened; the batches
+//! in [`RecoveredState::tail`] must be replayed (the dynamic layer's
+//! `DurableEngine` does this) before serving.
+//!
+//! All I/O goes through a [`Vfs`], so the whole protocol is tested
+//! against deterministic crash/ENOSPC/torn-write injection on
+//! [`MemVfs`](super::vfs::MemVfs) — see `tests/durability.rs`.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bigraph::{BipartiteGraph, Error, Result};
+
+use crate::decomposition::Decomposition;
+use crate::hierarchy::BitrussHierarchy;
+use crate::persist::binary::{fnv_update, read_snapshot, write_snapshot, Snapshot, FNV_OFFSET};
+use crate::persist::vfs::{StdVfs, Vfs, VfsFile};
+
+/// Name of the manifest file naming the committed generation.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+/// Magic bytes opening the MANIFEST.
+const MANIFEST_MAGIC: [u8; 8] = *b"BTRSMAN\0";
+
+/// Magic bytes opening every journal file.
+const WAL_MAGIC: [u8; 8] = *b"BTRSWAL\0";
+
+/// Store format version, covering MANIFEST and journal layouts (the
+/// snapshot payload carries its own version).
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// Bytes in a MANIFEST / journal header: magic(8) + version(4) +
+/// generation(8) + FNV trailer(8).
+const HEADER_LEN: u64 = 28;
+
+fn fnv(bytes: &[u8]) -> u64 {
+    fnv_update(FNV_OFFSET, bytes)
+}
+
+fn snap_name(generation: u64) -> String {
+    format!("gen-{generation}.snap")
+}
+
+fn wal_name(generation: u64) -> String {
+    format!("wal-{generation}.log")
+}
+
+// ---------------------------------------------------------------------
+// Error context: persistence failures must name the offending file.
+
+/// Wraps an [`std::io::Error`] so its message leads with `path`.
+pub(crate) fn io_ctx(path: &Path, e: std::io::Error) -> Error {
+    Error::Io(std::io::Error::new(
+        e.kind(),
+        format!("{}: {e}", path.display()),
+    ))
+}
+
+/// Prefixes `path` onto I/O and corruption errors from a nested loader.
+pub(crate) fn err_ctx(path: &Path, e: Error) -> Error {
+    match e {
+        Error::Io(e) => io_ctx(path, e),
+        Error::Corrupt(msg) => Error::Corrupt(format!("{}: {msg}", path.display())),
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Atomic whole-file commit.
+
+/// Atomically and durably replaces the file at `path` with `bytes`:
+/// the data is written to a uniquely named temp file in the same
+/// directory, fsynced, renamed over `path`, and the parent directory is
+/// fsynced. After `Ok(())` the new content survives a crash; on error
+/// the old content is untouched (the temp file is removed best-effort).
+///
+/// # Errors
+///
+/// [`Error::Io`] naming the file that failed.
+pub fn write_bytes_atomic(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> Result<()> {
+    static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nonce = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let base = path.file_name().and_then(|n| n.to_str()).unwrap_or("file");
+    let tmp = path.with_file_name(format!("{base}.{}.{nonce}.tmp", std::process::id()));
+
+    let attempt = (|| -> Result<()> {
+        let mut f = vfs.create(&tmp).map_err(|e| io_ctx(&tmp, e))?;
+        f.write_all(bytes).map_err(|e| io_ctx(&tmp, e))?;
+        f.sync_data().map_err(|e| io_ctx(&tmp, e))?;
+        drop(f);
+        vfs.rename(&tmp, path).map_err(|e| io_ctx(path, e))?;
+        if let Some(parent) = path.parent() {
+            vfs.sync_dir(parent).map_err(|e| io_ctx(parent, e))?;
+        }
+        Ok(())
+    })();
+    if attempt.is_err() {
+        let _ = vfs.remove_file(&tmp);
+    }
+    attempt
+}
+
+/// [`write_bytes_atomic`] on the real filesystem.
+///
+/// # Errors
+///
+/// [`Error::Io`] naming the file that failed.
+pub fn write_bytes_atomic_std(path: &Path, bytes: &[u8]) -> Result<()> {
+    write_bytes_atomic(&StdVfs, path, bytes)
+}
+
+// ---------------------------------------------------------------------
+// MANIFEST and journal header encoding.
+
+fn encode_header(magic: [u8; 8], generation: u64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(HEADER_LEN as usize);
+    v.extend_from_slice(&magic);
+    v.extend_from_slice(&STORE_FORMAT_VERSION.to_le_bytes());
+    v.extend_from_slice(&generation.to_le_bytes());
+    let h = fnv(&v);
+    v.extend_from_slice(&h.to_le_bytes());
+    v
+}
+
+fn decode_header(bytes: &[u8], magic: [u8; 8], what: &str) -> Result<u64> {
+    if bytes.len() < HEADER_LEN as usize {
+        return Err(Error::Corrupt(format!("{what} is truncated")));
+    }
+    let bytes = &bytes[..HEADER_LEN as usize];
+    if bytes[..8] != magic {
+        return Err(Error::Corrupt(format!(
+            "not a {what} (magic bytes mismatch)"
+        )));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte version"));
+    if version != STORE_FORMAT_VERSION {
+        return Err(Error::Corrupt(format!(
+            "unsupported {what} version {version} (this build reads version \
+             {STORE_FORMAT_VERSION})"
+        )));
+    }
+    let stored = u64::from_le_bytes(bytes[20..28].try_into().expect("8-byte trailer"));
+    let computed = fnv(&bytes[..20]);
+    if stored != computed {
+        return Err(Error::Corrupt(format!("{what} checksum mismatch")));
+    }
+    Ok(u64::from_le_bytes(
+        bytes[12..20].try_into().expect("8-byte generation"),
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Journal records.
+
+/// One edge mutation in a journaled batch (layer-local endpoint ids, as
+/// in `bitruss_dynamic::UpdateOp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalOp {
+    /// `true` for an insertion, `false` for a deletion.
+    pub insert: bool,
+    /// Layer-local upper endpoint.
+    pub upper: u32,
+    /// Layer-local lower endpoint.
+    pub lower: u32,
+}
+
+/// A journaled update batch: the persisted form of an
+/// `bitruss_dynamic::UpdateBatch`, applied atomically on replay.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalBatch {
+    /// The mutations, in application order.
+    pub ops: Vec<JournalOp>,
+}
+
+impl JournalBatch {
+    fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(4 + self.ops.len() * 9);
+        v.extend_from_slice(&(self.ops.len() as u32).to_le_bytes());
+        for op in &self.ops {
+            v.push(u8::from(op.insert));
+            v.extend_from_slice(&op.upper.to_le_bytes());
+            v.extend_from_slice(&op.lower.to_le_bytes());
+        }
+        v
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        let too_short = || Error::Corrupt("journal record payload is truncated".into());
+        if bytes.len() < 4 {
+            return Err(too_short());
+        }
+        let count = u32::from_le_bytes(bytes[..4].try_into().expect("4-byte count")) as usize;
+        let body = &bytes[4..];
+        if body.len() != count * 9 {
+            return Err(Error::Corrupt(format!(
+                "journal record declares {count} ops but carries {} payload bytes",
+                body.len()
+            )));
+        }
+        let mut ops = Vec::with_capacity(count);
+        for chunk in body.chunks_exact(9) {
+            let insert = match chunk[0] {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(Error::Corrupt(format!(
+                        "unknown journal op tag {other} (expected 0 or 1)"
+                    )))
+                }
+            };
+            ops.push(JournalOp {
+                insert,
+                upper: u32::from_le_bytes(chunk[1..5].try_into().expect("4-byte upper")),
+                lower: u32::from_le_bytes(chunk[5..9].try_into().expect("4-byte lower")),
+            });
+        }
+        Ok(Self { ops })
+    }
+}
+
+/// `len(u32) ‖ seq(u64) ‖ payload ‖ fnv(u64 over the first three)`.
+fn encode_record(seq: u64, batch: &JournalBatch) -> Vec<u8> {
+    let payload = batch.encode();
+    let mut rec = Vec::with_capacity(4 + 8 + payload.len() + 8);
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&seq.to_le_bytes());
+    rec.extend_from_slice(&payload);
+    let h = fnv(&rec);
+    rec.extend_from_slice(&h.to_le_bytes());
+    rec
+}
+
+/// What a journal scan recovered.
+struct JournalScan {
+    batches: Vec<JournalBatch>,
+    /// Byte length of the valid prefix (header + whole valid records).
+    valid_len: u64,
+    /// `true` when the scan consumed the file exactly — no torn tail,
+    /// no corrupt record.
+    clean: bool,
+    /// Human-readable reason the scan stopped early, when it did.
+    note: Option<String>,
+}
+
+/// Scans journal `bytes`: validates the header, then decodes records
+/// until EOF, a torn tail (truncation mid-record), or a corrupt record
+/// (checksum/sequence/payload mismatch). Torn and corrupt tails are
+/// *reported*, not errors — recovery truncates them; only an invalid
+/// header makes the whole journal unusable.
+///
+/// Returns the journal's generation and the scan result.
+fn scan_journal(bytes: &[u8]) -> Result<(u64, JournalScan)> {
+    let generation = decode_header(bytes, WAL_MAGIC, "journal")?;
+    let mut batches = Vec::new();
+    let mut pos = HEADER_LEN as usize;
+    let mut clean = true;
+    let mut note = None;
+    while pos < bytes.len() {
+        let rem = &bytes[pos..];
+        let stop = |why: String| (false, Some(why));
+        if rem.len() < 4 {
+            (clean, note) = stop(format!("torn tail: {} trailing bytes", rem.len()));
+            break;
+        }
+        let payload_len = u32::from_le_bytes(rem[..4].try_into().expect("4-byte length")) as usize;
+        let total = 4 + 8 + payload_len + 8;
+        if rem.len() < total {
+            (clean, note) = stop(format!(
+                "torn tail: record {} needs {total} bytes, {} remain",
+                batches.len(),
+                rem.len()
+            ));
+            break;
+        }
+        let stored = u64::from_le_bytes(rem[total - 8..total].try_into().expect("8-byte trailer"));
+        if stored != fnv(&rem[..total - 8]) {
+            (clean, note) = stop(format!(
+                "corrupt record {}: checksum mismatch",
+                batches.len()
+            ));
+            break;
+        }
+        let seq = u64::from_le_bytes(rem[4..12].try_into().expect("8-byte sequence"));
+        if seq != batches.len() as u64 {
+            (clean, note) = stop(format!(
+                "corrupt record {}: sequence number {seq} out of order",
+                batches.len()
+            ));
+            break;
+        }
+        match JournalBatch::decode(&rem[12..total - 8]) {
+            Ok(b) => batches.push(b),
+            Err(e) => {
+                (clean, note) = stop(format!("corrupt record {}: {e}", batches.len()));
+                break;
+            }
+        }
+        pos += total;
+    }
+    Ok((
+        generation,
+        JournalScan {
+            batches,
+            valid_len: pos as u64,
+            clean,
+            note,
+        },
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Recovery results.
+
+/// How a [`SnapshotStore::recover`] call reached the returned state.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct RecoveryReport {
+    /// Generation the MANIFEST named.
+    pub manifest_generation: u64,
+    /// Generation whose snapshot was actually loaded (differs from
+    /// `manifest_generation` only after a fallback).
+    pub loaded_generation: u64,
+    /// `true` when the newest snapshot failed validation and the
+    /// previous generation was loaded instead.
+    pub fell_back: bool,
+    /// Batches in [`RecoveredState::tail`] that must be replayed on top
+    /// of the loaded snapshot.
+    pub replayed_batches: usize,
+    /// `true` when a torn or corrupt journal tail was cut off.
+    pub truncated_journal: bool,
+    /// `true` when the fallback path could not prove the tail complete
+    /// (an acknowledged batch *may* have been lost to double corruption
+    /// of the newest snapshot and a journal).
+    pub possibly_lost_tail: bool,
+    /// Human-readable detail about truncation or fallback, when any.
+    pub note: Option<String>,
+}
+
+/// A recovered store image: the loaded snapshot plus the journal tail
+/// to replay on top of it. The store refuses further
+/// [`append`](SnapshotStore::append)s after a fallback recovery until a
+/// [`checkpoint`](SnapshotStore::checkpoint) re-establishes a valid
+/// newest generation (see [`SnapshotStore::needs_checkpoint`]).
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// The committed snapshot of the loaded generation.
+    pub snapshot: Snapshot,
+    /// Journaled batches to replay, in order, on top of `snapshot`.
+    pub tail: Vec<JournalBatch>,
+    /// What recovery did to get here.
+    pub report: RecoveryReport,
+}
+
+// ---------------------------------------------------------------------
+// The store.
+
+/// A crash-safe store of one evolving `(graph, φ, hierarchy)` state:
+/// committed generation snapshots plus a durable journal of update
+/// batches. See the [module docs](self) for layout and protocol.
+pub struct SnapshotStore {
+    vfs: Arc<dyn Vfs>,
+    dir: PathBuf,
+    generation: u64,
+    next_seq: u64,
+    journal: Option<Box<dyn VfsFile>>,
+    journal_len: u64,
+    needs_checkpoint: bool,
+    poisoned: bool,
+}
+
+impl fmt::Debug for SnapshotStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotStore")
+            .field("dir", &self.dir)
+            .field("generation", &self.generation)
+            .field("journal_batches", &self.next_seq)
+            .field("journal_len", &self.journal_len)
+            .field("needs_checkpoint", &self.needs_checkpoint)
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+impl SnapshotStore {
+    /// Initialises a new store in `dir` (created if missing) with
+    /// `(g, d, h)` as generation 0, and opens its journal for appends.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Invariant`] when `dir` already holds a store, or when
+    /// `d`/`h` do not belong to `g`; [`Error::Io`] on write failure (a
+    /// failed create leaves no committed MANIFEST, so the directory is
+    /// not mistaken for a store later).
+    pub fn create(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        g: &BipartiteGraph,
+        d: &Decomposition,
+        h: Option<&BitrussHierarchy>,
+    ) -> Result<Self> {
+        vfs.create_dir_all(dir).map_err(|e| io_ctx(dir, e))?;
+        let manifest = dir.join(MANIFEST_NAME);
+        if vfs.exists(&manifest) {
+            return Err(Error::Invariant(format!(
+                "{} already holds a snapshot store",
+                dir.display()
+            )));
+        }
+        let mut snap_bytes = Vec::new();
+        write_snapshot(g, d, h, &mut snap_bytes)?;
+        write_bytes_atomic(&*vfs, &dir.join(snap_name(0)), &snap_bytes)?;
+        write_bytes_atomic(&*vfs, &dir.join(wal_name(0)), &encode_header(WAL_MAGIC, 0))?;
+        write_bytes_atomic(&*vfs, &manifest, &encode_header(MANIFEST_MAGIC, 0))?;
+        let wal_path = dir.join(wal_name(0));
+        let journal = vfs
+            .open_append(&wal_path)
+            .map_err(|e| io_ctx(&wal_path, e))?;
+        Ok(Self {
+            vfs,
+            dir: dir.to_path_buf(),
+            generation: 0,
+            next_seq: 0,
+            journal: Some(journal),
+            journal_len: HEADER_LEN,
+            needs_checkpoint: false,
+            poisoned: false,
+        })
+    }
+
+    /// [`SnapshotStore::create`] on the real filesystem.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SnapshotStore::create`].
+    pub fn create_std(
+        dir: &Path,
+        g: &BipartiteGraph,
+        d: &Decomposition,
+        h: Option<&BitrussHierarchy>,
+    ) -> Result<Self> {
+        Self::create(Arc::new(StdVfs), dir, g, d, h)
+    }
+
+    /// Recovers the store in `dir` to the last consistent state: loads
+    /// the committed generation's snapshot (falling back to the
+    /// previous generation if the newest fails validation), scans its
+    /// journal, truncates any torn or corrupt tail, and returns the
+    /// batches to replay. See the [module docs](self) for semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] / [`Error::Corrupt`] (naming the offending file)
+    /// when no consistent state can be reconstructed — missing or
+    /// corrupt MANIFEST, or every candidate snapshot failing
+    /// validation.
+    pub fn recover(vfs: Arc<dyn Vfs>, dir: &Path) -> Result<(Self, RecoveredState)> {
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let manifest_bytes = vfs
+            .read(&manifest_path)
+            .map_err(|e| io_ctx(&manifest_path, e))?;
+        let generation = decode_header(&manifest_bytes, MANIFEST_MAGIC, "store manifest")
+            .map_err(|e| err_ctx(&manifest_path, e))?;
+
+        // Sweep temp files from interrupted atomic writes.
+        if let Ok(entries) = vfs.list(dir) {
+            for p in entries {
+                if p.extension().is_some_and(|x| x == "tmp") {
+                    let _ = vfs.remove_file(&p);
+                }
+            }
+        }
+
+        let snap_path = dir.join(snap_name(generation));
+        let wal_path = dir.join(wal_name(generation));
+
+        // Primary path: the committed generation's snapshot is valid.
+        let primary_err = match vfs
+            .read(&snap_path)
+            .map_err(|e| io_ctx(&snap_path, e))
+            .and_then(|b| read_snapshot(b.as_slice()).map_err(|e| err_ctx(&snap_path, e)))
+        {
+            Ok(snapshot) => {
+                let wal_bytes = vfs.read(&wal_path).map_err(|e| io_ctx(&wal_path, e))?;
+                let (wal_gen, scan) =
+                    scan_journal(&wal_bytes).map_err(|e| err_ctx(&wal_path, e))?;
+                if wal_gen != generation {
+                    return Err(Error::Corrupt(format!(
+                        "{}: journal belongs to generation {wal_gen}, manifest names \
+                         {generation}",
+                        wal_path.display()
+                    )));
+                }
+                let truncated = scan.valid_len < wal_bytes.len() as u64;
+                if truncated {
+                    vfs.truncate(&wal_path, scan.valid_len)
+                        .map_err(|e| io_ctx(&wal_path, e))?;
+                }
+                let journal = vfs
+                    .open_append(&wal_path)
+                    .map_err(|e| io_ctx(&wal_path, e))?;
+                let next_seq = scan.batches.len() as u64;
+                let store = Self {
+                    vfs,
+                    dir: dir.to_path_buf(),
+                    generation,
+                    next_seq,
+                    journal: Some(journal),
+                    journal_len: scan.valid_len,
+                    needs_checkpoint: false,
+                    poisoned: false,
+                };
+                let report = RecoveryReport {
+                    manifest_generation: generation,
+                    loaded_generation: generation,
+                    fell_back: false,
+                    replayed_batches: scan.batches.len(),
+                    truncated_journal: truncated,
+                    possibly_lost_tail: false,
+                    note: scan.note,
+                };
+                return Ok((
+                    store,
+                    RecoveredState {
+                        snapshot,
+                        tail: scan.batches,
+                        report,
+                    },
+                ));
+            }
+            Err(e) => e,
+        };
+
+        // Fallback: gen n ≡ gen n-1 + every record of wal-(n-1), so if
+        // the previous snapshot and journal are intact nothing is lost.
+        if generation == 0 {
+            return Err(primary_err);
+        }
+        let prev = generation - 1;
+        let prev_snap_path = dir.join(snap_name(prev));
+        let snapshot = vfs
+            .read(&prev_snap_path)
+            .map_err(|e| io_ctx(&prev_snap_path, e))
+            .and_then(|b| read_snapshot(b.as_slice()).map_err(|e| err_ctx(&prev_snap_path, e)))
+            .map_err(|fallback_err| {
+                Error::Corrupt(format!(
+                    "no loadable snapshot: newest failed ({primary_err}); previous failed \
+                     ({fallback_err})"
+                ))
+            })?;
+
+        let mut tail = Vec::new();
+        let mut possibly_lost = false;
+        let mut notes = vec![format!("fell back to generation {prev}: {primary_err}")];
+
+        let prev_wal_path = dir.join(wal_name(prev));
+        let prev_scan = vfs
+            .read(&prev_wal_path)
+            .map_err(|e| io_ctx(&prev_wal_path, e))
+            .and_then(|b| {
+                let (g, s) = scan_journal(&b).map_err(|e| err_ctx(&prev_wal_path, e))?;
+                if g != prev {
+                    return Err(Error::Corrupt(format!(
+                        "{}: journal belongs to generation {g}, expected {prev}",
+                        prev_wal_path.display()
+                    )));
+                }
+                Ok(s)
+            });
+        match prev_scan {
+            Ok(scan) if scan.clean => {
+                // The previous journal is complete: its replay
+                // reconstructs gen n exactly, and the tail of wal-n
+                // extends it with post-checkpoint batches.
+                tail.extend(scan.batches);
+                match vfs.read(&wal_path) {
+                    Ok(bytes) => match scan_journal(&bytes) {
+                        Ok((g, s)) if g == generation => {
+                            if let Some(n) = s.note {
+                                notes.push(format!("{}: {n}", wal_path.display()));
+                            }
+                            tail.extend(s.batches);
+                        }
+                        Ok((g, _)) => {
+                            possibly_lost = true;
+                            notes.push(format!(
+                                "{}: journal belongs to generation {g}; its batches \
+                                 cannot be replayed",
+                                wal_path.display()
+                            ));
+                        }
+                        Err(e) => {
+                            possibly_lost = true;
+                            notes.push(format!("current journal unreadable: {e}"));
+                        }
+                    },
+                    Err(e) => {
+                        possibly_lost = true;
+                        notes.push(format!(
+                            "{}: current journal missing: {e}",
+                            wal_path.display()
+                        ));
+                    }
+                }
+            }
+            Ok(scan) => {
+                // Previous journal has a damaged tail: everything from
+                // its first bad record on — including all of gen n's
+                // journal — is unreconstructable.
+                possibly_lost = true;
+                if let Some(n) = scan.note {
+                    notes.push(format!("{}: {n}", prev_wal_path.display()));
+                }
+                tail.extend(scan.batches);
+            }
+            Err(e) => {
+                possibly_lost = true;
+                notes.push(format!("previous journal unreadable: {e}"));
+            }
+        }
+
+        let replayed = tail.len();
+        let store = Self {
+            vfs,
+            dir: dir.to_path_buf(),
+            generation,
+            next_seq: 0,
+            journal: None,
+            journal_len: HEADER_LEN,
+            needs_checkpoint: true,
+            poisoned: false,
+        };
+        let report = RecoveryReport {
+            manifest_generation: generation,
+            loaded_generation: prev,
+            fell_back: true,
+            replayed_batches: replayed,
+            truncated_journal: true,
+            possibly_lost_tail: possibly_lost,
+            note: Some(notes.join("; ")),
+        };
+        Ok((
+            store,
+            RecoveredState {
+                snapshot,
+                tail,
+                report,
+            },
+        ))
+    }
+
+    /// [`SnapshotStore::recover`] on the real filesystem.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SnapshotStore::recover`].
+    pub fn recover_std(dir: &Path) -> Result<(Self, RecoveredState)> {
+        Self::recover(Arc::new(StdVfs), dir)
+    }
+
+    /// Durably journals `batch`. When this returns `Ok`, the batch is
+    /// **acknowledged**: it has been fsynced and will survive any crash
+    /// (recovery replays it). Returns the batch's sequence number in
+    /// the current generation's journal.
+    ///
+    /// On a failed write (ENOSPC, torn write) the partial record is
+    /// truncated away so the journal stays valid; if even that fails
+    /// the store poisons itself and refuses further writes.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Invariant`] when the store [needs a
+    /// checkpoint](SnapshotStore::needs_checkpoint) after a fallback
+    /// recovery, or is poisoned; [`Error::Io`] on write failure (the
+    /// batch is then *not* acknowledged).
+    pub fn append(&mut self, batch: &JournalBatch) -> Result<u64> {
+        if self.poisoned {
+            return Err(Error::Invariant(
+                "snapshot store is poisoned by an earlier unrecoverable write failure".into(),
+            ));
+        }
+        if self.needs_checkpoint || self.journal.is_none() {
+            return Err(Error::Invariant(
+                "snapshot store recovered via fallback; checkpoint() must commit a \
+                 fresh generation before new batches can be journaled"
+                    .into(),
+            ));
+        }
+        let seq = self.next_seq;
+        let rec = encode_record(seq, batch);
+        let wal_path = self.dir.join(wal_name(self.generation));
+        let journal = self.journal.as_mut().expect("journal handle checked above");
+        let wrote = journal
+            .write_all(&rec)
+            .and_then(|()| journal.sync_data())
+            .map_err(|e| io_ctx(&wal_path, e));
+        if let Err(e) = wrote {
+            // Cut the partial record off so the on-disk journal stays
+            // parseable; if the disk won't even do that, stop writing.
+            if self.vfs.truncate(&wal_path, self.journal_len).is_err() {
+                self.poisoned = true;
+            }
+            return Err(e);
+        }
+        self.journal_len += rec.len() as u64;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Commits `(g, d, h)` as a new generation and starts an empty
+    /// journal for it. The previous generation (snapshot + full
+    /// journal) is retained for corruption fallback; older ones are
+    /// removed best-effort. Returns the new generation number.
+    ///
+    /// A failure *before* the MANIFEST commit leaves the store fully
+    /// usable on the old generation; the half-written files are inert
+    /// and overwritten by the next attempt.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Invariant`] when poisoned or when `d`/`h` do not belong
+    /// to `g`; [`Error::Io`] on write failure.
+    pub fn checkpoint(
+        &mut self,
+        g: &BipartiteGraph,
+        d: &Decomposition,
+        h: Option<&BitrussHierarchy>,
+    ) -> Result<u64> {
+        if self.poisoned {
+            return Err(Error::Invariant(
+                "snapshot store is poisoned by an earlier unrecoverable write failure".into(),
+            ));
+        }
+        let new_gen = self.generation + 1;
+        let mut snap_bytes = Vec::new();
+        write_snapshot(g, d, h, &mut snap_bytes)?;
+        write_bytes_atomic(&*self.vfs, &self.dir.join(snap_name(new_gen)), &snap_bytes)?;
+        let wal_path = self.dir.join(wal_name(new_gen));
+        write_bytes_atomic(&*self.vfs, &wal_path, &encode_header(WAL_MAGIC, new_gen))?;
+        // The commit point: after this rename is durable, recovery
+        // loads gen `new_gen` + its (empty) journal.
+        write_bytes_atomic(
+            &*self.vfs,
+            &self.dir.join(MANIFEST_NAME),
+            &encode_header(MANIFEST_MAGIC, new_gen),
+        )?;
+        match self.vfs.open_append(&wal_path) {
+            Ok(j) => self.journal = Some(j),
+            Err(e) => {
+                // Committed on disk but no live handle — recovery will
+                // succeed, this session cannot continue writing.
+                self.poisoned = true;
+                self.journal = None;
+                return Err(io_ctx(&wal_path, e));
+            }
+        }
+        self.generation = new_gen;
+        self.next_seq = 0;
+        self.journal_len = HEADER_LEN;
+        self.needs_checkpoint = false;
+
+        // Best-effort cleanup of generations older than new_gen - 1.
+        if let Ok(entries) = self.vfs.list(&self.dir) {
+            for p in entries {
+                let Some(name) = p.file_name().and_then(|n| n.to_str()) else {
+                    continue;
+                };
+                let old = name
+                    .strip_prefix("gen-")
+                    .and_then(|s| s.strip_suffix(".snap"))
+                    .or_else(|| {
+                        name.strip_prefix("wal-")
+                            .and_then(|s| s.strip_suffix(".log"))
+                    })
+                    .and_then(|s| s.parse::<u64>().ok());
+                if old.is_some_and(|k| k + 1 < new_gen) {
+                    let _ = self.vfs.remove_file(&p);
+                }
+            }
+        }
+        Ok(new_gen)
+    }
+
+    /// The committed generation this store is writing after.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of batches in the current generation's journal.
+    pub fn journal_batches(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// `true` after a fallback recovery: [`append`](Self::append) is
+    /// refused until [`checkpoint`](Self::checkpoint) commits a fresh,
+    /// fully valid generation.
+    pub fn needs_checkpoint(&self) -> bool {
+        self.needs_checkpoint
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{decompose, Algorithm};
+    use crate::persist::vfs::MemVfs;
+    use bigraph::GraphBuilder;
+
+    fn sample() -> (BipartiteGraph, Decomposition, BitrussHierarchy) {
+        let g = GraphBuilder::new()
+            .with_upper(12)
+            .with_lower(9)
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (3, 1),
+                (3, 2),
+            ])
+            .build()
+            .unwrap();
+        let (d, _) = decompose(&g, Algorithm::BuPlusPlus);
+        let h = BitrussHierarchy::new(&g, &d).unwrap();
+        (g, d, h)
+    }
+
+    fn batch(ops: &[(bool, u32, u32)]) -> JournalBatch {
+        JournalBatch {
+            ops: ops
+                .iter()
+                .map(|&(insert, upper, lower)| JournalOp {
+                    insert,
+                    upper,
+                    lower,
+                })
+                .collect(),
+        }
+    }
+
+    fn dir() -> PathBuf {
+        PathBuf::from("/store")
+    }
+
+    fn fresh_store(vfs: &MemVfs) -> SnapshotStore {
+        let (g, d, h) = sample();
+        SnapshotStore::create(Arc::new(vfs.clone()), &dir(), &g, &d, Some(&h)).unwrap()
+    }
+
+    #[test]
+    fn create_append_recover_round_trips() {
+        let vfs = MemVfs::new();
+        let mut store = fresh_store(&vfs);
+        let b0 = batch(&[(true, 5, 5), (false, 0, 0)]);
+        let b1 = batch(&[(true, 6, 6)]);
+        assert_eq!(store.append(&b0).unwrap(), 0);
+        assert_eq!(store.append(&b1).unwrap(), 1);
+        drop(store);
+        vfs.crash(); // acked = fsynced: everything survives
+
+        let (store, recovered) = SnapshotStore::recover(Arc::new(vfs.clone()), &dir()).unwrap();
+        assert_eq!(recovered.tail, vec![b0, b1]);
+        assert!(!recovered.report.fell_back);
+        assert!(!recovered.report.truncated_journal);
+        assert!(!recovered.report.possibly_lost_tail);
+        assert_eq!(store.generation(), 0);
+        assert_eq!(store.journal_batches(), 2);
+        let (g, _, _) = sample();
+        assert_eq!(recovered.snapshot.graph.edge_pairs(), g.edge_pairs());
+    }
+
+    #[test]
+    fn recovered_store_keeps_appending() {
+        let vfs = MemVfs::new();
+        let mut store = fresh_store(&vfs);
+        store.append(&batch(&[(true, 4, 4)])).unwrap();
+        drop(store);
+        vfs.crash();
+
+        let (mut store, _) = SnapshotStore::recover(Arc::new(vfs.clone()), &dir()).unwrap();
+        assert_eq!(store.append(&batch(&[(true, 7, 7)])).unwrap(), 1);
+        vfs.crash();
+        let (_, recovered) = SnapshotStore::recover(Arc::new(vfs.clone()), &dir()).unwrap();
+        assert_eq!(recovered.tail.len(), 2);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_truncated() {
+        let vfs = MemVfs::new();
+        let mut store = fresh_store(&vfs);
+        store.append(&batch(&[(true, 4, 4)])).unwrap();
+        // Unsynced second append, then a crash that flushes only 5 bytes
+        // of it — a torn tail the scan must cut off.
+        store.append(&batch(&[(true, 5, 5)])).unwrap();
+        drop(store);
+        let wal = dir().join(wal_name(0));
+        let full = vfs.read(&wal).unwrap();
+        vfs.truncate(&wal, full.len() as u64 - 5).unwrap();
+
+        let (store, recovered) = SnapshotStore::recover(Arc::new(vfs.clone()), &dir()).unwrap();
+        assert_eq!(recovered.tail.len(), 1);
+        assert!(recovered.report.truncated_journal);
+        assert!(!recovered.report.fell_back);
+        assert!(recovered.report.note.is_some());
+        assert_eq!(store.journal_batches(), 1);
+    }
+
+    #[test]
+    fn flipped_journal_record_stops_replay_at_last_valid() {
+        let vfs = MemVfs::new();
+        let mut store = fresh_store(&vfs);
+        store.append(&batch(&[(true, 4, 4)])).unwrap();
+        store.append(&batch(&[(true, 5, 5)])).unwrap();
+        store.append(&batch(&[(true, 6, 6)])).unwrap();
+        drop(store);
+        // Flip one byte inside record 1's payload.
+        let wal = dir().join(wal_name(0));
+        let mut bytes = vfs.read(&wal).unwrap();
+        let rec_len = encode_record(0, &batch(&[(true, 4, 4)])).len();
+        let target = HEADER_LEN as usize + rec_len + 14;
+        bytes[target] ^= 0x40;
+        let mut f = vfs.create(&wal).unwrap();
+        f.write_all(&bytes).unwrap();
+        f.sync_data().unwrap();
+        vfs.sync_dir(&dir()).unwrap();
+
+        let (_, recovered) = SnapshotStore::recover(Arc::new(vfs.clone()), &dir()).unwrap();
+        assert_eq!(recovered.tail, vec![batch(&[(true, 4, 4)])]);
+        assert!(recovered.report.truncated_journal);
+        let note = recovered.report.note.unwrap();
+        assert!(note.contains("record 1"), "{note}");
+    }
+
+    #[test]
+    fn corrupt_manifest_is_an_error_naming_the_file() {
+        let vfs = MemVfs::new();
+        let store = fresh_store(&vfs);
+        drop(store);
+        let manifest = dir().join(MANIFEST_NAME);
+        let mut bytes = vfs.read(&manifest).unwrap();
+        bytes[13] ^= 0x01; // generation field → checksum mismatch
+        let mut f = vfs.create(&manifest).unwrap();
+        f.write_all(&bytes).unwrap();
+        f.sync_data().unwrap();
+
+        let err = SnapshotStore::recover(Arc::new(vfs.clone()), &dir()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("MANIFEST"), "{msg}");
+        assert!(msg.contains("checksum"), "{msg}");
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_previous_generation() {
+        let vfs = MemVfs::new();
+        let mut store = fresh_store(&vfs);
+        let pre = batch(&[(true, 4, 4)]);
+        store.append(&pre).unwrap();
+        let (g, d, h) = sample();
+        assert_eq!(store.checkpoint(&g, &d, Some(&h)).unwrap(), 1);
+        let post = batch(&[(true, 5, 5)]);
+        store.append(&post).unwrap();
+        drop(store);
+        // Damage gen-1.snap.
+        let snap = dir().join(snap_name(1));
+        let mut bytes = vfs.read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        let mut f = vfs.create(&snap).unwrap();
+        f.write_all(&bytes).unwrap();
+        f.sync_data().unwrap();
+        vfs.sync_dir(&dir()).unwrap();
+
+        let (store, recovered) = SnapshotStore::recover(Arc::new(vfs.clone()), &dir()).unwrap();
+        let r = &recovered.report;
+        assert!(r.fell_back);
+        assert_eq!(r.manifest_generation, 1);
+        assert_eq!(r.loaded_generation, 0);
+        // gen 0 + full wal-0 + wal-1 tail: nothing acked is lost.
+        assert_eq!(recovered.tail, vec![pre, post]);
+        assert!(!r.possibly_lost_tail);
+        assert!(store.needs_checkpoint());
+
+        // Appends are refused until a checkpoint re-commits.
+        let mut store = store;
+        assert!(matches!(
+            store.append(&batch(&[(true, 6, 6)])),
+            Err(Error::Invariant(_))
+        ));
+        assert_eq!(store.checkpoint(&g, &d, Some(&h)).unwrap(), 2);
+        store.append(&batch(&[(true, 6, 6)])).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_resets_journal_and_cleans_old_generations() {
+        let vfs = MemVfs::new();
+        let mut store = fresh_store(&vfs);
+        let (g, d, h) = sample();
+        store.append(&batch(&[(true, 4, 4)])).unwrap();
+        assert_eq!(store.checkpoint(&g, &d, Some(&h)).unwrap(), 1);
+        assert_eq!(store.journal_batches(), 0);
+        assert_eq!(store.checkpoint(&g, &d, Some(&h)).unwrap(), 2);
+        // gen 0 files are gone, gen 1 (fallback) and gen 2 remain.
+        assert!(!vfs.exists(&dir().join(snap_name(0))));
+        assert!(!vfs.exists(&dir().join(wal_name(0))));
+        assert!(vfs.exists(&dir().join(snap_name(1))));
+        assert!(vfs.exists(&dir().join(snap_name(2))));
+        vfs.crash();
+        let (_, recovered) = SnapshotStore::recover(Arc::new(vfs.clone()), &dir()).unwrap();
+        assert_eq!(recovered.report.loaded_generation, 2);
+        assert!(recovered.tail.is_empty());
+    }
+
+    #[test]
+    fn enospc_append_is_not_acknowledged_and_store_survives() {
+        let vfs = MemVfs::new();
+        let mut store = fresh_store(&vfs);
+        store.append(&batch(&[(true, 4, 4)])).unwrap();
+        let ops = vfs.ops();
+        vfs.fail_at(ops, crate::persist::vfs::Fault::Enospc);
+        let err = store.append(&batch(&[(true, 5, 5)])).unwrap_err();
+        assert!(err.to_string().contains(&wal_name(0)), "{err}");
+        // The failed batch was rejected cleanly; the next one lands.
+        assert_eq!(store.append(&batch(&[(true, 6, 6)])).unwrap(), 1);
+        vfs.crash();
+        let (_, recovered) = SnapshotStore::recover(Arc::new(vfs.clone()), &dir()).unwrap();
+        assert_eq!(
+            recovered.tail,
+            vec![batch(&[(true, 4, 4)]), batch(&[(true, 6, 6)])]
+        );
+    }
+
+    #[test]
+    fn double_create_is_refused() {
+        let vfs = MemVfs::new();
+        let _store = fresh_store(&vfs);
+        let (g, d, _) = sample();
+        let err = SnapshotStore::create(Arc::new(vfs.clone()), &dir(), &g, &d, None).unwrap_err();
+        assert!(matches!(err, Error::Invariant(_)));
+    }
+
+    #[test]
+    fn journal_batch_encoding_round_trips_and_rejects_bad_tags() {
+        let b = batch(&[(true, 0, u32::MAX), (false, 7, 9)]);
+        let enc = b.encode();
+        assert_eq!(JournalBatch::decode(&enc).unwrap(), b);
+        let mut bad = enc.clone();
+        bad[4] = 2; // first op's tag
+        assert!(JournalBatch::decode(&bad).is_err());
+        assert!(JournalBatch::decode(&enc[..enc.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn empty_manifest_and_wrong_magic_are_corrupt() {
+        assert!(decode_header(b"", MANIFEST_MAGIC, "store manifest").is_err());
+        let wal = encode_header(WAL_MAGIC, 3);
+        assert!(decode_header(&wal, MANIFEST_MAGIC, "store manifest").is_err());
+        assert_eq!(decode_header(&wal, WAL_MAGIC, "journal").unwrap(), 3);
+    }
+}

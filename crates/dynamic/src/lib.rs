@@ -71,6 +71,7 @@
 pub mod analyze;
 pub mod apply;
 pub mod batch;
+pub mod durable;
 /// The localized frozen-boundary re-peel now lives in `bitruss-core`
 /// (the two-phase partition engine's stitch pass shares it); re-exported
 /// here so `bitruss_dynamic::repeel::repeel_region` keeps resolving.
@@ -79,6 +80,7 @@ pub use bitruss_core::repeel;
 pub use analyze::{insertion_region, settle_deletions};
 pub use apply::{apply, apply_batch, AppliedBatch, MaintenanceStats};
 pub use batch::{parse_update_line, ResolvedBatch, UpdateBatch, UpdateOp};
+pub use durable::DurableEngine;
 pub use repeel::{repeel_region, RepeelStats};
 
 use bigraph::Result;

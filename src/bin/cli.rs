@@ -9,6 +9,11 @@
 //! bitruss-cli query      <snap.bin> [--queries q.txt]
 //! bitruss-cli update     <snap.bin> [--updates u.txt] [--snapshot out.bin]
 //! bitruss-cli generate   <dataset-name> <edges.txt>
+//!
+//! # crash-safe store mode (durable journal + committed generations)
+//! bitruss-cli decompose  <edges.txt> --store <dir>
+//! bitruss-cli update     --store <dir> [--updates u.txt] [--checkpoint]
+//! bitruss-cli query      --store <dir> [--queries q.txt]
 //! ```
 //!
 //! Every decomposition-backed subcommand runs through the
@@ -29,8 +34,18 @@
 //! or stdin (comments and blank lines allowed; malformed lines are
 //! rejected with their line number), re-peels only the affected region,
 //! and writes the refreshed snapshot to `--snapshot <out>` (default:
-//! back over the input). Recomputing from scratch after every edit is
+//! back over the input; the write is atomic + fsynced, so a crash never
+//! leaves a torn file). Recomputing from scratch after every edit is
 //! the deprecated path — `update` produces bit-identical φ.
+//!
+//! `--store <dir>` switches `update`/`query` to a **crash-safe snapshot
+//! store** (created with `decompose … --store <dir>`): applied batches
+//! are journaled and fsynced *before* they mutate state, so a crash at
+//! any instant loses at most the batch that was never acknowledged —
+//! recovery replays the journal on the last committed generation
+//! snapshot. `--checkpoint` folds the journal into a fresh generation
+//! after applying (do this periodically to bound recovery time). See
+//! `docs/DURABILITY.md` for the layout and guarantees.
 //!
 //! `--threads N` selects a parallel engine with `N` workers (`0` =
 //! auto-detect from the hardware); for `decompose` it upgrades the
@@ -43,16 +58,20 @@
 //! names.
 
 use std::io::BufRead;
+use std::path::Path;
 use std::process::ExitCode;
 
 use bitruss::graph::io::{read_edge_list_file, write_edge_list_file, IndexBase};
 use bitruss::graph::GraphStats;
-use bitruss::{Algorithm, BipartiteGraph, BitrussEngine, DynamicEngineExt, Threads, UpdateBatch};
+use bitruss::{
+    Algorithm, BipartiteGraph, BitrussEngine, DurableEngine, DynamicEngineExt, MaintenanceStats,
+    Threads, UpdateBatch,
+};
 
 /// Flags every subcommand understands, printed when an unknown flag is
 /// rejected.
 const KNOWN_FLAGS: &str = "--algorithm/-a, --tau/-t, --threads/-j, --output/-o, \
-     --snapshot/-s, --queries/-q, --updates/-u, --one-based";
+     --snapshot/-s, --queries/-q, --updates/-u, --store, --checkpoint, --one-based";
 
 #[derive(Debug)]
 struct Args {
@@ -63,6 +82,8 @@ struct Args {
     snapshot: Option<String>,
     queries: Option<String>,
     updates: Option<String>,
+    store: Option<String>,
+    checkpoint: bool,
     base: IndexBase,
 }
 
@@ -75,6 +96,8 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
         snapshot: None,
         queries: None,
         updates: None,
+        store: None,
+        checkpoint: false,
         base: IndexBase::Zero,
     };
     let mut tau: Option<f64> = None;
@@ -106,6 +129,10 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
             "--updates" | "-u" => {
                 args.updates = Some(it.next().ok_or("--updates needs a value")?);
             }
+            "--store" => {
+                args.store = Some(it.next().ok_or("--store needs a directory")?);
+            }
+            "--checkpoint" => args.checkpoint = true,
             "--one-based" => args.base = IndexBase::One,
             other if other.starts_with('-') => {
                 return Err(format!(
@@ -142,6 +169,52 @@ fn build_session(g: BipartiteGraph, args: &Args) -> Result<BitrussEngine<'static
         builder = builder.threads(threads);
     }
     builder.build(g).map_err(|e| e.to_string())
+}
+
+/// Shared `update` reporting for the snapshot and store paths.
+fn print_update_stats(ops: usize, stats: &MaintenanceStats) {
+    println!(
+        "{ops} ops applied in {:.3}s: {} deleted, {} inserted ({} -> {} edges)",
+        stats.total_time().as_secs_f64(),
+        stats.deleted_edges,
+        stats.inserted_edges,
+        stats.edges_before,
+        stats.edges_after
+    );
+    println!(
+        "affected {} edges (+{} frozen boundary), reused {} ({:.1}% reuse), {} phi changed, {} support updates{}",
+        stats.affected_edges,
+        stats.boundary_edges,
+        stats.reused_edges,
+        stats.reuse_ratio() * 100.0,
+        stats.phi_changed,
+        stats.support_updates,
+        if stats.fell_back {
+            " [work budget hit: settled by full recompute]"
+        } else {
+            ""
+        }
+    );
+}
+
+/// Surfaces anything unusual a store recovery did (fallback, torn-tail
+/// truncation) on stderr, so operators see it even in piped pipelines.
+fn print_recovery(durable: &DurableEngine) {
+    if let Some(r) = durable.recovery() {
+        if r.fell_back || r.truncated_journal || r.possibly_lost_tail {
+            eprintln!(
+                "recovery: loaded generation {} (manifest named {}), replayed {} journaled \
+                 batch(es){}",
+                r.loaded_generation,
+                r.manifest_generation,
+                r.replayed_batches,
+                r.note
+                    .as_deref()
+                    .map(|n| format!(" — {n}"))
+                    .unwrap_or_default()
+            );
+        }
+    }
 }
 
 fn run() -> Result<(), String> {
@@ -224,6 +297,14 @@ fn run() -> Result<(), String> {
                         .num_forest_nodes()
                 );
             }
+            if let Some(dir) = &args.store {
+                let durable = DurableEngine::create(Path::new(dir), session)
+                    .map_err(|e| format!("creating store {dir}: {e}"))?;
+                println!(
+                    "crash-safe store created at {dir} (generation {}, journal open)",
+                    durable.generation()
+                );
+            }
         }
         "kbitruss" => {
             let path = args.positional.get(1).ok_or("kbitruss needs a file")?;
@@ -272,11 +353,24 @@ fn run() -> Result<(), String> {
             }
         }
         "query" => {
-            let path = args
-                .positional
-                .get(1)
-                .ok_or("query needs a snapshot file")?;
-            let session = BitrussEngine::from_snapshot(path).map_err(|e| format!("{path}: {e}"))?;
+            let durable;
+            let resumed;
+            let session = match &args.store {
+                Some(dir) => {
+                    durable = DurableEngine::open(Path::new(dir))
+                        .map_err(|e| format!("opening store {dir}: {e}"))?;
+                    print_recovery(&durable);
+                    durable.engine()
+                }
+                None => {
+                    let path = args
+                        .positional
+                        .get(1)
+                        .ok_or("query needs a snapshot file (or --store <dir>)")?;
+                    resumed = BitrussEngine::from_snapshot(path).map_err(|e| e.to_string())?;
+                    &resumed
+                }
+            };
             let h = session
                 .hierarchy()
                 .map_err(|e| format!("building hierarchy: {e}"))?;
@@ -298,12 +392,6 @@ fn run() -> Result<(), String> {
                 .map_err(|e| format!("serving queries: {e}"))?;
         }
         "update" => {
-            let path = args
-                .positional
-                .get(1)
-                .ok_or("update needs a snapshot file")?;
-            let mut session =
-                BitrussEngine::from_snapshot(path).map_err(|e| format!("{path}: {e}"))?;
             let reader: Box<dyn BufRead> = match &args.updates {
                 Some(upath) => Box::new(std::io::BufReader::new(
                     std::fs::File::open(upath).map_err(|e| format!("opening {upath}: {e}"))?,
@@ -312,41 +400,50 @@ fn run() -> Result<(), String> {
             };
             let batch = UpdateBatch::from_reader(reader).map_err(|e| format!("updates: {e}"))?;
             let ops = batch.len();
-            let stats = session
-                .apply(&batch)
-                .map_err(|e| format!("applying updates: {e}"))?;
-            println!(
-                "{ops} ops applied in {:.3}s: {} deleted, {} inserted ({} -> {} edges)",
-                stats.total_time().as_secs_f64(),
-                stats.deleted_edges,
-                stats.inserted_edges,
-                stats.edges_before,
-                stats.edges_after
-            );
-            println!(
-                "affected {} edges (+{} frozen boundary), reused {} ({:.1}% reuse), {} phi changed, {} support updates{}",
-                stats.affected_edges,
-                stats.boundary_edges,
-                stats.reused_edges,
-                stats.reuse_ratio() * 100.0,
-                stats.phi_changed,
-                stats.support_updates,
-                if stats.fell_back {
-                    " [work budget hit: settled by full recompute]"
+            if let Some(dir) = &args.store {
+                // Store mode: the batch is journaled + fsynced before it
+                // mutates state — a crash after this command completes
+                // can never lose it.
+                let mut durable = DurableEngine::open(Path::new(dir))
+                    .map_err(|e| format!("opening store {dir}: {e}"))?;
+                print_recovery(&durable);
+                let stats = durable
+                    .apply(&batch)
+                    .map_err(|e| format!("applying updates: {e}"))?;
+                print_update_stats(ops, &stats);
+                println!("max bitruss number: {}", durable.engine().max_bitruss());
+                if args.checkpoint {
+                    let generation = durable
+                        .checkpoint()
+                        .map_err(|e| format!("checkpointing {dir}: {e}"))?;
+                    println!("journal folded into committed generation {generation}");
                 } else {
-                    ""
+                    println!(
+                        "durable at generation {} + {} journaled batch(es)",
+                        durable.generation(),
+                        durable.journal_batches()
+                    );
                 }
-            );
-            println!("max bitruss number: {}", session.max_bitruss());
-            let out = args.snapshot.as_deref().unwrap_or(path);
-            // Write-then-rename so a failed write never truncates the
-            // only copy of an in-place-refreshed snapshot.
-            let tmp = format!("{out}.tmp");
-            session
-                .save_snapshot(&tmp)
-                .map_err(|e| format!("writing {tmp}: {e}"))?;
-            std::fs::rename(&tmp, out).map_err(|e| format!("renaming {tmp} -> {out}: {e}"))?;
-            println!("refreshed snapshot written to {out}");
+            } else {
+                let path = args
+                    .positional
+                    .get(1)
+                    .ok_or("update needs a snapshot file (or --store <dir>)")?;
+                let mut session = BitrussEngine::from_snapshot(path).map_err(|e| e.to_string())?;
+                let stats = session
+                    .apply(&batch)
+                    .map_err(|e| format!("applying updates: {e}"))?;
+                print_update_stats(ops, &stats);
+                println!("max bitruss number: {}", session.max_bitruss());
+                let out = args.snapshot.as_deref().unwrap_or(path);
+                // save_snapshot commits atomically (unique temp name +
+                // fsync + rename), so a failed write never truncates the
+                // only copy of an in-place-refreshed snapshot.
+                session
+                    .save_snapshot(out)
+                    .map_err(|e| format!("writing {out}: {e}"))?;
+                println!("refreshed snapshot written to {out}");
+            }
         }
         "generate" => {
             let name = args.positional.get(1).ok_or("generate needs a dataset")?;
@@ -457,5 +554,26 @@ mod tests {
         assert!(parse(&["decompose", "--threads"]).is_err());
         assert!(parse(&["decompose", "--threads", "x"]).is_err());
         assert!(parse(&["decompose", "--tau", "x"]).is_err());
+        assert!(parse(&["update", "--store"]).is_err());
+    }
+
+    #[test]
+    fn store_flags_are_collected() {
+        let args = parse(&[
+            "update",
+            "--store",
+            "/data/s",
+            "-u",
+            "u.txt",
+            "--checkpoint",
+        ])
+        .unwrap();
+        assert_eq!(args.store.as_deref(), Some("/data/s"));
+        assert!(args.checkpoint);
+        assert_eq!(args.updates.as_deref(), Some("u.txt"));
+        // --checkpoint is a bare flag; --store defaults to off.
+        let args = parse(&["decompose", "g.txt", "--store", "dir"]).unwrap();
+        assert_eq!(args.store.as_deref(), Some("dir"));
+        assert!(!args.checkpoint);
     }
 }

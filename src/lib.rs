@@ -102,5 +102,11 @@ pub use bitruss_core::{
     ParseAlgorithmError, PeelStrategy, Phase, Query, QueryAnswer, Snapshot, StitchLog, Threads,
     TipLayer, DEFAULT_TAU,
 };
-pub use bitruss_dynamic::{DynamicEngineExt, MaintenanceStats, UpdateBatch, UpdateOp};
+pub use bitruss_core::{
+    write_bytes_atomic, write_bytes_atomic_std, Fault, JournalBatch, JournalOp, MemVfs,
+    RecoveredState, RecoveryReport, SnapshotStore, StdVfs, Vfs, VfsFile,
+};
+pub use bitruss_dynamic::{
+    DurableEngine, DynamicEngineExt, MaintenanceStats, UpdateBatch, UpdateOp,
+};
 pub use butterfly::{count_per_edge, count_per_edge_parallel, count_total, ButterflyCounts};

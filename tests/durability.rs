@@ -1,0 +1,521 @@
+//! Durability tests for the crash-safe snapshot store: kill-point
+//! recovery proptests plus a deterministic corruption corpus.
+//!
+//! The contract under test (see `docs/DURABILITY.md`):
+//!
+//! * **No lost acks** — every batch whose `apply` returned `Ok` survives
+//!   a crash at *any* later point.
+//! * **No invented state** — recovery always lands on a state reachable
+//!   by applying an acknowledged prefix of the workload (plus at most
+//!   the one in-flight batch whose record happened to reach the disk
+//!   whole before the crash).
+//! * **Corruption is loud or contained** — a damaged journal tail is
+//!   truncated to the last valid record, a damaged newest snapshot
+//!   falls back to the previous generation, and a damaged MANIFEST
+//!   fails recovery with an error naming the file.
+//!
+//! All tests run on [`MemVfs`], the deterministic fault-injecting
+//! in-memory filesystem: kills, torn writes and ENOSPC are simulated by
+//! global operation number, and `crash()` discards everything that was
+//! never fsynced. When an assertion fails, the offending durable image
+//! is exported to `target/durability-failures/<case>/` so CI can upload
+//! it for offline replay.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use bitruss::dynamic::DynamicEngineExt;
+use bitruss::graph::GraphBuilder;
+use bitruss::{BitrussEngine, DurableEngine, Fault, MemVfs, UpdateBatch, Vfs};
+use proptest::prelude::*;
+
+/// Tiny deterministic generator (the vendored proptest shim has no
+/// collection strategies; seeds drive the shapes instead).
+struct Rng(u64);
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// An engine state as a comparable value: `(upper, lower) → φ`.
+type State = BTreeMap<(u32, u32), u64>;
+
+fn state_of(engine: &BitrussEngine<'_>) -> State {
+    engine
+        .graph()
+        .edge_pairs()
+        .into_iter()
+        .zip(engine.phi().iter().copied())
+        .collect()
+}
+
+/// Rebuilds an engine holding exactly `state`'s edge set (φ recomputed
+/// from scratch — bit-identical to the maintained values by the
+/// maintenance property tests).
+fn engine_from_state(state: &State) -> BitrussEngine<'static> {
+    let g = GraphBuilder::new()
+        .add_edges(state.keys().copied())
+        .build()
+        .expect("state graph");
+    BitrussEngine::builder().build(g).expect("state engine")
+}
+
+fn store_dir() -> PathBuf {
+    PathBuf::from("/store")
+}
+
+/// A chain of batches, each valid when every predecessor was applied
+/// (deletes target edges present in the evolving mirror, inserts are
+/// fresh pairs). Batches can legitimately come out empty — the durable
+/// engine must ack those without journaling them.
+fn gen_batches(base: &bitruss::BipartiteGraph, seed: u64, count: usize) -> Vec<UpdateBatch> {
+    let mut rng = Rng::new(seed);
+    let mut present: std::collections::BTreeSet<(u32, u32)> =
+        base.edge_pairs().into_iter().collect();
+    let mut batches = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut batch = UpdateBatch::new();
+        for _ in 0..(1 + rng.next() % 3) {
+            if !present.is_empty() && rng.next().is_multiple_of(2) {
+                let idx = rng.next() as usize % present.len();
+                let &(u, v) = present.iter().nth(idx).expect("mirror edge");
+                batch.delete(u, v);
+                present.remove(&(u, v));
+            } else {
+                let pair = ((rng.next() % 8) as u32, (rng.next() % 8) as u32);
+                if present.insert(pair) {
+                    batch.insert(pair.0, pair.1);
+                }
+            }
+        }
+        batches.push(batch);
+    }
+    batches
+}
+
+/// What one (possibly fault-injected) run of the workload observed.
+struct RunOutcome {
+    /// `acked_states[i]` is the engine state after `i` acknowledged
+    /// batches; `acked_states[0]` is the base state.
+    acked_states: Vec<State>,
+    /// Number of batches whose `apply` returned `Ok`.
+    acked: usize,
+    /// The batch whose `apply` errored, if the run ended on one (its
+    /// journal record may or may not have reached the disk whole).
+    in_flight: Option<UpdateBatch>,
+    /// `true` when `DurableEngine::create_with` itself failed.
+    create_failed: bool,
+}
+
+/// Runs create → (checkpoint?/apply)* on `vfs`, stopping at the first
+/// error (under `Fault::Kill` every later operation fails anyway).
+fn run_workload(
+    vfs: &MemVfs,
+    base: &bitruss::BipartiteGraph,
+    batches: &[UpdateBatch],
+    checkpoint_every: usize,
+) -> RunOutcome {
+    let engine = BitrussEngine::builder()
+        .build(base.clone())
+        .expect("base engine");
+    let acked_states = vec![state_of(&engine)];
+    let mut outcome = RunOutcome {
+        acked_states,
+        acked: 0,
+        in_flight: None,
+        create_failed: false,
+    };
+    let mut durable = match DurableEngine::create_with(Arc::new(vfs.clone()), &store_dir(), engine)
+    {
+        Ok(d) => d,
+        Err(_) => {
+            outcome.create_failed = true;
+            return outcome;
+        }
+    };
+    for (i, batch) in batches.iter().enumerate() {
+        if checkpoint_every > 0
+            && i > 0
+            && i % checkpoint_every == 0
+            && durable.checkpoint().is_err()
+        {
+            return outcome;
+        }
+        match durable.apply(batch) {
+            Ok(_) => {
+                outcome.acked += 1;
+                outcome.acked_states.push(state_of(durable.engine()));
+            }
+            Err(_) => {
+                outcome.in_flight = Some(batch.clone());
+                return outcome;
+            }
+        }
+    }
+    outcome
+}
+
+/// Dumps the crashed durable image for CI artifact upload, then returns
+/// the failure message.
+fn dump_and_describe(vfs: &MemVfs, tag: &str, msg: &str) -> String {
+    let dir = PathBuf::from("target/durability-failures").join(tag);
+    match vfs.dump_durable_to(&dir) {
+        Ok(()) => format!("{msg} (durable image dumped to {})", dir.display()),
+        Err(e) => format!("{msg} (image dump failed: {e})"),
+    }
+}
+
+/// Checks that recovery from `vfs` (already crashed) lands on an
+/// acknowledged prefix of `outcome`'s workload.
+fn check_recovery(vfs: &MemVfs, outcome: &RunOutcome) -> Result<(), String> {
+    let recovered = match DurableEngine::open_with(Arc::new(vfs.clone()), &store_dir()) {
+        Ok(r) => r,
+        Err(e) => {
+            // A store whose create() never returned Ok may legitimately
+            // not exist; anything acknowledged must recover.
+            if outcome.create_failed && outcome.acked == 0 {
+                return Ok(());
+            }
+            return Err(format!(
+                "recovery failed after {} acknowledged batches: {e}",
+                outcome.acked
+            ));
+        }
+    };
+    let got = state_of(recovered.engine());
+    if got == outcome.acked_states[outcome.acked] {
+        return Ok(());
+    }
+    // The one in-flight batch's record may have reached the disk whole
+    // even though its fsync (the ack) never completed: recovering *that*
+    // state is allowed too — it is a valid next state, just unconfirmed.
+    if let Some(batch) = &outcome.in_flight {
+        let mut extended = engine_from_state(&outcome.acked_states[outcome.acked]);
+        if extended.apply(batch).is_ok() && state_of(&extended) == got {
+            return Ok(());
+        }
+    }
+    Err(format!(
+        "recovered state matches no acknowledged prefix (acked {} of {} states, in-flight: {})",
+        outcome.acked,
+        outcome.acked_states.len(),
+        outcome.in_flight.is_some(),
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Kill-point sweep: the tentpole property.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// For EVERY filesystem operation in the workload, killing the
+    /// process at that operation and recovering must land on a state
+    /// reachable from an acknowledged prefix — across pure crashes and
+    /// crashes that leave torn (partially persisted) journal tails.
+    #[test]
+    fn every_kill_point_recovers_an_acknowledged_prefix(
+        seed in any::<u64>(),
+        graph_seed in any::<u64>(),
+        n_batches in 2..5usize,
+        checkpoint_every in 0..3usize,
+    ) {
+        let base = bitruss::workloads::random::uniform(6, 6, 24, graph_seed);
+        let batches = gen_batches(&base, seed, n_batches);
+
+        // Fault-free baseline: everything acks; count the ops so the
+        // kill sweep covers each one exactly.
+        let clean = MemVfs::new();
+        let baseline = run_workload(&clean, &base, &batches, checkpoint_every);
+        prop_assert!(!baseline.create_failed);
+        prop_assert_eq!(baseline.acked, batches.len());
+        let total_ops = clean.ops();
+        prop_assert!(total_ops > 0);
+
+        // keep=0 is a pure crash (only fsynced bytes survive); the
+        // other values let part — or occasionally all — of an unsynced
+        // journal append survive, exercising torn-tail truncation and
+        // the whole-record-without-ack case.
+        for kill_at in 0..total_ops {
+            for keep in [0usize, 7, 64] {
+                let vfs = MemVfs::new();
+                vfs.fail_at(kill_at, Fault::Kill);
+                let outcome = run_workload(&vfs, &base, &batches, checkpoint_every);
+                vfs.crash_keeping_tail(keep);
+                if let Err(msg) = check_recovery(&vfs, &outcome) {
+                    let tag = format!("kill-{kill_at}-keep-{keep}");
+                    prop_assert!(false, "kill@{kill_at} keep={keep}: {}",
+                        dump_and_describe(&vfs, &tag, &msg));
+                }
+            }
+        }
+    }
+
+    /// Transient write failures (ENOSPC, torn writes) must lose exactly
+    /// the batches whose `apply` errored: the journal self-heals, later
+    /// batches ack normally, and recovery replays the acknowledged
+    /// subsequence — nothing more, nothing less.
+    #[test]
+    fn transient_faults_lose_only_unacknowledged_batches(
+        seed in any::<u64>(),
+        graph_seed in any::<u64>(),
+    ) {
+        let base = bitruss::workloads::random::uniform(6, 6, 24, graph_seed);
+        let batches = gen_batches(&base, seed, 6);
+        let vfs = MemVfs::new();
+        let engine = BitrussEngine::builder().build(base.clone()).expect("base engine");
+        let mut durable =
+            DurableEngine::create_with(Arc::new(vfs.clone()), &store_dir(), engine)
+                .expect("create");
+
+        let mut rng = Rng::new(seed ^ 0x5DEECE66D);
+        let mut failed = 0usize;
+        for (i, batch) in batches.iter().enumerate() {
+            let before = state_of(durable.engine());
+            if i % 2 == 0 {
+                // Arm a one-shot transient fault on the record write or
+                // its fsync.
+                let fault = if rng.next().is_multiple_of(2) { Fault::Enospc } else { Fault::ShortWrite };
+                vfs.fail_at(vfs.ops() + rng.next() % 2, fault);
+            }
+            match durable.apply(batch) {
+                Ok(_) => {}
+                Err(_) => {
+                    failed += 1;
+                    // A failed apply must leave the in-memory state
+                    // untouched.
+                    prop_assert_eq!(state_of(durable.engine()), before);
+                }
+            }
+        }
+        prop_assert!(failed > 0, "fault schedule hit no batch");
+        let expected = state_of(durable.engine());
+        drop(durable);
+
+        vfs.crash();
+        let recovered = match DurableEngine::open_with(Arc::new(vfs.clone()), &store_dir()) {
+            Ok(r) => r,
+            Err(e) => {
+                let msg = dump_and_describe(&vfs, "enospc-recovery", &e.to_string());
+                prop_assert!(false, "recovery failed: {}", msg);
+                unreachable!()
+            }
+        };
+        let got = state_of(recovered.engine());
+        if got != expected {
+            let msg = dump_and_describe(
+                &vfs,
+                "enospc-divergence",
+                "recovered state is not the acknowledged subsequence",
+            );
+            prop_assert!(false, "{}", msg);
+        }
+
+        // The recovered store accepts new writes: the journal healed.
+        let mut recovered = recovered;
+        let mut fresh = UpdateBatch::new();
+        fresh.insert(30, 31); // guaranteed absent: the workload stays under (8, 8)
+        recovered.apply(&fresh).expect("post-recovery apply");
+        prop_assert!(recovered.engine().graph().num_edges() as usize == expected.len() + 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Corruption corpus: deterministic damage to a known-good store image.
+
+/// Three two-insert batches over fresh upper vertices (6, 7): never
+/// no-ops, so the journal holds exactly one 42-byte record per batch
+/// (4 len + 8 seq + 4 count + 2 × 9 ops + 8 checksum) after the
+/// 28-byte header.
+fn corpus_batches() -> Vec<UpdateBatch> {
+    let mut b1 = UpdateBatch::new();
+    b1.insert(6, 0).insert(6, 1);
+    let mut b2 = UpdateBatch::new();
+    b2.insert(7, 2).insert(7, 3);
+    let mut b3 = UpdateBatch::new();
+    b3.insert(6, 2).insert(7, 0);
+    vec![b1, b2, b3]
+}
+
+const CORPUS_HEADER: usize = 28;
+const CORPUS_RECORD: usize = 42;
+
+/// Builds a store with `corpus_batches` applied (no checkpoint), and
+/// returns the live vfs plus the per-prefix states.
+fn corpus_store() -> (MemVfs, Vec<State>) {
+    let base = bitruss::workloads::random::uniform(6, 6, 24, 42);
+    let vfs = MemVfs::new();
+    let engine = BitrussEngine::builder().build(base).expect("base engine");
+    let mut states = vec![state_of(&engine)];
+    let mut durable =
+        DurableEngine::create_with(Arc::new(vfs.clone()), &store_dir(), engine).expect("create");
+    for batch in corpus_batches() {
+        durable.apply(&batch).expect("corpus apply");
+        states.push(state_of(durable.engine()));
+    }
+    drop(durable);
+    (vfs, states)
+}
+
+/// Overwrites `path` on `vfs` with `bytes`, durably.
+fn rewrite(vfs: &MemVfs, path: &Path, bytes: &[u8]) {
+    use std::io::Write as _;
+    let mut f = vfs.create(path).expect("rewrite create");
+    f.write_all(bytes).expect("rewrite write");
+    f.sync_data().expect("rewrite sync");
+    vfs.sync_dir(path.parent().expect("parent"))
+        .expect("rewrite dir sync");
+}
+
+/// Truncating the journal at any byte keeps exactly the complete
+/// records before the cut; a cut inside the header is a loud failure
+/// (the header is written atomically before the MANIFEST commits, so
+/// only external damage can produce one).
+#[test]
+fn journal_truncation_corpus() {
+    let full = CORPUS_HEADER + 3 * CORPUS_RECORD;
+    for cut in 0..=full {
+        let (vfs, states) = corpus_store();
+        let wal = store_dir().join("wal-0.log");
+        assert_eq!(vfs.durable_bytes(&wal).expect("wal bytes").len(), full);
+        vfs.truncate(&wal, cut as u64).expect("truncate");
+
+        let opened = DurableEngine::open_with(Arc::new(vfs.clone()), &store_dir());
+        if cut < CORPUS_HEADER {
+            assert!(opened.is_err(), "cut {cut}: torn header must fail recovery");
+            continue;
+        }
+        let recovered = match opened {
+            Ok(r) => r,
+            Err(e) => {
+                panic!(
+                    "cut {cut}: {}",
+                    dump_and_describe(&vfs, &format!("truncate-{cut}"), &e.to_string())
+                );
+            }
+        };
+        let complete = (cut - CORPUS_HEADER) / CORPUS_RECORD;
+        let report = recovered.recovery().expect("report");
+        assert_eq!(report.replayed_batches, complete, "cut {cut}");
+        let on_boundary = (cut - CORPUS_HEADER).is_multiple_of(CORPUS_RECORD);
+        assert_eq!(report.truncated_journal, !on_boundary, "cut {cut}");
+        assert!(!report.fell_back, "cut {cut}");
+        assert_eq!(state_of(recovered.engine()), states[complete], "cut {cut}");
+    }
+}
+
+/// Flipping any byte of a journal record stops replay at the last
+/// record before the damage; flipping the journal header is loud.
+#[test]
+fn journal_byte_flip_corpus() {
+    let full = CORPUS_HEADER + 3 * CORPUS_RECORD;
+    for offset in 0..full {
+        let (vfs, states) = corpus_store();
+        let wal = store_dir().join("wal-0.log");
+        let mut bytes = vfs.durable_bytes(&wal).expect("wal bytes");
+        bytes[offset] ^= 0xA5;
+        rewrite(&vfs, &wal, &bytes);
+
+        let opened = DurableEngine::open_with(Arc::new(vfs.clone()), &store_dir());
+        if offset < CORPUS_HEADER {
+            assert!(
+                opened.is_err(),
+                "offset {offset}: corrupt journal header must fail recovery"
+            );
+            continue;
+        }
+        let recovered = match opened {
+            Ok(r) => r,
+            Err(e) => {
+                panic!(
+                    "offset {offset}: {}",
+                    dump_and_describe(&vfs, &format!("flip-{offset}"), &e.to_string())
+                );
+            }
+        };
+        let intact = (offset - CORPUS_HEADER) / CORPUS_RECORD;
+        let report = recovered.recovery().expect("report");
+        assert_eq!(report.replayed_batches, intact, "offset {offset}");
+        assert!(report.truncated_journal, "offset {offset}");
+        assert_eq!(
+            state_of(recovered.engine()),
+            states[intact],
+            "offset {offset}"
+        );
+    }
+}
+
+/// A corrupt MANIFEST can never be silently reinterpreted: every
+/// single-byte flip fails recovery with an error naming the file.
+#[test]
+fn manifest_corruption_is_loud() {
+    for offset in 0..CORPUS_HEADER {
+        let (vfs, _) = corpus_store();
+        let manifest = store_dir().join("MANIFEST");
+        let mut bytes = vfs.durable_bytes(&manifest).expect("manifest bytes");
+        assert_eq!(bytes.len(), CORPUS_HEADER);
+        bytes[offset] ^= 0xA5;
+        rewrite(&vfs, &manifest, &bytes);
+
+        let err = DurableEngine::open_with(Arc::new(vfs.clone()), &store_dir())
+            .err()
+            .unwrap_or_else(|| panic!("offset {offset}: corrupt MANIFEST must fail recovery"));
+        assert!(
+            err.to_string().contains("MANIFEST"),
+            "offset {offset}: error must name the file: {err}"
+        );
+    }
+}
+
+/// A corrupt newest snapshot falls back to the previous generation and
+/// replays its full journal — the acknowledged state survives — then
+/// immediately re-checkpoints so writes can resume.
+#[test]
+fn corrupt_newest_snapshot_falls_back_without_losing_acks() {
+    let base = bitruss::workloads::random::uniform(6, 6, 24, 42);
+    let vfs = MemVfs::new();
+    let engine = BitrussEngine::builder().build(base).expect("base engine");
+    let mut durable =
+        DurableEngine::create_with(Arc::new(vfs.clone()), &store_dir(), engine).expect("create");
+    let batches = corpus_batches();
+    durable.apply(&batches[0]).expect("apply 0");
+    assert_eq!(durable.checkpoint().expect("checkpoint"), 1);
+    durable.apply(&batches[1]).expect("apply 1");
+    let expected = state_of(durable.engine());
+    drop(durable);
+
+    // Flip a byte in the middle of gen-1.snap: the committed newest
+    // snapshot now fails its checksum.
+    let snap = store_dir().join("gen-1.snap");
+    let mut bytes = vfs.durable_bytes(&snap).expect("snap bytes");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xA5;
+    rewrite(&vfs, &snap, &bytes);
+
+    let recovered =
+        DurableEngine::open_with(Arc::new(vfs.clone()), &store_dir()).expect("fallback recovery");
+    let report = recovered.recovery().expect("report").clone();
+    assert!(report.fell_back);
+    assert_eq!(report.loaded_generation, 0);
+    assert_eq!(report.manifest_generation, 1);
+    // gen 1 ≡ gen 0 + full wal-0 (1 batch) and wal-1 held 1 more batch.
+    assert_eq!(report.replayed_batches, 2);
+    assert!(!report.possibly_lost_tail);
+    assert_eq!(state_of(recovered.engine()), expected);
+    // The fallback recovery re-checkpointed: a fresh committed
+    // generation exists and the store accepts writes again.
+    assert_eq!(recovered.generation(), 2);
+    assert_eq!(recovered.journal_batches(), 0);
+    let mut recovered = recovered;
+    recovered
+        .apply(&corpus_batches()[2])
+        .expect("post-fallback apply");
+}
