@@ -23,6 +23,7 @@ impl BeIndex {
     ///
     /// Runs in `O(Σ_{(u,v)∈E} min{d(u), d(v)})` time and space.
     pub fn build(g: &BipartiteGraph) -> BeIndex {
+        // xtask:allow(no-panic-lib) infallible: the only Err source is observer cancellation and NoopObserver never cancels
         build_inner(g, None, &NoopObserver).expect("NoopObserver never cancels")
     }
 
@@ -49,7 +50,8 @@ impl BeIndex {
     /// unassigned edges are exactly their supports in `g` (which includes
     /// the butterflies shared with assigned edges).
     pub fn build_compressed(g: &BipartiteGraph, assigned: &[bool]) -> BeIndex {
-        assert_eq!(assigned.len(), g.num_edges() as usize);
+        debug_assert_eq!(assigned.len(), g.num_edges() as usize);
+        // xtask:allow(no-panic-lib) infallible: the only Err source is observer cancellation and NoopObserver never cancels
         build_inner(g, Some(assigned), &NoopObserver).expect("NoopObserver never cancels")
     }
 
@@ -65,7 +67,7 @@ impl BeIndex {
         assigned: &[bool],
         observer: &dyn EngineObserver,
     ) -> Result<BeIndex> {
-        assert_eq!(assigned.len(), g.num_edges() as usize);
+        debug_assert_eq!(assigned.len(), g.num_edges() as usize);
         build_inner(g, Some(assigned), observer)
     }
 }

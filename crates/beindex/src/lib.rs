@@ -22,7 +22,8 @@
 //!   butterfly supports, so maintenance layers can rewind a peel instead
 //!   of rebuilding the index.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod bitset;
 pub mod build;

@@ -5,7 +5,7 @@
 //! `#` comment lines. Indices may start at 0 or 1; 1-based files are the
 //! KONECT default, so [`read_edge_list`] takes the base explicitly.
 
-use std::fs::File;
+use std::fs::File; // xtask:allow(vfs-only-io) dataset edge-list I/O sits below the persist layer in the crate DAG; edge lists are read-once inputs, not crash-consistent store state
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -88,6 +88,7 @@ pub fn read_edge_list<R: Read>(reader: R, base: IndexBase) -> Result<BipartiteGr
 
 /// Reads a bipartite edge list from a file path.
 pub fn read_edge_list_file<P: AsRef<Path>>(path: P, base: IndexBase) -> Result<BipartiteGraph> {
+    // xtask:allow(vfs-only-io) read-once dataset input, not store state
     read_edge_list(File::open(path)?, base)
 }
 
@@ -129,6 +130,7 @@ pub fn write_edge_list<W: Write>(g: &BipartiteGraph, writer: W) -> Result<()> {
 
 /// Writes the graph to a file path; see [`write_edge_list`].
 pub fn write_edge_list_file<P: AsRef<Path>>(g: &BipartiteGraph, path: P) -> Result<()> {
+    // xtask:allow(vfs-only-io) dataset export, not crash-consistent store state
     write_edge_list(g, File::create(path)?)
 }
 

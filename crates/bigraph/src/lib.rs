@@ -19,7 +19,8 @@
 //!   substrate of dynamic maintenance.
 //! * Plain-text edge-list I/O compatible with KONECT-style files.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod builder;
 pub mod edits;

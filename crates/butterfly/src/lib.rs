@@ -11,7 +11,8 @@
 //! [`naive`] provides brute-force oracles used throughout the test suites,
 //! and [`parallel`] a multi-threaded variant of the same counting.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod local;
 pub mod naive;

@@ -50,11 +50,14 @@ pub fn enumerate_butterflies(g: &BipartiteGraph) -> Vec<Butterfly> {
             }
             for (j, &v1) in common.iter().enumerate() {
                 for &v2 in &common[j + 1..] {
+                    // The four lookups cannot miss: v1 and v2 are in
+                    // `common`, the intersection of u1's and u2's
+                    // neighborhoods, so all four edges exist.
                     let edges = [
-                        g.edge_between(u1, v1).unwrap(),
-                        g.edge_between(u1, v2).unwrap(),
-                        g.edge_between(u2, v1).unwrap(),
-                        g.edge_between(u2, v2).unwrap(),
+                        g.edge_between(u1, v1).unwrap(), // xtask:allow(no-panic-lib) v1 ∈ common ⊆ N(u1)
+                        g.edge_between(u1, v2).unwrap(), // xtask:allow(no-panic-lib) v2 ∈ common ⊆ N(u1)
+                        g.edge_between(u2, v1).unwrap(), // xtask:allow(no-panic-lib) v1 ∈ common ⊆ N(u2)
+                        g.edge_between(u2, v2).unwrap(), // xtask:allow(no-panic-lib) v2 ∈ common ⊆ N(u2)
                     ];
                     result.push(Butterfly {
                         u1,

@@ -77,6 +77,7 @@ where
 /// Parallel counting across `threads` workers (clamped to at least 1).
 /// `threads == 0` selects `std::thread::available_parallelism()`.
 pub fn count_per_edge_parallel(g: &BipartiteGraph, threads: usize) -> ButterflyCounts {
+    // xtask:allow(no-panic-lib) infallible: the only Err source is observer cancellation and NoopObserver never cancels
     count_per_edge_parallel_observed(g, threads, &NoopObserver).expect("NoopObserver never cancels")
 }
 
@@ -125,6 +126,8 @@ pub fn count_per_edge_parallel_observed(
                         if observer.is_cancelled() {
                             break;
                         }
+                        // Relaxed: advisory progress telemetry; no memory
+                        // is published through this counter.
                         let done =
                             progress.fetch_add(CHECK_INTERVAL, Ordering::Relaxed) + CHECK_INTERVAL;
                         observer.on_phase_progress(Phase::Counting, done.min(n as u64), n as u64);
@@ -170,7 +173,7 @@ pub fn count_per_edge_parallel_observed(
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("counting worker panicked"))
+            .map(|h| h.join().expect("counting worker panicked")) // xtask:allow(no-panic-lib) Err here means a worker panicked; workers are panic-free by this same lint, and propagating a real panic is the correct failure mode
             .collect()
     });
 

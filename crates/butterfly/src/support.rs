@@ -38,6 +38,7 @@ pub(crate) fn choose2(c: u64) -> u64 {
 /// This is the counting step used by every decomposition algorithm
 /// (Algorithm 1 line 1, Algorithm 4 line 1, Algorithm 7 line 1).
 pub fn count_per_edge(g: &BipartiteGraph) -> ButterflyCounts {
+    // xtask:allow(no-panic-lib) infallible: the only Err source is observer cancellation and NoopObserver never cancels
     count_per_edge_observed(g, &NoopObserver).expect("NoopObserver never cancels")
 }
 

@@ -39,6 +39,7 @@ pub fn bit_bu_plus_opts(
     g: &BipartiteGraph,
     histogram_bounds: Option<&[u64]>,
 ) -> (Decomposition, Metrics) {
+    // xtask:allow(no-panic-lib) infallible: the only Err source is observer cancellation and NoopObserver never cancels
     bit_bu_plus_run(g, histogram_bounds, &NoopObserver).expect("NoopObserver never cancels")
 }
 
@@ -160,6 +161,7 @@ pub fn bit_bu_pp_opts(
     g: &BipartiteGraph,
     histogram_bounds: Option<&[u64]>,
 ) -> (Decomposition, Metrics) {
+    // xtask:allow(no-panic-lib) infallible: the only Err source is observer cancellation and NoopObserver never cancels
     bit_bu_pp_run(g, histogram_bounds, &NoopObserver).expect("NoopObserver never cancels")
 }
 
@@ -237,7 +239,7 @@ pub(crate) fn bit_bu_pp_run(
 /// per batch (as in BiT-BU+). Strictly fewer bloom traversals than BU+
 /// and strictly fewer queue writes than BU++.
 pub fn bit_bu_hybrid(g: &BipartiteGraph) -> (Decomposition, Metrics) {
-    bit_bu_hybrid_run(g, &NoopObserver).expect("NoopObserver never cancels")
+    bit_bu_hybrid_run(g, &NoopObserver).expect("NoopObserver never cancels") // xtask:allow(no-panic-lib) infallible: the only Err source is observer cancellation and NoopObserver never cancels
 }
 
 /// [`bit_bu_hybrid`] with an [`EngineObserver`]: phase events for

@@ -35,6 +35,7 @@ pub enum PeelStrategy {
 
 /// Runs BiT-BS (Algorithm 1) with the chosen peeling strategy.
 pub fn bit_bs(g: &BipartiteGraph, strategy: PeelStrategy) -> (Decomposition, Metrics) {
+    // xtask:allow(no-panic-lib) infallible: the only Err source is observer cancellation and NoopObserver never cancels
     bit_bs_observed(g, strategy, &NoopObserver).expect("NoopObserver never cancels")
 }
 

@@ -49,6 +49,7 @@ pub fn bit_bu_opts(
     g: &BipartiteGraph,
     histogram_bounds: Option<&[u64]>,
 ) -> (Decomposition, Metrics) {
+    // xtask:allow(no-panic-lib) infallible: the only Err source is observer cancellation and NoopObserver never cancels
     bit_bu_run(g, histogram_bounds, &NoopObserver).expect("NoopObserver never cancels")
 }
 

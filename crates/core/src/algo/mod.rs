@@ -210,7 +210,7 @@ pub fn decompose(g: &BipartiteGraph, algorithm: Algorithm) -> (Decomposition, Me
     crate::engine::BitrussEngine::builder()
         .algorithm(algorithm)
         .build_borrowed(g)
-        .expect("NoopObserver never cancels and the configuration is valid")
+        .expect("NoopObserver never cancels and the configuration is valid") // xtask:allow(no-panic-lib) legacy wrapper, documented to panic on invalid configuration; EngineBuilder::build is the Err-returning path
         .into_parts()
 }
 
@@ -242,7 +242,7 @@ pub fn decompose_with_histogram(
         .algorithm(algorithm)
         .histogram_bounds(bounds.to_vec())
         .build_borrowed(g)
-        .expect("NoopObserver never cancels and the configuration is valid")
+        .expect("NoopObserver never cancels and the configuration is valid") // xtask:allow(no-panic-lib) legacy wrapper, documented to panic on invalid configuration; EngineBuilder::build is the Err-returning path
         .into_parts()
 }
 
@@ -256,7 +256,7 @@ pub fn decompose_pruned(g: &BipartiteGraph, algorithm: Algorithm) -> (Decomposit
         .algorithm(algorithm)
         .pruned(true)
         .build_borrowed(g)
-        .expect("NoopObserver never cancels and the configuration is valid")
+        .expect("NoopObserver never cancels and the configuration is valid") // xtask:allow(no-panic-lib) legacy wrapper, documented to panic on invalid configuration; EngineBuilder::build is the Err-returning path
         .into_parts()
 }
 

@@ -120,7 +120,7 @@ pub fn bit_bu_pp_par_tuned(
     par_batch_min_work: usize,
 ) -> (Decomposition, Metrics) {
     bit_bu_pp_par_run(g, threads, par_batch_min_work, &NoopObserver)
-        .expect("NoopObserver never cancels")
+        .expect("NoopObserver never cancels") // xtask:allow(no-panic-lib) infallible: the only Err source is observer cancellation and NoopObserver never cancels
 }
 
 pub(crate) fn bit_bu_pp_par_run(

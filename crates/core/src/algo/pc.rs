@@ -34,7 +34,7 @@ use std::time::Instant;
 
 use beindex::BeIndex;
 use bigraph::progress::{checkpoint, EngineObserver, NoopObserver, Phase};
-use bigraph::{edge_subgraph, BipartiteGraph, EdgeId, Result};
+use bigraph::{edge_subgraph, BipartiteGraph, EdgeId, Error, Result};
 use butterfly::{count_per_edge, count_per_edge_observed};
 
 use crate::algo::batch::{peel_batch_pp, BatchState};
@@ -75,6 +75,7 @@ pub fn bit_pc_opts(
     tau: f64,
     histogram_bounds: Option<&[u64]>,
 ) -> (Decomposition, Metrics) {
+    // xtask:allow(no-panic-lib) legacy wrapper, documented to panic on invalid configuration; EngineBuilder::build is the Err-returning path
     bit_pc_run(g, tau, histogram_bounds, &NoopObserver).expect("NoopObserver never cancels")
 }
 
@@ -103,7 +104,9 @@ pub(crate) fn bit_pc_run(
     histogram_bounds: Option<&[u64]>,
     observer: &dyn EngineObserver,
 ) -> Result<(Decomposition, Metrics)> {
-    assert!(tau > 0.0 && tau <= 1.0, "τ must lie in (0, 1], got {tau}");
+    if !(tau > 0.0 && tau <= 1.0) {
+        return Err(Error::Invariant(format!("τ must lie in (0, 1], got {tau}")));
+    }
     let mut metrics = Metrics::default();
     let m = g.num_edges() as usize;
 

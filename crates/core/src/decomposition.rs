@@ -45,7 +45,7 @@ impl Decomposition {
     /// The k-bitruss as a subgraph of `g` (with an edge mapping back to
     /// `g`'s edge ids).
     pub fn k_bitruss_subgraph(&self, g: &BipartiteGraph, k: u64) -> EdgeSubgraph {
-        assert_eq!(self.phi.len(), g.num_edges() as usize);
+        debug_assert_eq!(self.phi.len(), g.num_edges() as usize);
         edge_subgraph(g, |e| self.phi[e.index()] >= k)
     }
 
@@ -69,7 +69,7 @@ impl Decomposition {
     /// behind the paper's fraud-detection / research-group / recommender
     /// applications (§I).
     pub fn communities(&self, g: &BipartiteGraph, k: u64) -> Vec<Community> {
-        assert_eq!(self.phi.len(), g.num_edges() as usize);
+        debug_assert_eq!(self.phi.len(), g.num_edges() as usize);
         let n = g.num_vertices();
         let mut uf = UnionFind::new(n as usize);
         for e in g.edges() {

@@ -447,7 +447,9 @@ impl<'g> BitrussEngine<'g> {
             // and both results are identical.
             let _ = self.hierarchy.set(h);
         }
-        Ok(self.hierarchy.get().expect("initialized above"))
+        self.hierarchy
+            .get()
+            .ok_or_else(|| Error::Invariant("hierarchy cache empty after initialization".into()))
     }
 
     /// The number of edges in the k-bitruss, in `O(log L)`.

@@ -47,7 +47,11 @@ pub fn k_bitruss(g: &BipartiteGraph, k: u64) -> EdgeSubgraph {
         if level >= k {
             break;
         }
-        let (lvl, e) = queue.pop_min(&supp).expect("peeked non-empty");
+        // peek_min just returned Some, so the pop cannot come up empty;
+        // break (= peel nothing more) is the benign way out if it does.
+        let Some((lvl, e)) = queue.pop_min(&supp) else {
+            break;
+        };
         let mut sink = QueueSink { queue: &mut queue };
         index.remove_edge(e, &mut supp, lvl, &mut sink);
     }

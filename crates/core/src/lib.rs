@@ -48,7 +48,8 @@
 //! One-shot callers that only need φ can still use [`decompose`], a thin
 //! wrapper over the same dispatch.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod algo;
 pub mod bucket_queue;

@@ -27,8 +27,8 @@ impl UpdateHistogram {
     /// Creates a histogram with the given bucket bounds over edges whose
     /// original supports are `original_supports`.
     pub fn new(bounds: Vec<u64>, original_supports: &[u64]) -> Self {
-        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
-        assert!(bounds.len() < 255, "too many buckets");
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        debug_assert!(bounds.len() < 255, "too many buckets");
         let bucket_of_edge = original_supports
             .iter()
             .map(|&s| bounds.partition_point(|&b| b <= s) as u8)

@@ -43,7 +43,6 @@
 //! loaded hierarchy is additionally cross-validated against the φ array,
 //! so its answers are guaranteed to match the decomposition.
 
-use std::fs::File;
 use std::io::{BufReader, BufWriter, ErrorKind, Read, Write};
 use std::path::Path;
 
@@ -52,6 +51,8 @@ use bigraph::{BipartiteGraph, Error, GraphBuilder, Result};
 use crate::decomposition::Decomposition;
 use crate::hierarchy::BitrussHierarchy;
 use crate::persist::check_matching;
+use crate::persist::vfs::{StdVfs, Vfs};
+use crate::persist::{le_u32, le_u64};
 
 /// Magic bytes opening every snapshot.
 const MAGIC: [u8; 8] = *b"BTRSNAP\0";
@@ -308,9 +309,9 @@ pub fn read_snapshot<R: Read>(reader: R) -> Result<Snapshot> {
         ));
     }
     let (payload, trailer) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    let stored = le_u64(trailer);
     let computed = fnv_update(FNV_OFFSET, payload);
-    let version = u32::from_le_bytes(payload[8..12].try_into().expect("4-byte version"));
+    let version = le_u32(&payload[8..12]);
     if version != FORMAT_VERSION {
         return Err(Error::Corrupt(format!(
             "unsupported snapshot version {version} (this build reads version {FORMAT_VERSION})"
@@ -414,8 +415,12 @@ pub fn read_snapshot<R: Read>(reader: R) -> Result<Snapshot> {
 /// name the offending file.
 pub fn read_snapshot_file<P: AsRef<Path>>(path: P) -> Result<Snapshot> {
     let path = path.as_ref();
-    let file = File::open(path).map_err(|e| crate::persist::store::io_ctx(path, e))?;
-    read_snapshot(file).map_err(|e| crate::persist::store::err_ctx(path, e))
+    // Through the Vfs (not std::fs) so reads share the store's audited
+    // I/O layer; read_snapshot consumes the whole stream either way.
+    let bytes = StdVfs
+        .read(path)
+        .map_err(|e| crate::persist::store::io_ctx(path, e))?;
+    read_snapshot(&bytes[..]).map_err(|e| crate::persist::store::err_ctx(path, e))
 }
 
 #[cfg(test)]

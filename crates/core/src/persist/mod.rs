@@ -35,6 +35,24 @@ use crate::decomposition::Decomposition;
 /// formats share one parser ([`bigraph::io::parse_size_header`]).
 const DECOMPOSITION_HEADER: &str = "% bitruss decomposition:";
 
+/// Little-endian `u32` from the first 4 bytes of `b`, zero-padded when
+/// shorter. Every caller bounds-checks first; the padding only keeps
+/// the decode path free of panicking conversions (no-panic-lib).
+pub(crate) fn le_u32(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    let n = b.len().min(4);
+    a[..n].copy_from_slice(&b[..n]);
+    u32::from_le_bytes(a)
+}
+
+/// Little-endian `u64` from the first 8 bytes of `b` (see [`le_u32`]).
+pub(crate) fn le_u64(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    let n = b.len().min(8);
+    a[..n].copy_from_slice(&b[..n]);
+    u64::from_le_bytes(a)
+}
+
 /// Writes `g`'s edges with their bitruss numbers: a header line followed
 /// by one `upper lower phi` triple per line (layer-local 0-based ids, in
 /// edge-id order).
@@ -180,7 +198,11 @@ pub fn read_decomposition<R: Read>(reader: R) -> Result<(BipartiteGraph, Decompo
     for &(u, v, p, _) in &triples {
         let e = graph
             .edge_between(graph.upper(u), graph.lower(v))
-            .expect("edge was just inserted");
+            .ok_or_else(|| {
+                Error::Invariant(format!(
+                    "edge ({u}, {v}) vanished between builder insert and lookup"
+                ))
+            })?;
         phi[e.index()] = p;
     }
     Ok((graph, Decomposition::new(phi)))

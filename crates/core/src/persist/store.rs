@@ -61,6 +61,7 @@ use crate::decomposition::Decomposition;
 use crate::hierarchy::BitrussHierarchy;
 use crate::persist::binary::{fnv_update, read_snapshot, write_snapshot, Snapshot, FNV_OFFSET};
 use crate::persist::vfs::{StdVfs, Vfs, VfsFile};
+use crate::persist::{le_u32, le_u64};
 
 /// Name of the manifest file naming the committed generation.
 pub const MANIFEST_NAME: &str = "MANIFEST";
@@ -178,21 +179,19 @@ fn decode_header(bytes: &[u8], magic: [u8; 8], what: &str) -> Result<u64> {
             "not a {what} (magic bytes mismatch)"
         )));
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte version"));
+    let version = le_u32(&bytes[8..12]);
     if version != STORE_FORMAT_VERSION {
         return Err(Error::Corrupt(format!(
             "unsupported {what} version {version} (this build reads version \
              {STORE_FORMAT_VERSION})"
         )));
     }
-    let stored = u64::from_le_bytes(bytes[20..28].try_into().expect("8-byte trailer"));
+    let stored = le_u64(&bytes[20..28]);
     let computed = fnv(&bytes[..20]);
     if stored != computed {
         return Err(Error::Corrupt(format!("{what} checksum mismatch")));
     }
-    Ok(u64::from_le_bytes(
-        bytes[12..20].try_into().expect("8-byte generation"),
-    ))
+    Ok(le_u64(&bytes[12..20]))
 }
 
 // ---------------------------------------------------------------------
@@ -235,7 +234,7 @@ impl JournalBatch {
         if bytes.len() < 4 {
             return Err(too_short());
         }
-        let count = u32::from_le_bytes(bytes[..4].try_into().expect("4-byte count")) as usize;
+        let count = le_u32(&bytes[..4]) as usize;
         let body = &bytes[4..];
         if body.len() != count * 9 {
             return Err(Error::Corrupt(format!(
@@ -256,8 +255,8 @@ impl JournalBatch {
             };
             ops.push(JournalOp {
                 insert,
-                upper: u32::from_le_bytes(chunk[1..5].try_into().expect("4-byte upper")),
-                lower: u32::from_le_bytes(chunk[5..9].try_into().expect("4-byte lower")),
+                upper: le_u32(&chunk[1..5]),
+                lower: le_u32(&chunk[5..9]),
             });
         }
         Ok(Self { ops })
@@ -308,7 +307,7 @@ fn scan_journal(bytes: &[u8]) -> Result<(u64, JournalScan)> {
             (clean, note) = stop(format!("torn tail: {} trailing bytes", rem.len()));
             break;
         }
-        let payload_len = u32::from_le_bytes(rem[..4].try_into().expect("4-byte length")) as usize;
+        let payload_len = le_u32(&rem[..4]) as usize;
         let total = 4 + 8 + payload_len + 8;
         if rem.len() < total {
             (clean, note) = stop(format!(
@@ -318,7 +317,7 @@ fn scan_journal(bytes: &[u8]) -> Result<(u64, JournalScan)> {
             ));
             break;
         }
-        let stored = u64::from_le_bytes(rem[total - 8..total].try_into().expect("8-byte trailer"));
+        let stored = le_u64(&rem[total - 8..total]);
         if stored != fnv(&rem[..total - 8]) {
             (clean, note) = stop(format!(
                 "corrupt record {}: checksum mismatch",
@@ -326,7 +325,7 @@ fn scan_journal(bytes: &[u8]) -> Result<(u64, JournalScan)> {
             ));
             break;
         }
-        let seq = u64::from_le_bytes(rem[4..12].try_into().expect("8-byte sequence"));
+        let seq = le_u64(&rem[4..12]);
         if seq != batches.len() as u64 {
             (clean, note) = stop(format!(
                 "corrupt record {}: sequence number {seq} out of order",
@@ -734,9 +733,13 @@ impl SnapshotStore {
         let seq = self.next_seq;
         let rec = encode_record(seq, batch);
         let wal_path = self.dir.join(wal_name(self.generation));
-        let journal = self.journal.as_mut().expect("journal handle checked above");
+        let Some(journal) = self.journal.as_mut() else {
+            return Err(Error::Invariant(
+                "journal handle missing outside fallback recovery".into(),
+            ));
+        };
         let wrote = journal
-            .write_all(&rec)
+            .write_all(&rec) // xtask:allow(atomic-write-discipline) append-only WAL record: length-prefixed + checksummed, fsynced before acknowledgement; a torn tail is truncated on recovery (docs/DURABILITY.md)
             .and_then(|()| journal.sync_data())
             .map_err(|e| io_ctx(&wal_path, e));
         if let Err(e) = wrote {

@@ -273,7 +273,7 @@ pub struct MemVfs {
 
 impl fmt::Debug for MemVfs {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = self.state.lock().expect("poisoned MemVfs lock");
+        let s = lock_state(&self.state);
         f.debug_struct("MemVfs")
             .field("files", &s.names.len())
             .field("ops", &s.ops)
@@ -284,6 +284,16 @@ impl fmt::Debug for MemVfs {
 
 fn crash_err() -> io::Error {
     io::Error::other("simulated crash: the process died at an injected kill point")
+}
+
+/// Locks the shared state, absorbing poison: the state is plain data
+/// with no invariants spanning the lock, so the image left by a
+/// panicked holder is still valid to read and mutate (and the panic
+/// that poisoned it is already propagating on its own thread).
+fn lock_state(state: &Mutex<MemState>) -> std::sync::MutexGuard<'_, MemState> {
+    state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Bumps the op counter and applies any injected fault. Returns the
@@ -328,17 +338,13 @@ impl MemVfs {
     /// Arms `fault` to fire at operation number `op` (0-based over every
     /// state-touching call; see the [module docs](self)).
     pub fn fail_at(&self, op: u64, fault: Fault) {
-        self.state
-            .lock()
-            .expect("poisoned MemVfs lock")
-            .faults
-            .insert(op, fault);
+        lock_state(&self.state).faults.insert(op, fault);
     }
 
     /// Number of operations performed so far. Run a workload once
     /// fault-free, read this, and sweep kill points over `0..ops()`.
     pub fn ops(&self) -> u64 {
-        self.state.lock().expect("poisoned MemVfs lock").ops
+        lock_state(&self.state).ops
     }
 
     /// Simulates a reboot: every volatile byte and namespace entry is
@@ -353,7 +359,7 @@ impl MemVfs {
     /// cache on its own before the power went out. Recovery must
     /// tolerate such torn tails (it truncates them).
     pub fn crash_keeping_tail(&self, keep: usize) {
-        let mut s = self.state.lock().expect("poisoned MemVfs lock");
+        let mut s = lock_state(&self.state);
         s.names = s.durable_names.clone();
         let live: HashSet<u64> = s.names.values().copied().collect();
         s.inodes.retain(|ino, _| live.contains(ino));
@@ -379,7 +385,7 @@ impl MemVfs {
     ///
     /// Propagates real-filesystem failures.
     pub fn dump_durable_to(&self, dir: &Path) -> io::Result<()> {
-        let s = self.state.lock().expect("poisoned MemVfs lock");
+        let s = lock_state(&self.state);
         fs::create_dir_all(dir)?;
         for (path, ino) in &s.durable_names {
             let Some(inode) = s.inodes.get(ino) else {
@@ -397,7 +403,7 @@ impl MemVfs {
     /// The durable content of `path`, or `None` when no durable entry
     /// exists — what a reader after a crash would find.
     pub fn durable_bytes(&self, path: &Path) -> Option<Vec<u8>> {
-        let s = self.state.lock().expect("poisoned MemVfs lock");
+        let s = lock_state(&self.state);
         let ino = s.durable_names.get(path)?;
         Some(s.inodes.get(ino)?.durable.clone())
     }
@@ -410,7 +416,7 @@ struct MemFile {
 
 impl Write for MemFile {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        let mut s = self.state.lock().expect("poisoned MemVfs lock");
+        let mut s = lock_state(&self.state);
         let fault = step(&mut s)?;
         let inode = s.inodes.entry(self.ino).or_default();
         match fault {
@@ -438,7 +444,7 @@ impl Write for MemFile {
 
 impl VfsFile for MemFile {
     fn sync_data(&mut self) -> io::Result<()> {
-        let mut s = self.state.lock().expect("poisoned MemVfs lock");
+        let mut s = lock_state(&self.state);
         step_simple(&mut s)?;
         let inode = s.inodes.entry(self.ino).or_default();
         inode.durable = inode.data.clone();
@@ -455,7 +461,7 @@ fn not_found(path: &Path) -> io::Error {
 
 impl Vfs for MemVfs {
     fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
-        let mut s = self.state.lock().expect("poisoned MemVfs lock");
+        let mut s = lock_state(&self.state);
         step_simple(&mut s)?;
         let ino = s.next_ino;
         s.next_ino += 1;
@@ -468,7 +474,7 @@ impl Vfs for MemVfs {
     }
 
     fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
-        let mut s = self.state.lock().expect("poisoned MemVfs lock");
+        let mut s = lock_state(&self.state);
         step_simple(&mut s)?;
         let ino = *s.names.get(path).ok_or_else(|| not_found(path))?;
         Ok(Box::new(MemFile {
@@ -478,7 +484,7 @@ impl Vfs for MemVfs {
     }
 
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
-        let mut s = self.state.lock().expect("poisoned MemVfs lock");
+        let mut s = lock_state(&self.state);
         step_simple(&mut s)?;
         let ino = *s.names.get(path).ok_or_else(|| not_found(path))?;
         Ok(s.inodes
@@ -488,15 +494,11 @@ impl Vfs for MemVfs {
     }
 
     fn exists(&self, path: &Path) -> bool {
-        self.state
-            .lock()
-            .expect("poisoned MemVfs lock")
-            .names
-            .contains_key(path)
+        lock_state(&self.state).names.contains_key(path)
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
-        let mut s = self.state.lock().expect("poisoned MemVfs lock");
+        let mut s = lock_state(&self.state);
         step_simple(&mut s)?;
         let ino = s.names.remove(from).ok_or_else(|| not_found(from))?;
         s.names.insert(to.to_path_buf(), ino);
@@ -504,17 +506,18 @@ impl Vfs for MemVfs {
     }
 
     fn remove_file(&self, path: &Path) -> io::Result<()> {
-        let mut s = self.state.lock().expect("poisoned MemVfs lock");
+        let mut s = lock_state(&self.state);
         step_simple(&mut s)?;
         s.names.remove(path).ok_or_else(|| not_found(path))?;
         Ok(())
     }
 
     fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
-        let mut s = self.state.lock().expect("poisoned MemVfs lock");
+        let mut s = lock_state(&self.state);
         step_simple(&mut s)?;
         let ino = *s.names.get(path).ok_or_else(|| not_found(path))?;
-        let len = usize::try_from(len).expect("truncate length fits usize");
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "truncate length overflow"))?;
         if let Some(inode) = s.inodes.get_mut(&ino) {
             inode.data.truncate(len);
             inode.durable.truncate(len);
@@ -523,14 +526,14 @@ impl Vfs for MemVfs {
     }
 
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
-        let mut s = self.state.lock().expect("poisoned MemVfs lock");
+        let mut s = lock_state(&self.state);
         step_simple(&mut s)?;
         s.dirs.insert(path.to_path_buf());
         Ok(())
     }
 
     fn sync_dir(&self, path: &Path) -> io::Result<()> {
-        let mut s = self.state.lock().expect("poisoned MemVfs lock");
+        let mut s = lock_state(&self.state);
         step_simple(&mut s)?;
         // A directory fsync makes every entry of this directory durable:
         // creations, renames and removals alike.
@@ -546,7 +549,7 @@ impl Vfs for MemVfs {
     }
 
     fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
-        let s = self.state.lock().expect("poisoned MemVfs lock");
+        let s = lock_state(&self.state);
         let mut out: Vec<PathBuf> = s
             .names
             .keys()

@@ -21,12 +21,17 @@ pub fn reference_decomposition(g: &BipartiteGraph) -> Decomposition {
         let counts = count_per_edge(&sub.graph);
         // Minimum support among alive edges, smallest original edge id on
         // ties (matches the deterministic order of the fast algorithms).
-        let (pos, &s) = counts
+        // `remaining > 0` keeps the subgraph non-empty; an empty
+        // iterator would mean nothing is left to peel, so stopping is
+        // the faithful (and panic-free) response.
+        let Some((pos, &s)) = counts
             .per_edge
             .iter()
             .enumerate()
             .min_by_key(|&(i, &s)| (s, sub.new_to_old[i]))
-            .expect("remaining > 0");
+        else {
+            break;
+        };
         level = level.max(s);
         let victim = sub.new_to_old[pos];
         phi[victim.index()] = level;

@@ -19,6 +19,7 @@ use rand::SeedableRng;
 pub fn from_degrees(upper_degrees: &[u32], lower_degrees: &[u32], seed: u64) -> BipartiteGraph {
     let su: u64 = upper_degrees.iter().map(|&d| d as u64).sum();
     let sl: u64 = lower_degrees.iter().map(|&d| d as u64).sum();
+    // xtask:allow(no-panic-lib) generator precondition on caller-supplied degree sequences; failing fast in test-data tooling is the documented contract
     assert_eq!(su, sl, "degree sums must match (got {su} vs {sl})");
 
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -40,7 +41,7 @@ pub fn from_degrees(upper_degrees: &[u32], lower_degrees: &[u32], seed: u64) -> 
     for (&u, &v) in upper_stubs.iter().zip(&lower_stubs) {
         builder.push_edge(u, v); // duplicates removed by the builder
     }
-    builder.build().expect("stub indices are in range")
+    builder.build().expect("stub indices are in range") // xtask:allow(no-panic-lib) test-data generator: every pushed edge is in the declared layer ranges by construction, so the builder cannot fail
 }
 
 /// Convenience: a power-law degree sequence `d_i = max(1, round(c·(i+1)^{-γ}))`

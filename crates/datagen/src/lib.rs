@@ -18,7 +18,8 @@
 //!
 //! All generators are deterministic given a seed.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod block;
 pub mod configuration;

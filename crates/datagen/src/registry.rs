@@ -74,7 +74,7 @@ impl Dataset {
             .add_edges(background.edge_pairs())
             .add_edges(planted.edge_pairs())
             .build()
-            .expect("registry edges are in range")
+            .expect("registry edges are in range") // xtask:allow(no-panic-lib) test-data generator: every pushed edge is in the declared layer ranges by construction, so the builder cannot fail
     }
 
     /// A reproducible interleaved insert/delete schedule of `ops`
@@ -201,7 +201,7 @@ pub fn dataset_by_name(name: &str) -> Option<Dataset> {
 pub fn drilldown_datasets() -> Vec<Dataset> {
     ["Github", "D-label", "D-style", "Wiki-it"]
         .iter()
-        .map(|n| dataset_by_name(n).expect("registry contains drill-down set"))
+        .map(|n| dataset_by_name(n).expect("registry contains drill-down set")) // xtask:allow(no-panic-lib) the four names are literals present in the static registry table
         .collect()
 }
 

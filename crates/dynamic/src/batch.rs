@@ -189,10 +189,12 @@ impl UpdateBatch {
             if present {
                 resolved.inserts.push((u, v));
             } else {
-                resolved.deletes.push(
-                    g.edge_between(g.upper(u), g.lower(v))
-                        .expect("validated above"),
-                );
+                let e = g.edge_between(g.upper(u), g.lower(v)).ok_or_else(|| {
+                    Error::Invariant(format!(
+                        "edge ({u}, {v}) vanished between validation and resolution"
+                    ))
+                })?;
+                resolved.deletes.push(e);
             }
         }
         Ok(resolved)

@@ -66,7 +66,8 @@
 //! [`BitrussEngine`] only when a batch rewrites most of the graph (the
 //! [`MaintenanceStats::reuse_ratio`] of past batches is the signal).
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod analyze;
 pub mod apply;

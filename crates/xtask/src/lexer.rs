@@ -1,0 +1,298 @@
+//! A small comment/string-aware Rust lexer.
+//!
+//! The lint passes must never fire on text inside a string literal or a
+//! comment (`"call unwrap()"` in a test-name string, `unsafe` in prose),
+//! and conversely the allow/justification machinery must only read real
+//! comments. This lexer splits every source line into exactly those two
+//! views:
+//!
+//! * **code** — the source with comments removed and the *contents* of
+//!   string/char literals blanked (the delimiting quotes remain, so
+//!   `File::open("x")` lexes to `File::open("")` and token searches
+//!   still see the call).
+//! * **comment** — the concatenated text of every comment on the line
+//!   (line, block, and doc comments alike), without the delimiters.
+//!
+//! It is not a full Rust lexer — no token tree, no keywords — but it
+//! handles the constructs that matter for line classification: nested
+//! block comments, raw strings with arbitrary hash fences, byte/raw
+//! identifiers, char literals vs. lifetimes, and escapes.
+
+/// One source line split into its code and comment views.
+#[derive(Debug, Default, Clone)]
+pub struct LexedLine {
+    /// Code with literal contents blanked and comments removed.
+    pub code: String,
+    /// Concatenated comment text (line + block + doc) on this line.
+    pub comment: String,
+}
+
+/// Lexer state carried across lines.
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment depth.
+    BlockComment(u32),
+    Str,
+    /// Raw string terminated by `"` followed by this many `#`s.
+    RawStr(u32),
+}
+
+/// Splits `src` into per-line code/comment views (see module docs).
+pub fn lex(src: &str) -> Vec<LexedLine> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines = vec![LexedLine::default()];
+    let mut state = State::Code;
+    let mut i = 0;
+
+    // Appends to the current line's code/comment view.
+    macro_rules! cur {
+        () => {
+            lines.last_mut().expect("lines starts non-empty")
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            lines.push(LexedLine::default());
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                let prev_ident = i > 0 && is_ident_char(chars[i - 1]);
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur!().code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_ident {
+                    // Possible raw string `r"`/`r#"`/`br#"` or byte string
+                    // prefix. `r#ident` (raw identifier) must fall through
+                    // to plain code.
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let is_raw = (j > i + 1 || c == 'r') && chars.get(j) == Some(&'"');
+                    if is_raw {
+                        cur!().code.push('"');
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    } else if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                        cur!().code.push('"');
+                        state = State::Str;
+                        i += 2;
+                    } else {
+                        cur!().code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' && !prev_ident {
+                    // Char literal or lifetime. `'x'` / `'\n'` are
+                    // literals; `'a` (no closing quote) is a lifetime.
+                    // The prev_ident guard keeps `Foo::<'a>` working when
+                    // written without spaces after an identifier.
+                    if next == Some('\\') {
+                        // Escaped char literal: scan to the closing quote.
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                            j += 1;
+                        }
+                        cur!().code.push_str("''");
+                        i = (j + 1).min(chars.len());
+                    } else if chars.get(i + 2) == Some(&'\'') && next != Some('\'') {
+                        cur!().code.push_str("''");
+                        i += 3;
+                    } else {
+                        cur!().code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur!().code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur!().comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    cur!().comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped char (contents are blanked)
+                } else if c == '"' {
+                    cur!().code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        cur!().code.push('"');
+                        state = State::Code;
+                        i = j;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines
+}
+
+/// `true` for characters that can continue a Rust identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Finds `needle` in `code` as a token. When the needle starts (ends)
+/// with an identifier character, the character before (after) the match
+/// must not be one — so `assert!` does not match inside `debug_assert!`
+/// and `unsafe` does not match inside `unsafe_name`. Returns the byte
+/// offset of the first match.
+pub fn find_token(code: &str, needle: &str) -> Option<usize> {
+    let first_is_ident = needle.chars().next().is_some_and(is_ident_char);
+    let last_is_ident = needle.chars().next_back().is_some_and(is_ident_char);
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(needle) {
+        let at = from + pos;
+        let ok_before =
+            !first_is_ident || !code[..at].chars().next_back().is_some_and(is_ident_char);
+        let ok_after = !last_is_ident
+            || !code[at + needle.len()..]
+                .chars()
+                .next()
+                .is_some_and(is_ident_char);
+        if ok_before && ok_after {
+            return Some(at);
+        }
+        from = at + needle.len().max(1);
+    }
+    None
+}
+
+/// All token occurrences of `needle` in `code` (see [`find_token`]).
+pub fn token_positions(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = find_token(&code[from..], needle) {
+        out.push(from + pos);
+        from += pos + needle.len().max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strings_are_blanked_comments_removed() {
+        let lines = lex("let x = \"unwrap()\"; // call unwrap() here\nunsafe_name();");
+        assert_eq!(lines[0].code, "let x = \"\"; ");
+        assert_eq!(lines[0].comment, " call unwrap() here");
+        assert_eq!(lines[1].code, "unsafe_name();");
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let c = code_of("let s = r#\"has \"quotes\" and unwrap()\"#; f();");
+        assert_eq!(c[0], "let s = \"\"; f();");
+        let c = code_of("let s = br##\"x\"# y\"##;");
+        assert_eq!(c[0], "let s = \"\";");
+    }
+
+    #[test]
+    fn raw_identifiers_are_code() {
+        let c = code_of("let r#fn = 1;");
+        assert_eq!(c[0], "let r#fn = 1;");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = lex("a /* one /* two */ still */ b");
+        assert_eq!(lines[0].code, "a  b");
+        // Nested delimiters are consumed, not echoed into the text.
+        assert_eq!(lines[0].comment, " one  two  still ");
+    }
+
+    #[test]
+    fn multi_line_strings_and_comments() {
+        let c = code_of("let s = \"line one\nline two with unsafe\";\nnext();");
+        assert_eq!(c[0], "let s = \"");
+        assert_eq!(c[1], "\";");
+        assert_eq!(c[2], "next();");
+        let c = code_of("/* spans\nlines */ code();");
+        assert_eq!(c[0], "");
+        assert_eq!(c[1], " code();");
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let c = code_of("let c = '\\n'; let q = '\"'; fn f<'a>(x: &'a str) {}");
+        assert_eq!(c[0], "let c = ''; let q = ''; fn f<'a>(x: &'a str) {}");
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let c = code_of("let s = \"a\\\"b\"; g();");
+        assert_eq!(c[0], "let s = \"\"; g();");
+    }
+
+    #[test]
+    fn token_matching_respects_boundaries() {
+        assert!(find_token("debug_assert!(x)", "assert!").is_none());
+        assert!(find_token("assert!(x)", "assert!").is_some());
+        assert!(find_token("x.unwrap();", ".unwrap()").is_some());
+        assert!(find_token("x.unwrap_or(1);", ".unwrap()").is_none());
+        assert!(find_token("self.my_unsafe_flag", "unsafe").is_none());
+        assert!(find_token("unsafe { }", "unsafe").is_some());
+    }
+}

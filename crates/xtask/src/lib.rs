@@ -1,0 +1,102 @@
+//! In-repo static analysis for the bitruss workspace — tidy-style
+//! invariant lints, run as `cargo run -p xtask -- analyze`.
+//!
+//! The workspace's two headline guarantees — bit-identical parallel
+//! peeling and crash-safe persistence — rest on source-level conventions
+//! no compiler pass checks: all store I/O flows through
+//! `persist::vfs::Vfs`, library code returns `Error` instead of
+//! panicking, every `Relaxed`/`SeqCst` atomic carries a written
+//! argument, and `persist/` commits through one audited helper. This
+//! crate machine-checks those conventions on every push, the way
+//! rust-lang/rust's `tidy` pass guards its own invariants.
+//!
+//! The suite is deliberately dependency-free: a small comment/string-
+//! aware lexer ([`lexer`]), a per-file source model ([`source`]), and a
+//! set of passes ([`lints`]) that print `file:line: [lint-name] message`
+//! and exit nonzero on any finding. Findings are suppressed inline with
+//! `// xtask:allow(<lint>) <reason>` — the reason is mandatory, and a
+//! stale directive that suppresses nothing is itself a finding.
+//!
+//! See `docs/LINTS.md` for each lint's rationale and how to add a pass.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod lexer;
+pub mod lints;
+pub mod source;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use lints::{check_file, Diagnostic};
+pub use source::SourceFile;
+
+/// Directory names never descended into during the workspace walk.
+/// `fixtures` holds deliberate violations for the lint engine's own
+/// tests; `vendor` is third-party shim code outside our conventions.
+const SKIP_DIRS: &[&str] = &[".git", "target", "vendor", "fixtures"];
+
+/// Lints a single file's `text` as if it lived at workspace-relative
+/// `rel`, returning the surviving diagnostics. This is the entry point
+/// the fixture tests use.
+pub fn analyze_source(rel: &str, text: &str) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(rel, text);
+    let mut out = Vec::new();
+    check_file(&file, &mut out);
+    out
+}
+
+/// Walks every `.rs` file under `root` (skipping `.git`, `target`,
+/// `vendor`, and `fixtures` directories) and
+/// returns all diagnostics, sorted by file then line.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the walk or file reads.
+pub fn analyze_tree(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let file = SourceFile::parse(&rel, &text);
+        check_file(&file, &mut out);
+    }
+    out.sort_by(|a, b| (&a.rel, a.line).cmp(&(&b.rel, b.line)));
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files, skipping [`SKIP_DIRS`].
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace root, resolved from this crate's own manifest
+/// directory (`crates/xtask` → two levels up), so `cargo run -p xtask`
+/// works from any working directory.
+pub fn workspace_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}

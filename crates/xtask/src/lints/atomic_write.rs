@@ -1,0 +1,86 @@
+//! **atomic-write-discipline** — `persist/` commits files through
+//! `write_bytes_atomic*`, nowhere else.
+//!
+//! The store's crash model (docs/DURABILITY.md) has exactly two
+//! sanctioned durable-write paths: the atomic whole-file commit
+//! (temp → fsync → rename → dir-fsync, implemented once in
+//! `write_bytes_atomic*`) and the append-only journal (length-prefixed,
+//! checksummed, fsynced before acknowledgement). A hand-rolled
+//! write-then-rename elsewhere in `persist/` is a commit protocol that
+//! the kill-point sweeps do not know about — PR 7 deleted one such
+//! hand-rolled tmp+rename from the CLI for exactly this reason.
+//!
+//! Concretely: inside `persist/` (minus `vfs.rs`, which implements the
+//! primitives), any `rename(` outside a `write_bytes_atomic*` function
+//! is flagged, and so is a `write_all(` in a function that also
+//! syncs or renames — i.e. a function running its own commit sequence
+//! rather than serializing into a caller-supplied writer. The journal
+//! append carries a standing `xtask:allow` documenting why it is safe.
+
+use crate::lexer::find_token;
+use crate::lints::{Diagnostic, Lint};
+use crate::source::{FileKind, SourceFile};
+
+/// See the [module docs](self).
+pub struct AtomicWriteDiscipline;
+
+impl Lint for AtomicWriteDiscipline {
+    fn name(&self) -> &'static str {
+        "atomic-write-discipline"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.kind != FileKind::Library
+            || !file.rel.contains("persist/")
+            || file.rel.ends_with("persist/vfs.rs")
+        {
+            return;
+        }
+        for (i, line) in file.lines.iter().enumerate() {
+            let lineno = i + 1;
+            if file.in_test(lineno) {
+                continue;
+            }
+            let in_sanctioned = file
+                .enclosing_fn(lineno)
+                .is_some_and(|f| f.name.starts_with("write_bytes_atomic"));
+            if in_sanctioned {
+                continue;
+            }
+            if find_token(&line.code, "rename(").is_some() {
+                out.push(Diagnostic {
+                    rel: file.rel.clone(),
+                    line: lineno,
+                    lint: self.name(),
+                    msg: "`rename(` outside write_bytes_atomic* — commits in persist/ \
+                          must go through the one audited atomic-commit helper"
+                        .into(),
+                });
+                continue;
+            }
+            if find_token(&line.code, "write_all(").is_some() {
+                // Only flag when the enclosing function runs its own
+                // commit sequence (sync/rename nearby); pure serializers
+                // into a caller's writer are fine.
+                let commits = file.enclosing_fn(lineno).is_some_and(|f| {
+                    file.lines[f.start - 1..f.end].iter().any(|l| {
+                        find_token(&l.code, "sync_data(").is_some()
+                            || find_token(&l.code, "sync_dir(").is_some()
+                            || find_token(&l.code, "rename(").is_some()
+                    })
+                });
+                if commits {
+                    out.push(Diagnostic {
+                        rel: file.rel.clone(),
+                        line: lineno,
+                        lint: self.name(),
+                        msg: "`write_all(` in a function that also syncs/renames — this is \
+                              a hand-rolled commit; use write_bytes_atomic* or justify the \
+                              append protocol with xtask:allow"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! **forbid-unsafe** — the workspace is 100% safe Rust, and stays so.
+//!
+//! No crate needs `unsafe` today: parallelism is scoped threads over
+//! disjoint slices, I/O is buffered streams, and the bitsets are plain
+//! `u64` words. Locking that in at the crate root (`#![forbid(...)]`
+//! cannot be overridden by an inner `allow`) means a future
+//! "optimization" must argue its case in a PR that visibly relaxes the
+//! attribute, not slip a raw pointer into a hot loop. The token scan
+//! covers every file (tests and tools included); the attribute
+//! requirement applies to library crate roots.
+
+use crate::lexer::find_token;
+use crate::lints::{Diagnostic, Lint};
+use crate::source::SourceFile;
+
+/// See the [module docs](self).
+pub struct ForbidUnsafe;
+
+impl Lint for ForbidUnsafe {
+    fn name(&self) -> &'static str {
+        "forbid-unsafe"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.is_crate_root {
+            let has_attr = file
+                .lines
+                .iter()
+                .any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+            if !has_attr {
+                out.push(Diagnostic {
+                    rel: file.rel.clone(),
+                    line: 1,
+                    lint: self.name(),
+                    msg: "library crate root is missing `#![forbid(unsafe_code)]`".into(),
+                });
+            }
+        }
+        for (i, line) in file.lines.iter().enumerate() {
+            // `unsafe_code` (the attribute argument) does not match the
+            // bare `unsafe` token thanks to the identifier-boundary rule.
+            if find_token(&line.code, "unsafe").is_some() {
+                out.push(Diagnostic {
+                    rel: file.rel.clone(),
+                    line: i + 1,
+                    lint: self.name(),
+                    msg: "`unsafe` token — this workspace is 100% safe Rust".into(),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! **missing-docs-parity** — every library crate denies missing docs,
+//! not just the modules whose authors remembered.
+//!
+//! Before this lint, `core::partition` carried a module-level
+//! `#![deny(missing_docs)]` while the other crates relied on review to
+//! catch undocumented public items. Parity means the guarantee is
+//! uniform: each library crate root must declare the deny, so rustc
+//! itself fails the build on the first undocumented public item
+//! anywhere in the workspace's API surface.
+
+use crate::lints::{Diagnostic, Lint};
+use crate::source::SourceFile;
+
+/// See the [module docs](self).
+pub struct MissingDocsParity;
+
+impl Lint for MissingDocsParity {
+    fn name(&self) -> &'static str {
+        "missing-docs-parity"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !file.is_crate_root {
+            return;
+        }
+        let has_attr = file
+            .lines
+            .iter()
+            .any(|l| l.code.contains("#![deny(missing_docs)]"));
+        if !has_attr {
+            out.push(Diagnostic {
+                rel: file.rel.clone(),
+                line: 1,
+                lint: self.name(),
+                msg: "library crate root is missing `#![deny(missing_docs)]`".into(),
+            });
+        }
+    }
+}

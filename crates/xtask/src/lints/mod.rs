@@ -1,0 +1,128 @@
+//! The lint framework: diagnostics, the [`Lint`] trait, the registry of
+//! passes, and allow-directive filtering.
+//!
+//! Each pass walks a [`SourceFile`] and reports [`Diagnostic`]s. The
+//! driver then filters out findings covered by an inline
+//! `// xtask:allow(<lint>) <reason>` directive (same line, or the next
+//! code line for a whole-line comment) and reports directive hygiene
+//! problems of its own: a missing reason, an unknown lint name, or a
+//! directive that suppresses nothing.
+
+mod atomic_write;
+mod atomics_ordering;
+mod forbid_unsafe;
+mod missing_docs;
+mod no_panic;
+mod vfs_only_io;
+
+use std::fmt;
+
+use crate::source::SourceFile;
+
+/// One finding, printed as `file:line: [lint-name] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub rel: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Name of the lint that fired.
+    pub lint: &'static str,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.rel, self.line, self.lint, self.msg
+        )
+    }
+}
+
+/// A single analysis pass over one source file.
+pub trait Lint {
+    /// The lint's kebab-case name, used in diagnostics and
+    /// `xtask:allow(...)` directives.
+    fn name(&self) -> &'static str;
+    /// Reports findings for `file` into `out`.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// Name of the pseudo-lint reporting allow-directive hygiene problems.
+pub const ALLOW_DIRECTIVE: &str = "allow-directive";
+
+/// All registered passes, in reporting order.
+pub fn all_lints() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(vfs_only_io::VfsOnlyIo),
+        Box::new(no_panic::NoPanicLib),
+        Box::new(atomics_ordering::AtomicsOrderingAudit),
+        Box::new(forbid_unsafe::ForbidUnsafe),
+        Box::new(missing_docs::MissingDocsParity),
+        Box::new(atomic_write::AtomicWriteDiscipline),
+    ]
+}
+
+/// Runs every pass over `file`, applies its allow directives, and
+/// appends the surviving diagnostics (plus directive hygiene findings)
+/// to `out`.
+pub fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let lints = all_lints();
+    let mut raw = Vec::new();
+    for lint in &lints {
+        lint.check(file, &mut raw);
+    }
+
+    let known: Vec<&'static str> = lints.iter().map(|l| l.name()).collect();
+    let mut used = vec![false; file.allows.len()];
+    raw.retain(|d| {
+        let mut suppressed = false;
+        for (i, a) in file.allows.iter().enumerate() {
+            if a.lint == d.lint && !a.reason.is_empty() && (a.line == d.line || a.target == d.line)
+            {
+                used[i] = true;
+                suppressed = true;
+            }
+        }
+        !suppressed
+    });
+    out.append(&mut raw);
+
+    for (i, a) in file.allows.iter().enumerate() {
+        if !known.contains(&a.lint.as_str()) {
+            out.push(Diagnostic {
+                rel: file.rel.clone(),
+                line: a.line,
+                lint: ALLOW_DIRECTIVE,
+                msg: format!(
+                    "unknown lint `{}` in xtask:allow (known: {})",
+                    a.lint,
+                    known.join(", ")
+                ),
+            });
+        } else if a.reason.is_empty() {
+            out.push(Diagnostic {
+                rel: file.rel.clone(),
+                line: a.line,
+                lint: ALLOW_DIRECTIVE,
+                msg: format!(
+                    "xtask:allow({}) requires a justification after the closing parenthesis",
+                    a.lint
+                ),
+            });
+        } else if !used[i] {
+            out.push(Diagnostic {
+                rel: file.rel.clone(),
+                line: a.line,
+                lint: ALLOW_DIRECTIVE,
+                msg: format!(
+                    "xtask:allow({}) suppresses nothing on line {} — remove the stale directive",
+                    a.lint, a.target
+                ),
+            });
+        }
+    }
+}

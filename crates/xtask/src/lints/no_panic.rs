@@ -1,0 +1,71 @@
+//! **no-panic-lib** — library code returns `Error`, it does not abort.
+//!
+//! A panic mid-peel poisons shared state and kills the whole process; a
+//! panic mid-recovery turns a survivable torn journal tail into an
+//! outage. Every fallible path in the library crates must surface as a
+//! typed [`Err`] the caller can handle (the engine already threads
+//! `Result` through every long pass for cancellation). `debug_assert!`
+//! remains available for invariant checks that vanish in release
+//! builds, and test code may panic freely.
+
+use crate::lexer::find_token;
+use crate::lints::{Diagnostic, Lint};
+use crate::source::{FileKind, SourceFile};
+
+/// Panicking constructs forbidden in non-test library code.
+const NEEDLES: &[(&str, &str)] = &[
+    (
+        ".unwrap()",
+        "return a typed Error (or justify with xtask:allow)",
+    ),
+    (
+        ".expect(",
+        "return a typed Error (or justify with xtask:allow)",
+    ),
+    (
+        "panic!",
+        "return a typed Error (or justify with xtask:allow)",
+    ),
+    ("assert!", "use debug_assert! or return Error::Invariant"),
+    (
+        "assert_eq!",
+        "use debug_assert_eq! or return Error::Invariant",
+    ),
+    (
+        "assert_ne!",
+        "use debug_assert_ne! or return Error::Invariant",
+    ),
+    ("unimplemented!", "implement it or return a typed Error"),
+    ("todo!", "implement it or return a typed Error"),
+];
+
+/// See the [module docs](self).
+pub struct NoPanicLib;
+
+impl Lint for NoPanicLib {
+    fn name(&self) -> &'static str {
+        "no-panic-lib"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.kind != FileKind::Library {
+            return;
+        }
+        for (i, line) in file.lines.iter().enumerate() {
+            if file.in_test(i + 1) {
+                continue;
+            }
+            for (needle, hint) in NEEDLES {
+                if find_token(&line.code, needle).is_some() {
+                    out.push(Diagnostic {
+                        rel: file.rel.clone(),
+                        line: i + 1,
+                        lint: self.name(),
+                        msg: format!("`{needle}` can abort mid-operation — {hint}"),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+}

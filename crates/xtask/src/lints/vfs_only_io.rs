@@ -1,0 +1,53 @@
+//! **vfs-only-io** — library code must not touch the filesystem behind
+//! the `persist::vfs::Vfs` layer's back.
+//!
+//! The crash-safety guarantee of the snapshot store (docs/DURABILITY.md)
+//! is proved by fault-injection sweeps over a `Vfs`: every kill point of
+//! every store operation is exercised because every store byte flows
+//! through that one interface. A direct `std::fs` call in library code
+//! is invisible to the sweep — it reintroduces exactly the class of
+//! untested crash window the store was built to eliminate. Binaries,
+//! benches, tools, and tests read real files legitimately and are out of
+//! scope, as is `persist/vfs.rs` itself (it *is* the I/O layer).
+
+use crate::lexer::find_token;
+use crate::lints::{Diagnostic, Lint};
+use crate::source::{FileKind, SourceFile};
+
+/// Tokens that reach the real filesystem directly.
+const NEEDLES: &[&str] = &["std::fs", "File::", "OpenOptions"];
+
+/// See the [module docs](self).
+pub struct VfsOnlyIo;
+
+impl Lint for VfsOnlyIo {
+    fn name(&self) -> &'static str {
+        "vfs-only-io"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.kind != FileKind::Library || file.rel.ends_with("persist/vfs.rs") {
+            return;
+        }
+        for (i, line) in file.lines.iter().enumerate() {
+            if file.in_test(i + 1) {
+                continue;
+            }
+            for needle in NEEDLES {
+                if find_token(&line.code, needle).is_some() {
+                    out.push(Diagnostic {
+                        rel: file.rel.clone(),
+                        line: i + 1,
+                        lint: self.name(),
+                        msg: format!(
+                            "`{needle}` in library code bypasses persist::vfs::Vfs — \
+                             route I/O through a Vfs so crash-injection sweeps cover it \
+                             (see docs/DURABILITY.md)"
+                        ),
+                    });
+                    break; // one diagnostic per line is enough
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! `cargo run -p xtask -- analyze` — run the workspace invariant lints.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- analyze [--root <dir>]");
+            eprintln!();
+            eprintln!("Runs the tidy-style invariant lints over the workspace source");
+            eprintln!("(see docs/LINTS.md) and exits nonzero on any finding.");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let mut root = xtask::workspace_root();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}` (known: --root <dir>)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let diags = match xtask::analyze_tree(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xtask analyze: failed to read {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if diags.is_empty() {
+        println!("xtask analyze: clean ({})", root.display());
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    println!("xtask analyze: {} finding(s)", diags.len());
+    ExitCode::FAILURE
+}

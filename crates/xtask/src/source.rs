@@ -1,0 +1,412 @@
+//! Per-file source model: classification, test-region masking, function
+//! spans, and `xtask:allow` directives — the shared substrate every lint
+//! pass reads instead of re-parsing text.
+
+use crate::lexer::{self, LexedLine};
+
+/// Workspace role of a source file, derived from its path. Lints choose
+/// their scope in terms of these kinds (library invariants do not apply
+/// to tests, benches, examples, binaries, or tool crates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library-crate source: `crates/<lib>/src/**` and the root facade
+    /// `src/**` (minus `src/bin/`).
+    Library,
+    /// Binary targets: `src/bin/**` and any crate `src/main.rs`.
+    Binary,
+    /// Tool crates exempt from library invariants: `crates/bench` and
+    /// `crates/xtask` themselves.
+    Tool,
+    /// Test, bench, example, and fixture code.
+    Test,
+}
+
+/// Crate directory names under `crates/` that are tools, not libraries.
+const TOOL_CRATES: &[&str] = &["bench", "xtask"];
+
+/// An `// xtask:allow(<lint>) <reason>` directive parsed from a comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 1-based line the directive appears on.
+    pub line: usize,
+    /// The lint name inside the parentheses.
+    pub lint: String,
+    /// The justification after the closing parenthesis, trimmed.
+    pub reason: String,
+    /// 1-based line the directive suppresses in addition to its own:
+    /// for a whole-line comment, the next line carrying code.
+    pub target: usize,
+}
+
+/// A `fn` item's name and body extent, for lints that reason about the
+/// enclosing function (atomic-write-discipline).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub start: usize,
+    /// 1-based line of the body's closing brace (or the `;` of a
+    /// bodyless declaration).
+    pub end: usize,
+}
+
+/// A lexed, classified source file ready for linting.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Role of the file (see [`FileKind`]).
+    pub kind: FileKind,
+    /// `true` for a library crate root (`lib.rs`).
+    pub is_crate_root: bool,
+    /// Per-line code/comment views from the lexer.
+    pub lines: Vec<LexedLine>,
+    /// `test_mask[i]` is `true` when 0-based line `i` is inside a
+    /// `#[cfg(test)]` or `#[test]` region.
+    pub test_mask: Vec<bool>,
+    /// Parsed `xtask:allow` directives.
+    pub allows: Vec<Allow>,
+    /// Function spans, in source order (inner functions appear after
+    /// the outer ones that contain them).
+    pub fns: Vec<FnSpan>,
+}
+
+impl SourceFile {
+    /// Lexes and classifies `text` as the file at workspace-relative
+    /// `rel` (forward-slash separated).
+    pub fn parse(rel: &str, text: &str) -> SourceFile {
+        let lines = lexer::lex(text);
+        let test_mask = compute_test_mask(&lines);
+        let allows = parse_allows(&lines);
+        let fns = compute_fn_spans(&lines);
+        SourceFile {
+            rel: rel.to_string(),
+            kind: classify(rel),
+            is_crate_root: is_crate_root(rel),
+            lines,
+            test_mask,
+            allows,
+            fns,
+        }
+    }
+
+    /// `true` when 1-based `line` is inside a test region.
+    pub fn in_test(&self, line: usize) -> bool {
+        self.test_mask.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// The innermost function containing 1-based `line`, if any.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.start <= line && line <= f.end)
+            .max_by_key(|f| f.start)
+    }
+}
+
+/// Classifies a workspace-relative path (see [`FileKind`]).
+pub fn classify(rel: &str) -> FileKind {
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts.first() == Some(&"crates") && parts.len() >= 2 {
+        let krate = parts[1];
+        if TOOL_CRATES.contains(&krate) {
+            return FileKind::Tool;
+        }
+        if parts.get(2) == Some(&"src") {
+            if parts.last() == Some(&"main.rs") {
+                return FileKind::Binary;
+            }
+            return FileKind::Library;
+        }
+        return FileKind::Test; // crates/*/tests, crates/*/benches
+    }
+    if parts.first() == Some(&"src") {
+        if parts.get(1) == Some(&"bin") {
+            return FileKind::Binary;
+        }
+        return FileKind::Library;
+    }
+    FileKind::Test // tests/, examples/, benches/
+}
+
+/// `true` when `rel` is a library crate root (`lib.rs` of a library
+/// crate, including the root facade's `src/lib.rs`).
+pub fn is_crate_root(rel: &str) -> bool {
+    classify(rel) == FileKind::Library && rel.ends_with("/lib.rs") && {
+        let parts: Vec<&str> = rel.split('/').collect();
+        parts == ["src", "lib.rs"] || (parts.len() == 4 && parts[2] == "src")
+    }
+}
+
+/// Marks every line inside a `#[cfg(test)]`/`#[test]` item. The region
+/// runs from the attribute to the matching close brace of the item's
+/// body (or its terminating `;` for bodyless items like `use`).
+fn compute_test_mask(lines: &[LexedLine]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    for (i, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let is_test_attr = attr_is_test(code);
+        if !is_test_attr {
+            continue;
+        }
+        // Find the item body: the first `{` at-or-after this line, or a
+        // `;` for a bodyless item — whichever comes first (skipping the
+        // attribute's own parentheses).
+        let attr_end = code.find("]").map(|p| p + 1).unwrap_or(code.len());
+        let (mut l, mut col) = (i, attr_end);
+        let mut end = None;
+        'scan: while l < lines.len() {
+            let lc = &lines[l].code;
+            for (ci, ch) in lc.char_indices().skip_while(|(ci, _)| *ci < col) {
+                match ch {
+                    '{' => {
+                        end = Some(match_braces(lines, l, ci));
+                        break 'scan;
+                    }
+                    ';' => {
+                        end = Some(l);
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+            l += 1;
+            col = 0;
+        }
+        let end = end.unwrap_or(lines.len() - 1);
+        for m in mask.iter_mut().take(end + 1).skip(i) {
+            *m = true;
+        }
+    }
+    mask
+}
+
+/// `true` when the line's code holds a `#[cfg(test)]`-like or `#[test]`
+/// attribute. `#[cfg(not(test))]` and `#[cfg_attr(test, ...)]` do not
+/// count: they gate production code.
+fn attr_is_test(code: &str) -> bool {
+    if lexer::find_token(code, "#[test]").is_some() {
+        return true;
+    }
+    let Some(start) = code.find("#[cfg(") else {
+        return false;
+    };
+    let args = &code[start + "#[cfg(".len()..];
+    let args = args.split(")]").next().unwrap_or(args);
+    if args.contains("not(") {
+        return false;
+    }
+    args.split(|c: char| !lexer::is_ident_char(c))
+        .any(|tok| tok == "test")
+}
+
+/// Returns the 0-based line of the brace matching the `{` at
+/// `(line, col)` in the code views. Falls back to the last line on
+/// imbalance (truncated input).
+fn match_braces(lines: &[LexedLine], line: usize, col: usize) -> usize {
+    let mut depth = 0i64;
+    for (l, lx) in lines.iter().enumerate().skip(line) {
+        for (ci, ch) in lx.code.char_indices() {
+            if l == line && ci < col {
+                continue;
+            }
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return l;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    lines.len().saturating_sub(1)
+}
+
+/// Parses every `xtask:allow(<lint>) <reason>` comment directive.
+fn parse_allows(lines: &[LexedLine]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let Some(pos) = line.comment.find("xtask:allow(") else {
+            continue;
+        };
+        let rest = &line.comment[pos + "xtask:allow(".len()..];
+        let (lint, reason) = match rest.find(')') {
+            Some(close) => (rest[..close].trim(), rest[close + 1..].trim()),
+            None => (rest.trim(), ""),
+        };
+        // Prose *about* the syntax (`xtask:allow(<lint>) <reason>` in
+        // docs) is not a directive: a real one names its lint in
+        // kebab-case.
+        if lint.is_empty()
+            || !lint
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_')
+        {
+            continue;
+        }
+        // A whole-line comment suppresses the next line carrying code;
+        // a trailing comment suppresses its own line.
+        let own_line_code = !line.code.trim().is_empty();
+        let target = if own_line_code {
+            i + 1
+        } else {
+            lines
+                .iter()
+                .enumerate()
+                .skip(i + 1)
+                .find(|(_, l)| !l.code.trim().is_empty())
+                .map(|(j, _)| j + 1)
+                .unwrap_or(i + 1)
+        };
+        out.push(Allow {
+            line: i + 1,
+            lint: lint.to_string(),
+            reason: reason
+                .trim_start_matches(['-', '—', ':', ' '])
+                .trim()
+                .to_string(),
+            target,
+        });
+    }
+    out
+}
+
+/// Collects `fn` item name/extent spans from the code views.
+fn compute_fn_spans(lines: &[LexedLine]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let mut from = 0;
+        while let Some(pos) = lexer::find_token(&code[from..], "fn") {
+            let at = from + pos;
+            let after = &code[at + 2..];
+            let name: String = after
+                .chars()
+                .skip_while(|c| c.is_whitespace())
+                .take_while(|c| lexer::is_ident_char(*c))
+                .collect();
+            from = at + 2;
+            if name.is_empty() {
+                continue; // `fn` in a type position: `Fn(...)`, `fn()`
+            }
+            // Find the body `{` or declaration `;`, skipping the
+            // signature (parens, generics, where clause).
+            let (mut l, mut col) = (i, at + 2);
+            let mut paren = 0i64;
+            let mut bracket = 0i64;
+            'scan: while l < lines.len() {
+                let lc = &lines[l].code;
+                for (ci, ch) in lc.char_indices() {
+                    if l == i && ci < col {
+                        continue;
+                    }
+                    match ch {
+                        '(' => paren += 1,
+                        ')' => paren -= 1,
+                        '[' => bracket += 1,
+                        ']' => bracket -= 1,
+                        '{' if paren == 0 && bracket == 0 => {
+                            out.push(FnSpan {
+                                name,
+                                start: i + 1,
+                                end: match_braces(lines, l, ci) + 1,
+                            });
+                            break 'scan;
+                        }
+                        ';' if paren == 0 && bracket == 0 => {
+                            out.push(FnSpan {
+                                name,
+                                start: i + 1,
+                                end: l + 1,
+                            });
+                            break 'scan;
+                        }
+                        _ => {}
+                    }
+                }
+                l += 1;
+                col = 0;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify("crates/core/src/engine.rs"), FileKind::Library);
+        assert_eq!(classify("src/lib.rs"), FileKind::Library);
+        assert_eq!(classify("src/bin/cli.rs"), FileKind::Binary);
+        assert_eq!(classify("crates/bench/src/lib.rs"), FileKind::Tool);
+        assert_eq!(classify("crates/xtask/src/main.rs"), FileKind::Tool);
+        assert_eq!(classify("tests/smoke.rs"), FileKind::Test);
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::Test);
+        assert_eq!(classify("crates/core/tests/x.rs"), FileKind::Test);
+        assert!(is_crate_root("crates/bigraph/src/lib.rs"));
+        assert!(is_crate_root("src/lib.rs"));
+        assert!(!is_crate_root("crates/core/src/persist/lib.rs"));
+        assert!(!is_crate_root("crates/core/src/engine.rs"));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "fn lib_code() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn more() {}\n",
+        );
+        assert!(!f.in_test(1));
+        assert!(f.in_test(2));
+        assert!(f.in_test(4));
+        assert!(f.in_test(5));
+        assert!(!f.in_test(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_production() {
+        let f = SourceFile::parse("crates/x/src/lib.rs", "#[cfg(not(test))]\nfn prod() {}\n");
+        assert!(!f.in_test(2));
+    }
+
+    #[test]
+    fn cfg_test_use_item_is_bounded_by_semicolon() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "#[cfg(test)]\nuse foo::bar;\nfn prod() {}\n",
+        );
+        assert!(f.in_test(2));
+        assert!(!f.in_test(3));
+    }
+
+    #[test]
+    fn allow_directives_and_targets() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "// xtask:allow(no-panic-lib) infallible by construction\nx.unwrap();\ny.unwrap(); // xtask:allow(no-panic-lib) same-line\n",
+        );
+        assert_eq!(f.allows.len(), 2);
+        assert_eq!(f.allows[0].lint, "no-panic-lib");
+        assert_eq!(f.allows[0].reason, "infallible by construction");
+        assert_eq!(f.allows[0].target, 2);
+        assert_eq!(f.allows[1].line, 3);
+        assert_eq!(f.allows[1].target, 3);
+    }
+
+    #[test]
+    fn fn_spans_and_enclosing() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "fn outer() {\n    inner_call();\n    fn inner() {\n        x();\n    }\n}\nfn next() {}\n",
+        );
+        assert_eq!(f.enclosing_fn(2).map(|s| s.name.as_str()), Some("outer"));
+        assert_eq!(f.enclosing_fn(4).map(|s| s.name.as_str()), Some("inner"));
+        assert_eq!(f.enclosing_fn(7).map(|s| s.name.as_str()), Some("next"));
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: malformed and stale allow directives.
+
+// xtask:allow(no-panic-lib)
+/// Documented, but the directive above lacks a reason.
+pub fn missing_reason() {}
+
+// xtask:allow(not-a-real-lint) the lint name does not exist
+/// Documented.
+pub fn unknown_lint() {}
+
+// xtask:allow(no-panic-lib) nothing on the next line ever fires
+/// Documented.
+pub fn stale() {}

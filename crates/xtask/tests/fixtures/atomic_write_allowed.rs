@@ -1,0 +1,8 @@
+//! Fixture twin: the same rename, justified.
+
+use crate::persist::vfs::Vfs;
+
+/// Publishes a temp file with a documented protocol.
+pub fn commit(vfs: &dyn Vfs, tmp: &str, dst: &str) -> std::io::Result<()> {
+    vfs.rename(tmp, dst) // xtask:allow(atomic-write-discipline) fixture twin: the commit protocol is documented elsewhere
+}

@@ -1,0 +1,8 @@
+//! Fixture: a hand-rolled commit in the persist layer.
+
+use crate::persist::vfs::Vfs;
+
+/// Publishes a temp file without the atomic-write helper.
+pub fn commit(vfs: &dyn Vfs, tmp: &str, dst: &str) -> std::io::Result<()> {
+    vfs.rename(tmp, dst)
+}

@@ -1,0 +1,13 @@
+//! Fixture twin: the ordering choice is justified in a comment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bumps a counter.
+pub fn bump(c: &AtomicU64) -> u64 {
+    let step = 1u64;
+    let doubled = step * 2;
+    let halved = doubled / 2;
+    // Relaxed: the counter is advisory telemetry; no memory is
+    // published through it.
+    c.fetch_add(halved, Ordering::Relaxed)
+}

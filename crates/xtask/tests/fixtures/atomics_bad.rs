@@ -1,0 +1,11 @@
+//! Fixture: an unexplained `Ordering::Relaxed`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bumps a counter.
+pub fn bump(c: &AtomicU64) -> u64 {
+    let step = 1u64;
+    let doubled = step * 2;
+    let halved = doubled / 2;
+    c.fetch_add(halved, Ordering::Relaxed)
+}

@@ -1,0 +1,4 @@
+//! Fixture: a crate root missing both hygiene attributes.
+
+/// Does nothing.
+pub fn nothing() {}

@@ -1,0 +1,6 @@
+//! Fixture twin: a compliant crate root.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Does nothing.
+pub fn nothing() {}

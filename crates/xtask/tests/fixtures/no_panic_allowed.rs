@@ -1,0 +1,6 @@
+//! Fixture twin: the same call, justified.
+
+/// Returns the first element.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap() // xtask:allow(no-panic-lib) fixture twin: callers guarantee non-empty input
+}

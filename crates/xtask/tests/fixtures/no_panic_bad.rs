@@ -1,0 +1,6 @@
+//! Fixture: library code calling `unwrap` outside tests.
+
+/// Returns the first element.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

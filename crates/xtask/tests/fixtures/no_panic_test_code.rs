@@ -1,0 +1,15 @@
+//! Fixture: panics inside test code are fair game.
+
+/// Adds one.
+pub fn inc(x: u32) -> u32 {
+    x + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_here() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

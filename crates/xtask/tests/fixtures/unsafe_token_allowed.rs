@@ -1,0 +1,6 @@
+//! Fixture twin: the same block, justified.
+
+/// Reads a value through a raw pointer.
+pub fn deref(p: *const u32) -> u32 {
+    unsafe { *p } // xtask:allow(forbid-unsafe) fixture twin: exercises the allow path for the token scan
+}

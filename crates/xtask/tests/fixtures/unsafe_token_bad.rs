@@ -1,0 +1,6 @@
+//! Fixture: an `unsafe` block in library code.
+
+/// Reads a value through a raw pointer.
+pub fn deref(p: *const u32) -> u32 {
+    unsafe { *p }
+}

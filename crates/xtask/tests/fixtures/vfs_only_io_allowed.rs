@@ -1,0 +1,9 @@
+//! Fixture twin: the same import, justified with a whole-line directive.
+
+// xtask:allow(vfs-only-io) fixture twin: read-once dataset input, not store state
+use std::fs;
+
+/// Reads a file without going through a Vfs.
+pub fn slurp(p: &str) -> std::io::Result<Vec<u8>> {
+    fs::read(p)
+}

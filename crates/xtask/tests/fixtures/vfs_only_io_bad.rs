@@ -1,0 +1,8 @@
+//! Fixture: raw `std::fs` in library code.
+
+use std::fs;
+
+/// Reads a file without going through a Vfs.
+pub fn slurp(p: &str) -> std::io::Result<Vec<u8>> {
+    fs::read(p)
+}

@@ -1,0 +1,180 @@
+//! Fixture-driven integration tests for the static-analysis suite, plus
+//! the self-check that the committed tree is clean.
+//!
+//! Each `*_bad.rs` fixture must fire exactly its lint; the `*_allowed.rs`
+//! (or `*_ok.rs`) twin must be silent. The fixtures live under
+//! `tests/fixtures/`, which the tree walker skips, so they never leak
+//! into the self-check.
+
+use xtask::analyze_source;
+
+/// Runs the suite over a fixture as if it lived at `rel`, returning
+/// `(line, lint)` pairs.
+fn diags(rel: &str, src: &str) -> Vec<(usize, String)> {
+    analyze_source(rel, src)
+        .into_iter()
+        .map(|d| (d.line, d.lint.to_string()))
+        .collect()
+}
+
+const LIB_REL: &str = "crates/fake/src/peel.rs";
+
+#[test]
+fn no_panic_bad_fires_exactly_once() {
+    let d = diags(LIB_REL, include_str!("fixtures/no_panic_bad.rs"));
+    assert_eq!(d, vec![(5, "no-panic-lib".to_string())]);
+}
+
+#[test]
+fn no_panic_allowed_twin_is_silent() {
+    let d = diags(LIB_REL, include_str!("fixtures/no_panic_allowed.rs"));
+    assert_eq!(d, vec![]);
+}
+
+#[test]
+fn no_panic_ignores_test_code() {
+    let d = diags(LIB_REL, include_str!("fixtures/no_panic_test_code.rs"));
+    assert_eq!(d, vec![]);
+}
+
+#[test]
+fn no_panic_ignores_binaries_tools_and_tests() {
+    let src = include_str!("fixtures/no_panic_bad.rs");
+    assert_eq!(diags("crates/fake/src/main.rs", src), vec![]);
+    assert_eq!(diags("crates/bench/src/lib.rs", src), vec![]);
+    assert_eq!(diags("crates/fake/tests/smoke.rs", src), vec![]);
+}
+
+#[test]
+fn vfs_only_io_bad_fires_exactly_once() {
+    let d = diags(LIB_REL, include_str!("fixtures/vfs_only_io_bad.rs"));
+    assert_eq!(d, vec![(3, "vfs-only-io".to_string())]);
+}
+
+#[test]
+fn vfs_only_io_whole_line_allow_covers_next_line() {
+    let d = diags(LIB_REL, include_str!("fixtures/vfs_only_io_allowed.rs"));
+    assert_eq!(d, vec![]);
+}
+
+#[test]
+fn vfs_only_io_exempts_the_vfs_module_itself() {
+    let src = include_str!("fixtures/vfs_only_io_bad.rs");
+    assert_eq!(diags("crates/fake/src/persist/vfs.rs", src), vec![]);
+}
+
+#[test]
+fn atomics_bad_fires_exactly_once() {
+    let d = diags(LIB_REL, include_str!("fixtures/atomics_bad.rs"));
+    assert_eq!(d, vec![(10, "atomics-ordering-audit".to_string())]);
+}
+
+#[test]
+fn atomics_justification_comment_satisfies_the_audit() {
+    let d = diags(LIB_REL, include_str!("fixtures/atomics_allowed.rs"));
+    assert_eq!(d, vec![]);
+}
+
+#[test]
+fn bare_crate_root_fires_both_parity_lints() {
+    let d = diags(
+        "crates/fake/src/lib.rs",
+        include_str!("fixtures/crate_root_bad.rs"),
+    );
+    assert_eq!(
+        d,
+        vec![
+            (1, "forbid-unsafe".to_string()),
+            (1, "missing-docs-parity".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn compliant_crate_root_is_silent() {
+    let d = diags(
+        "crates/fake/src/lib.rs",
+        include_str!("fixtures/crate_root_ok.rs"),
+    );
+    assert_eq!(d, vec![]);
+}
+
+#[test]
+fn crate_root_lints_skip_non_root_files() {
+    // The same attribute-free file deeper in the tree is fine.
+    let d = diags(LIB_REL, include_str!("fixtures/crate_root_bad.rs"));
+    assert_eq!(d, vec![]);
+}
+
+#[test]
+fn unsafe_token_fires_exactly_once() {
+    let d = diags(LIB_REL, include_str!("fixtures/unsafe_token_bad.rs"));
+    assert_eq!(d, vec![(5, "forbid-unsafe".to_string())]);
+}
+
+#[test]
+fn unsafe_token_allowed_twin_is_silent() {
+    let d = diags(LIB_REL, include_str!("fixtures/unsafe_token_allowed.rs"));
+    assert_eq!(d, vec![]);
+}
+
+#[test]
+fn atomic_write_bad_fires_exactly_once() {
+    let d = diags(
+        "crates/fake/src/persist/store.rs",
+        include_str!("fixtures/atomic_write_bad.rs"),
+    );
+    assert_eq!(d, vec![(7, "atomic-write-discipline".to_string())]);
+}
+
+#[test]
+fn atomic_write_allowed_twin_is_silent() {
+    let d = diags(
+        "crates/fake/src/persist/store.rs",
+        include_str!("fixtures/atomic_write_allowed.rs"),
+    );
+    assert_eq!(d, vec![]);
+}
+
+#[test]
+fn atomic_write_only_patrols_the_persist_layer() {
+    // The same rename outside persist/ is none of this lint's business.
+    let d = diags(LIB_REL, include_str!("fixtures/atomic_write_bad.rs"));
+    assert_eq!(d, vec![]);
+}
+
+#[test]
+fn directive_hygiene_reports_missing_reason_unknown_lint_and_stale() {
+    let d = diags(LIB_REL, include_str!("fixtures/allow_directive_bad.rs"));
+    assert_eq!(
+        d,
+        vec![
+            (3, "allow-directive".to_string()),
+            (7, "allow-directive".to_string()),
+            (11, "allow-directive".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn diagnostics_render_as_file_line_lint() {
+    let d = analyze_source(LIB_REL, include_str!("fixtures/no_panic_bad.rs"));
+    assert_eq!(d.len(), 1);
+    let rendered = d[0].to_string();
+    assert!(
+        rendered.starts_with("crates/fake/src/peel.rs:5: [no-panic-lib]"),
+        "unexpected rendering: {rendered}"
+    );
+}
+
+#[test]
+fn committed_tree_is_clean() {
+    let root = xtask::workspace_root();
+    let diags = xtask::analyze_tree(&root).expect("walk the workspace");
+    let listing: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    assert!(
+        diags.is_empty(),
+        "the committed tree must pass `cargo run -p xtask -- analyze`:\n{}",
+        listing.join("\n")
+    );
+}

@@ -58,7 +58,8 @@
 //! [`BitrussEngine::from_snapshot`]. One-shot callers that only need φ
 //! can still use [`decompose`].
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 /// Bipartite graph substrate (re-export of the `bigraph` crate).
 pub mod graph {
