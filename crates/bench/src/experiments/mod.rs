@@ -1,6 +1,6 @@
 //! One module per table/figure of the paper's evaluation (§VI), plus the
 //! extension experiments (`ablation`, `parallel`, `query`,
-//! `maintenance`).
+//! `maintenance`, `serve`).
 
 pub mod ablation;
 pub mod fig10;
@@ -14,6 +14,7 @@ pub mod fig9;
 pub mod maintenance;
 pub mod parallel;
 pub mod query;
+pub mod serve;
 pub mod table2;
 
 use std::io::{self, Write};
@@ -36,6 +37,7 @@ pub const ALL: &[&str] = &[
     "parallel",
     "query",
     "maintenance",
+    "serve",
 ];
 
 /// Runs one experiment by id (or `all`). Experiments that measure whole
@@ -61,6 +63,7 @@ pub fn run(
         "parallel" => parallel::run(out, opts, json),
         "query" => query::run(out, opts, json),
         "maintenance" => maintenance::run(out, opts, json),
+        "serve" => serve::run(out, opts, json),
         "all" => {
             for id in ALL {
                 run(id, out, opts, json)?;

@@ -140,6 +140,42 @@ impl JsonRecord {
         }
     }
 
+    /// Builds a record for a measured *serving* run (the `serve`
+    /// experiment): concurrent readers querying a [`BitrussServer`]
+    /// generation while a submitter streams update batches through the
+    /// durable writer. The schema stays identical across experiments
+    /// via a fixed mapping: `threads` = reader threads, `total_ms` =
+    /// trial wall time, `counting_ms` = p50 query latency (ms),
+    /// `index_ms` = p99 query latency (ms), `support_updates` = queries
+    /// served, `peak_index_bytes` = update batches durably acked; the
+    /// remaining phase times are 0.
+    ///
+    /// [`BitrussServer`]: bitruss_server::BitrussServer
+    pub fn serve(
+        graph: &str,
+        readers: usize,
+        wall: Duration,
+        p50_us: u64,
+        p99_us: u64,
+        queries_served: u64,
+        updates_acked: u64,
+    ) -> JsonRecord {
+        JsonRecord {
+            experiment: "serve".to_string(),
+            algorithm: "server".to_string(),
+            graph: graph.to_string(),
+            threads: readers,
+            counting_ms: p50_us as f64 / 1e3,
+            index_ms: p99_us as f64 / 1e3,
+            peeling_ms: 0.0,
+            partition_ms: 0.0,
+            stitch_ms: 0.0,
+            total_ms: wall.as_secs_f64() * 1e3,
+            support_updates: queries_served,
+            peak_index_bytes: updates_acked as usize,
+        }
+    }
+
     fn write_to(&self, out: &mut dyn Write) -> io::Result<()> {
         write!(
             out,

@@ -44,6 +44,17 @@
 //! ticks, and may request cooperative cancellation at any poll, which
 //! surfaces as [`Error::Cancelled`] instead of aborting the process.
 //!
+//! # Generations and cheap sharing
+//!
+//! A session's state — graph, φ, and the lazily-built hierarchy — is
+//! held behind [`Arc`]s internally, so
+//! [`BitrussEngine::clone_shared`] produces an independent, immutable
+//! handle to the *same* state in `O(1)`. Serving layers use this to
+//! publish each committed generation to concurrent readers while a
+//! single writer advances its own session with
+//! [`BitrussEngine::replace_state`] (which installs fresh state and
+//! leaves every previously shared clone untouched).
+//!
 //! # Relation to the legacy free functions
 //!
 //! [`decompose`](crate::decompose) and friends remain as thin wrappers
@@ -52,7 +63,6 @@
 //! favour of [`EngineBuilder::pruned`] and
 //! [`EngineBuilder::histogram_bounds`].
 
-use std::borrow::Cow;
 use std::fmt;
 use std::io::{BufRead, Read, Write};
 use std::path::Path;
@@ -192,7 +202,7 @@ impl EngineBuilder {
     /// [`Error::Invariant`] for invalid configurations (e.g.
     /// [`EngineBuilder::threads`] with a non-parallel algorithm).
     pub fn build(self, graph: BipartiteGraph) -> Result<BitrussEngine<'static>> {
-        self.run(Cow::Owned(graph))
+        self.run(SessionGraph::Shared(Arc::new(graph)))
     }
 
     /// [`EngineBuilder::build`] borrowing the graph instead of owning it
@@ -203,7 +213,7 @@ impl EngineBuilder {
     ///
     /// Same contract as [`EngineBuilder::build`].
     pub fn build_borrowed(self, graph: &BipartiteGraph) -> Result<BitrussEngine<'_>> {
-        self.run(Cow::Borrowed(graph))
+        self.run(SessionGraph::Borrowed(graph))
     }
 
     /// Resolves the `--threads`-style upgrade rule against the selected
@@ -223,28 +233,56 @@ impl EngineBuilder {
         }
     }
 
-    fn run(self, graph: Cow<'_, BipartiteGraph>) -> Result<BitrussEngine<'_>> {
+    fn run(self, graph: SessionGraph<'_>) -> Result<BitrussEngine<'_>> {
         let algorithm = self.effective_algorithm()?;
         let observer: Arc<dyn EngineObserver + Send + Sync> =
             self.observer.unwrap_or_else(|| Arc::new(NoopObserver));
         let bounds = self.histogram_bounds.as_deref();
         let (decomposition, metrics) = if self.pruned {
-            algo::prune_and_run(&graph, algorithm, bounds, &*observer)?
+            algo::prune_and_run(graph.get(), algorithm, bounds, &*observer)?
         } else {
-            algo::run_algorithm(&graph, algorithm, bounds, &*observer)?
+            algo::run_algorithm(graph.get(), algorithm, bounds, &*observer)?
         };
         let engine = BitrussEngine {
             graph,
             algorithm: Some(algorithm),
-            decomposition,
+            decomposition: Arc::new(decomposition),
             metrics: Some(metrics),
-            hierarchy: OnceLock::new(),
+            hierarchy: Arc::new(OnceLock::new()),
             observer,
         };
         if self.hierarchy_mode == HierarchyMode::Eager {
             engine.hierarchy()?;
         }
         Ok(engine)
+    }
+}
+
+/// How a session holds its graph: borrowed from the caller
+/// ([`EngineBuilder::build_borrowed`]) or shared behind an [`Arc`]
+/// (everything else). The `Arc` is what makes
+/// [`BitrussEngine::clone_shared`] `O(1)`.
+enum SessionGraph<'g> {
+    /// A caller-owned graph the session merely borrows.
+    Borrowed(&'g BipartiteGraph),
+    /// Session-owned, shareable state.
+    Shared(Arc<BipartiteGraph>),
+}
+
+impl SessionGraph<'_> {
+    fn get(&self) -> &BipartiteGraph {
+        match self {
+            SessionGraph::Borrowed(g) => g,
+            SessionGraph::Shared(g) => g,
+        }
+    }
+
+    /// An `Arc` of the graph, copying it once for borrowed sessions.
+    fn to_shared(&self) -> Arc<BipartiteGraph> {
+        match self {
+            SessionGraph::Borrowed(g) => Arc::new((*g).clone()),
+            SessionGraph::Shared(g) => Arc::clone(g),
+        }
     }
 }
 
@@ -257,23 +295,28 @@ impl EngineBuilder {
 /// self-contained `BitrussEngine<'static>` sessions, while
 /// [`EngineBuilder::build_borrowed`] borrows a caller-owned graph. All
 /// query methods take `&self`; the session is `Sync`, so a server can
-/// share it across request threads.
+/// share it across request threads — and
+/// [`BitrussEngine::clone_shared`] hands out `O(1)` immutable clones of
+/// the current state for generation-snapshot serving.
 pub struct BitrussEngine<'g> {
-    graph: Cow<'g, BipartiteGraph>,
+    graph: SessionGraph<'g>,
     /// `None` for sessions resumed from a snapshot (the snapshot does not
     /// record which algorithm produced φ).
     algorithm: Option<Algorithm>,
-    decomposition: Decomposition,
+    decomposition: Arc<Decomposition>,
     /// `None` for sessions resumed from a snapshot (no run happened).
     metrics: Option<Metrics>,
-    hierarchy: OnceLock<BitrussHierarchy>,
+    /// Shared with [`BitrussEngine::clone_shared`] clones of the same
+    /// generation, so whichever handle builds the index first serves it
+    /// to all of them.
+    hierarchy: Arc<OnceLock<BitrussHierarchy>>,
     observer: Arc<dyn EngineObserver + Send + Sync>,
 }
 
 impl fmt::Debug for BitrussEngine<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BitrussEngine")
-            .field("num_edges", &self.graph.num_edges())
+            .field("num_edges", &self.graph.get().num_edges())
             .field("algorithm", &self.algorithm)
             .field("max_bitruss", &self.decomposition.max_bitruss())
             .field("hierarchy_built", &self.hierarchy.get().is_some())
@@ -328,11 +371,11 @@ impl BitrussEngine<'static> {
             let _ = hierarchy.set(h);
         }
         Ok(BitrussEngine {
-            graph: Cow::Owned(snapshot.graph),
+            graph: SessionGraph::Shared(Arc::new(snapshot.graph)),
             algorithm: None,
-            decomposition: snapshot.decomposition,
+            decomposition: Arc::new(snapshot.decomposition),
             metrics: None,
-            hierarchy,
+            hierarchy: Arc::new(hierarchy),
             observer: Arc::new(NoopObserver),
         })
     }
@@ -346,7 +389,32 @@ impl<'g> BitrussEngine<'g> {
 
     /// The graph this session serves.
     pub fn graph(&self) -> &BipartiteGraph {
-        &self.graph
+        self.graph.get()
+    }
+
+    /// An independent, immutable handle to this session's *current*
+    /// state — graph, φ, and the (possibly not-yet-built) hierarchy
+    /// cache — in `O(1)`: the state is `Arc`-shared, not copied. The
+    /// clone stays pinned to this generation even if the original
+    /// session later advances via [`BitrussEngine::replace_state`]
+    /// (which installs fresh state rather than mutating the shared
+    /// one), so serving layers publish each committed generation with
+    /// this and let concurrent readers query it without ever blocking a
+    /// writer.
+    ///
+    /// Clones of the same generation share one lazy hierarchy cache:
+    /// whichever handle builds the index first serves it to all. For
+    /// borrowed sessions ([`EngineBuilder::build_borrowed`]) the graph
+    /// is copied once to make the clone self-contained.
+    pub fn clone_shared(&self) -> BitrussEngine<'static> {
+        BitrussEngine {
+            graph: SessionGraph::Shared(self.graph.to_shared()),
+            algorithm: self.algorithm,
+            decomposition: Arc::clone(&self.decomposition),
+            metrics: self.metrics.clone(),
+            hierarchy: Arc::clone(&self.hierarchy),
+            observer: Arc::clone(&self.observer),
+        }
     }
 
     /// The algorithm that produced φ (`None` when resumed from a
@@ -390,6 +458,11 @@ impl<'g> BitrussEngine<'g> {
     /// [`BitrussEngine::algorithm`] is cleared — φ no longer comes from a
     /// single from-scratch run.
     ///
+    /// Fresh state is *installed*, never written through the shared
+    /// `Arc`s, so every [`BitrussEngine::clone_shared`] handle taken
+    /// before this call keeps serving the previous generation
+    /// unchanged.
+    ///
     /// # Errors
     ///
     /// [`Error::Invariant`] when the decomposition does not belong to the
@@ -407,11 +480,11 @@ impl<'g> BitrussEngine<'g> {
                 graph.num_edges()
             )));
         }
-        self.graph = Cow::Owned(graph);
-        self.decomposition = decomposition;
+        self.graph = SessionGraph::Shared(Arc::new(graph));
+        self.decomposition = Arc::new(decomposition);
         self.metrics = metrics;
         self.algorithm = None;
-        self.hierarchy = OnceLock::new();
+        self.hierarchy = Arc::new(OnceLock::new());
         Ok(())
     }
 
@@ -440,8 +513,8 @@ impl<'g> BitrussEngine<'g> {
         if self.hierarchy.get().is_none() {
             let observer = &*self.observer;
             checkpoint(observer)?;
-            observer.on_phase_start(Phase::HierarchyBuild, self.graph.num_edges() as u64);
-            let h = BitrussHierarchy::new(&self.graph, &self.decomposition)?;
+            observer.on_phase_start(Phase::HierarchyBuild, self.graph.get().num_edges() as u64);
+            let h = BitrussHierarchy::new(self.graph.get(), &self.decomposition)?;
             observer.on_phase_end(Phase::HierarchyBuild);
             // A concurrent caller may have won the race; first write wins
             // and both results are identical.
@@ -489,7 +562,7 @@ impl<'g> BitrussEngine<'g> {
     ///
     /// See [`BitrussEngine::hierarchy`].
     pub fn community_of(&self, e: EdgeId, k: u64) -> Result<Option<Community>> {
-        Ok(self.hierarchy()?.community_of(&self.graph, e, k))
+        Ok(self.hierarchy()?.community_of(self.graph.get(), e, k))
     }
 
     /// All connected components of the k-bitruss, output-sensitively.
@@ -498,7 +571,7 @@ impl<'g> BitrussEngine<'g> {
     ///
     /// See [`BitrussEngine::hierarchy`].
     pub fn communities(&self, k: u64) -> Result<Vec<Community>> {
-        Ok(self.hierarchy()?.communities(&self.graph, k))
+        Ok(self.hierarchy()?.communities(self.graph.get(), k))
     }
 
     /// Executes one typed query. `Levels`/`Edges` answer from the
@@ -581,9 +654,13 @@ impl<'g> BitrussEngine<'g> {
     }
 
     /// Serves a whole batch: one query per line from `reader`, one
-    /// rendered answer per query to `writer`. Returns the number of
-    /// queries answered (comments and blank lines excluded). This is the
-    /// exact serving loop of the CLI `query` subcommand.
+    /// rendered answer per query to `writer`, **flushed after every
+    /// answer** so interactive stdin and socket sessions see each
+    /// response as soon as it is computed instead of when the writer's
+    /// buffer happens to fill. Returns the number of queries answered
+    /// (comments and blank lines excluded). This is the exact serving
+    /// loop of the CLI `query` subcommand and the server's per-
+    /// connection read path.
     ///
     /// # Errors
     ///
@@ -595,6 +672,7 @@ impl<'g> BitrussEngine<'g> {
             let line = line?;
             if let Some(answer) = self.query_line(&line)? {
                 writeln!(writer, "{answer}")?;
+                writer.flush()?;
                 answered += 1;
             }
         }
@@ -611,7 +689,7 @@ impl<'g> BitrussEngine<'g> {
     /// [`Error::Io`] on write failures, or a cancelled hierarchy build.
     pub fn save_snapshot<P: AsRef<Path>>(&self, path: P) -> Result<()> {
         let h = self.hierarchy()?;
-        write_snapshot_file(&self.graph, &self.decomposition, Some(h), path)
+        write_snapshot_file(self.graph.get(), &self.decomposition, Some(h), path)
     }
 
     /// [`BitrussEngine::save_snapshot`] over any writer.
@@ -621,14 +699,18 @@ impl<'g> BitrussEngine<'g> {
     /// Same contract as [`BitrussEngine::save_snapshot`].
     pub fn save_snapshot_to<W: Write>(&self, writer: W) -> Result<()> {
         let h = self.hierarchy()?;
-        write_snapshot(&self.graph, &self.decomposition, Some(h), writer)
+        write_snapshot(self.graph.get(), &self.decomposition, Some(h), writer)
     }
 
     /// Consumes the session, returning the decomposition and the run
     /// metrics ([`Metrics::default`] when resumed from a snapshot). The
-    /// legacy `decompose*` wrappers are implemented with this.
+    /// legacy `decompose*` wrappers are implemented with this. When the
+    /// state is still shared with [`BitrussEngine::clone_shared`]
+    /// handles, the decomposition is copied out; otherwise it is moved.
     pub fn into_parts(self) -> (Decomposition, Metrics) {
-        (self.decomposition, self.metrics.unwrap_or_default())
+        let decomposition =
+            Arc::try_unwrap(self.decomposition).unwrap_or_else(|shared| (*shared).clone());
+        (decomposition, self.metrics.unwrap_or_default())
     }
 }
 

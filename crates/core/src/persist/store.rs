@@ -137,6 +137,14 @@ pub fn write_bytes_atomic(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> Result<()
         drop(f);
         vfs.rename(&tmp, path).map_err(|e| io_ctx(path, e))?;
         if let Some(parent) = path.parent() {
+            // A bare relative filename has `Some("")` as its parent,
+            // which no filesystem can open — the directory that needs
+            // the fsync is the current one.
+            let parent = if parent.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                parent
+            };
             vfs.sync_dir(parent).map_err(|e| io_ctx(parent, e))?;
         }
         Ok(())
@@ -1103,6 +1111,19 @@ mod tests {
         bad[4] = 2; // first op's tag
         assert!(JournalBatch::decode(&bad).is_err());
         assert!(JournalBatch::decode(&enc[..enc.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn bare_relative_path_commits_atomically() {
+        // A bare filename's parent is `Some("")`; the dir fsync must
+        // fall back to "." instead of failing after the rename (the
+        // bench runner's `--json bench.json` hits exactly this).
+        let name = format!("wba-bare-{}.tmp.json", std::process::id());
+        let path = Path::new(&name);
+        write_bytes_atomic(&StdVfs, path, b"[1]").unwrap();
+        let read = std::fs::read(path).unwrap();
+        std::fs::remove_file(path).unwrap();
+        assert_eq!(read, b"[1]");
     }
 
     #[test]

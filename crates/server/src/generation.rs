@@ -1,0 +1,65 @@
+//! Immutable published generations and the epoch pointer readers pin.
+
+use std::sync::{Arc, PoisonError, RwLock};
+
+use bitruss_core::BitrussEngine;
+
+/// One committed, immutable state of the service: the graph, its φ
+/// decomposition, and the lazily-built hierarchy index, all shared by
+/// reference count with the writer's working engine at the moment of
+/// publication.
+///
+/// A generation never changes after it is constructed. Readers that
+/// pinned it keep answering against it even while newer generations are
+/// published; it is freed when the last pin drops.
+#[derive(Debug)]
+pub struct Generation {
+    /// Dense publication sequence number within this server run: the
+    /// initial generation is `0` and every acknowledged *mutating*
+    /// batch publishes `number + 1`. Distinct from the store's
+    /// checkpoint generation (see `docs/SERVER.md`).
+    pub number: u64,
+    /// The engine session frozen at this generation. All query verbs
+    /// execute against it; the first reader to need the hierarchy
+    /// builds it once for every holder of this generation.
+    pub engine: BitrussEngine<'static>,
+}
+
+/// The epoch pointer: the single place the current [`Generation`] is
+/// published. Readers take a cheap snapshot with [`Published::current`];
+/// the writer installs a successor with [`Published::publish`].
+///
+/// Implemented as an `RwLock<Arc<Generation>>` whose write lock is held
+/// only for the pointer swap itself — the closest `std`-only equivalent
+/// of an atomic `Arc` swap. Readers clone the `Arc` under the read lock
+/// (two atomic ops) and drop the lock before touching the data, so a
+/// reader can never hold the writer off for the duration of a query.
+#[derive(Debug)]
+pub struct Published {
+    current: RwLock<Arc<Generation>>,
+}
+
+impl Published {
+    /// Wraps the initial generation.
+    pub fn new(initial: Generation) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// Pins and returns the current generation. The returned `Arc`
+    /// stays valid (and immutable) no matter how many generations are
+    /// published afterwards.
+    pub fn current(&self) -> Arc<Generation> {
+        // A poisoned lock means another thread panicked mid-swap; the
+        // pointer itself is always a valid Arc, so keep serving.
+        Arc::clone(&self.current.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Atomically replaces the current generation. Callers must only
+    /// publish monotonically increasing numbers; this type does not
+    /// re-check.
+    pub fn publish(&self, next: Arc<Generation>) {
+        *self.current.write().unwrap_or_else(PoisonError::into_inner) = next;
+    }
+}

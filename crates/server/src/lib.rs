@@ -1,0 +1,49 @@
+//! Bitruss-as-a-service: a concurrent line-protocol query server with
+//! generation-snapshot isolation.
+//!
+//! The library half of the CLI `serve` subcommand. It snaps together the
+//! two halves the workspace already has — the typed
+//! [`Query`](bitruss_core::Query) batch protocol on the read side and
+//! the journaling [`DurableEngine`](bitruss_dynamic::DurableEngine) on
+//! the write side — into a single-writer / multi-reader service:
+//!
+//! - **Readers never block on writers.** Every committed state is
+//!   published as an immutable [`Generation`] behind an
+//!   [`Arc`](std::sync::Arc); a reader pins exactly one generation per
+//!   request line and answers entirely against it. Publishing a new
+//!   generation is a pointer swap, not a data copy —
+//!   [`BitrussEngine::clone_shared`](bitruss_core::BitrussEngine::clone_shared)
+//!   shares the graph, φ, and the lazily-built hierarchy by reference
+//!   count.
+//! - **Acknowledged means durable.** The single writer thread drains a
+//!   bounded [`UpdateQueue`], pushes each batch through
+//!   [`DurableEngine::apply`](bitruss_dynamic::DurableEngine::apply)
+//!   (journal fsync is the point of acknowledgement), and only then
+//!   publishes the next generation. A crash after an ack can lose
+//!   nothing; a crash before one never exposes the batch.
+//! - **Overload sheds, it does not stall.** Admission control reuses the
+//!   maintenance work metering: a leaky-bucket [`WorkMeter`] denominated
+//!   in support-update units sheds updates while saturated, and the
+//!   bounded queue rejects submissions outright when full, so the read
+//!   path keeps its latency under any write load.
+//!
+//! See `docs/SERVER.md` for the wire protocol, the generation
+//! lifecycle, and the shutdown semantics. The programmatic entry point
+//! is [`BitrussServer::start`]; line-oriented transports (stdin, TCP)
+//! layer on top via [`ServerHandle::serve_connection`] and
+//! [`ServerHandle::serve_tcp`].
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod generation;
+mod metrics;
+mod protocol;
+mod queue;
+mod server;
+
+pub use generation::{Generation, Published};
+pub use metrics::{ServerMetrics, StatsSnapshot};
+pub use protocol::{parse_request, Request};
+pub use queue::{ResponseSlot, SubmitError, UpdateOutcome, UpdateQueue, WorkMeter};
+pub use server::{BitrussServer, LineReply, ServerConfig, ServerHandle};

@@ -1,0 +1,225 @@
+//! Lock-free server counters and the `stats` verb's snapshot.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ latency buckets: bucket `i` counts queries whose
+/// latency `t` (in microseconds) satisfies `2^i <= t+1 < 2^(i+1)`, so
+/// bucket 0 is sub-microsecond and bucket 63 is "longer than the age of
+/// the universe" — the histogram can never overflow its range.
+const BUCKETS: usize = 64;
+
+/// Monotone counters every reader and the writer bump as they go. All
+/// loads and stores are `Relaxed`: each counter is an independent
+/// statistic, nothing synchronizes *through* them, and a `stats`
+/// snapshot is explicitly allowed to be torn across counters (it is a
+/// monitoring read, not a consistency point).
+#[derive(Debug)]
+pub struct ServerMetrics {
+    /// Query lines answered (blank/comment lines excluded).
+    queries_served: AtomicU64,
+    /// Update batches durably acknowledged.
+    updates_acked: AtomicU64,
+    /// Update batches shed by admission control (meter saturated or
+    /// queue full) before reaching the writer.
+    updates_shed: AtomicU64,
+    /// Update batches the writer rejected (validation or store
+    /// failure).
+    updates_rejected: AtomicU64,
+    /// Generations published (the initial generation not counted).
+    generations_published: AtomicU64,
+    /// Per-query latency histogram, log₂ microsecond buckets.
+    latency: [AtomicU64; BUCKETS],
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self {
+            queries_served: AtomicU64::new(0),
+            updates_acked: AtomicU64::new(0),
+            updates_shed: AtomicU64::new(0),
+            updates_rejected: AtomicU64::new(0),
+            generations_published: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl ServerMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one answered query that took `micros` microseconds.
+    pub fn record_query(&self, micros: u64) {
+        // Relaxed: independent statistic, see the type docs.
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
+        let bucket = 63 - micros.saturating_add(1).leading_zeros() as usize;
+        // Relaxed: independent statistic, see the type docs.
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one durably acknowledged update batch.
+    pub fn record_ack(&self) {
+        // Relaxed: independent statistic, see the type docs.
+        self.updates_acked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one shed update batch.
+    pub fn record_shed(&self) {
+        // Relaxed: independent statistic, see the type docs.
+        self.updates_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one rejected update batch.
+    pub fn record_reject(&self) {
+        // Relaxed: independent statistic, see the type docs.
+        self.updates_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one published generation.
+    pub fn record_publish(&self) {
+        // Relaxed: independent statistic, see the type docs.
+        self.generations_published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter plus derived latency
+    /// percentiles. Counters may be mutually torn (see the type docs).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let histogram: Vec<u64> = self
+            .latency
+            .iter()
+            // Relaxed: independent statistics, see the type docs.
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        StatsSnapshot {
+            // Relaxed: independent statistic, see the type docs.
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            // Relaxed: independent statistic, see the type docs.
+            updates_acked: self.updates_acked.load(Ordering::Relaxed),
+            // Relaxed: independent statistic, see the type docs.
+            updates_shed: self.updates_shed.load(Ordering::Relaxed),
+            // Relaxed: independent statistic, see the type docs.
+            updates_rejected: self.updates_rejected.load(Ordering::Relaxed),
+            // Relaxed: independent statistic, see the type docs.
+            generations_published: self.generations_published.load(Ordering::Relaxed),
+            p50_us: percentile(&histogram, 0.50),
+            p99_us: percentile(&histogram, 0.99),
+        }
+    }
+}
+
+/// The upper bound (in µs) of the bucket holding the `q`-quantile
+/// sample, or 0 for an empty histogram. Bucket resolution is a factor
+/// of two — precise enough to tell 100 µs from 10 ms, which is what a
+/// serving dashboard needs.
+fn percentile(histogram: &[u64], q: f64) -> u64 {
+    let total: u64 = histogram.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    // floor(q * total) + 1, clamped to total: the exclusive nearest
+    // rank, so a 1-in-100 slow tail still lands in the p99 bucket.
+    let rank = ((q * total as f64).floor() as u64 + 1).min(total);
+    let mut seen = 0u64;
+    for (i, &count) in histogram.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            // Upper bound of bucket i: latencies t with t+1 < 2^(i+1).
+            return (1u64 << (i + 1).min(63)) - 1;
+        }
+    }
+    u64::MAX
+}
+
+/// Point-in-time server statistics, as returned by the `stats` protocol
+/// verb and [`ServerHandle::stats`](crate::ServerHandle::stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Query lines answered.
+    pub queries_served: u64,
+    /// Update batches durably acknowledged.
+    pub updates_acked: u64,
+    /// Update batches shed by admission control.
+    pub updates_shed: u64,
+    /// Update batches rejected by the writer.
+    pub updates_rejected: u64,
+    /// Generations published after the initial one.
+    pub generations_published: u64,
+    /// Median query latency (µs, bucket upper bound).
+    pub p50_us: u64,
+    /// 99th-percentile query latency (µs, bucket upper bound).
+    pub p99_us: u64,
+}
+
+impl fmt::Display for StatsSnapshot {
+    /// One line of `key=value` pairs — the exact `stats` verb response.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stats queries={} acked={} shed={} rejected={} generations={} p50_us={} p99_us={}",
+            self.queries_served,
+            self.updates_acked,
+            self.updates_shed,
+            self.updates_rejected,
+            self.generations_published,
+            self.p50_us,
+            self.p99_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles() {
+        let m = ServerMetrics::new();
+        // 99 fast queries (~1 µs) and one slow one (~1 ms).
+        for _ in 0..99 {
+            m.record_query(1);
+        }
+        m.record_query(1000);
+        let s = m.snapshot();
+        assert_eq!(s.queries_served, 100);
+        assert!(
+            s.p50_us <= 3,
+            "p50 {} should be in the fast bucket",
+            s.p50_us
+        );
+        assert!(
+            (512..=2047).contains(&s.p99_us),
+            "p99 {} should cover the 1 ms query",
+            s.p99_us
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = ServerMetrics::new().snapshot();
+        assert_eq!(s, StatsSnapshot::default());
+    }
+
+    #[test]
+    fn display_is_single_line_key_value() {
+        let m = ServerMetrics::new();
+        m.record_ack();
+        m.record_publish();
+        let text = m.snapshot().to_string();
+        assert!(!text.contains('\n'));
+        assert!(text.starts_with("stats "));
+        assert!(text.contains("acked=1"));
+        assert!(text.contains("generations=1"));
+    }
+
+    #[test]
+    fn huge_latency_does_not_overflow() {
+        let m = ServerMetrics::new();
+        m.record_query(u64::MAX);
+        let s = m.snapshot();
+        assert_eq!(s.queries_served, 1);
+        assert!(s.p99_us > 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! The server's line protocol: the write/control verbs layered on top
+//! of the engine's existing query language.
+//!
+//! One request per line. Lines that are not a server verb pass through
+//! verbatim to [`BitrussEngine::query_line`](bitruss_core::BitrussEngine::query_line)
+//! — `levels`, `edges <k>`, `community <u> <v> <k>`, comments, blanks —
+//! so every valid `query` batch file is also a valid server session.
+//!
+//! ```text
+//! update +0 3 -2 1 …    # one atomic batch of signed edge ops
+//! stats                 # one-line key=value counter snapshot
+//! generation            # number of the currently published generation
+//! shutdown              # end this session (stdin server: stop serving)
+//! levels                # …and every engine query verb, unchanged
+//! ```
+
+use std::str::FromStr;
+
+use bitruss_dynamic::{UpdateBatch, UpdateOp};
+
+/// One parsed protocol line. `#[non_exhaustive]`: verbs may be added
+/// without a semver break (mirroring [`bitruss_core::Query`]).
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Anything that is not a server verb: forwarded to the engine's
+    /// query parser (which also handles blanks, comments, and its own
+    /// error rendering). Holds the raw line.
+    Query(String),
+    /// `update <signed ops>` — one atomic, durably acknowledged batch.
+    Update(UpdateBatch),
+    /// `stats` — counter snapshot.
+    Stats,
+    /// `generation` — current published generation number.
+    Generation,
+    /// `shutdown` — end the session.
+    Shutdown,
+}
+
+/// Parses one protocol line. Never fails: a malformed `update` renders
+/// as an error *response* (`Err` carries the full response line), which
+/// keeps one bad client line from killing a session — the same contract
+/// as the engine's query parser.
+///
+/// # Errors
+///
+/// The ready-to-send `error: update: …` response for a malformed
+/// update line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let trimmed = line.trim();
+    let mut tokens = trimmed.split_whitespace();
+    match tokens.next() {
+        Some("update") => parse_update_ops(tokens).map(Request::Update),
+        Some("stats") if tokens.next().is_none() => Ok(Request::Stats),
+        Some("generation") if tokens.next().is_none() => Ok(Request::Generation),
+        Some("shutdown") if tokens.next().is_none() => Ok(Request::Shutdown),
+        // Everything else — including blanks, comments, and engine
+        // verbs with trailing arguments — belongs to the query parser.
+        _ => Ok(Request::Query(line.to_string())),
+    }
+}
+
+/// Parses the `+u v` / `-u v` pairs after the `update` verb. The sign
+/// is attached to the upper index (`+0 3`), matching the batch stream
+/// file format with the newlines swapped for spaces.
+fn parse_update_ops<'a, I: Iterator<Item = &'a str>>(mut tokens: I) -> Result<UpdateBatch, String> {
+    let mut batch = UpdateBatch::new();
+    while let Some(signed) = tokens.next() {
+        let (insert, upper_text) = match signed.split_at_checked(1) {
+            Some(("+", rest)) => (true, rest),
+            Some(("-", rest)) => (false, rest),
+            _ => {
+                return Err(format!(
+                    "error: update: op `{signed}` must start with + or -"
+                ))
+            }
+        };
+        let Some(lower_text) = tokens.next() else {
+            return Err(format!(
+                "error: update: op `{signed}` is missing its lower vertex"
+            ));
+        };
+        let upper = u32::from_str(upper_text)
+            .map_err(|_| format!("error: update: bad upper vertex `{upper_text}`"))?;
+        let lower = u32::from_str(lower_text)
+            .map_err(|_| format!("error: update: bad lower vertex `{lower_text}`"))?;
+        batch.push(if insert {
+            UpdateOp::Insert { upper, lower }
+        } else {
+            UpdateOp::Delete { upper, lower }
+        });
+    }
+    if batch.is_empty() {
+        return Err("error: update: empty batch (expected `update +u v -u v …`)".to_string());
+    }
+    Ok(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_line_parses_signed_pairs() {
+        let req = parse_request("update +0 3 -2 1 +4 4").expect("parse");
+        let Request::Update(batch) = req else {
+            panic!("expected update, got {req:?}");
+        };
+        assert_eq!(
+            batch.ops(),
+            &[
+                UpdateOp::Insert { upper: 0, lower: 3 },
+                UpdateOp::Delete { upper: 2, lower: 1 },
+                UpdateOp::Insert { upper: 4, lower: 4 },
+            ]
+        );
+    }
+
+    #[test]
+    fn control_verbs_parse() {
+        assert_eq!(parse_request("stats"), Ok(Request::Stats));
+        assert_eq!(parse_request("  generation  "), Ok(Request::Generation));
+        assert_eq!(parse_request("shutdown"), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn engine_lines_pass_through_verbatim() {
+        for line in [
+            "levels",
+            "edges 4",
+            "community 0 1 4",
+            "",
+            "% comment",
+            "# note",
+        ] {
+            assert_eq!(parse_request(line), Ok(Request::Query(line.to_string())));
+        }
+        // A verb with unexpected arguments is not a control line — the
+        // query parser owns the error rendering.
+        assert_eq!(
+            parse_request("stats now"),
+            Ok(Request::Query("stats now".to_string()))
+        );
+    }
+
+    #[test]
+    fn malformed_updates_render_error_responses() {
+        for (line, needle) in [
+            ("update", "empty batch"),
+            ("update 0 3", "must start with"),
+            ("update +0", "missing its lower"),
+            ("update +x 3", "bad upper"),
+            ("update +0 y", "bad lower"),
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert!(err.starts_with("error: update:"), "{err}");
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+}

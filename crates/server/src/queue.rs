@@ -1,0 +1,372 @@
+//! The bounded update queue between client sessions and the single
+//! writer thread, and the leaky-bucket admission meter in front of it.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+use bitruss_dynamic::{MaintenanceStats, UpdateBatch};
+
+/// What became of one submitted update batch. Delivered through the
+/// submitter's [`ResponseSlot`] once the writer (or admission control)
+/// has decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateOutcome {
+    /// The batch is durable (journal fsynced) and, if it changed the
+    /// graph, its generation is published.
+    Acked {
+        /// Writer-assigned sequence number of this ack, dense from 1.
+        seq: u64,
+        /// Generation number the batch is visible in. A batch that nets
+        /// out to no change acks with the *current* generation — nothing
+        /// new is published for it.
+        generation: u64,
+        /// Net operations applied (`deleted + inserted` edges).
+        ops: u64,
+    },
+    /// The batch was refused — invalid against the current graph, or
+    /// the store has failed and writes are fenced off. The reason is
+    /// the engine's error text.
+    Rejected(String),
+    /// The server is shutting down and no longer accepts updates.
+    ShuttingDown,
+}
+
+/// Why [`UpdateQueue::try_submit`] refused a batch without queuing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — retry after backoff.
+    QueueFull,
+    /// The [`WorkMeter`] is saturated — the writer is over its work
+    /// budget and the batch was shed.
+    Overloaded,
+    /// The server is draining; no new updates are accepted.
+    ShuttingDown,
+}
+
+impl SubmitError {
+    /// The protocol-level response line for this refusal.
+    pub fn as_response(&self) -> &'static str {
+        match self {
+            SubmitError::QueueFull => "shed: queue full",
+            SubmitError::Overloaded => "shed: overloaded",
+            SubmitError::ShuttingDown => "shed: shutting down",
+        }
+    }
+}
+
+/// A one-shot rendezvous the submitter blocks on until the writer fills
+/// in the [`UpdateOutcome`]. Cloning shares the slot.
+#[derive(Debug, Clone, Default)]
+pub struct ResponseSlot {
+    inner: Arc<(Mutex<Option<UpdateOutcome>>, Condvar)>,
+}
+
+impl ResponseSlot {
+    /// A fresh, unfilled slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Delivers the outcome and wakes the waiting submitter. Filling a
+    /// slot twice keeps the first outcome.
+    pub fn fill(&self, outcome: UpdateOutcome) {
+        let (lock, cvar) = &*self.inner;
+        let mut slot = lock.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(outcome);
+        }
+        cvar.notify_all();
+    }
+
+    /// Blocks until the writer fills the slot, then returns the
+    /// outcome.
+    pub fn wait(&self) -> UpdateOutcome {
+        let (lock, cvar) = &*self.inner;
+        let mut slot = lock.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(outcome) = slot.clone() {
+                return outcome;
+            }
+            slot = cvar.wait(slot).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Queue interior: items plus the closed flag, under one mutex so
+/// close/submit/pop order is total.
+#[derive(Debug, Default)]
+struct QueueState {
+    items: VecDeque<(UpdateBatch, ResponseSlot)>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue of update batches. Client sessions
+/// [`try_submit`](UpdateQueue::try_submit) (never blocking — a full
+/// queue is backpressure, reported to the client); the single writer
+/// [`pop`](UpdateQueue::pop)s, blocking while the queue is open and
+/// empty.
+#[derive(Debug)]
+pub struct UpdateQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl UpdateQueue {
+    /// An open queue holding at most `capacity` in-flight batches.
+    /// A zero capacity is promoted to 1 (a queue that can never accept
+    /// anything would wedge every submitter).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState::default()),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `batch` and returns the slot its outcome will arrive
+    /// on, or refuses immediately — this never blocks the submitting
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShuttingDown`] once [`UpdateQueue::close`] has
+    /// run, [`SubmitError::QueueFull`] at capacity.
+    pub fn try_submit(&self, batch: UpdateBatch) -> Result<ResponseSlot, SubmitError> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.closed {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(SubmitError::QueueFull);
+        }
+        let slot = ResponseSlot::new();
+        state.items.push_back((batch, slot.clone()));
+        self.not_empty.notify_one();
+        Ok(slot)
+    }
+
+    /// Dequeues the next batch, blocking while the queue is open and
+    /// empty. Returns `None` only when the queue is closed **and**
+    /// drained — the writer's signal to exit after serving every
+    /// accepted batch.
+    pub fn pop(&self) -> Option<(UpdateBatch, ResponseSlot)> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: subsequent submissions are refused, already
+    /// queued batches still drain through [`UpdateQueue::pop`].
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.closed = true;
+        // Wake the writer so it can observe the close even when idle.
+        self.not_empty.notify_all();
+    }
+
+    /// Batches currently queued (racy — monitoring only).
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .items
+            .len()
+    }
+
+    /// `true` when no batch is queued (racy — monitoring only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Meter interior: the current debt and when it was last leaked.
+#[derive(Debug)]
+struct MeterState {
+    level: u64,
+    last_leak: Instant,
+}
+
+/// A leaky-bucket admission meter denominated in the maintenance
+/// layer's own work unit (butterfly-support updates, the dominant cost
+/// of [`apply_batch`](bitruss_dynamic::apply_batch) — the same unit the
+/// incremental path's internal work budget uses).
+///
+/// The writer [`record`](WorkMeter::record)s each batch's measured
+/// [`MaintenanceStats`] cost after the fact; sessions call
+/// [`try_admit`](WorkMeter::try_admit) before queueing. While the
+/// accumulated, not-yet-leaked cost exceeds `budget`, new updates are
+/// shed — the reader pool never has to share the machine with an
+/// unbounded maintenance backlog.
+#[derive(Debug)]
+pub struct WorkMeter {
+    state: Mutex<MeterState>,
+    budget: u64,
+    leak_per_sec: u64,
+}
+
+impl WorkMeter {
+    /// A meter that sheds above `budget` outstanding work units and
+    /// forgives `leak_per_sec` units per second of wall time.
+    pub fn new(budget: u64, leak_per_sec: u64) -> Self {
+        Self {
+            state: Mutex::new(MeterState {
+                level: 0,
+                last_leak: Instant::now(),
+            }),
+            budget,
+            leak_per_sec,
+        }
+    }
+
+    /// `true` when the meter is below budget and the update may be
+    /// queued. Leaks elapsed time first, so a saturated meter recovers
+    /// on its own.
+    pub fn try_admit(&self) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        self.leak(&mut state);
+        state.level < self.budget
+    }
+
+    /// Charges the measured cost of one applied batch: its support
+    /// updates plus its affected edges (so even support-free structural
+    /// churn registers). A batch settled by full-recompute fallback
+    /// charges the whole budget — the strongest possible overload
+    /// signal.
+    pub fn record(&self, stats: &MaintenanceStats) {
+        let cost = if stats.fell_back {
+            self.budget
+        } else {
+            stats.support_updates.saturating_add(stats.affected_edges)
+        };
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        self.leak(&mut state);
+        state.level = state.level.saturating_add(cost);
+    }
+
+    /// The current outstanding work level (racy — monitoring only).
+    pub fn level(&self) -> u64 {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        self.leak(&mut state);
+        state.level
+    }
+
+    /// Forgives `leak_per_sec * elapsed` units.
+    fn leak(&self, state: &mut MeterState) {
+        let now = Instant::now();
+        let elapsed = now.duration_since(state.last_leak);
+        let forgiven = (elapsed.as_secs_f64() * self.leak_per_sec as f64) as u64;
+        if forgiven > 0 {
+            state.level = state.level.saturating_sub(forgiven);
+            state.last_leak = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn submit_pop_roundtrip() {
+        let q = UpdateQueue::new(4);
+        let mut batch = UpdateBatch::new();
+        batch.insert(1, 2);
+        let slot = q.try_submit(batch.clone()).expect("submit");
+        let (popped, writer_slot) = q.pop().expect("pop");
+        assert_eq!(popped, batch);
+        writer_slot.fill(UpdateOutcome::Acked {
+            seq: 1,
+            generation: 1,
+            ops: 1,
+        });
+        assert_eq!(
+            slot.wait(),
+            UpdateOutcome::Acked {
+                seq: 1,
+                generation: 1,
+                ops: 1
+            }
+        );
+    }
+
+    #[test]
+    fn full_queue_refuses() {
+        let q = UpdateQueue::new(1);
+        q.try_submit(UpdateBatch::new()).expect("first fits");
+        assert_eq!(
+            q.try_submit(UpdateBatch::new()).expect_err("should refuse"),
+            SubmitError::QueueFull
+        );
+    }
+
+    #[test]
+    fn closed_queue_refuses_but_drains() {
+        let q = UpdateQueue::new(4);
+        q.try_submit(UpdateBatch::new()).expect("submit");
+        q.close();
+        assert_eq!(
+            q.try_submit(UpdateBatch::new()).expect_err("should refuse"),
+            SubmitError::ShuttingDown
+        );
+        assert!(q.pop().is_some(), "queued batch still drains");
+        assert!(q.pop().is_none(), "then the writer sees the close");
+    }
+
+    #[test]
+    fn pop_blocks_until_submit() {
+        let q = Arc::new(UpdateQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let popper = thread::spawn(move || q2.pop().is_some());
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.try_submit(UpdateBatch::new()).expect("submit");
+        assert!(popper.join().expect("join"));
+    }
+
+    #[test]
+    fn meter_sheds_when_saturated_and_recovers() {
+        let meter = WorkMeter::new(100, 1_000_000);
+        assert!(meter.try_admit());
+        let stats = MaintenanceStats {
+            support_updates: 90,
+            affected_edges: 20,
+            ..Default::default()
+        };
+        meter.record(&stats);
+        assert!(!meter.try_admit(), "110 units > 100 budget");
+        // At 1M units/sec the debt is forgiven in ~110 µs.
+        thread::sleep(std::time::Duration::from_millis(5));
+        assert!(meter.try_admit(), "leak should have drained the debt");
+    }
+
+    #[test]
+    fn fallback_charges_full_budget() {
+        let meter = WorkMeter::new(1 << 30, 1);
+        let stats = MaintenanceStats {
+            fell_back: true,
+            ..Default::default()
+        };
+        meter.record(&stats);
+        assert!(!meter.try_admit());
+    }
+
+    #[test]
+    fn double_fill_keeps_first_outcome() {
+        let slot = ResponseSlot::new();
+        slot.fill(UpdateOutcome::Rejected("first".into()));
+        slot.fill(UpdateOutcome::ShuttingDown);
+        assert_eq!(slot.wait(), UpdateOutcome::Rejected("first".into()));
+    }
+}

@@ -1,0 +1,430 @@
+//! The server proper: single writer thread, reader sessions, and the
+//! stdin/TCP transports.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use bigraph::{Error, Result};
+use bitruss_dynamic::{DurableEngine, UpdateBatch};
+
+use crate::generation::{Generation, Published};
+use crate::metrics::{ServerMetrics, StatsSnapshot};
+use crate::protocol::{parse_request, Request};
+use crate::queue::{SubmitError, UpdateOutcome, UpdateQueue, WorkMeter};
+
+/// Tuning knobs for [`BitrussServer::start`]. Start from
+/// [`ServerConfig::default`] and override fields.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Reader threads the TCP transport runs (stdin mode serves on the
+    /// calling thread; the writer thread is always exactly one).
+    pub readers: usize,
+    /// In-flight update batches the bounded queue holds before
+    /// submissions bounce with `shed: queue full`.
+    pub queue_capacity: usize,
+    /// Outstanding maintenance work (support-update units) above which
+    /// the admission meter sheds updates.
+    pub work_budget: u64,
+    /// Work units the meter forgives per second of wall time.
+    pub work_leak_per_sec: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            readers: 4,
+            queue_capacity: 256,
+            // ~64M outstanding support updates (a few seconds of
+            // maintenance on the reference datasets) before shedding;
+            // forgiven at ~4M units/sec.
+            work_budget: 1 << 26,
+            work_leak_per_sec: 1 << 22,
+        }
+    }
+}
+
+/// Everything the reader sessions, the writer thread, and the transports
+/// share. All interior mutability — a session only ever holds an `&`.
+#[derive(Debug)]
+struct Shared {
+    published: Published,
+    queue: UpdateQueue,
+    meter: WorkMeter,
+    metrics: ServerMetrics,
+    /// Set by the `shutdown` verb or [`ServerHandle::shutdown`]: the
+    /// accept loop stops, sessions end after their current line, and
+    /// new updates are refused.
+    stopping: AtomicBool,
+}
+
+/// The server constructor. Holds no state itself —
+/// [`BitrussServer::start`] hands everything to the returned
+/// [`ServerHandle`].
+#[derive(Debug)]
+pub struct BitrussServer;
+
+impl BitrussServer {
+    /// Takes ownership of a recovered [`DurableEngine`], publishes its
+    /// current state as generation 0, and spawns the single writer
+    /// thread. The returned handle serves queries immediately; attach
+    /// transports with [`ServerHandle::serve_connection`] /
+    /// [`ServerHandle::serve_tcp`], and always end with
+    /// [`ServerHandle::shutdown`] to drain and recover the store.
+    pub fn start(durable: DurableEngine, config: ServerConfig) -> ServerHandle {
+        let initial = Generation {
+            number: 0,
+            engine: durable.engine().clone_shared(),
+        };
+        let shared = Arc::new(Shared {
+            published: Published::new(initial),
+            queue: UpdateQueue::new(config.queue_capacity),
+            meter: WorkMeter::new(config.work_budget, config.work_leak_per_sec),
+            metrics: ServerMetrics::new(),
+            stopping: AtomicBool::new(false),
+        });
+        let writer_shared = Arc::clone(&shared);
+        let writer = thread::spawn(move || writer_loop(durable, &writer_shared));
+        ServerHandle {
+            shared,
+            config,
+            writer: Some(writer),
+        }
+    }
+}
+
+/// Drains the update queue until it is closed and empty. Each batch:
+/// validate → journal+fsync (the ack point) → apply in memory → publish
+/// the successor generation. Exits with a best-effort checkpoint (a
+/// failed checkpoint loses nothing — every acked batch is already in
+/// the journal and replays on the next open).
+fn writer_loop(mut durable: DurableEngine, shared: &Shared) -> DurableEngine {
+    let mut seq = 0u64;
+    let mut store_failed = false;
+    while let Some((batch, slot)) = shared.queue.pop() {
+        if store_failed {
+            shared.metrics.record_reject();
+            slot.fill(UpdateOutcome::Rejected(
+                "store failed earlier in this run; writes are fenced".into(),
+            ));
+            continue;
+        }
+        match durable.apply(&batch) {
+            Ok(stats) => {
+                seq += 1;
+                shared.meter.record(&stats);
+                let ops = stats.deleted_edges + stats.inserted_edges;
+                let generation = if ops > 0 {
+                    let number = shared.published.current().number + 1;
+                    shared.published.publish(Arc::new(Generation {
+                        number,
+                        engine: durable.engine().clone_shared(),
+                    }));
+                    shared.metrics.record_publish();
+                    number
+                } else {
+                    // No-op batch: durability is trivial and nothing new
+                    // to publish — ack against the current generation.
+                    shared.published.current().number
+                };
+                shared.metrics.record_ack();
+                slot.fill(UpdateOutcome::Acked {
+                    seq,
+                    generation,
+                    ops,
+                });
+            }
+            Err(Error::Invariant(msg)) => {
+                // A batch the graph rejects (duplicate insert, missing
+                // delete, out-of-range vertex). State unchanged; keep
+                // serving.
+                shared.metrics.record_reject();
+                slot.fill(UpdateOutcome::Rejected(msg));
+            }
+            Err(e) => {
+                // Journaling failed (I/O). The in-memory state is
+                // unchanged and reads stay correct, but the ack
+                // guarantee is gone — fence all further writes.
+                store_failed = true;
+                shared.metrics.record_reject();
+                slot.fill(UpdateOutcome::Rejected(format!("store failure: {e}")));
+            }
+        }
+    }
+    if !store_failed {
+        // Fold the journal into a fresh snapshot generation so the next
+        // open replays nothing. Best-effort by design: see above.
+        let _ = durable.checkpoint();
+    }
+    durable
+}
+
+/// What one protocol line asks the session to do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineReply {
+    /// Send this response line, keep the session open.
+    Text(String),
+    /// Blank/comment line — send nothing.
+    Silent,
+    /// `shutdown` verb: acknowledge with `bye` and end the session;
+    /// the whole server begins draining.
+    Goodbye,
+}
+
+/// A running server. Cheap to share by reference across reader threads;
+/// consumed by [`ServerHandle::shutdown`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    config: ServerConfig,
+    writer: Option<JoinHandle<DurableEngine>>,
+}
+
+impl ServerHandle {
+    /// Pins and returns the currently published generation. The
+    /// snapshot stays valid and immutable for as long as the caller
+    /// holds it, regardless of concurrent publications.
+    pub fn current(&self) -> Arc<Generation> {
+        self.shared.published.current()
+    }
+
+    /// The currently published generation number.
+    pub fn generation_number(&self) -> u64 {
+        self.shared.published.current().number
+    }
+
+    /// A point-in-time counter snapshot (the `stats` verb's payload).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Answers one engine query line against a single pinned
+    /// generation, recording latency. Same contract as
+    /// [`BitrussEngine::query_line`](bitruss_core::BitrussEngine::query_line):
+    /// `None` for blank/comment lines, rendered `error:` text for bad
+    /// queries.
+    ///
+    /// # Errors
+    ///
+    /// Only engine-level failures (a cancelled hierarchy build).
+    pub fn query(&self, line: &str) -> Result<Option<String>> {
+        let generation = self.shared.published.current();
+        let started = Instant::now();
+        let answer = generation.engine.query_line(line)?;
+        if answer.is_some() {
+            self.shared
+                .metrics
+                .record_query(started.elapsed().as_micros() as u64);
+        }
+        Ok(answer)
+    }
+
+    /// Submits one update batch and blocks until it is durably
+    /// acknowledged, rejected, or shed. The ack carries the generation
+    /// the batch became visible in.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when admission control refuses the batch before
+    /// it reaches the writer (meter saturated, queue full, draining).
+    pub fn submit_update(
+        &self,
+        batch: UpdateBatch,
+    ) -> std::result::Result<UpdateOutcome, SubmitError> {
+        // Relaxed: advisory fast-path check only — the queue's own
+        // closed flag (under its mutex) is the authoritative gate.
+        if self.shared.stopping.load(Ordering::Relaxed) {
+            self.shared.metrics.record_shed();
+            return Err(SubmitError::ShuttingDown);
+        }
+        if !self.shared.meter.try_admit() {
+            self.shared.metrics.record_shed();
+            return Err(SubmitError::Overloaded);
+        }
+        match self.shared.queue.try_submit(batch) {
+            Ok(slot) => Ok(slot.wait()),
+            Err(e) => {
+                self.shared.metrics.record_shed();
+                Err(e)
+            }
+        }
+    }
+
+    /// Serves one protocol line: parse, dispatch, render. Never fails
+    /// on client mistakes — malformed lines come back as `error: …`
+    /// replies.
+    ///
+    /// # Errors
+    ///
+    /// Only engine-level failures (a cancelled hierarchy build).
+    pub fn handle_line(&self, line: &str) -> Result<LineReply> {
+        let request = match parse_request(line) {
+            Ok(r) => r,
+            Err(rendered) => return Ok(LineReply::Text(rendered)),
+        };
+        Ok(match request {
+            Request::Query(raw) => match self.query(&raw)? {
+                Some(text) => LineReply::Text(text),
+                None => LineReply::Silent,
+            },
+            Request::Update(batch) => LineReply::Text(match self.submit_update(batch) {
+                Ok(UpdateOutcome::Acked {
+                    seq,
+                    generation,
+                    ops,
+                }) => format!("acked seq={seq} ops={ops} generation={generation}"),
+                Ok(UpdateOutcome::Rejected(reason)) => format!("error: update: {reason}"),
+                Ok(UpdateOutcome::ShuttingDown) => {
+                    SubmitError::ShuttingDown.as_response().to_string()
+                }
+                Err(e) => e.as_response().to_string(),
+            }),
+            Request::Stats => LineReply::Text(self.stats().to_string()),
+            Request::Generation => {
+                LineReply::Text(format!("generation {}", self.generation_number()))
+            }
+            Request::Shutdown => LineReply::Goodbye,
+        })
+    }
+
+    /// Serves a whole session: one request per line from `reader`, one
+    /// response per request to `writer`, flushed per line. Ends at EOF
+    /// or on the `shutdown` verb (which also puts the whole server into
+    /// its draining state — see `docs/SERVER.md`). Returns the number
+    /// of responses written.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on transport failures; engine-level failures from
+    /// the query path.
+    pub fn serve_connection<R: BufRead, W: Write>(&self, reader: R, mut writer: W) -> Result<u64> {
+        let mut responses = 0u64;
+        for line in reader.lines() {
+            let line = line?;
+            match self.handle_line(&line)? {
+                LineReply::Text(text) => {
+                    writeln!(writer, "{text}")?;
+                    writer.flush()?;
+                    responses += 1;
+                }
+                LineReply::Silent => {}
+                LineReply::Goodbye => {
+                    self.request_stop();
+                    writeln!(writer, "bye")?;
+                    writer.flush()?;
+                    responses += 1;
+                    break;
+                }
+            }
+        }
+        Ok(responses)
+    }
+
+    /// Accepts TCP connections on `listener` and serves each on one of
+    /// `config.readers` pooled reader threads until
+    /// [`ServerHandle::request_stop`] (or a client's `shutdown` verb)
+    /// flips the stop flag. Connections already being served finish
+    /// their current session; queued-but-unaccepted connections are
+    /// dropped. Returns once every reader thread has exited.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if the listener cannot be switched to non-blocking
+    /// accept polling.
+    pub fn serve_tcp(&self, listener: TcpListener) -> Result<()> {
+        listener.set_nonblocking(true)?;
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let readers = self.config.readers.max(1);
+        thread::scope(|scope| {
+            for _ in 0..readers {
+                let rx = Arc::clone(&rx);
+                scope.spawn(move || {
+                    loop {
+                        // Lock only around the recv handoff (the Rust
+                        // book's worker-pool idiom): the next idle
+                        // reader parks here while the rest serve.
+                        let next = {
+                            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+                            guard.recv()
+                        };
+                        let Ok(stream) = next else {
+                            return; // sender dropped: server is draining
+                        };
+                        let Ok(peer) = stream.try_clone() else {
+                            continue; // dead socket; next connection
+                        };
+                        // A failed session (client vanished mid-line)
+                        // must not take the reader thread with it.
+                        let _ = self.serve_connection(BufReader::new(peer), &stream);
+                    }
+                });
+            }
+            // Relaxed: the flag is a latched stop request; readers
+            // observing it one poll interval late is harmless.
+            while !self.shared.stopping.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _addr)) => {
+                        // Send fails only when every reader exited
+                        // (stop already requested) — drop the socket.
+                        let _ = tx.send(stream);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(20));
+                    }
+                    // Transient accept errors (aborted handshake): skip.
+                    Err(_) => {}
+                }
+            }
+            drop(tx);
+        });
+        Ok(())
+    }
+
+    /// Flips the latched stop flag: the accept loop winds down and
+    /// sessions refuse further updates. Idempotent; does not block.
+    /// Reads keep working until [`ServerHandle::shutdown`].
+    pub fn request_stop(&self) {
+        // Relaxed: latched advisory flag, see `serve_tcp`.
+        self.shared.stopping.store(true, Ordering::Relaxed);
+    }
+
+    /// Gracefully shuts down: stops accepting work, closes the update
+    /// queue, waits for the writer to drain and acknowledge every
+    /// queued batch, checkpoints the store (best-effort), and returns
+    /// the recovered [`DurableEngine`] plus the final counters.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Invariant`] if the writer thread died or shutdown ran
+    /// twice (the store is then unrecoverable from this handle).
+    pub fn shutdown(mut self) -> Result<(DurableEngine, StatsSnapshot)> {
+        self.request_stop();
+        self.shared.queue.close();
+        let writer = self
+            .writer
+            .take()
+            .ok_or_else(|| Error::Invariant("server writer already shut down".into()))?;
+        let durable = writer
+            .join()
+            .map_err(|_| Error::Invariant("server writer thread panicked".into()))?;
+        Ok((durable, self.shared.metrics.snapshot()))
+    }
+}
+
+impl Drop for ServerHandle {
+    /// A dropped handle still drains the writer (acks are promises) —
+    /// but prefer [`ServerHandle::shutdown`], which also returns the
+    /// store.
+    fn drop(&mut self) {
+        self.request_stop();
+        self.shared.queue.close();
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}

@@ -343,6 +343,8 @@ mod tests {
     #[test]
     fn classify_paths() {
         assert_eq!(classify("crates/core/src/engine.rs"), FileKind::Library);
+        assert_eq!(classify("crates/server/src/server.rs"), FileKind::Library);
+        assert!(is_crate_root("crates/server/src/lib.rs"));
         assert_eq!(classify("src/lib.rs"), FileKind::Library);
         assert_eq!(classify("src/bin/cli.rs"), FileKind::Binary);
         assert_eq!(classify("crates/bench/src/lib.rs"), FileKind::Tool);

@@ -14,6 +14,9 @@
 //! bitruss-cli decompose  <edges.txt> --store <dir>
 //! bitruss-cli update     --store <dir> [--updates u.txt] [--checkpoint]
 //! bitruss-cli query      --store <dir> [--queries q.txt]
+//!
+//! # concurrent serving mode (generation-snapshot isolation)
+//! bitruss-cli serve      --store <dir> [--listen HOST:PORT] [--readers N] [--queue-cap N] [--work-budget W]
 //! ```
 //!
 //! Every decomposition-backed subcommand runs through the
@@ -47,6 +50,13 @@
 //! after applying (do this periodically to bound recovery time). See
 //! `docs/DURABILITY.md` for the layout and guarantees.
 //!
+//! `serve` turns a store into a long-running service: queries and
+//! `update`/`stats`/`generation`/`shutdown` verbs arrive one per line
+//! (stdin by default, TCP with `--listen`), reads are answered against
+//! immutable published generations while a single writer journals and
+//! applies updates, and shutdown drains the queue and checkpoints the
+//! store. See `docs/SERVER.md` for the protocol and guarantees.
+//!
 //! `--threads N` selects a parallel engine with `N` workers (`0` =
 //! auto-detect from the hardware); for `decompose` it upgrades the
 //! default `bu++` algorithm to the parallel `bu++p`, or sets the worker
@@ -64,14 +74,15 @@ use std::process::ExitCode;
 use bitruss::graph::io::{read_edge_list_file, write_edge_list_file, IndexBase};
 use bitruss::graph::GraphStats;
 use bitruss::{
-    Algorithm, BipartiteGraph, BitrussEngine, DurableEngine, DynamicEngineExt, MaintenanceStats,
-    Threads, UpdateBatch,
+    Algorithm, BipartiteGraph, BitrussEngine, BitrussServer, DurableEngine, DynamicEngineExt,
+    MaintenanceStats, ServerConfig, Threads, UpdateBatch,
 };
 
 /// Flags every subcommand understands, printed when an unknown flag is
 /// rejected.
 const KNOWN_FLAGS: &str = "--algorithm/-a, --tau/-t, --threads/-j, --output/-o, \
-     --snapshot/-s, --queries/-q, --updates/-u, --store, --checkpoint, --one-based";
+     --snapshot/-s, --queries/-q, --updates/-u, --store, --checkpoint, --one-based, \
+     --listen, --readers, --queue-cap, --work-budget";
 
 #[derive(Debug)]
 struct Args {
@@ -85,6 +96,10 @@ struct Args {
     store: Option<String>,
     checkpoint: bool,
     base: IndexBase,
+    listen: Option<String>,
+    readers: Option<usize>,
+    queue_cap: Option<usize>,
+    work_budget: Option<u64>,
 }
 
 fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -99,6 +114,10 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
         store: None,
         checkpoint: false,
         base: IndexBase::Zero,
+        listen: None,
+        readers: None,
+        queue_cap: None,
+        work_budget: None,
     };
     let mut tau: Option<f64> = None;
     let mut it = raw;
@@ -134,6 +153,21 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--checkpoint" => args.checkpoint = true,
             "--one-based" => args.base = IndexBase::One,
+            "--listen" => {
+                args.listen = Some(it.next().ok_or("--listen needs HOST:PORT")?);
+            }
+            "--readers" => {
+                let v = it.next().ok_or("--readers needs a value")?;
+                args.readers = Some(v.parse().map_err(|_| format!("bad reader count {v:?}"))?);
+            }
+            "--queue-cap" => {
+                let v = it.next().ok_or("--queue-cap needs a value")?;
+                args.queue_cap = Some(v.parse().map_err(|_| format!("bad queue capacity {v:?}"))?);
+            }
+            "--work-budget" => {
+                let v = it.next().ok_or("--work-budget needs a value")?;
+                args.work_budget = Some(v.parse().map_err(|_| format!("bad work budget {v:?}"))?);
+            }
             other if other.starts_with('-') => {
                 return Err(format!(
                     "unknown flag {other:?} (known flags: {KNOWN_FLAGS})"
@@ -221,7 +255,7 @@ fn run() -> Result<(), String> {
     let args = parse_args(std::env::args().skip(1))?;
     let Some(command) = args.positional.first() else {
         return Err(
-            "usage: bitruss-cli <stats|count|decompose|kbitruss|communities|query|update|generate> …"
+            "usage: bitruss-cli <stats|count|decompose|kbitruss|communities|query|update|serve|generate> …"
                 .to_string(),
         );
     };
@@ -445,6 +479,59 @@ fn run() -> Result<(), String> {
                 println!("refreshed snapshot written to {out}");
             }
         }
+        "serve" => {
+            let dir = args
+                .store
+                .as_deref()
+                .ok_or("serve needs --store <dir> (create one with decompose … --store)")?;
+            let durable = DurableEngine::open(Path::new(dir))
+                .map_err(|e| format!("opening store {dir}: {e}"))?;
+            print_recovery(&durable);
+            let mut config = ServerConfig::default();
+            if let Some(n) = args.readers {
+                config.readers = n;
+            }
+            if let Some(n) = args.queue_cap {
+                config.queue_capacity = n;
+            }
+            if let Some(w) = args.work_budget {
+                config.work_budget = w;
+            }
+            eprintln!(
+                "serving {} edges from store {dir} ({} readers, queue {}, work budget {})",
+                durable.engine().graph().num_edges(),
+                config.readers,
+                config.queue_capacity,
+                config.work_budget
+            );
+            let handle = BitrussServer::start(durable, config);
+            match &args.listen {
+                Some(addr) => {
+                    let listener = std::net::TcpListener::bind(addr)
+                        .map_err(|e| format!("binding {addr}: {e}"))?;
+                    eprintln!("listening on {addr} — send `shutdown` on any connection to stop");
+                    handle
+                        .serve_tcp(listener)
+                        .map_err(|e| format!("serving {addr}: {e}"))?;
+                }
+                None => {
+                    // Stdin mode: one session on the calling thread; EOF
+                    // or the `shutdown` verb ends it.
+                    handle
+                        .serve_connection(std::io::stdin().lock(), std::io::stdout().lock())
+                        .map_err(|e| format!("serving stdin: {e}"))?;
+                }
+            }
+            let (durable, stats) = handle
+                .shutdown()
+                .map_err(|e| format!("shutting down: {e}"))?;
+            eprintln!("{stats}");
+            eprintln!(
+                "store checkpointed at generation {} ({} journaled batch(es) pending)",
+                durable.generation(),
+                durable.journal_batches()
+            );
+        }
         "generate" => {
             let name = args.positional.get(1).ok_or("generate needs a dataset")?;
             let path = args.positional.get(2).ok_or("generate needs a file")?;
@@ -555,6 +642,41 @@ mod tests {
         assert!(parse(&["decompose", "--threads", "x"]).is_err());
         assert!(parse(&["decompose", "--tau", "x"]).is_err());
         assert!(parse(&["update", "--store"]).is_err());
+    }
+
+    #[test]
+    fn serve_flags_are_collected() {
+        let args = parse(&[
+            "serve",
+            "--store",
+            "/data/s",
+            "--listen",
+            "127.0.0.1:7878",
+            "--readers",
+            "8",
+            "--queue-cap",
+            "64",
+            "--work-budget",
+            "1048576",
+        ])
+        .unwrap();
+        assert_eq!(args.positional, vec!["serve"]);
+        assert_eq!(args.store.as_deref(), Some("/data/s"));
+        assert_eq!(args.listen.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!(args.readers, Some(8));
+        assert_eq!(args.queue_cap, Some(64));
+        assert_eq!(args.work_budget, Some(1_048_576));
+        // All serve flags default to off / engine defaults.
+        let args = parse(&["serve", "--store", "dir"]).unwrap();
+        assert!(args.listen.is_none());
+        assert!(args.readers.is_none());
+        assert!(args.queue_cap.is_none());
+        assert!(args.work_budget.is_none());
+        // Values are required and validated.
+        assert!(parse(&["serve", "--listen"]).is_err());
+        assert!(parse(&["serve", "--readers", "x"]).is_err());
+        assert!(parse(&["serve", "--queue-cap", "-1"]).is_err());
+        assert!(parse(&["serve", "--work-budget"]).is_err());
     }
 
     #[test]

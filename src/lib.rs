@@ -17,6 +17,8 @@
 //!   ([`BitrussEngine`], [`decompose`], [`Algorithm`], [`Decomposition`]);
 //! * [`dynamic`] — incremental maintenance under edge insertions and
 //!   deletions ([`DynamicEngineExt`], [`UpdateBatch`]);
+//! * [`server`] — the concurrent bitruss-as-a-service query server
+//!   ([`BitrussServer`], [`ServerHandle`]);
 //! * [`workloads`] — synthetic generators and the Table II dataset
 //!   registry.
 //!
@@ -87,6 +89,13 @@ pub mod dynamic {
     pub use bitruss_dynamic::*;
 }
 
+/// The bitruss-as-a-service query server: generation-snapshot isolated
+/// reads over a durable single-writer update path (re-export of the
+/// `bitruss-server` crate).
+pub mod server {
+    pub use bitruss_server::*;
+}
+
 /// Workload generators and the dataset registry (re-export of `datagen`).
 pub mod workloads {
     pub use datagen::*;
@@ -110,4 +119,5 @@ pub use bitruss_core::{
 pub use bitruss_dynamic::{
     DurableEngine, DynamicEngineExt, MaintenanceStats, UpdateBatch, UpdateOp,
 };
+pub use bitruss_server::{BitrussServer, ServerConfig, ServerHandle, StatsSnapshot};
 pub use butterfly::{count_per_edge, count_per_edge_parallel, count_total, ButterflyCounts};

@@ -1,0 +1,567 @@
+//! Server tests: generation-snapshot isolation under concurrent
+//! readers, exact acked-prefix recovery after a mid-stream kill
+//! (the PR 7 crash model), graceful shutdown drain, and the per-line
+//! flush contract of the protocol session.
+//!
+//! The isolation invariant under test: every answer a reader produces
+//! must be consistent with **one single committed generation** — no
+//! torn reads mixing two states, and the generation numbers one reader
+//! observes never go backwards.
+
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use bitruss::graph::GraphBuilder;
+use bitruss::server::{BitrussServer, ServerConfig, SubmitError, UpdateOutcome};
+use bitruss::{BipartiteGraph, BitrussEngine, DurableEngine, Fault, MemVfs, UpdateBatch};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+/// Deterministic xorshift generator (the vendored proptest shim has no
+/// collection strategies; seeds drive the shapes instead).
+struct Rng(u64);
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// A deterministic sparse base graph on the 16×16 vertex universe
+/// (~one third of the pairs present), leaving plenty of absent pairs
+/// for in-range insertions.
+fn base_graph() -> BipartiteGraph {
+    GraphBuilder::new()
+        .add_edges(base_pairs())
+        .build()
+        .expect("base graph")
+}
+
+fn base_pairs() -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    for u in 0..16u32 {
+        for v in 0..16u32 {
+            if (u * 31 + v * 17) % 3 == 0 {
+                pairs.push((u, v));
+            }
+        }
+    }
+    pairs
+}
+
+/// Absent pairs of the same universe, a deterministic insertion menu.
+fn absent_pairs() -> Vec<(u32, u32)> {
+    let present: BTreeSet<(u32, u32)> = base_pairs().into_iter().collect();
+    let mut out = Vec::new();
+    for u in 0..16u32 {
+        for v in 0..16u32 {
+            if !present.contains(&(u, v)) {
+                out.push((u, v));
+            }
+        }
+    }
+    out
+}
+
+fn store_dir() -> PathBuf {
+    PathBuf::from("/store")
+}
+
+/// A server over a fresh MemVfs store on the base graph, with admission
+/// control opened wide so tests exercise isolation, not shedding.
+fn start_server(readers_hint: usize) -> bitruss::server::ServerHandle {
+    let engine = BitrussEngine::builder()
+        .build(base_graph())
+        .expect("base engine");
+    let durable = DurableEngine::create_with(Arc::new(MemVfs::new()), &store_dir(), engine)
+        .expect("create store");
+    let config = ServerConfig {
+        readers: readers_hint,
+        queue_capacity: 64,
+        work_budget: 1 << 30,
+        work_leak_per_sec: u64::MAX,
+    };
+    BitrussServer::start(durable, config)
+}
+
+/// Submits with bounded retries across transient admission shedding
+/// (a fallback-settled batch charges the whole work budget; the huge
+/// test leak rate drains it within microseconds).
+fn submit_with_retry(
+    handle: &bitruss::server::ServerHandle,
+    batch: UpdateBatch,
+) -> Result<UpdateOutcome, SubmitError> {
+    for _ in 0..1000 {
+        match handle.submit_update(batch.clone()) {
+            Err(SubmitError::Overloaded) | Err(SubmitError::QueueFull) => {
+                thread::sleep(std::time::Duration::from_millis(1));
+            }
+            other => return other,
+        }
+    }
+    handle.submit_update(batch)
+}
+
+/// The tentpole invariant, for reader thread counts 1, 2, 4 and 8:
+/// a writer streams single-insert batches while `n` readers hammer
+/// `current()`; every pinned generation must be internally consistent
+/// (edge count matches the generation number exactly) and per-reader
+/// generation numbers must be monotone.
+#[test]
+fn isolation_stress_across_reader_counts() {
+    for readers in [1usize, 2, 4, 8] {
+        let violations = run_isolation_stress(readers, 24);
+        assert!(
+            violations.is_empty(),
+            "{readers} readers: isolation violations: {violations:?}"
+        );
+    }
+}
+
+fn run_isolation_stress(readers: usize, batches: usize) -> Vec<String> {
+    let handle = Arc::new(start_server(readers));
+    let inserts: Vec<(u32, u32)> = absent_pairs().into_iter().take(batches).collect();
+    assert_eq!(inserts.len(), batches, "universe too small for the plan");
+    // Generation g is the base plus the first g inserts, so its edge
+    // count is `base + g` — a torn or stale read cannot satisfy this
+    // for any single g while also matching the pinned number.
+    let base_edges = base_graph().num_edges() as usize;
+    let expected_edges: Vec<usize> = (0..=batches).map(|g| base_edges + g).collect();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let mut reader_threads = Vec::new();
+    for reader_id in 0..readers {
+        let handle = Arc::clone(&handle);
+        let done = Arc::clone(&done);
+        let expected_edges = expected_edges.clone();
+        reader_threads.push(thread::spawn(move || -> Vec<String> {
+            let mut violations = Vec::new();
+            let mut last_seen = 0u64;
+            let mut observed = 0u64;
+            while !done.load(Ordering::Acquire) || observed == 0 {
+                let generation = handle.current();
+                observed += 1;
+                let number = generation.number;
+                if number < last_seen {
+                    violations.push(format!(
+                        "reader {reader_id}: generation went backwards: {number} < {last_seen}"
+                    ));
+                }
+                last_seen = number;
+                let engine = &generation.engine;
+                let num_edges = engine.graph().num_edges() as usize;
+                if num_edges != expected_edges[number as usize] {
+                    violations.push(format!(
+                        "reader {reader_id}: generation {number} has {num_edges} edges, \
+                         expected {} — torn or mispublished state",
+                        expected_edges[number as usize]
+                    ));
+                }
+                // Intra-generation consistency: φ and the (lazily built,
+                // generation-pinned) hierarchy must describe the same
+                // edge set the graph holds.
+                if engine.phi().len() != num_edges {
+                    violations.push(format!(
+                        "reader {reader_id}: generation {number}: phi len {} vs {num_edges} edges",
+                        engine.phi().len()
+                    ));
+                }
+                match engine.k_bitruss_count(0) {
+                    Ok(n) if n == num_edges => {}
+                    Ok(n) => violations.push(format!(
+                        "reader {reader_id}: generation {number}: 0-bitruss {n} vs {num_edges}"
+                    )),
+                    Err(e) => violations.push(format!(
+                        "reader {reader_id}: generation {number}: hierarchy: {e}"
+                    )),
+                }
+                if violations.len() > 8 {
+                    break; // enough evidence; don't flood the report
+                }
+            }
+            violations
+        }));
+    }
+
+    let mut violations = Vec::new();
+    for (i, &(u, v)) in inserts.iter().enumerate() {
+        let mut batch = UpdateBatch::new();
+        batch.insert(u, v);
+        match submit_with_retry(&handle, batch) {
+            Ok(UpdateOutcome::Acked { generation, .. }) => {
+                if generation != (i + 1) as u64 {
+                    violations.push(format!(
+                        "batch {i} acked into generation {generation}, expected {}",
+                        i + 1
+                    ));
+                }
+            }
+            other => violations.push(format!("batch {i}: unexpected outcome {other:?}")),
+        }
+    }
+    done.store(true, Ordering::Release);
+    for t in reader_threads {
+        violations.extend(t.join().expect("reader thread"));
+    }
+    let final_number = handle.generation_number();
+    if final_number != batches as u64 {
+        violations.push(format!(
+            "final generation {final_number}, expected {batches}"
+        ));
+    }
+    let handle = Arc::into_inner(handle).expect("all clones joined");
+    let (durable, stats) = handle.shutdown().expect("shutdown");
+    if stats.updates_acked != batches as u64 {
+        violations.push(format!(
+            "{} acks counted, expected {batches}",
+            stats.updates_acked
+        ));
+    }
+    // Shutdown checkpoints: the journal is folded into a snapshot.
+    if durable.journal_batches() != 0 {
+        violations.push(format!(
+            "{} journaled batches left after shutdown checkpoint",
+            durable.journal_batches()
+        ));
+    }
+    violations
+}
+
+/// Mid-stream kill: a `Fault::Kill` fires inside the journaling path
+/// while batches stream in. Every batch acked before the kill must
+/// survive recovery byte-for-byte; nothing after the kill may appear —
+/// and the read path must keep serving the last published generation
+/// even after the store has failed.
+#[test]
+fn kill_mid_stream_recovers_exactly_the_acked_prefix() {
+    for kill_after in [3u64, 17, 41] {
+        let vfs = MemVfs::new();
+        let engine = BitrussEngine::builder()
+            .build(base_graph())
+            .expect("base engine");
+        let durable = DurableEngine::create_with(Arc::new(vfs.clone()), &store_dir(), engine)
+            .expect("create store");
+        let config = ServerConfig {
+            readers: 1,
+            queue_capacity: 16,
+            work_budget: 1 << 30,
+            work_leak_per_sec: u64::MAX,
+        };
+        let handle = BitrussServer::start(durable, config);
+
+        let inserts: Vec<(u32, u32)> = absent_pairs().into_iter().take(40).collect();
+        vfs.fail_at(vfs.ops() + kill_after, Fault::Kill);
+
+        let mut acked = 0usize;
+        let mut first_failure = None;
+        for (i, &(u, v)) in inserts.iter().enumerate() {
+            let mut batch = UpdateBatch::new();
+            batch.insert(u, v);
+            match submit_with_retry(&handle, batch) {
+                Ok(UpdateOutcome::Acked { .. }) => {
+                    assert!(
+                        first_failure.is_none(),
+                        "ack after a store failure — the write fence leaked"
+                    );
+                    acked += 1;
+                }
+                Ok(UpdateOutcome::Rejected(reason)) => {
+                    assert!(reason.contains("store fail"), "unexpected reason: {reason}");
+                    first_failure.get_or_insert(i);
+                }
+                other => panic!("batch {i}: unexpected outcome {other:?}"),
+            }
+        }
+        assert!(
+            first_failure.is_some(),
+            "kill at +{kill_after} never fired (acked all {acked})"
+        );
+
+        // The read path survives the store failure: the last published
+        // generation still answers, at the acked edge count.
+        assert_eq!(handle.generation_number(), acked as u64);
+        let answer = handle.query("levels").expect("query after store failure");
+        assert!(answer.is_some());
+        assert_eq!(
+            handle.current().engine.graph().num_edges() as usize,
+            base_graph().num_edges() as usize + acked
+        );
+
+        drop(handle); // drains the writer; checkpoint skipped (store failed)
+
+        // Reboot: only fsynced bytes survive. Recovery must land on
+        // exactly the acknowledged prefix.
+        vfs.crash();
+        let recovered =
+            DurableEngine::open_with(Arc::new(vfs.clone()), &store_dir()).expect("recovery");
+        let got: BTreeSet<(u32, u32)> = recovered
+            .engine()
+            .graph()
+            .edge_pairs()
+            .into_iter()
+            .collect();
+        let mut want: BTreeSet<(u32, u32)> = base_pairs().into_iter().collect();
+        want.extend(inserts.iter().take(acked).copied());
+        assert_eq!(
+            got, want,
+            "kill at +{kill_after}: recovered state is not the acked prefix ({acked} acks)"
+        );
+
+        // And the recovered store serves a fresh server run.
+        let handle = BitrussServer::start(recovered, config);
+        assert_eq!(handle.generation_number(), 0);
+        let mut batch = UpdateBatch::new();
+        let (u, v) = inserts[acked]; // the first pair the kill swallowed
+        batch.insert(u, v);
+        match submit_with_retry(&handle, batch) {
+            Ok(UpdateOutcome::Acked { generation, .. }) => assert_eq!(generation, 1),
+            other => panic!("post-recovery update: unexpected outcome {other:?}"),
+        }
+        handle.shutdown().expect("post-recovery shutdown");
+    }
+}
+
+/// Graceful shutdown drains: batches queued by concurrent submitters
+/// before `shutdown()` all resolve (acked or refused — never hung), the
+/// acked ones are in the final store, and the journal is checkpointed
+/// away.
+#[test]
+fn shutdown_drains_concurrent_submitters() {
+    let handle = Arc::new(start_server(2));
+    let inserts: Vec<(u32, u32)> = absent_pairs().into_iter().take(8).collect();
+    let mut submitters = Vec::new();
+    for (u, v) in inserts {
+        let handle = Arc::clone(&handle);
+        submitters.push(thread::spawn(move || {
+            let mut batch = UpdateBatch::new();
+            batch.insert(u, v);
+            match submit_with_retry(&handle, batch) {
+                Ok(UpdateOutcome::Acked { .. }) => (1u64, 0u64),
+                Ok(_) | Err(SubmitError::ShuttingDown) => (0, 1),
+                Err(e) => panic!("unexpected submit error {e:?}"),
+            }
+        }));
+    }
+    let mut acked = 0u64;
+    let mut refused = 0u64;
+    for t in submitters {
+        let (a, r) = t.join().expect("submitter");
+        acked += a;
+        refused += r;
+    }
+    assert_eq!(acked + refused, 8, "every submitter got an outcome");
+    let handle = Arc::into_inner(handle).expect("all clones joined");
+    let (durable, stats) = handle.shutdown().expect("shutdown");
+    assert_eq!(stats.updates_acked, acked);
+    assert_eq!(
+        durable.engine().graph().num_edges() as u64,
+        base_graph().num_edges() as u64 + acked,
+        "exactly the acked inserts reached the store"
+    );
+    assert_eq!(
+        durable.journal_batches(),
+        0,
+        "shutdown checkpoint folded the journal"
+    );
+}
+
+/// A `Write` sink that counts flushes, to pin the per-line flush
+/// contract of interactive sessions.
+struct FlushCounting {
+    bytes: Vec<u8>,
+    flushes: usize,
+}
+
+impl Write for FlushCounting {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.bytes.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.flushes += 1;
+        Ok(())
+    }
+}
+
+/// One protocol session end to end: engine queries, update acks,
+/// stats, generation, `shutdown` → `bye` — each response flushed as it
+/// is written, so a socket peer sees every answer immediately.
+#[test]
+fn protocol_session_flushes_every_response() {
+    let handle = start_server(1);
+    let (u, v) = absent_pairs()[0];
+    let session = format!(
+        "% warm-up comment\nlevels\nedges 0\nupdate +{u} {v}\ngeneration\nstats\nnope\nshutdown\n"
+    );
+    let mut out = FlushCounting {
+        bytes: Vec::new(),
+        flushes: 0,
+    };
+    let responses = handle
+        .serve_connection(session.as_bytes(), &mut out)
+        .expect("session");
+    let text = String::from_utf8(out.bytes).expect("utf8");
+    // 7 responses for 8 lines: the comment is silent. (`levels` renders
+    // one multi-line answer, so response count ≠ output line count.)
+    assert_eq!(responses, 7, "comment produces no response:\n{text}");
+    assert!(text.contains("acked seq=1 ops=1 generation=1"), "{text}");
+    assert!(text.contains("\ngeneration 1\n"), "{text}");
+    assert!(
+        text.contains("\nstats ") && text.contains("acked=1"),
+        "{text}"
+    );
+    assert!(text.contains("\nerror: unknown query"), "{text}");
+    assert_eq!(text.lines().next_back(), Some("bye"), "{text}");
+    assert!(
+        out.flushes >= responses as usize,
+        "{} flushes for {responses} responses — answers are sitting in a buffer",
+        out.flushes
+    );
+    let (_durable, stats) = handle.shutdown().expect("shutdown");
+    assert_eq!(stats.updates_acked, 1);
+    // `levels`, `edges 0`, and the error-rendered `nope` line: every
+    // answered query line counts, error replies included.
+    assert_eq!(stats.queries_served, 3);
+}
+
+/// `BitrussEngine::run_queries` (the CLI `query` loop) has the same
+/// per-answer flush contract.
+#[test]
+fn run_queries_flushes_per_answer() {
+    let engine = BitrussEngine::builder()
+        .build(base_graph())
+        .expect("engine");
+    let mut out = FlushCounting {
+        bytes: Vec::new(),
+        flushes: 0,
+    };
+    let answered = engine
+        .run_queries("levels\n% note\nedges 0\n".as_bytes(), &mut out)
+        .expect("queries");
+    assert_eq!(answered, 2);
+    assert!(
+        out.flushes >= 2,
+        "{} flushes for {answered} answers",
+        out.flushes
+    );
+}
+
+/// Random valid batch streams (inserts and deletes, occasionally empty)
+/// against two racing readers: every pinned generation must equal the
+/// precomputed mirror state for its number, exactly.
+fn isolation_holds_for_random_streams(seed: u64) -> Result<(), TestCaseError> {
+    let base = base_graph();
+    let mut rng = Rng::new(seed);
+    let mut present: BTreeSet<(u32, u32)> = base_pairs().into_iter().collect();
+    let mut batches = Vec::new();
+    // Mirror states per generation: generation 0 is the base; only a
+    // batch with a net effect publishes the next one.
+    let mut expected: Vec<BTreeSet<(u32, u32)>> = vec![present.clone()];
+    for _ in 0..12 {
+        let mut batch = UpdateBatch::new();
+        let before = present.clone();
+        for _ in 0..(1 + rng.next() % 3) {
+            if !present.is_empty() && rng.next().is_multiple_of(2) {
+                let idx = rng.next() as usize % present.len();
+                let &(u, v) = present.iter().nth(idx).expect("mirror edge");
+                batch.delete(u, v);
+                present.remove(&(u, v));
+            } else {
+                let pair = ((rng.next() % 16) as u32, (rng.next() % 16) as u32);
+                if present.insert(pair) {
+                    batch.insert(pair.0, pair.1);
+                }
+            }
+        }
+        if present != before {
+            expected.push(present.clone());
+        }
+        batches.push(batch);
+    }
+
+    let engine = BitrussEngine::builder().build(base).expect("engine");
+    let durable = DurableEngine::create_with(Arc::new(MemVfs::new()), &store_dir(), engine)
+        .expect("create store");
+    let config = ServerConfig {
+        readers: 2,
+        queue_capacity: 16,
+        work_budget: 1 << 30,
+        work_leak_per_sec: u64::MAX,
+    };
+    let handle = Arc::new(BitrussServer::start(durable, config));
+
+    let done = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for _ in 0..2 {
+        let handle = Arc::clone(&handle);
+        let done = Arc::clone(&done);
+        let expected = expected.clone();
+        readers.push(thread::spawn(move || -> Result<(), String> {
+            let mut last_seen = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let generation = handle.current();
+                let number = generation.number as usize;
+                if (generation.number) < last_seen {
+                    return Err(format!("generation went backwards: {number} < {last_seen}"));
+                }
+                last_seen = generation.number;
+                let got: BTreeSet<(u32, u32)> =
+                    generation.engine.graph().edge_pairs().into_iter().collect();
+                let want = expected
+                    .get(number)
+                    .ok_or_else(|| format!("generation {number} beyond the plan"))?;
+                if got != *want {
+                    return Err(format!(
+                        "generation {number}: edge set diverges from the mirror \
+                         ({} vs {} edges)",
+                        got.len(),
+                        want.len()
+                    ));
+                }
+            }
+            Ok(())
+        }));
+    }
+
+    let mut published = 0u64;
+    for batch in &batches {
+        match submit_with_retry(&handle, batch.clone()) {
+            Ok(UpdateOutcome::Acked {
+                generation, ops, ..
+            }) => {
+                if ops > 0 {
+                    published += 1;
+                }
+                prop_assert_eq!(generation, published, "acks must track publications");
+            }
+            other => prop_assert!(false, "unexpected outcome {:?}", other),
+        }
+    }
+    prop_assert_eq!(published as usize + 1, expected.len());
+    done.store(true, Ordering::Release);
+    for t in readers {
+        let verdict = t.join().expect("reader thread");
+        prop_assert!(verdict.is_ok(), "{}", verdict.unwrap_err());
+    }
+    let handle = Arc::into_inner(handle).expect("all clones joined");
+    handle.shutdown().expect("shutdown");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_streams_preserve_isolation(seed in any::<u64>()) {
+        isolation_holds_for_random_streams(seed)?;
+    }
+}
