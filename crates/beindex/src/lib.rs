@@ -30,8 +30,10 @@ pub mod build;
 pub mod index;
 pub mod insertion;
 pub mod parallel;
+pub mod raw;
 pub mod removal;
 
 pub use bitset::BitSet;
 pub use index::{BeIndex, BloomId, WedgeId};
+pub use raw::{assemble, process_vertex_raw, RawArena, RawScratch};
 pub use removal::UpdateSink;

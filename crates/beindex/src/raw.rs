@@ -1,0 +1,331 @@
+//! Raw construction surface for external (out-of-core) BE-Index
+//! builders.
+//!
+//! The sequential build ([`BeIndex::build`]) is "run
+//! [`process_vertex`](crate::build) for `u = 0..n`, then turn the arena
+//! into link CSRs". The spill-to-disk builder in `bitruss_storage`
+//! needs to do exactly that, except the arena is flushed to Vfs-backed
+//! *runs* whenever it reaches a memory budget, and the runs are merged
+//! back (ascending start-vertex order, so concatenation with bloom/
+//! wedge-id offsets reproduces the sequential arena byte for byte).
+//!
+//! This module exposes the three pieces that makes possible, without
+//! opening the crate's internals:
+//!
+//! * [`RawArena`] — the append-only bloom/wedge arena with public flat
+//!   vectors (serializable by the caller) and local bloom ids;
+//! * [`process_vertex_raw`] — the per-start-vertex enumeration, generic
+//!   over [`NeighborAccess`] and bit-identical to the in-memory build's
+//!   `process_vertex` (pinned by tests here);
+//! * [`assemble`] — the arena → [`BeIndex`] finalization, identical to
+//!   the sequential build's, taking the per-edge link tallies the
+//!   caller kept resident (they are `O(m)` and additive across runs).
+
+use bigraph::{NeighborAccess, Result, VertexId};
+
+use crate::bitset::BitSet;
+use crate::index::BeIndex;
+
+/// An append-only bloom/wedge arena with run-local bloom ids. The
+/// fields are exactly the per-arena vectors of the in-memory build;
+/// `bloom_start` always begins with `0` and positions are local to this
+/// arena, so a builder can serialize an arena, reset it, and later
+/// concatenate many arenas (in ascending start-vertex order) by
+/// offsetting bloom ids and wedge positions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RawArena {
+    /// First member edge of each wedge (the `(u,v)` edge).
+    pub wedge_e1: Vec<u32>,
+    /// Second member edge of each wedge (the `(v,w)` edge).
+    pub wedge_e2: Vec<u32>,
+    /// Arena-local bloom id of each wedge.
+    pub wedge_bloom: Vec<u32>,
+    /// Arena-local wedge positions per bloom; starts at `[0]`.
+    pub bloom_start: Vec<u32>,
+    /// Wedge count `k` of each bloom (including ghost wedges — there
+    /// are none in a full build).
+    pub bloom_k: Vec<u32>,
+    /// `(start, end)` vertex ids anchoring each bloom.
+    pub bloom_anchor: Vec<(u32, u32)>,
+}
+
+impl RawArena {
+    /// An empty arena ready to append into.
+    pub fn new() -> RawArena {
+        RawArena {
+            bloom_start: vec![0],
+            ..RawArena::default()
+        }
+    }
+
+    /// Number of wedges appended so far.
+    pub fn num_wedges(&self) -> usize {
+        self.wedge_e1.len()
+    }
+
+    /// Number of blooms appended so far.
+    pub fn num_blooms(&self) -> usize {
+        self.bloom_k.len()
+    }
+
+    /// Resident bytes of the arena vectors — what a budgeted builder
+    /// compares against its spill threshold.
+    pub fn bytes(&self) -> usize {
+        self.wedge_e1.len() * 4
+            + self.wedge_e2.len() * 4
+            + self.wedge_bloom.len() * 4
+            + self.bloom_start.len() * 4
+            + self.bloom_k.len() * 4
+            + self.bloom_anchor.len() * 8
+    }
+
+    /// Resets to the empty state, keeping allocations.
+    pub fn clear(&mut self) {
+        self.wedge_e1.clear();
+        self.wedge_e2.clear();
+        self.wedge_bloom.clear();
+        self.bloom_start.clear();
+        self.bloom_start.push(0);
+        self.bloom_k.clear();
+        self.bloom_anchor.clear();
+    }
+
+    /// Appends another arena (the next ascending start-vertex range),
+    /// renumbering its local bloom ids and wedge positions past this
+    /// arena's. Concatenating per-range arenas in vertex order this way
+    /// reproduces exactly the arena a single sequential pass builds.
+    pub fn append(&mut self, run: &RawArena) {
+        let bloom_off = self.bloom_k.len() as u32;
+        let wedge_off = self.wedge_e1.len() as u32;
+        self.wedge_e1.extend_from_slice(&run.wedge_e1);
+        self.wedge_e2.extend_from_slice(&run.wedge_e2);
+        self.wedge_bloom
+            .extend(run.wedge_bloom.iter().map(|&b| b + bloom_off));
+        self.bloom_start
+            .extend(run.bloom_start[1..].iter().map(|&s| s + wedge_off));
+        self.bloom_k.extend_from_slice(&run.bloom_k);
+        self.bloom_anchor.extend_from_slice(&run.bloom_anchor);
+    }
+}
+
+/// Per-pass scratch for [`process_vertex_raw`], sized to the graph's
+/// vertex count and reused across start vertices.
+pub struct RawScratch {
+    count: Vec<u32>,
+    cursor: Vec<u32>,
+    touched: Vec<u32>,
+    wedges_local: Vec<(u32, u32, u32)>,
+    nbrs_u: Vec<u32>,
+    edges_u: Vec<u32>,
+    nbrs_v: Vec<u32>,
+    edges_v: Vec<u32>,
+}
+
+impl RawScratch {
+    /// Scratch for a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> RawScratch {
+        RawScratch {
+            count: vec![0; num_vertices],
+            cursor: vec![0; num_vertices],
+            touched: Vec::new(),
+            wedges_local: Vec::new(),
+            nbrs_u: Vec::new(),
+            edges_u: Vec::new(),
+            nbrs_v: Vec::new(),
+            edges_v: Vec::new(),
+        }
+    }
+}
+
+/// Enumerates the priority-obeyed wedges starting at `u` and appends
+/// the blooms/wedges they form to `arena`, tallying per-edge link
+/// counts into `link_count` (global edge ids; the caller keeps this
+/// `O(m)` array resident across runs). Bit-identical to the in-memory
+/// build's per-vertex step on the same logical graph.
+pub fn process_vertex_raw<N: NeighborAccess + ?Sized>(
+    g: &N,
+    u: VertexId,
+    scratch: &mut RawScratch,
+    arena: &mut RawArena,
+    link_count: &mut [u32],
+) -> Result<()> {
+    let pu = g.priority(u);
+    scratch.touched.clear();
+    scratch.wedges_local.clear();
+
+    // The loads return exactly the prefix the in-memory kernel's
+    // break-scan visits (ascending priority, capped at p(u)).
+    g.load_pri_neighbors_below(u, pu, &mut scratch.nbrs_u, &mut scratch.edges_u)?;
+    for i in 0..scratch.nbrs_u.len() {
+        let (v, e_uv) = (scratch.nbrs_u[i], scratch.edges_u[i]);
+        g.load_pri_neighbors_below(VertexId(v), pu, &mut scratch.nbrs_v, &mut scratch.edges_v)?;
+        for (&w, &e_vw) in scratch.nbrs_v.iter().zip(&scratch.edges_v) {
+            if scratch.count[w as usize] == 0 {
+                scratch.touched.push(w);
+            }
+            scratch.count[w as usize] += 1;
+            scratch.wedges_local.push((w, e_uv, e_vw));
+        }
+    }
+
+    // Allocate one bloom per end vertex with count_wedge > 1 (in a full
+    // build every wedge is stored, so stored == count).
+    for &w in &scratch.touched {
+        let c = scratch.count[w as usize];
+        if c > 1 {
+            let base = arena.wedge_e1.len() as u32;
+            scratch.cursor[w as usize] = base;
+            let new_len = arena.wedge_e1.len() + c as usize;
+            arena.wedge_e1.resize(new_len, u32::MAX);
+            arena.wedge_e2.resize(new_len, u32::MAX);
+            arena
+                .wedge_bloom
+                .resize(new_len, arena.bloom_k.len() as u32);
+            arena.bloom_start.push(new_len as u32);
+            arena.bloom_k.push(c);
+            arena.bloom_anchor.push((u.0, w));
+        }
+    }
+
+    // Place wedges and tally link counts.
+    for &(w, e_uv, e_vw) in &scratch.wedges_local {
+        if scratch.count[w as usize] > 1 {
+            let pos = scratch.cursor[w as usize] as usize;
+            scratch.cursor[w as usize] += 1;
+            arena.wedge_e1[pos] = e_uv;
+            arena.wedge_e2[pos] = e_vw;
+            link_count[e_uv as usize] += 1;
+            link_count[e_vw as usize] += 1;
+        }
+    }
+
+    for &w in &scratch.touched {
+        scratch.count[w as usize] = 0;
+    }
+    Ok(())
+}
+
+/// Finalizes a fully-merged arena into a [`BeIndex`] — the same link
+/// CSR and bitset construction as the in-memory build, so an arena
+/// produced by [`process_vertex_raw`] over `u = 0..n` (in order,
+/// however it was spilled and re-merged in between) yields an index
+/// equal (`==`) to [`BeIndex::build`].
+pub fn assemble(arena: RawArena, link_count: &[u32], num_edges: usize) -> BeIndex {
+    let m = num_edges;
+    let RawArena {
+        wedge_e1,
+        wedge_e2,
+        wedge_bloom,
+        bloom_start,
+        bloom_k,
+        bloom_anchor,
+    } = arena;
+
+    let mut link_start = vec![0u32; m + 1];
+    for e in 0..m {
+        link_start[e + 1] = link_start[e] + link_count[e];
+    }
+    let mut fill = link_start[..m].to_vec();
+    let mut link_wedge = vec![0u32; *link_start.last().unwrap_or(&0) as usize];
+    for w in 0..wedge_e1.len() {
+        for e in [wedge_e1[w], wedge_e2[w]] {
+            link_wedge[fill[e as usize] as usize] = w as u32;
+            fill[e as usize] += 1;
+        }
+    }
+
+    BeIndex {
+        num_edges: m as u32,
+        wedge_alive: BitSet::filled(wedge_e1.len(), true),
+        in_index: BitSet::filled(m, true),
+        wedge_e1,
+        wedge_e2,
+        wedge_bloom,
+        bloom_start,
+        bloom_k,
+        bloom_anchor,
+        link_start,
+        link_wedge,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigraph::{BipartiteGraph, GraphBuilder};
+
+    fn builds_identically(g: &BipartiteGraph, flush_every: usize) {
+        let n = g.num_vertices() as usize;
+        let m = g.num_edges() as usize;
+        let mut scratch = RawScratch::new(n);
+        let mut link_count = vec![0u32; m];
+        let mut merged = RawArena::new();
+        let mut run = RawArena::new();
+        for (i, u) in g.vertices().enumerate() {
+            process_vertex_raw(g, u, &mut scratch, &mut run, &mut link_count).unwrap();
+            if (i + 1) % flush_every == 0 {
+                merged.append(&run);
+                run.clear();
+            }
+        }
+        merged.append(&run);
+        let idx = assemble(merged, &link_count, m);
+        assert_eq!(idx, BeIndex::build(g), "flush_every={flush_every}");
+        idx.validate(g).unwrap();
+    }
+
+    #[test]
+    fn raw_build_matches_sequential_for_every_flush_cadence() {
+        let g = GraphBuilder::new()
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (3, 1),
+                (3, 2),
+            ])
+            .build()
+            .unwrap();
+        for flush_every in 1..=g.num_vertices() as usize + 1 {
+            builds_identically(&g, flush_every);
+        }
+    }
+
+    #[test]
+    fn raw_build_matches_on_overlapping_bicliques() {
+        let mut b = GraphBuilder::new();
+        for u in 0..4 {
+            for v in 0..3 {
+                b.push_edge(u, v);
+            }
+        }
+        for u in 2..6 {
+            for v in 2..5 {
+                b.push_edge(u, v);
+            }
+        }
+        b.push_edge(0, 6);
+        let g = b.build().unwrap();
+        for flush_every in [1, 2, 3, 7, 100] {
+            builds_identically(&g, flush_every);
+        }
+    }
+
+    #[test]
+    fn arena_bytes_track_growth() {
+        let mut a = RawArena::new();
+        let empty = a.bytes();
+        a.wedge_e1.push(0);
+        a.wedge_e2.push(1);
+        a.wedge_bloom.push(0);
+        assert_eq!(a.bytes(), empty + 12);
+        a.clear();
+        assert_eq!(a.bytes(), empty);
+        assert_eq!(a.num_wedges(), 0);
+        assert_eq!(a.num_blooms(), 0);
+    }
+}

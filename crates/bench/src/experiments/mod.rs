@@ -12,6 +12,7 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig9;
 pub mod maintenance;
+pub mod ooc;
 pub mod parallel;
 pub mod query;
 pub mod serve;
@@ -38,6 +39,7 @@ pub const ALL: &[&str] = &[
     "query",
     "maintenance",
     "serve",
+    "ooc",
 ];
 
 /// Runs one experiment by id (or `all`). Experiments that measure whole
@@ -64,6 +66,7 @@ pub fn run(
         "query" => query::run(out, opts, json),
         "maintenance" => maintenance::run(out, opts, json),
         "serve" => serve::run(out, opts, json),
+        "ooc" => ooc::run(out, opts, json),
         "all" => {
             for id in ALL {
                 run(id, out, opts, json)?;

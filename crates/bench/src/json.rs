@@ -176,6 +176,22 @@ impl JsonRecord {
         }
     }
 
+    /// Builds a record for the *out-of-core* experiment (`ooc`): the
+    /// same decomposition once fully in memory and once under a byte
+    /// budget. The schema stays identical across experiments via a
+    /// fixed mapping: the phase times and `support_updates` come
+    /// straight from the run's [`Metrics`] (both paths execute the same
+    /// phases), but `peak_index_bytes` = **peak resident working-set
+    /// bytes** (`MemoryReport::peak_resident()` — graph + index + page
+    /// cache together), not the index alone, because the working set is
+    /// the quantity the budget governs; `algorithm` is `"in-memory"` or
+    /// `"budgeted"`.
+    pub fn ooc(algorithm: &str, graph: &str, m: &Metrics, peak_resident: usize) -> JsonRecord {
+        let mut r = JsonRecord::from_metrics("ooc", algorithm, graph, 1, m);
+        r.peak_index_bytes = peak_resident;
+        r
+    }
+
     fn write_to(&self, out: &mut dyn Write) -> io::Result<()> {
         write!(
             out,

@@ -1,0 +1,221 @@
+//! Storage-agnostic adjacency access for the butterfly kernels.
+//!
+//! The counting and BE-Index construction kernels only ever consume a
+//! vertex's adjacency in two shapes:
+//!
+//! * the **priority-capped prefix** of the priority-sorted list — the
+//!   wedge scans break at the first neighbor whose priority reaches the
+//!   start vertex's, so a loader that returns exactly the prefix with
+//!   priority `< cap` preserves the paper's
+//!   `O(Σ min{d(u), d(v)})` bound without the kernel ever seeing the
+//!   rest of the list;
+//! * the **id-sorted list** — for sorted-list intersection
+//!   (`edge_between`-style lookups and galloping).
+//!
+//! [`NeighborAccess`] abstracts exactly those two loads (plus the
+//! scalar lookups the kernels need), so the same generic kernels run
+//! bit-identically over the in-memory [`BipartiteGraph`] CSR and over
+//! the compressed, disk-paged adjacency of the out-of-core storage
+//! tier (`bitruss_storage`). Loads *fill caller buffers* rather than
+//! return slices: a paged backend decodes bytes it does not keep
+//! resident, so it has no slice to lend — and the copy is the same
+//! `O(prefix)` as the scan that follows it.
+
+use crate::error::Result;
+use crate::graph::{BipartiteGraph, VertexId};
+
+/// Read access to a priority-ordered bipartite adjacency structure.
+///
+/// Implementations must present the *same logical graph* contract as
+/// [`BipartiteGraph`]: vertices `0..num_vertices()` (lower wing first),
+/// a bijective priority assignment, and per-vertex adjacency available
+/// both id-sorted and priority-sorted. Two implementations that agree
+/// on those views produce bit-identical butterfly counts and BE-Index
+/// layouts from the generic kernels.
+pub trait NeighborAccess: Sync {
+    /// Total number of vertices (both wings).
+    fn num_vertices(&self) -> u32;
+
+    /// Number of edges.
+    fn num_edges(&self) -> u32;
+
+    /// The vertex's priority (degree-then-id rank; see
+    /// [`BipartiteGraph::priority`]).
+    fn priority(&self, v: VertexId) -> u32;
+
+    /// The vertex's degree.
+    fn degree(&self, v: VertexId) -> u32;
+
+    /// Clears `nbrs`/`edges` and fills them with the prefix of `v`'s
+    /// priority-sorted adjacency whose neighbor priority is `< cap`
+    /// (neighbor ids and matching edge ids, in ascending-priority
+    /// order). `cap = u32::MAX` loads the whole list.
+    ///
+    /// This is the early-break of the wedge scans turned into a
+    /// loader contract: implementations must not touch (or decode)
+    /// more than `O(prefix)` of the list beyond what is needed to find
+    /// the cut point.
+    ///
+    /// # Errors
+    ///
+    /// Disk-backed implementations return [`crate::Error::Io`] /
+    /// [`crate::Error::Corrupt`] when the underlying read fails; the
+    /// in-memory implementation is infallible.
+    fn load_pri_neighbors_below(
+        &self,
+        v: VertexId,
+        cap: u32,
+        nbrs: &mut Vec<u32>,
+        edges: &mut Vec<u32>,
+    ) -> Result<()>;
+
+    /// Clears `nbrs`/`edges` and fills them with `v`'s adjacency in
+    /// ascending neighbor-id order (neighbor ids and matching edge
+    /// ids) — the shape sorted-list intersection consumes.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`NeighborAccess::load_pri_neighbors_below`].
+    fn load_neighbors_by_id(
+        &self,
+        v: VertexId,
+        nbrs: &mut Vec<u32>,
+        edges: &mut Vec<u32>,
+    ) -> Result<()>;
+}
+
+impl NeighborAccess for BipartiteGraph {
+    fn num_vertices(&self) -> u32 {
+        BipartiteGraph::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> u32 {
+        BipartiteGraph::num_edges(self)
+    }
+
+    fn priority(&self, v: VertexId) -> u32 {
+        BipartiteGraph::priority(self, v)
+    }
+
+    fn degree(&self, v: VertexId) -> u32 {
+        BipartiteGraph::degree(self, v)
+    }
+
+    fn load_pri_neighbors_below(
+        &self,
+        v: VertexId,
+        cap: u32,
+        nbrs: &mut Vec<u32>,
+        edges: &mut Vec<u32>,
+    ) -> Result<()> {
+        nbrs.clear();
+        edges.clear();
+        let ns = self.pri_neighbor_slice(v);
+        let es = self.pri_neighbor_edge_slice(v);
+        // The list ascends by neighbor priority, so the prefix boundary
+        // is a partition point.
+        let cut = if cap == u32::MAX {
+            ns.len()
+        } else {
+            ns.partition_point(|&w| BipartiteGraph::priority(self, VertexId(w)) < cap)
+        };
+        nbrs.extend_from_slice(&ns[..cut]);
+        edges.extend_from_slice(&es[..cut]);
+        Ok(())
+    }
+
+    fn load_neighbors_by_id(
+        &self,
+        v: VertexId,
+        nbrs: &mut Vec<u32>,
+        edges: &mut Vec<u32>,
+    ) -> Result<()> {
+        nbrs.clear();
+        edges.clear();
+        nbrs.extend_from_slice(self.neighbor_slice(v));
+        edges.extend_from_slice(self.neighbor_edge_slice(v));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn fig1() -> BipartiteGraph {
+        GraphBuilder::new()
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (3, 1),
+                (3, 2),
+                (2, 3),
+                (3, 4),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn capped_load_matches_the_break_scan() {
+        let g = fig1();
+        let mut nbrs = Vec::new();
+        let mut edges = Vec::new();
+        for v in g.vertices() {
+            for cap in 0..=g.num_vertices() {
+                g.load_pri_neighbors_below(v, cap, &mut nbrs, &mut edges)
+                    .unwrap();
+                // Reference: the explicit break loop from the kernels.
+                let mut want_n = Vec::new();
+                let mut want_e = Vec::new();
+                for (&w, &e) in g
+                    .pri_neighbor_slice(v)
+                    .iter()
+                    .zip(g.pri_neighbor_edge_slice(v))
+                {
+                    if BipartiteGraph::priority(&g, VertexId(w)) >= cap {
+                        break;
+                    }
+                    want_n.push(w);
+                    want_e.push(e);
+                }
+                assert_eq!(nbrs, want_n, "v={v:?} cap={cap}");
+                assert_eq!(edges, want_e, "v={v:?} cap={cap}");
+            }
+            // The sentinel cap loads everything.
+            g.load_pri_neighbors_below(v, u32::MAX, &mut nbrs, &mut edges)
+                .unwrap();
+            assert_eq!(nbrs, g.pri_neighbor_slice(v));
+            assert_eq!(edges, g.pri_neighbor_edge_slice(v));
+        }
+    }
+
+    #[test]
+    fn id_sorted_load_matches_the_slices() {
+        let g = fig1();
+        let mut nbrs = vec![99]; // pre-filled: loads must clear
+        let mut edges = vec![99];
+        for v in g.vertices() {
+            g.load_neighbors_by_id(v, &mut nbrs, &mut edges).unwrap();
+            assert_eq!(nbrs, g.neighbor_slice(v));
+            assert_eq!(edges, g.neighbor_edge_slice(v));
+        }
+    }
+
+    #[test]
+    fn scalar_accessors_delegate() {
+        let g = fig1();
+        assert_eq!(NeighborAccess::num_vertices(&g), g.num_vertices());
+        assert_eq!(NeighborAccess::num_edges(&g), g.num_edges());
+        for v in g.vertices() {
+            assert_eq!(NeighborAccess::degree(&g, v), g.degree(v));
+            assert_eq!(NeighborAccess::priority(&g, v), g.priority(v));
+        }
+    }
+}

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod adjacency;
 pub mod builder;
 pub mod edits;
 pub mod error;
@@ -33,7 +34,9 @@ pub mod sampling;
 pub mod stats;
 pub mod subgraph;
 pub mod union_find;
+pub mod vfs;
 
+pub use adjacency::NeighborAccess;
 pub use builder::{GraphBuilder, PriorityMode};
 pub use edits::{apply_edits, EditedGraph};
 pub use error::{Error, Result};
@@ -44,3 +47,4 @@ pub use sampling::{sample_vertices_percent, SplitMix64};
 pub use stats::GraphStats;
 pub use subgraph::{edge_subgraph, vertex_induced_subgraph, EdgeSubgraph};
 pub use union_find::UnionFind;
+pub use vfs::{Fault, MemVfs, StdVfs, Vfs, VfsFile, VfsRandomRead};

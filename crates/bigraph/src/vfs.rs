@@ -1,0 +1,901 @@
+//! Pluggable I/O layer for crash-safe persistence and the out-of-core
+//! storage tier.
+//!
+//! Every byte the durable snapshot store and the paged storage tier
+//! touch goes through a [`Vfs`], so commit protocols (write → fsync
+//! file → rename → fsync directory) and paged read paths can be
+//! exercised against a *simulated* disk that crashes, runs out of
+//! space, or tears writes at any chosen operation — deterministically,
+//! with no real sleeps and no real corruption risk.
+//!
+//! Two implementations are provided:
+//!
+//! * [`StdVfs`] — the real filesystem, with genuine `fdatasync` /
+//!   directory-fsync calls. This is what production stores run on.
+//! * [`MemVfs`] — an in-memory filesystem that models *durability*
+//!   separately from *visibility*, exactly like a kernel page cache over
+//!   a disk:
+//!
+//!   - file writes land in the volatile view; only
+//!     [`VfsFile::sync_data`] copies them to the durable view;
+//!   - directory entries (creates, renames, removals) stay volatile
+//!     until [`Vfs::sync_dir`] on their parent;
+//!   - [`MemVfs::crash`] discards every volatile byte and entry,
+//!     leaving exactly what a machine reboot would find — so a test can
+//!     run a workload, "pull the plug" at any injected operation, and
+//!     recover against the surviving image.
+//!
+//!   Faults are injected by *operation number* ([`MemVfs::fail_at`]):
+//!   every state-touching call (create, write, sync, rename, remove,
+//!   truncate, read, `read_at`, `sync_dir`) increments one global
+//!   counter, so a workload replayed with the same inputs sees the same
+//!   numbering and a kill-point sweep `0..ops` covers every
+//!   intermediate disk state.
+//!
+//! The traits return [`std::io::Result`]; the store layer attaches the
+//! offending path when converting to [`crate::Error`].
+//!
+//! This module lives in `bigraph` (the dependency root of the
+//! workspace) so both the storage tier (`bitruss_storage`) and the
+//! persistence layer (`bitruss_core::persist`) can share one I/O seam;
+//! `bitruss_core::persist::vfs` re-exports it for compatibility.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Seek, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// An open writable file handle obtained from a [`Vfs`].
+///
+/// Writes are buffered in the volatile layer until
+/// [`VfsFile::sync_data`]; dropping the handle without syncing leaves
+/// the written bytes at the mercy of a crash.
+pub trait VfsFile: Write + Send {
+    /// Forces every byte written so far to durable storage (`fdatasync`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure (or an injected fault).
+    fn sync_data(&mut self) -> io::Result<()>;
+}
+
+/// An open random-access read handle obtained from [`Vfs::open_read`] —
+/// the read path of the paged storage tier. Positioned reads only, so
+/// one handle can serve a page cache from multiple call sites without
+/// seek-state races.
+pub trait VfsRandomRead: Send + Sync {
+    /// Fills `buf` from the file starting at byte `offset`.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the file ends before `buf` is full, or the
+    /// underlying I/O failure (or an injected fault).
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+
+    /// Current length of the file in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure.
+    fn len(&self) -> io::Result<u64>;
+
+    /// `true` when the file is empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure.
+    fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// A minimal filesystem interface: exactly the operations the durable
+/// store's commit protocol and the paged storage tier need, each one
+/// interceptable for fault injection.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Creates (or truncates) `path` for writing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure (or an injected fault).
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+
+    /// Opens an existing `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when the file does not exist, or the underlying I/O
+    /// failure.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+
+    /// Reads the whole file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when the file does not exist, or the underlying I/O
+    /// failure.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Opens `path` for positioned reads ([`VfsRandomRead::read_at`])
+    /// without loading it into memory — the paged storage tier's read
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when the file does not exist, or the underlying I/O
+    /// failure.
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn VfsRandomRead>>;
+
+    /// `true` when `path` names an existing file.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Atomically renames `from` to `to` (replacing `to` if present).
+    /// The rename is durable only after [`Vfs::sync_dir`] on the parent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure (or an injected fault).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when the file does not exist, or the underlying I/O
+    /// failure.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Truncates the file at `path` to `len` bytes and makes the new
+    /// length durable (used to cut a torn record off a journal tail).
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when the file does not exist, or the underlying I/O
+    /// failure.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+
+    /// Creates the directory `path` and its missing parents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure (or an injected fault).
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Fsyncs the directory `path`, making its entries (new files,
+    /// renames, removals) durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure (or an injected fault).
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+
+    /// The files directly inside `dir` (used to sweep stray temp files).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+}
+
+// ---------------------------------------------------------------------
+// StdVfs — the real filesystem.
+
+/// The production [`Vfs`]: real files, real `fdatasync`, real
+/// directory fsyncs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdVfs;
+
+struct StdFile(fs::File);
+
+impl Write for StdFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl VfsFile for StdFile {
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
+/// Positioned reads over a real file. The handle serializes seek+read
+/// behind a mutex so it stays portable (`#![forbid(unsafe_code)]` rules
+/// out the platform `pread` extension traits' zero-lock path — the
+/// seek is cheap next to the read itself).
+struct StdRandomRead(Mutex<fs::File>);
+
+impl VfsRandomRead for StdRandomRead {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let mut f = self
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f.seek(io::SeekFrom::Start(offset))?;
+        f.read_exact(buf)
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        let f = self
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Ok(f.metadata()?.len())
+    }
+}
+
+impl Vfs for StdVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(StdFile(fs::File::create(path)?)))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(StdFile(
+            fs::OpenOptions::new().append(true).open(path)?,
+        )))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn VfsRandomRead>> {
+        Ok(Box::new(StdRandomRead(Mutex::new(fs::File::open(path)?))))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.is_file()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_data()
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // Directory fsync is a POSIX idiom; on platforms where opening a
+        // directory is not supported the rename itself is the best
+        // available barrier.
+        #[cfg(unix)]
+        {
+            fs::File::open(path)?.sync_all()
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            Ok(())
+        }
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// MemVfs — deterministic fault injection.
+
+/// A fault to inject at one operation number (see [`MemVfs::fail_at`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The operation fails with `StorageFull` (ENOSPC) and has no
+    /// effect; later operations proceed normally.
+    Enospc,
+    /// A write applies only the first half of its buffer, then fails;
+    /// any other operation just fails. Later operations proceed
+    /// normally. Models a torn write.
+    ShortWrite,
+    /// The process "dies": a write applies half its buffer first, then
+    /// this and **every later** operation fails. Follow with
+    /// [`MemVfs::crash`] to discard volatile state and inspect what a
+    /// reboot would find.
+    Kill,
+}
+
+#[derive(Default)]
+struct Inode {
+    /// The volatile (page-cache) view.
+    data: Vec<u8>,
+    /// The durable (on-disk) view, updated by `sync_data`.
+    durable: Vec<u8>,
+}
+
+#[derive(Default)]
+struct MemState {
+    inodes: HashMap<u64, Inode>,
+    /// Volatile namespace: what `open`/`read` resolve against.
+    names: HashMap<PathBuf, u64>,
+    /// Durable namespace: what survives a crash. Updated by `sync_dir`.
+    durable_names: HashMap<PathBuf, u64>,
+    dirs: HashSet<PathBuf>,
+    next_ino: u64,
+    ops: u64,
+    faults: HashMap<u64, Fault>,
+    killed: bool,
+}
+
+/// The fault-injecting in-memory [`Vfs`] (see the [module docs](self)
+/// for the durability model). Cloning shares the underlying state, so a
+/// test can keep a handle while a store owns another.
+#[derive(Clone, Default)]
+pub struct MemVfs {
+    state: Arc<Mutex<MemState>>,
+}
+
+impl fmt::Debug for MemVfs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = lock_state(&self.state);
+        f.debug_struct("MemVfs")
+            .field("files", &s.names.len())
+            .field("ops", &s.ops)
+            .field("killed", &s.killed)
+            .finish()
+    }
+}
+
+fn crash_err() -> io::Error {
+    io::Error::other("simulated crash: the process died at an injected kill point")
+}
+
+/// Locks the shared state, absorbing poison: the state is plain data
+/// with no invariants spanning the lock, so the image left by a
+/// panicked holder is still valid to read and mutate (and the panic
+/// that poisoned it is already propagating on its own thread).
+fn lock_state(state: &Mutex<MemState>) -> std::sync::MutexGuard<'_, MemState> {
+    state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Bumps the op counter and applies any injected fault. Returns the
+/// fault kinds that require caller-side handling (partial writes).
+fn step(s: &mut MemState) -> io::Result<Option<Fault>> {
+    if s.killed {
+        return Err(crash_err());
+    }
+    let op = s.ops;
+    s.ops += 1;
+    match s.faults.get(&op).copied() {
+        None => Ok(None),
+        Some(Fault::Enospc) => Err(io::Error::new(
+            io::ErrorKind::StorageFull,
+            format!("injected ENOSPC at op {op}"),
+        )),
+        Some(f) => Ok(Some(f)),
+    }
+}
+
+/// [`step`] for operations with no partial-effect mode.
+fn step_simple(s: &mut MemState) -> io::Result<()> {
+    match step(s)? {
+        None => Ok(()),
+        Some(Fault::Kill) => {
+            s.killed = true;
+            Err(crash_err())
+        }
+        Some(_) => Err(io::Error::other(format!(
+            "injected failure at op {}",
+            s.ops - 1
+        ))),
+    }
+}
+
+impl MemVfs {
+    /// A fresh, empty in-memory filesystem with no faults armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms `fault` to fire at operation number `op` (0-based over every
+    /// state-touching call; see the [module docs](self)).
+    pub fn fail_at(&self, op: u64, fault: Fault) {
+        lock_state(&self.state).faults.insert(op, fault);
+    }
+
+    /// Number of operations performed so far. Run a workload once
+    /// fault-free, read this, and sweep kill points over `0..ops()`.
+    pub fn ops(&self) -> u64 {
+        lock_state(&self.state).ops
+    }
+
+    /// Simulates a reboot: every volatile byte and namespace entry is
+    /// discarded, leaving only what was made durable. Clears armed
+    /// faults and the killed flag so recovery can run on the image.
+    pub fn crash(&self) {
+        self.crash_keeping_tail(0);
+    }
+
+    /// [`MemVfs::crash`], but keeps up to `keep` un-synced appended
+    /// bytes per file — modelling a kernel that flushed part of the page
+    /// cache on its own before the power went out. Recovery must
+    /// tolerate such torn tails (it truncates them).
+    pub fn crash_keeping_tail(&self, keep: usize) {
+        let mut s = lock_state(&self.state);
+        s.names = s.durable_names.clone();
+        let live: HashSet<u64> = s.names.values().copied().collect();
+        s.inodes.retain(|ino, _| live.contains(ino));
+        for inode in s.inodes.values_mut() {
+            let d = inode.durable.len();
+            let mut survived = inode.durable.clone();
+            if keep > 0 && inode.data.len() > d && inode.data[..d] == inode.durable[..] {
+                let extra = (inode.data.len() - d).min(keep);
+                survived.extend_from_slice(&inode.data[d..d + extra]);
+            }
+            inode.data = survived.clone();
+            inode.durable = survived;
+        }
+        s.killed = false;
+        s.faults.clear();
+    }
+
+    /// Writes the current *durable* image to a real directory — used by
+    /// the durability test suite to export a failing store for CI
+    /// artifact upload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates real-filesystem failures.
+    pub fn dump_durable_to(&self, dir: &Path) -> io::Result<()> {
+        let s = lock_state(&self.state);
+        fs::create_dir_all(dir)?;
+        for (path, ino) in &s.durable_names {
+            let Some(inode) = s.inodes.get(ino) else {
+                continue;
+            };
+            let name = path
+                .file_name()
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("unnamed"));
+            fs::write(dir.join(name), &inode.durable)?;
+        }
+        Ok(())
+    }
+
+    /// The durable content of `path`, or `None` when no durable entry
+    /// exists — what a reader after a crash would find.
+    pub fn durable_bytes(&self, path: &Path) -> Option<Vec<u8>> {
+        let s = lock_state(&self.state);
+        let ino = s.durable_names.get(path)?;
+        Some(s.inodes.get(ino)?.durable.clone())
+    }
+}
+
+struct MemFile {
+    state: Arc<Mutex<MemState>>,
+    ino: u64,
+}
+
+impl Write for MemFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut s = lock_state(&self.state);
+        let fault = step(&mut s)?;
+        let inode = s.inodes.entry(self.ino).or_default();
+        match fault {
+            None => {
+                inode.data.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            Some(Fault::ShortWrite) => {
+                inode.data.extend_from_slice(&buf[..buf.len() / 2]);
+                Err(io::Error::other("injected short write"))
+            }
+            Some(Fault::Kill) => {
+                inode.data.extend_from_slice(&buf[..buf.len() / 2]);
+                s.killed = true;
+                Err(crash_err())
+            }
+            Some(Fault::Enospc) => unreachable!("step returns Err for ENOSPC"),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl VfsFile for MemFile {
+    fn sync_data(&mut self) -> io::Result<()> {
+        let mut s = lock_state(&self.state);
+        step_simple(&mut s)?;
+        let inode = s.inodes.entry(self.ino).or_default();
+        inode.durable = inode.data.clone();
+        Ok(())
+    }
+}
+
+/// Positioned reads over a [`MemVfs`] inode: every `read_at` counts as
+/// one fault-injectable operation, so ENOSPC/kill sweeps cover paged
+/// read paths exactly like write paths.
+struct MemRandomRead {
+    state: Arc<Mutex<MemState>>,
+    ino: u64,
+}
+
+impl VfsRandomRead for MemRandomRead {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let mut s = lock_state(&self.state);
+        step_simple(&mut s)?;
+        let data = s.inodes.get(&self.ino).map(|i| i.data.as_slice());
+        let data = data.unwrap_or(&[]);
+        let start = usize::try_from(offset)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "offset overflow"))?;
+        let end = start.checked_add(buf.len()).filter(|&e| e <= data.len());
+        match end {
+            Some(end) => {
+                buf.copy_from_slice(&data[start..end]);
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "read_at {}+{} past end of {}-byte file",
+                    offset,
+                    buf.len(),
+                    data.len()
+                ),
+            )),
+        }
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        let s = lock_state(&self.state);
+        Ok(s.inodes.get(&self.ino).map(|i| i.data.len()).unwrap_or(0) as u64)
+    }
+}
+
+fn not_found(path: &Path) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("{}: no such file", path.display()),
+    )
+}
+
+impl Vfs for MemVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut s = lock_state(&self.state);
+        step_simple(&mut s)?;
+        let ino = s.next_ino;
+        s.next_ino += 1;
+        s.inodes.insert(ino, Inode::default());
+        s.names.insert(path.to_path_buf(), ino);
+        Ok(Box::new(MemFile {
+            state: Arc::clone(&self.state),
+            ino,
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut s = lock_state(&self.state);
+        step_simple(&mut s)?;
+        let ino = *s.names.get(path).ok_or_else(|| not_found(path))?;
+        Ok(Box::new(MemFile {
+            state: Arc::clone(&self.state),
+            ino,
+        }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut s = lock_state(&self.state);
+        step_simple(&mut s)?;
+        let ino = *s.names.get(path).ok_or_else(|| not_found(path))?;
+        Ok(s.inodes
+            .get(&ino)
+            .map(|i| i.data.clone())
+            .unwrap_or_default())
+    }
+
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn VfsRandomRead>> {
+        let mut s = lock_state(&self.state);
+        step_simple(&mut s)?;
+        let ino = *s.names.get(path).ok_or_else(|| not_found(path))?;
+        Ok(Box::new(MemRandomRead {
+            state: Arc::clone(&self.state),
+            ino,
+        }))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        lock_state(&self.state).names.contains_key(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut s = lock_state(&self.state);
+        step_simple(&mut s)?;
+        let ino = s.names.remove(from).ok_or_else(|| not_found(from))?;
+        s.names.insert(to.to_path_buf(), ino);
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut s = lock_state(&self.state);
+        step_simple(&mut s)?;
+        s.names.remove(path).ok_or_else(|| not_found(path))?;
+        Ok(())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let mut s = lock_state(&self.state);
+        step_simple(&mut s)?;
+        let ino = *s.names.get(path).ok_or_else(|| not_found(path))?;
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "truncate length overflow"))?;
+        if let Some(inode) = s.inodes.get_mut(&ino) {
+            inode.data.truncate(len);
+            inode.durable.truncate(len);
+        }
+        Ok(())
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        let mut s = lock_state(&self.state);
+        step_simple(&mut s)?;
+        s.dirs.insert(path.to_path_buf());
+        Ok(())
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        let mut s = lock_state(&self.state);
+        step_simple(&mut s)?;
+        // A directory fsync makes every entry of this directory durable:
+        // creations, renames and removals alike.
+        s.durable_names.retain(|p, _| p.parent() != Some(path));
+        let synced: Vec<(PathBuf, u64)> = s
+            .names
+            .iter()
+            .filter(|(p, _)| p.parent() == Some(path))
+            .map(|(p, i)| (p.clone(), *i))
+            .collect();
+        s.durable_names.extend(synced);
+        Ok(())
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let s = lock_state(&self.state);
+        let mut out: Vec<PathBuf> = s
+            .names
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .cloned()
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    fn write_file(vfs: &MemVfs, path: &str, bytes: &[u8], sync: bool) {
+        let mut f = vfs.create(&p(path)).unwrap();
+        f.write_all(bytes).unwrap();
+        if sync {
+            f.sync_data().unwrap();
+        }
+    }
+
+    #[test]
+    fn unsynced_writes_do_not_survive_a_crash() {
+        let vfs = MemVfs::new();
+        write_file(&vfs, "/d/a", b"synced", true);
+        vfs.sync_dir(&p("/d")).unwrap();
+        write_file(&vfs, "/d/b", b"lost", false);
+        // b's entry is volatile too — never synced into the directory.
+        vfs.crash();
+        assert_eq!(vfs.read(&p("/d/a")).unwrap(), b"synced");
+        assert!(vfs.read(&p("/d/b")).is_err());
+    }
+
+    #[test]
+    fn entry_without_file_sync_survives_empty() {
+        // create + write + sync_dir (no sync_data): the *entry* is
+        // durable, the content is not — the classic missing-fsync bug.
+        let vfs = MemVfs::new();
+        write_file(&vfs, "/d/a", b"content", false);
+        vfs.sync_dir(&p("/d")).unwrap();
+        vfs.crash();
+        assert_eq!(vfs.read(&p("/d/a")).unwrap(), b"");
+    }
+
+    #[test]
+    fn rename_needs_a_dir_sync_to_be_durable() {
+        let vfs = MemVfs::new();
+        write_file(&vfs, "/d/old", b"v1", true);
+        vfs.sync_dir(&p("/d")).unwrap();
+        vfs.rename(&p("/d/old"), &p("/d/new")).unwrap();
+        vfs.crash(); // rename not synced: the old name comes back
+        assert_eq!(vfs.read(&p("/d/old")).unwrap(), b"v1");
+        assert!(!vfs.exists(&p("/d/new")));
+
+        vfs.rename(&p("/d/old"), &p("/d/new")).unwrap();
+        vfs.sync_dir(&p("/d")).unwrap();
+        vfs.crash();
+        assert_eq!(vfs.read(&p("/d/new")).unwrap(), b"v1");
+        assert!(!vfs.exists(&p("/d/old")));
+    }
+
+    #[test]
+    fn replaced_file_reverts_to_the_durable_inode() {
+        let vfs = MemVfs::new();
+        write_file(&vfs, "/d/a", b"old", true);
+        vfs.sync_dir(&p("/d")).unwrap();
+        // Overwrite via create (new inode), fully synced content but the
+        // namespace change is not synced.
+        write_file(&vfs, "/d/a", b"new", true);
+        vfs.crash();
+        assert_eq!(vfs.read(&p("/d/a")).unwrap(), b"old");
+    }
+
+    #[test]
+    fn enospc_is_transient_kill_is_terminal() {
+        let vfs = MemVfs::new();
+        vfs.fail_at(0, Fault::Enospc);
+        let err = vfs.create(&p("/d/a")).err().expect("injected ENOSPC");
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        // Next op proceeds.
+        write_file(&vfs, "/d/a", b"x", true);
+
+        let ops = vfs.ops();
+        vfs.fail_at(ops, Fault::Kill);
+        assert!(vfs.create(&p("/d/b")).is_err());
+        assert!(vfs.create(&p("/d/c")).is_err(), "killed vfs stays dead");
+    }
+
+    #[test]
+    fn kill_mid_write_tears_the_buffer() {
+        let vfs = MemVfs::new();
+        let mut f = vfs.create(&p("/d/a")).unwrap();
+        f.write_all(b"durable!").unwrap();
+        f.sync_data().unwrap();
+        vfs.sync_dir(&p("/d")).unwrap();
+        let ops = vfs.ops();
+        vfs.fail_at(ops, Fault::Kill);
+        assert!(f.write_all(b"torntail").is_err());
+        // Pure-durable image: the torn bytes are gone entirely.
+        vfs.crash_keeping_tail(0);
+        assert_eq!(vfs.read(&p("/d/a")).unwrap(), b"durable!");
+    }
+
+    #[test]
+    fn crash_keeping_tail_exposes_torn_appends() {
+        let vfs = MemVfs::new();
+        let mut f = vfs.create(&p("/d/a")).unwrap();
+        f.write_all(b"durable!").unwrap();
+        f.sync_data().unwrap();
+        vfs.sync_dir(&p("/d")).unwrap();
+        f.write_all(b"unsynced").unwrap();
+        vfs.crash_keeping_tail(3);
+        assert_eq!(vfs.read(&p("/d/a")).unwrap(), b"durable!uns");
+    }
+
+    #[test]
+    fn short_write_applies_half_then_fails() {
+        let vfs = MemVfs::new();
+        let mut f = vfs.create(&p("/d/a")).unwrap();
+        let ops = vfs.ops();
+        vfs.fail_at(ops, Fault::ShortWrite);
+        assert!(f.write_all(b"abcdef").is_err());
+        f.sync_data().unwrap();
+        vfs.sync_dir(&p("/d")).unwrap();
+        vfs.crash();
+        assert_eq!(vfs.read(&p("/d/a")).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn truncate_is_durable() {
+        let vfs = MemVfs::new();
+        write_file(&vfs, "/d/a", b"0123456789", true);
+        vfs.sync_dir(&p("/d")).unwrap();
+        vfs.truncate(&p("/d/a"), 4).unwrap();
+        vfs.crash();
+        assert_eq!(vfs.read(&p("/d/a")).unwrap(), b"0123");
+    }
+
+    #[test]
+    fn list_and_ops_counting() {
+        let vfs = MemVfs::new();
+        assert_eq!(vfs.ops(), 0);
+        write_file(&vfs, "/d/b", b"x", true);
+        write_file(&vfs, "/d/a", b"x", true);
+        assert_eq!(vfs.list(&p("/d")).unwrap(), vec![p("/d/a"), p("/d/b")]);
+        assert_eq!(vfs.ops(), 6); // 2 × (create + write + sync)
+    }
+
+    #[test]
+    fn read_at_serves_positioned_slices() {
+        let vfs = MemVfs::new();
+        write_file(&vfs, "/d/a", b"0123456789", true);
+        let h = vfs.open_read(&p("/d/a")).unwrap();
+        assert_eq!(h.len().unwrap(), 10);
+        let mut buf = [0u8; 4];
+        h.read_at(3, &mut buf).unwrap();
+        assert_eq!(&buf, b"3456");
+        h.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"0123");
+        // Reads past the end fail loudly instead of zero-filling.
+        let err = h.read_at(8, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(vfs.open_read(&p("/d/missing")).is_err());
+    }
+
+    #[test]
+    fn read_at_is_fault_injectable() {
+        let vfs = MemVfs::new();
+        write_file(&vfs, "/d/a", b"abcdef", true);
+        let h = vfs.open_read(&p("/d/a")).unwrap();
+        let mut buf = [0u8; 2];
+        let ops = vfs.ops();
+        vfs.fail_at(ops, Fault::Enospc);
+        assert!(h.read_at(0, &mut buf).is_err());
+        // Transient: the next read proceeds.
+        h.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"ab");
+        // Kill is terminal for reads too.
+        let ops = vfs.ops();
+        vfs.fail_at(ops, Fault::Kill);
+        assert!(h.read_at(0, &mut buf).is_err());
+        assert!(h.read_at(0, &mut buf).is_err(), "killed vfs stays dead");
+    }
+
+    #[test]
+    fn std_vfs_round_trips_on_a_real_tempdir() {
+        let dir = std::env::temp_dir().join(format!("bitruss-vfs-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let vfs = StdVfs;
+        let path = dir.join("file.bin");
+        let mut f = vfs.create(&path).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync_data().unwrap();
+        drop(f);
+        vfs.sync_dir(&dir).unwrap();
+        let mut f = vfs.open_append(&path).unwrap();
+        f.write_all(b" world").unwrap();
+        f.sync_data().unwrap();
+        drop(f);
+        assert_eq!(vfs.read(&path).unwrap(), b"hello world");
+        let h = vfs.open_read(&path).unwrap();
+        assert_eq!(h.len().unwrap(), 11);
+        let mut buf = [0u8; 5];
+        h.read_at(6, &mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+        drop(h);
+        vfs.truncate(&path, 5).unwrap();
+        assert_eq!(vfs.read(&path).unwrap(), b"hello");
+        assert!(vfs.exists(&path));
+        let renamed = dir.join("renamed.bin");
+        vfs.rename(&path, &renamed).unwrap();
+        assert_eq!(vfs.list(&dir).unwrap(), vec![renamed.clone()]);
+        vfs.remove_file(&renamed).unwrap();
+        assert!(!vfs.exists(&renamed));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,270 @@
+//! Backend-generic butterfly kernels over [`NeighborAccess`].
+//!
+//! [`count_per_edge_access`] is the reference counting kernel
+//! ([`count_per_edge`](crate::count_per_edge)) re-expressed against the
+//! [`NeighborAccess`] loader contract, so the *same* arithmetic runs
+//! over the in-memory CSR or over the compressed, disk-paged adjacency
+//! of the out-of-core storage tier. The wedge enumeration order, the
+//! bloom tally order, and every addition into the support array are
+//! identical to the slice kernel — the two produce bit-identical
+//! [`ButterflyCounts`] on any graph (pinned by tests here and by
+//! proptests in the storage tier).
+//!
+//! The only structural difference is mechanical: the early-`break` on
+//! neighbor priority becomes the loader's `cap` argument (the lists
+//! are priority-sorted, so "scan until priority ≥ p(u)" and "load the
+//! prefix with priority < p(u)" touch exactly the same entries), and
+//! the kernel reads its own buffers instead of borrowed slices.
+
+use crate::support::{choose2, ButterflyCounts};
+use bigraph::progress::{checkpoint, EngineObserver, NoopObserver, Phase, CHECK_INTERVAL};
+use bigraph::{NeighborAccess, Result, VertexId};
+
+/// [`count_per_edge`](crate::count_per_edge) over any
+/// [`NeighborAccess`] backend. Bit-identical to the slice kernel.
+///
+/// # Errors
+///
+/// Propagates loader failures ([`bigraph::Error::Io`] /
+/// [`bigraph::Error::Corrupt`] from disk-backed backends); the
+/// in-memory backend is infallible.
+pub fn count_per_edge_access<N: NeighborAccess + ?Sized>(g: &N) -> Result<ButterflyCounts> {
+    count_per_edge_access_observed(g, &NoopObserver)
+}
+
+/// [`count_per_edge_access`] with an [`EngineObserver`]: reports phase
+/// start, coarse per-vertex progress, and polls for cancellation every
+/// [`CHECK_INTERVAL`] start vertices — the same cadence as the slice
+/// kernel.
+///
+/// # Errors
+///
+/// Returns [`bigraph::Error::Cancelled`] when the observer requests
+/// cancellation, or a loader failure from the backend; the partial
+/// counts are discarded.
+pub fn count_per_edge_access_observed<N: NeighborAccess + ?Sized>(
+    g: &N,
+    observer: &dyn EngineObserver,
+) -> Result<ButterflyCounts> {
+    let n = g.num_vertices() as usize;
+    let m = g.num_edges() as usize;
+    observer.on_phase_start(Phase::Counting, n as u64);
+    checkpoint(observer)?;
+    let mut per_edge = vec![0u64; m];
+    let mut total = 0u64;
+
+    // Scratch: wedge counts per end-vertex, reset via `touched`.
+    let mut count = vec![0u32; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut wedges: Vec<(u32, u32, u32)> = Vec::new(); // (w, e_uv, e_vw)
+
+    // Loader buffers for the two scan levels.
+    let mut vs: Vec<u32> = Vec::new();
+    let mut ves: Vec<u32> = Vec::new();
+    let mut ws: Vec<u32> = Vec::new();
+    let mut wes: Vec<u32> = Vec::new();
+
+    for ui in 0..n as u32 {
+        let u = VertexId(ui);
+        if (ui as u64).is_multiple_of(CHECK_INTERVAL) && ui > 0 {
+            checkpoint(observer)?;
+            observer.on_phase_progress(Phase::Counting, ui as u64, n as u64);
+        }
+        let pu = g.priority(u);
+        touched.clear();
+        wedges.clear();
+
+        // Priority-obeyed wedges (u, v, w): both loads return exactly
+        // the prefix the slice kernel's break-scan would visit.
+        g.load_pri_neighbors_below(u, pu, &mut vs, &mut ves)?;
+        for i in 0..vs.len() {
+            let (v, e_uv) = (vs[i], ves[i]);
+            g.load_pri_neighbors_below(VertexId(v), pu, &mut ws, &mut wes)?;
+            for (&w, &e_vw) in ws.iter().zip(&wes) {
+                if count[w as usize] == 0 {
+                    touched.push(w);
+                }
+                count[w as usize] += 1;
+                wedges.push((w, e_uv, e_vw));
+            }
+        }
+
+        // Each bloom (u, w) with c wedges holds C(c,2) butterflies and
+        // gives every member edge c−1 supports.
+        for &(w, e1, e2) in &wedges {
+            let c = count[w as usize] as u64;
+            if c >= 2 {
+                per_edge[e1 as usize] += c - 1;
+                per_edge[e2 as usize] += c - 1;
+            }
+        }
+        for &w in &touched {
+            total += choose2(count[w as usize] as u64);
+            count[w as usize] = 0;
+        }
+    }
+
+    observer.on_phase_end(Phase::Counting);
+    Ok(ButterflyCounts { per_edge, total })
+}
+
+/// Intersects two ascending id-sorted lists into `out` (cleared
+/// first), in ascending order. Uses a linear merge for balanced lists
+/// and gallops the smaller list through the larger when heavily skewed
+/// — the branch choice never changes the output, only the probe count.
+pub fn intersect_sorted(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    let (s, l) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if s.len() * 32 < l.len() {
+        // Galloping: for each small element, exponential search forward
+        // in the large list from the previous cut, then binary search
+        // the bracketed range. Adjacency lists are strictly ascending,
+        // so the bracket `l[lo + bound] ≥ x` always contains `x`'s
+        // position.
+        let mut lo = 0usize;
+        for &x in s {
+            if lo >= l.len() {
+                break;
+            }
+            let mut bound = 1usize;
+            while lo + bound < l.len() && l[lo + bound] < x {
+                bound *= 2;
+            }
+            let hi = (lo + bound + 1).min(l.len());
+            match l[lo..hi].binary_search(&x) {
+                Ok(i) => {
+                    out.push(x);
+                    lo += i + 1;
+                }
+                Err(i) => lo += i,
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0, 0);
+        while i < s.len() && j < l.len() {
+            match s[i].cmp(&l[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(s[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+/// The common neighbors of `a` and `b` under any [`NeighborAccess`]
+/// backend, ascending by id — the sorted-list intersection every
+/// backend must agree on.
+///
+/// # Errors
+///
+/// Propagates loader failures from disk-backed backends.
+pub fn common_neighbors<N: NeighborAccess + ?Sized>(
+    g: &N,
+    a: VertexId,
+    b: VertexId,
+) -> Result<Vec<u32>> {
+    let mut na = Vec::new();
+    let mut ea = Vec::new();
+    let mut nb = Vec::new();
+    let mut eb = Vec::new();
+    g.load_neighbors_by_id(a, &mut na, &mut ea)?;
+    g.load_neighbors_by_id(b, &mut nb, &mut eb)?;
+    let mut out = Vec::new();
+    intersect_sorted(&na, &nb, &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count_per_edge;
+    use bigraph::{BipartiteGraph, GraphBuilder};
+
+    fn fig1() -> BipartiteGraph {
+        GraphBuilder::new()
+            .add_edges([
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (3, 1),
+                (3, 2),
+                (2, 3),
+                (3, 4),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn generic_kernel_matches_slice_kernel_on_fig1() {
+        let g = fig1();
+        assert_eq!(count_per_edge_access(&g).unwrap(), count_per_edge(&g));
+    }
+
+    #[test]
+    fn generic_kernel_matches_on_bicliques_and_stars() {
+        for (a, b) in [(2u32, 2u32), (3, 4), (5, 5), (1, 50)] {
+            let mut builder = GraphBuilder::new();
+            for u in 0..a {
+                for v in 0..b {
+                    builder.push_edge(u, v);
+                }
+            }
+            let g = builder.build().unwrap();
+            assert_eq!(
+                count_per_edge_access(&g).unwrap(),
+                count_per_edge(&g),
+                "K_{a},{b}"
+            );
+        }
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(count_per_edge_access(&g).unwrap(), count_per_edge(&g));
+    }
+
+    #[test]
+    fn intersect_sorted_matches_naive_on_skew() {
+        let naive = |a: &[u32], b: &[u32]| -> Vec<u32> {
+            a.iter().copied().filter(|x| b.contains(x)).collect()
+        };
+        let cases: &[(Vec<u32>, Vec<u32>)] = &[
+            (vec![], vec![]),
+            (vec![1, 3, 5], vec![]),
+            (vec![1, 2, 3], vec![2, 3, 4]),
+            (vec![5], (0..500).collect()),
+            (vec![0, 499], (0..500).collect()),
+            ((0..500).step_by(7).collect(), (0..500).step_by(3).collect()),
+            (vec![100, 200, 300], (0..1000).collect()),
+        ];
+        let mut out = Vec::new();
+        for (a, b) in cases {
+            intersect_sorted(a, b, &mut out);
+            assert_eq!(out, naive(a, b), "a={a:?}");
+            intersect_sorted(b, a, &mut out);
+            assert_eq!(out, naive(a, b), "swapped a={a:?}");
+        }
+    }
+
+    #[test]
+    fn common_neighbors_matches_slices() {
+        let g = fig1();
+        for a in g.upper_vertices() {
+            for b in g.upper_vertices() {
+                let want: Vec<u32> = g
+                    .neighbor_slice(a)
+                    .iter()
+                    .copied()
+                    .filter(|x| g.neighbor_slice(b).contains(x))
+                    .collect();
+                assert_eq!(common_neighbors(&g, a, b).unwrap(), want);
+            }
+        }
+    }
+}

@@ -14,12 +14,16 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod access;
 pub mod local;
 pub mod naive;
 pub mod parallel;
 pub mod support;
 pub mod vertex;
 
+pub use access::{
+    common_neighbors, count_per_edge_access, count_per_edge_access_observed, intersect_sorted,
+};
 pub use local::{
     count_for_edges, count_through_edge, count_through_edge_metered, for_each_butterfly_through,
     for_each_butterfly_through_metered, for_each_butterfly_through_while,

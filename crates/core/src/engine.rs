@@ -65,12 +65,14 @@
 
 use std::fmt;
 use std::io::{BufRead, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::str::FromStr;
 use std::sync::{Arc, OnceLock};
 
 use bigraph::progress::checkpoint;
+use bigraph::vfs::{StdVfs, Vfs};
 use bigraph::{BipartiteGraph, EdgeId, Error, Result, VertexId};
+use bitruss_storage::MemoryReport;
 
 pub use bigraph::progress::{EngineObserver, NoopObserver, Phase};
 
@@ -108,6 +110,8 @@ pub struct EngineBuilder {
     hierarchy_mode: HierarchyMode,
     histogram_bounds: Option<Vec<u64>>,
     observer: Option<Arc<dyn EngineObserver + Send + Sync>>,
+    memory_budget: Option<usize>,
+    scratch: Option<(Arc<dyn Vfs>, PathBuf)>,
 }
 
 impl Default for EngineBuilder {
@@ -119,6 +123,8 @@ impl Default for EngineBuilder {
             hierarchy_mode: HierarchyMode::Lazy,
             histogram_bounds: None,
             observer: None,
+            memory_budget: None,
+            scratch: None,
         }
     }
 }
@@ -193,6 +199,49 @@ impl EngineBuilder {
         self
     }
 
+    /// Caps the decomposition's working set at roughly `bytes`, routing
+    /// the run through the out-of-core storage tier when the in-memory
+    /// footprint would exceed the budget: the graph is streamed from a
+    /// paged compressed file through a budget-sized page cache and the
+    /// BE-Index is built with a spill-to-disk arena. Results are
+    /// bit-identical to the unbudgeted run for every budget; when the
+    /// estimated footprint already fits, nothing changes. Only the
+    /// default sequential [`Algorithm::BuPlusPlus`] supports budgeting —
+    /// combining a budget with another algorithm, with
+    /// [`EngineBuilder::threads`], or with [`EngineBuilder::pruned`] is
+    /// rejected by [`EngineBuilder::build`].
+    ///
+    /// ```
+    /// use bigraph::GraphBuilder;
+    /// use bitruss_core::BitrussEngine;
+    ///
+    /// let g = GraphBuilder::new()
+    ///     .add_edges([(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)])
+    ///     .build()
+    ///     .unwrap();
+    /// let session = BitrussEngine::builder()
+    ///     .memory_budget(1024) // tiny: forces the out-of-core path
+    ///     .build(g)
+    ///     .unwrap();
+    /// assert_eq!(session.max_bitruss(), 2);
+    /// let report = session.metrics().unwrap().memory.unwrap();
+    /// assert_eq!(report.budget_bytes, 1024);
+    /// ```
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Overrides where the out-of-core path keeps its scratch files
+    /// (paged graph, spill runs). Defaults to a process-unique directory
+    /// under the system temp dir on the real filesystem; tests inject a
+    /// [`MemVfs`](bigraph::vfs::MemVfs) here for determinism and fault
+    /// injection. No effect without [`EngineBuilder::memory_budget`].
+    pub fn scratch(mut self, vfs: Arc<dyn Vfs>, dir: PathBuf) -> Self {
+        self.scratch = Some((vfs, dir));
+        self
+    }
+
     /// Runs the configured decomposition on an owned graph and returns
     /// the serving session.
     ///
@@ -235,17 +284,75 @@ impl EngineBuilder {
 
     fn run(self, graph: SessionGraph<'_>) -> Result<BitrussEngine<'_>> {
         let algorithm = self.effective_algorithm()?;
+        if let Some(budget) = self.memory_budget {
+            if algorithm != Algorithm::BuPlusPlus {
+                return Err(Error::Invariant(format!(
+                    "a memory budget only applies to the sequential bu++ engine, not {algorithm}"
+                )));
+            }
+            if self.pruned {
+                return Err(Error::Invariant(
+                    "a memory budget cannot be combined with (2,2)-core pruning".to_string(),
+                ));
+            }
+            if crate::ooc::estimate_in_memory_bytes(graph.get()) > budget {
+                return self.run_out_of_core(graph, budget);
+            }
+        }
         let observer: Arc<dyn EngineObserver + Send + Sync> =
             self.observer.unwrap_or_else(|| Arc::new(NoopObserver));
         let bounds = self.histogram_bounds.as_deref();
-        let (decomposition, metrics) = if self.pruned {
+        let budget = self.memory_budget;
+        let (decomposition, mut metrics) = if self.pruned {
             algo::prune_and_run(graph.get(), algorithm, bounds, &*observer)?
         } else {
             algo::run_algorithm(graph.get(), algorithm, bounds, &*observer)?
         };
+        metrics.memory = Some(MemoryReport {
+            graph_bytes: graph.get().memory_bytes(),
+            index_peak_bytes: metrics.peak_index_bytes,
+            page_cache_bytes: 0,
+            spill_bytes_written: 0,
+            budget_bytes: budget.unwrap_or(0),
+        });
         let engine = BitrussEngine {
             graph,
             algorithm: Some(algorithm),
+            decomposition: Arc::new(decomposition),
+            metrics: Some(metrics),
+            hierarchy: Arc::new(OnceLock::new()),
+            observer,
+        };
+        if self.hierarchy_mode == HierarchyMode::Eager {
+            engine.hierarchy()?;
+        }
+        Ok(engine)
+    }
+
+    /// The budgeted dispatch: stream the graph from a paged file and
+    /// spill the index build, then peel as usual. Bit-identical to the
+    /// in-memory run (see [`crate::ooc`]).
+    fn run_out_of_core(self, graph: SessionGraph<'_>, budget: usize) -> Result<BitrussEngine<'_>> {
+        let observer: Arc<dyn EngineObserver + Send + Sync> =
+            self.observer.unwrap_or_else(|| Arc::new(NoopObserver));
+        let (vfs, dir): (Arc<dyn Vfs>, PathBuf) = match self.scratch {
+            Some((vfs, dir)) => (vfs, dir),
+            None => (
+                Arc::new(StdVfs),
+                std::env::temp_dir().join(format!("bitruss-ooc-{}", std::process::id())),
+            ),
+        };
+        let (decomposition, metrics) = crate::ooc::decompose_out_of_core(
+            graph.get(),
+            budget,
+            &*vfs,
+            &dir,
+            self.histogram_bounds.as_deref(),
+            &*observer,
+        )?;
+        let engine = BitrussEngine {
+            graph,
+            algorithm: Some(Algorithm::BuPlusPlus),
             decomposition: Arc::new(decomposition),
             metrics: Some(metrics),
             hierarchy: Arc::new(OnceLock::new()),
@@ -957,6 +1064,70 @@ mod tests {
             .build(fig1())
             .unwrap_err();
         assert!(matches!(err, Error::Invariant(_)), "{err}");
+    }
+
+    #[test]
+    fn memory_budget_rules() {
+        // Budget + non-default algorithm / threads / pruning → Invariant.
+        let err = BitrussEngine::builder()
+            .algorithm(Algorithm::Bu)
+            .memory_budget(1024)
+            .build(fig1())
+            .unwrap_err();
+        assert!(matches!(err, Error::Invariant(_)), "{err}");
+        let err = BitrussEngine::builder()
+            .threads(Threads(2))
+            .memory_budget(1024)
+            .build(fig1())
+            .unwrap_err();
+        assert!(matches!(err, Error::Invariant(_)), "{err}");
+        let err = BitrussEngine::builder()
+            .pruned(true)
+            .memory_budget(1024)
+            .build(fig1())
+            .unwrap_err();
+        assert!(matches!(err, Error::Invariant(_)), "{err}");
+    }
+
+    #[test]
+    fn under_budget_runs_in_memory_over_budget_spills_and_both_agree() {
+        let baseline = BitrussEngine::builder().build(fig1()).unwrap();
+        let report = baseline.metrics().unwrap().memory.unwrap();
+        assert_eq!(report.budget_bytes, 0);
+        assert_eq!(report.page_cache_bytes, 0);
+        assert_eq!(report.spill_bytes_written, 0);
+        assert_eq!(report.graph_bytes, fig1().memory_bytes());
+
+        // A huge budget fits the estimate: the in-memory path runs and
+        // records the budget it was checked against.
+        let roomy = BitrussEngine::builder()
+            .memory_budget(usize::MAX)
+            .build(fig1())
+            .unwrap();
+        let roomy_report = roomy.metrics().unwrap().memory.unwrap();
+        assert_eq!(roomy_report.budget_bytes, usize::MAX);
+        assert_eq!(roomy_report.page_cache_bytes, 0);
+        assert_eq!(roomy_report.spill_bytes_written, 0);
+        assert_eq!(roomy.phi(), baseline.phi());
+
+        // A tiny budget routes out of core on a MemVfs scratch; φ and
+        // the hierarchy answers are bit-identical.
+        let vfs = Arc::new(bigraph::vfs::MemVfs::new());
+        let tight = BitrussEngine::builder()
+            .memory_budget(64)
+            .scratch(vfs, PathBuf::from("scratch"))
+            .build(fig1())
+            .unwrap();
+        assert_eq!(tight.phi(), baseline.phi());
+        assert_eq!(tight.max_bitruss(), baseline.max_bitruss());
+        let tight_report = tight.metrics().unwrap().memory.unwrap();
+        assert_eq!(tight_report.budget_bytes, 64);
+        assert!(tight_report.spill_bytes_written > 0);
+        assert!(tight_report.graph_bytes < fig1().memory_bytes());
+        assert_eq!(
+            tight.k_bitruss_count(2).unwrap(),
+            baseline.k_bitruss_count(2).unwrap()
+        );
     }
 
     #[test]

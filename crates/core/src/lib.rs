@@ -58,6 +58,7 @@ pub mod engine;
 pub mod hierarchy;
 pub mod kbitruss;
 pub mod metrics;
+pub(crate) mod ooc;
 pub mod partition;
 pub mod persist;
 pub mod repeel;
@@ -73,6 +74,7 @@ pub use algo::{
     decompose_with_histogram, kmax_bound, Algorithm, ParseAlgorithmError, PeelStrategy, Threads,
     DEFAULT_TAU,
 };
+pub use bitruss_storage::MemoryReport;
 pub use bucket_queue::BucketQueue;
 pub use decomposition::{Community, Decomposition};
 pub use engine::{
@@ -88,7 +90,7 @@ pub use partition::{
 };
 pub use persist::binary::{
     read_snapshot, read_snapshot_file, write_snapshot, write_snapshot_file, Snapshot,
-    FORMAT_VERSION,
+    FORMAT_VERSION, MIN_FORMAT_VERSION,
 };
 pub use persist::store::{
     write_bytes_atomic, write_bytes_atomic_std, JournalBatch, JournalOp, RecoveredState,

@@ -126,6 +126,11 @@ pub struct Metrics {
     pub reused_edges: u64,
     /// Optional per-original-support update histogram (Figure 7).
     pub histogram: Option<UpdateHistogram>,
+    /// Memory accounting of the run (graph residency, index peak, page
+    /// cache, spill traffic). Filled by the engine for both the
+    /// in-memory and the budgeted path; `None` for direct algorithm
+    /// calls that bypass the engine.
+    pub memory: Option<bitruss_storage::MemoryReport>,
 }
 
 impl Metrics {

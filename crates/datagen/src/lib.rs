@@ -14,7 +14,10 @@
 //! * [`configuration::from_degrees`] — configuration model from explicit
 //!   degree sequences;
 //! * [`stream::edge_stream`] — seeded interleaved insert/delete
-//!   schedules over any generated graph (dynamic-maintenance workloads).
+//!   schedules over any generated graph (dynamic-maintenance workloads);
+//! * [`xl::XlConfig`] — constant-memory *streaming* power-law generator
+//!   for multi-hundred-million-edge files (out-of-core workloads), with
+//!   a quick CI-scale preset.
 //!
 //! All generators are deterministic given a seed.
 
@@ -27,6 +30,8 @@ pub mod powerlaw;
 pub mod random;
 pub mod registry;
 pub mod stream;
+pub mod xl;
 
 pub use registry::{all_datasets, dataset_by_name, Dataset, SizeClass};
 pub use stream::{edge_stream, StreamOp};
+pub use xl::{XlConfig, XlEdges};

@@ -106,6 +106,10 @@ impl ServerMetrics {
             generations_published: self.generations_published.load(Ordering::Relaxed),
             p50_us: percentile(&histogram, 0.50),
             p99_us: percentile(&histogram, 0.99),
+            // Memory accounting is merged in by the handle, which knows
+            // the published generation; the raw counters do not.
+            graph_bytes: 0,
+            index_peak_bytes: 0,
         }
     }
 }
@@ -151,6 +155,12 @@ pub struct StatsSnapshot {
     pub p50_us: u64,
     /// 99th-percentile query latency (µs, bucket upper bound).
     pub p99_us: u64,
+    /// Resident bytes of the published generation's graph.
+    pub graph_bytes: u64,
+    /// Peak BE-Index bytes of the decomposition that produced the
+    /// published generation (0 when the generation was loaded from a
+    /// snapshot and never decomposed in this process).
+    pub index_peak_bytes: u64,
 }
 
 impl fmt::Display for StatsSnapshot {
@@ -158,14 +168,17 @@ impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "stats queries={} acked={} shed={} rejected={} generations={} p50_us={} p99_us={}",
+            "stats queries={} acked={} shed={} rejected={} generations={} p50_us={} p99_us={} \
+             graph_bytes={} index_peak_bytes={}",
             self.queries_served,
             self.updates_acked,
             self.updates_shed,
             self.updates_rejected,
             self.generations_published,
             self.p50_us,
-            self.p99_us
+            self.p99_us,
+            self.graph_bytes,
+            self.index_peak_bytes
         )
     }
 }

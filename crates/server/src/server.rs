@@ -197,9 +197,18 @@ impl ServerHandle {
         self.shared.published.current().number
     }
 
-    /// A point-in-time counter snapshot (the `stats` verb's payload).
+    /// A point-in-time counter snapshot (the `stats` verb's payload),
+    /// including the memory accounting of the published generation.
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.metrics.snapshot()
+        let mut stats = self.shared.metrics.snapshot();
+        let generation = self.shared.published.current();
+        stats.graph_bytes = generation.engine.graph().memory_bytes() as u64;
+        stats.index_peak_bytes = generation
+            .engine
+            .metrics()
+            .and_then(|m| m.memory)
+            .map_or(0, |r| r.index_peak_bytes as u64);
+        stats
     }
 
     /// Answers one engine query line against a single pinned
@@ -412,7 +421,7 @@ impl ServerHandle {
         let durable = writer
             .join()
             .map_err(|_| Error::Invariant("server writer thread panicked".into()))?;
-        Ok((durable, self.shared.metrics.snapshot()))
+        Ok((durable, self.stats()))
     }
 }
 

@@ -1,0 +1,31 @@
+//! FNV-1a 64-bit — the workspace's checksum of choice (same constants
+//! as the snapshot store's), used here for the paged-graph header and
+//! the spill-run trailers.
+
+/// FNV-1a offset basis.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a state.
+#[inline]
+pub(crate) fn fnv_update(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv_update(FNV_OFFSET, b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv_update(FNV_OFFSET, b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv_update(FNV_OFFSET, b"foobar"), 0x85944171f73967e8);
+    }
+}

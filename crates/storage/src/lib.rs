@@ -1,0 +1,42 @@
+//! Out-of-core storage tier for bitruss decomposition.
+//!
+//! Everything in the workspace up to this crate assumes the graph and
+//! the BE-Index fit in memory. This crate removes that assumption with
+//! three pieces, each exact (bit-identical results, pinned by tests)
+//! rather than approximate:
+//!
+//! * [`CompressedAdjacency`] — delta-varint adjacency blocks with
+//!   skip tables, behind the same [`NeighborAccess`](bigraph::NeighborAccess)
+//!   trait the counting and index-construction kernels consume;
+//! * [`PagedGraph`] / [`PageCache`] — the same blocks laid out in a
+//!   checksummed file and served through a fixed-capacity clock cache,
+//!   so decomposition streams the graph instead of holding it;
+//! * [`build_beindex_spilled`] — BE-Index construction that flushes
+//!   its wedge arena to Vfs-backed run files at a memory budget and
+//!   merges them back exactly.
+//!
+//! [`MemoryReport`] unifies the accounting (graph residency, index
+//! peak, cache high-water, spill traffic) for `Metrics`, the bench
+//! records, and the server `stats` verb. The budget semantics and the
+//! exactness argument are written up in `docs/STORAGE.md`.
+//!
+//! All I/O goes through [`bigraph::vfs`], so the deterministic fault
+//! and crash injection of `MemVfs` covers every read and write path
+//! added here.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod compressed;
+mod fnv;
+pub mod page_cache;
+pub mod paged;
+pub mod report;
+pub mod spill;
+pub mod varint;
+
+pub use compressed::{CompressedAdjacency, SKIP};
+pub use page_cache::{CacheStats, PageCache, RangeReader};
+pub use paged::{write_paged, PagedGraph, PAGE_SIZE};
+pub use report::MemoryReport;
+pub use spill::{build_beindex_spilled, SpillStats};

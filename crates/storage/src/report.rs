@@ -1,0 +1,55 @@
+//! The unified memory accounting record of the storage tier.
+
+/// Where the bytes of a decomposition run went. Produced by the
+/// out-of-core engine path and surfaced through `Metrics`, the bench
+/// JSON records, and the server `stats` verb.
+///
+/// The report measures the *working set* of the decomposition: graph
+/// residency, the transient peak of index construction, page-cache
+/// frames, and spill traffic. The finished BE-Index is resident in
+/// both the in-memory and the budgeted path while peeling runs — the
+/// budgeted path bounds what is resident *on top of* it (see
+/// `docs/STORAGE.md` for the full accounting argument).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Bytes the graph representation keeps resident: the full CSR for
+    /// the in-memory path, the `O(n)` word arrays for the paged path.
+    pub graph_bytes: usize,
+    /// Peak bytes of BE-Index construction and residency (the final
+    /// index plus, for the spill path, the bounded transient arena).
+    pub index_peak_bytes: usize,
+    /// High-water bytes of page-cache frames (0 for the in-memory path).
+    pub page_cache_bytes: usize,
+    /// Total bytes written to spill-run files (disk traffic, not
+    /// residency; 0 when everything fit the budget).
+    pub spill_bytes_written: u64,
+    /// The budget the run was asked to respect (0 = unbudgeted).
+    pub budget_bytes: usize,
+}
+
+impl MemoryReport {
+    /// Peak resident bytes of the run's working set: graph + index
+    /// construction peak + page-cache frames. Spill bytes are excluded
+    /// — they live on disk, which is the point.
+    pub fn peak_resident(&self) -> usize {
+        self.graph_bytes + self.index_peak_bytes + self.page_cache_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_resident_sums_the_resident_terms_only() {
+        let r = MemoryReport {
+            graph_bytes: 100,
+            index_peak_bytes: 200,
+            page_cache_bytes: 50,
+            spill_bytes_written: 9999,
+            budget_bytes: 300,
+        };
+        assert_eq!(r.peak_resident(), 350);
+        assert_eq!(MemoryReport::default().peak_resident(), 0);
+    }
+}

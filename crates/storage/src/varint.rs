@@ -1,0 +1,107 @@
+//! LEB128 variable-length integers — the scalar encoding of the
+//! compressed adjacency streams.
+//!
+//! Little-endian base-128: each byte carries 7 payload bits, the high
+//! bit marks continuation. Adjacency deltas are small (neighbor lists
+//! are sorted, ids cluster), so most entries fit one or two bytes —
+//! the whole point of the compressed tier.
+
+use bigraph::{Error, Result};
+
+/// Maximum encoded length of a `u32` (⌈32/7⌉ bytes).
+pub const MAX_VARINT32_LEN: usize = 5;
+
+/// Appends the LEB128 encoding of `x` to `buf`.
+#[inline]
+pub fn put_u32(buf: &mut Vec<u8>, mut x: u32) {
+    while x >= 0x80 {
+        buf.push((x as u8) | 0x80);
+        x >>= 7;
+    }
+    buf.push(x as u8);
+}
+
+/// Decodes one LEB128 `u32` from `bytes[*pos..]`, advancing `pos`.
+///
+/// # Errors
+///
+/// [`Error::Corrupt`] when the buffer ends mid-varint or the value
+/// overflows 32 bits — both mean the stream bytes are not what the
+/// encoder wrote.
+#[inline]
+pub fn get_u32(bytes: &[u8], pos: &mut usize) -> Result<u32> {
+    let mut x: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes
+            .get(*pos)
+            .ok_or_else(|| Error::Corrupt("varint truncated".into()))?;
+        *pos += 1;
+        let payload = (b & 0x7f) as u32;
+        if shift >= 32 || (shift == 28 && payload > 0x0f) {
+            return Err(Error::Corrupt("varint overflows u32".into()));
+        }
+        x |= payload << shift;
+        if b & 0x80 == 0 {
+            return Ok(x);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_edge_values() {
+        let mut buf = Vec::new();
+        let values = [
+            0u32,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            u32::MAX - 1,
+            u32::MAX,
+            12345,
+        ];
+        for &v in &values {
+            put_u32(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_u32(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn small_values_take_one_byte() {
+        for v in 0..0x80u32 {
+            let mut buf = Vec::new();
+            put_u32(&mut buf, v);
+            assert_eq!(buf.len(), 1);
+        }
+    }
+
+    #[test]
+    fn truncation_and_overflow_are_corrupt() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        assert_eq!(buf.len(), MAX_VARINT32_LEN);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(get_u32(&buf[..cut], &mut pos).is_err(), "cut={cut}");
+        }
+        // Six continuation bytes can never be a valid u32.
+        let overlong = [0x80u8, 0x80, 0x80, 0x80, 0x80, 0x01];
+        let mut pos = 0;
+        assert!(get_u32(&overlong, &mut pos).is_err());
+        // The 5th byte may only carry 4 bits.
+        let too_big = [0xffu8, 0xff, 0xff, 0xff, 0x1f];
+        let mut pos = 0;
+        assert!(get_u32(&too_big, &mut pos).is_err());
+    }
+}

@@ -344,6 +344,15 @@ mod tests {
     fn classify_paths() {
         assert_eq!(classify("crates/core/src/engine.rs"), FileKind::Library);
         assert_eq!(classify("crates/server/src/server.rs"), FileKind::Library);
+        // The out-of-core tier is a library crate: its sources carry the
+        // full lint battery (Vfs-only I/O, no-panic, missing-docs).
+        assert_eq!(classify("crates/storage/src/lib.rs"), FileKind::Library);
+        assert_eq!(
+            classify("crates/storage/src/page_cache.rs"),
+            FileKind::Library
+        );
+        assert_eq!(classify("crates/storage/tests/x.rs"), FileKind::Test);
+        assert!(is_crate_root("crates/storage/src/lib.rs"));
         assert!(is_crate_root("crates/server/src/lib.rs"));
         assert_eq!(classify("src/lib.rs"), FileKind::Library);
         assert_eq!(classify("src/bin/cli.rs"), FileKind::Binary);

@@ -3,12 +3,12 @@
 //! ```text
 //! bitruss-cli stats      <edges.txt>
 //! bitruss-cli count      <edges.txt> [--threads N]
-//! bitruss-cli decompose  <edges.txt> [--algorithm bs|bu|bu+|bu++|bu++p|bu++2p|pc] [--tau T] [--threads N] [--output phi.txt] [--snapshot snap.bin]
+//! bitruss-cli decompose  <edges.txt> [--algorithm bs|bu|bu+|bu++|bu++p|bu++2p|pc] [--tau T] [--threads N] [--memory-budget MB] [--output phi.txt] [--snapshot snap.bin]
 //! bitruss-cli kbitruss   <edges.txt> <k> [--output sub.txt]
 //! bitruss-cli communities <edges.txt> <k>
 //! bitruss-cli query      <snap.bin> [--queries q.txt]
 //! bitruss-cli update     <snap.bin> [--updates u.txt] [--snapshot out.bin]
-//! bitruss-cli generate   <dataset-name> <edges.txt>
+//! bitruss-cli generate   <dataset-name|xl> <edges.txt> [--quick]
 //!
 //! # crash-safe store mode (durable journal + committed generations)
 //! bitruss-cli decompose  <edges.txt> --store <dir>
@@ -61,7 +61,17 @@
 //! auto-detect from the hardware); for `decompose` it upgrades the
 //! default `bu++` algorithm to the parallel `bu++p`, or sets the worker
 //! count of an explicit `-a bu++2p` (the two-phase partition engine) —
-//! either way the result is bit-identical to the sequential run. Edge files are whitespace-
+//! either way the result is bit-identical to the sequential run.
+//!
+//! `--memory-budget MB` caps `decompose`'s working set: when the graph
+//! plus the BE-Index would not fit, the run streams the graph from a
+//! paged on-disk file and spills index construction to disk, producing
+//! bit-identical φ (sequential `bu++` only; see `docs/STORAGE.md`).
+//! `generate xl <file>` streams the companion workload — a synthetic
+//! power-law graph far beyond memory scale (`--quick` for the small CI
+//! variant of the same shape).
+//!
+//! Edge files are whitespace-
 //! separated `upper lower` pairs, one per line, `%`/`#` comments allowed;
 //! pass `--one-based` for KONECT-style 1-based indices. Unknown flags are
 //! rejected with the list of known ones — typos never parse as file
@@ -80,9 +90,9 @@ use bitruss::{
 
 /// Flags every subcommand understands, printed when an unknown flag is
 /// rejected.
-const KNOWN_FLAGS: &str = "--algorithm/-a, --tau/-t, --threads/-j, --output/-o, \
-     --snapshot/-s, --queries/-q, --updates/-u, --store, --checkpoint, --one-based, \
-     --listen, --readers, --queue-cap, --work-budget";
+const KNOWN_FLAGS: &str = "--algorithm/-a, --tau/-t, --threads/-j, --memory-budget, \
+     --output/-o, --snapshot/-s, --queries/-q, --updates/-u, --store, --checkpoint, \
+     --one-based, --listen, --readers, --queue-cap, --work-budget, --quick";
 
 #[derive(Debug)]
 struct Args {
@@ -100,6 +110,8 @@ struct Args {
     readers: Option<usize>,
     queue_cap: Option<usize>,
     work_budget: Option<u64>,
+    memory_budget_mb: Option<usize>,
+    quick: bool,
 }
 
 fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -118,6 +130,8 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
         readers: None,
         queue_cap: None,
         work_budget: None,
+        memory_budget_mb: None,
+        quick: false,
     };
     let mut tau: Option<f64> = None;
     let mut it = raw;
@@ -168,6 +182,12 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
                 let v = it.next().ok_or("--work-budget needs a value")?;
                 args.work_budget = Some(v.parse().map_err(|_| format!("bad work budget {v:?}"))?);
             }
+            "--memory-budget" => {
+                let v = it.next().ok_or("--memory-budget needs a value in MB")?;
+                args.memory_budget_mb =
+                    Some(v.parse().map_err(|_| format!("bad memory budget {v:?}"))?);
+            }
+            "--quick" => args.quick = true,
             other if other.starts_with('-') => {
                 return Err(format!(
                     "unknown flag {other:?} (known flags: {KNOWN_FLAGS})"
@@ -196,11 +216,15 @@ fn load(path: &str, base: IndexBase) -> Result<BipartiteGraph, String> {
 }
 
 /// Builds the engine session for subcommands that decompose. The
-/// `--threads` upgrade/validation rule lives in `EngineBuilder` alone.
+/// `--threads` upgrade/validation rule and the `--memory-budget`
+/// routing/validation both live in `EngineBuilder` alone.
 fn build_session(g: BipartiteGraph, args: &Args) -> Result<BitrussEngine<'static>, String> {
     let mut builder = BitrussEngine::builder().algorithm(args.algorithm);
     if let Some(threads) = args.threads {
         builder = builder.threads(threads);
+    }
+    if let Some(mb) = args.memory_budget_mb {
+        builder = builder.memory_budget(mb.saturating_mul(1024 * 1024));
     }
     builder.build(g).map_err(|e| e.to_string())
 }
@@ -307,6 +331,20 @@ fn run() -> Result<(), String> {
                     "threads (configured): {} counting, {} index, {} peeling",
                     m.counting_threads, m.index_threads, m.peeling_threads
                 );
+            }
+            if let Some(report) = m.memory {
+                if report.budget_bytes > 0 {
+                    println!(
+                        "memory: {} peak resident ({} graph, {} index, {} cache), \
+                         {} spilled, budget {}",
+                        report.peak_resident(),
+                        report.graph_bytes,
+                        report.index_peak_bytes,
+                        report.page_cache_bytes,
+                        report.spill_bytes_written,
+                        report.budget_bytes
+                    );
+                }
             }
             println!("max bitruss number: {}", session.max_bitruss());
             for (k, n) in session.level_sizes() {
@@ -535,11 +573,29 @@ fn run() -> Result<(), String> {
         "generate" => {
             let name = args.positional.get(1).ok_or("generate needs a dataset")?;
             let path = args.positional.get(2).ok_or("generate needs a file")?;
-            let d = bitruss::workloads::dataset_by_name(name)
-                .ok_or_else(|| format!("unknown dataset {name:?}"))?;
-            let g = d.generate();
-            write_edge_list_file(&g, path).map_err(|e| format!("writing {path}: {e}"))?;
-            println!("{}: {} edges written to {path}", d.name, g.num_edges());
+            if name == "xl" {
+                // The streaming generator: edges go straight to the
+                // file, never through a materialized graph.
+                let cfg = if args.quick {
+                    bitruss::workloads::XlConfig::quick()
+                } else {
+                    bitruss::workloads::XlConfig::xl()
+                };
+                let f = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+                cfg.write_edge_list(f)
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                println!(
+                    "xl{}: {} edges streamed to {path}",
+                    if args.quick { " (quick)" } else { "" },
+                    cfg.count_edges()
+                );
+            } else {
+                let d = bitruss::workloads::dataset_by_name(name)
+                    .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+                let g = d.generate();
+                write_edge_list_file(&g, path).map_err(|e| format!("writing {path}: {e}"))?;
+                println!("{}: {} edges written to {path}", d.name, g.num_edges());
+            }
         }
         other => return Err(format!("unknown command {other:?}")),
     }
@@ -600,6 +656,20 @@ mod tests {
         let args = parse(&["decompose", "g.txt", "-a", "bu", "-j", "4"]).unwrap();
         assert_eq!(args.algorithm, Algorithm::Bu);
         assert_eq!(args.threads, Some(Threads(4)));
+    }
+
+    #[test]
+    fn memory_budget_and_quick_are_collected() {
+        let args = parse(&["decompose", "g.txt", "--memory-budget", "512"]).unwrap();
+        assert_eq!(args.memory_budget_mb, Some(512));
+        assert_eq!(args.algorithm, Algorithm::BuPlusPlus);
+        let args = parse(&["decompose", "g.txt"]).unwrap();
+        assert_eq!(args.memory_budget_mb, None);
+        assert!(parse(&["decompose", "g.txt", "--memory-budget"]).is_err());
+        assert!(parse(&["decompose", "g.txt", "--memory-budget", "big"]).is_err());
+        let args = parse(&["generate", "xl", "g.txt", "--quick"]).unwrap();
+        assert!(args.quick);
+        assert_eq!(args.positional, vec!["generate", "xl", "g.txt"]);
     }
 
     #[test]

@@ -19,8 +19,12 @@
 //!   deletions ([`DynamicEngineExt`], [`UpdateBatch`]);
 //! * [`server`] — the concurrent bitruss-as-a-service query server
 //!   ([`BitrussServer`], [`ServerHandle`]);
-//! * [`workloads`] — synthetic generators and the Table II dataset
-//!   registry.
+//! * [`storage`] — the out-of-core tier: compressed paged graphs,
+//!   page-cached reads, spill-to-disk index construction (engaged via
+//!   [`EngineBuilder::memory_budget`], see `docs/STORAGE.md`);
+//! * [`workloads`] — synthetic generators (including the streaming
+//!   [`workloads::XlConfig`] beyond-memory workload) and the Table II
+//!   dataset registry.
 //!
 //! ## Quickstart
 //!
@@ -96,6 +100,13 @@ pub mod server {
     pub use bitruss_server::*;
 }
 
+/// The out-of-core storage tier: delta-compressed adjacency, paged
+/// graph files behind a clock page cache, and spill-to-disk BE-Index
+/// construction (re-export of the `bitruss-storage` crate).
+pub mod storage {
+    pub use bitruss_storage::*;
+}
+
 /// Workload generators and the dataset registry (re-export of `datagen`).
 pub mod workloads {
     pub use datagen::*;
@@ -108,9 +119,9 @@ pub use bitruss_core::{
     decompose, decompose_observed, decompose_pruned, k_bitruss, read_decomposition, read_snapshot,
     read_snapshot_file, tip_decomposition, write_decomposition, write_snapshot,
     write_snapshot_file, Algorithm, BandPartition, BitrussEngine, BitrussHierarchy, Community,
-    Decomposition, EngineBuilder, EngineObserver, HierarchyMode, Metrics, NoopObserver,
-    ParseAlgorithmError, PeelStrategy, Phase, Query, QueryAnswer, Snapshot, StitchLog, Threads,
-    TipLayer, DEFAULT_TAU,
+    Decomposition, EngineBuilder, EngineObserver, HierarchyMode, MemoryReport, Metrics,
+    NoopObserver, ParseAlgorithmError, PeelStrategy, Phase, Query, QueryAnswer, Snapshot,
+    StitchLog, Threads, TipLayer, DEFAULT_TAU,
 };
 pub use bitruss_core::{
     write_bytes_atomic, write_bytes_atomic_std, Fault, JournalBatch, JournalOp, MemVfs,

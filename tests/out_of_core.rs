@@ -1,0 +1,122 @@
+//! Out-of-core engine tests through the public facade: budget-sweep
+//! bit-identity and fault injection on the scratch filesystem.
+//!
+//! The contract under test (see `docs/STORAGE.md`):
+//!
+//! * **Exactness** — for EVERY memory budget, `memory_budget(b)` yields
+//!   the same φ, the same support-update count and the same hierarchy
+//!   answers as the fully-resident engine; the budget moves bytes, never
+//!   results.
+//! * **Faults are loud, never lethal** — any I/O failure (ENOSPC, a
+//!   killed process) on the scratch Vfs surfaces as `Err` from
+//!   `build()`, never a panic, and a later run on healthy storage
+//!   succeeds from scratch.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use bitruss::{Algorithm, BitrussEngine, Fault, MemVfs};
+use proptest::prelude::*;
+
+/// A session under an explicit byte budget, spilling to `vfs`.
+fn budgeted(
+    g: bitruss::BipartiteGraph,
+    budget: usize,
+    vfs: Arc<MemVfs>,
+) -> bitruss::graph::Result<BitrussEngine<'static>> {
+    BitrussEngine::builder()
+        .algorithm(Algorithm::BuPlusPlus)
+        .memory_budget(budget)
+        .scratch(vfs, PathBuf::from("scratch"))
+        .build(g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Bit-identity across the whole budget axis: unconstrained,
+    /// comfortable, tight and pathological (0 bytes) budgets all
+    /// reproduce the in-memory decomposition exactly.
+    #[test]
+    fn every_budget_reproduces_the_in_memory_decomposition(seed in any::<u64>()) {
+        let g = bitruss::workloads::powerlaw::chung_lu(24, 20, 160, 2.0, 2.0, seed);
+        let base = BitrussEngine::builder()
+            .algorithm(Algorithm::BuPlusPlus)
+            .build(g.clone())
+            .expect("in-memory run");
+        let ks: Vec<u64> = (0..=base.max_bitruss()).collect();
+
+        for budget in [0usize, 512, 64 * 1024, usize::MAX] {
+            let session = budgeted(g.clone(), budget, Arc::new(MemVfs::new()))
+                .expect("budgeted run");
+            prop_assert_eq!(session.phi(), base.phi(), "phi diverged at budget {}", budget);
+            prop_assert_eq!(
+                session.metrics().unwrap().support_updates,
+                base.metrics().unwrap().support_updates,
+                "update counts diverged at budget {}", budget
+            );
+            for &k in &ks {
+                prop_assert_eq!(
+                    session.k_bitruss_count(k).unwrap(),
+                    base.k_bitruss_count(k).unwrap(),
+                    "{}-bitruss answer diverged at budget {}", k, budget
+                );
+            }
+            // The report always reflects the path taken: a budget of 0
+            // must actually have gone out of core.
+            let report = session.metrics().unwrap().memory.expect("report");
+            prop_assert_eq!(report.budget_bytes, budget);
+            if budget == 0 {
+                prop_assert!(report.spill_bytes_written > 0, "budget 0 never spilled");
+            }
+        }
+    }
+}
+
+/// Runs the budgeted decomposition against a scratch filesystem that
+/// injects `fault` at every operation number in turn, asserting each
+/// faulted run fails with an error (never a panic, never a wrong
+/// result) and that healthy storage still succeeds afterwards.
+fn fault_sweep(fault: Fault) {
+    let g = bitruss::workloads::powerlaw::chung_lu(16, 14, 90, 2.0, 2.0, 7);
+    let clean = Arc::new(MemVfs::new());
+    let base = budgeted(g.clone(), 0, Arc::clone(&clean)).expect("fault-free run");
+    let total_ops = clean.ops();
+    assert!(
+        total_ops > 0,
+        "the budgeted path must touch the scratch Vfs"
+    );
+
+    for op in 0..total_ops {
+        let vfs = Arc::new(MemVfs::new());
+        vfs.fail_at(op, fault);
+        let result = budgeted(g.clone(), 0, Arc::clone(&vfs));
+        match result {
+            Err(_) => {}
+            // A fault on the very last few operations (e.g. removing the
+            // consumed paged file after everything was read back) may
+            // still leave a complete run — then the answer must be the
+            // fault-free one.
+            Ok(session) => assert_eq!(
+                session.phi(),
+                base.phi(),
+                "{fault:?}@{op} survived with a wrong decomposition"
+            ),
+        }
+    }
+
+    // Healthy storage afterwards: the failure left nothing sticky
+    // behind in the engine or the graph.
+    let retry = budgeted(g, 0, Arc::new(MemVfs::new())).expect("healthy retry");
+    assert_eq!(retry.phi(), base.phi());
+}
+
+#[test]
+fn enospc_at_every_operation_is_an_error_not_a_panic() {
+    fault_sweep(Fault::Enospc);
+}
+
+#[test]
+fn kill_at_every_operation_is_an_error_not_a_panic() {
+    fault_sweep(Fault::Kill);
+}

@@ -419,6 +419,10 @@ fn protocol_session_flushes_every_response() {
         text.contains("\nstats ") && text.contains("acked=1"),
         "{text}"
     );
+    // The stats verb surfaces the generation's memory accounting.
+    assert!(text.contains(" graph_bytes="), "{text}");
+    assert!(!text.contains("graph_bytes=0 "), "{text}");
+    assert!(text.contains(" index_peak_bytes="), "{text}");
     assert!(text.contains("\nerror: unknown query"), "{text}");
     assert_eq!(text.lines().next_back(), Some("bye"), "{text}");
     assert!(
